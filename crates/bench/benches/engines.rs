@@ -1,0 +1,99 @@
+//! Ablation B: fault-model routing cost (partial vs total faults) and
+//! step-8 strategy (bitonic merge vs the paper's literal full sort).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ft_bench::{random_faults, random_keys};
+use ftsort::bitonic::Protocol;
+use ftsort::ftsort::{
+    fault_tolerant_sort, fault_tolerant_sort_configured, FtConfig, FtPlan, Step8Strategy,
+};
+use hypercube::cost::CostModel;
+use hypercube::fault::FaultModel;
+use std::hint::black_box;
+
+const M: usize = 16_000;
+
+fn bench_fault_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_model");
+    group.sample_size(20);
+    for model in [FaultModel::Partial, FaultModel::Total] {
+        group.bench_function(format!("{model:?}"), |b| {
+            let mut rng = ft_bench::rng(6);
+            let faults = random_faults(6, 5, &mut rng).with_model(model);
+            b.iter_batched(
+                || random_keys(M, &mut rng),
+                |data| {
+                    black_box(
+                        fault_tolerant_sort(
+                            &faults,
+                            CostModel::default(),
+                            data,
+                            Protocol::HalfExchange,
+                        )
+                        .unwrap(),
+                    )
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_step8_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step8_strategy");
+    group.sample_size(20);
+    let mut rng = ft_bench::rng(7);
+    let faults = random_faults(6, 5, &mut rng);
+    let plan = FtPlan::new(&faults).unwrap();
+    for step8 in [Step8Strategy::BitonicMerge, Step8Strategy::FullSort] {
+        group.bench_function(format!("{step8:?}"), |b| {
+            b.iter_batched(
+                || random_keys(M, &mut rng),
+                |data| {
+                    black_box(fault_tolerant_sort_configured(
+                        &plan,
+                        &FtConfig {
+                            step8,
+                            ..FtConfig::default()
+                        },
+                        data,
+                    ))
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_routers(c: &mut Criterion) {
+    use hypercube::sim::RouterKind;
+    let mut group = c.benchmark_group("router");
+    group.sample_size(20);
+    let mut rng = ft_bench::rng(8);
+    let faults = random_faults(6, 5, &mut rng).with_model(FaultModel::Total);
+    let plan = FtPlan::new(&faults).unwrap();
+    for router in [RouterKind::Oracle, RouterKind::Adaptive] {
+        group.bench_function(format!("{router:?}"), |b| {
+            b.iter_batched(
+                || random_keys(M, &mut rng),
+                |data| {
+                    black_box(fault_tolerant_sort_configured(
+                        &plan,
+                        &FtConfig {
+                            router,
+                            ..FtConfig::default()
+                        },
+                        data,
+                    ))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_models, bench_step8_strategies, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: the partition algorithm (the `O(rN)` search behind
+//! Table 1) across cube dimensions and fault counts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ft_bench::random_faults;
+use ftsort::partition::partition;
+use ftsort::select::select_cutting_sequence;
+use std::hint::black_box;
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    for (n, r) in [(4usize, 3usize), (6, 5), (8, 7), (10, 9)] {
+        group.bench_function(format!("n{n}_r{r}"), |b| {
+            let mut rng = ft_bench::rng(7);
+            b.iter_batched(
+                || random_faults(n, r, &mut rng),
+                |faults| black_box(partition(&faults).unwrap()),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    for (n, r) in [(6usize, 5usize), (8, 7)] {
+        group.bench_function(format!("n{n}_r{r}"), |b| {
+            let mut rng = ft_bench::rng(11);
+            b.iter_batched(
+                || {
+                    let faults = random_faults(n, r, &mut rng);
+                    let psi = partition(&faults).unwrap().cutting_set;
+                    (faults, psi)
+                },
+                |(faults, psi)| black_box(select_cutting_sequence(&faults, &psi)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Phase breakdown report: where the fault-tolerant sort's simulated time
+//! goes (step 3 / step 7 / step 8 / optional host I/O) across fault counts —
+//! the cost-structure view behind the paper's §3 analysis.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin breakdown [-- --n 6 --m 100000 --seed 1992 --host-io]
+//! ```
+
+use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ftsort::ftsort::{fault_tolerant_sort_profiled, FtConfig, FtPlan};
+
+fn main() {
+    let mut n = 6usize;
+    let mut m_total = 100_000usize;
+    let mut seed = DEFAULT_SEED;
+    let mut host_io = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => n = args.next().and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--host-io" => host_io = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut rng = ft_bench::rng(seed);
+    println!(
+        "Phase breakdown on Q{n}, M = {m_total}, host I/O {}; seed = {seed}",
+        if host_io { "charged" } else { "free" }
+    );
+    println!("(per-phase maxima over processors, simulated ms)\n");
+    println!(
+        "{:>2} {:>3} {:>4} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "r", "m", "N'", "scatter", "step3", "step7", "step8", "gather", "total"
+    );
+    println!("{}", "-".repeat(86));
+    for r in 0..n {
+        let faults = random_faults(n, r, &mut rng);
+        let plan = FtPlan::new(&faults).expect("tolerable");
+        let data = random_keys(m_total, &mut rng);
+        let config = FtConfig {
+            include_host_io: host_io,
+            ..FtConfig::default()
+        };
+        let (out, phases) = fault_tolerant_sort_profiled(&plan, &config, data);
+        println!(
+            "{:>2} {:>3} {:>4} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>9.1}",
+            r,
+            plan.partition().mincut,
+            plan.live_count(),
+            phases.host_scatter_us / 1000.0,
+            phases.step3_us / 1000.0,
+            phases.step7_us / 1000.0,
+            phases.step8_us / 1000.0,
+            phases.host_gather_us / 1000.0,
+            out.time_us / 1000.0
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Shared helpers for the benchmark harness that regenerates every table
+//! and figure of the paper's evaluation (§4).
+
+use ftsort::ftsort::FtPlan;
+use ftsort::mffs::max_fault_free_subcube;
+use hypercube::fault::FaultSet;
+use hypercube::topology::Hypercube;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The seed printed by every report binary so runs are reproducible.
+pub const DEFAULT_SEED: u64 = 1992;
+
+/// The paper's experiment size: 10 000 random fault placements per cell.
+pub const DEFAULT_TRIALS: usize = 10_000;
+
+/// Draws a random fault set of size `r` on `Q_n`.
+pub fn random_faults(n: usize, r: usize, rng: &mut StdRng) -> FaultSet {
+    FaultSet::random(Hypercube::new(n), r, rng)
+}
+
+/// Random `u32` keys.
+pub fn random_keys(m: usize, rng: &mut StdRng) -> Vec<u32> {
+    (0..m).map(|_| rng.random()).collect()
+}
+
+/// A seeded RNG for the harness.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Calls `f` for every `r`-subset of the `2^n` processor addresses —
+/// exhaustive enumeration of fault placements, for exact versions of the
+/// paper's sampled tables. Returns the number of placements visited.
+pub fn for_each_fault_set(n: usize, r: usize, mut f: impl FnMut(&FaultSet)) -> u64 {
+    let cube = Hypercube::new(n);
+    let p = cube.len();
+    assert!(r <= p);
+    let mut idx: Vec<u32> = (0..r as u32).collect();
+    let mut count = 0u64;
+    loop {
+        let faults = FaultSet::new(cube, idx.iter().map(|&i| hypercube::address::NodeId::new(i)));
+        f(&faults);
+        count += 1;
+        // next combination
+        let mut i = r;
+        loop {
+            if i == 0 {
+                return count;
+            }
+            i -= 1;
+            if idx[i] != (i + p - r) as u32 {
+                idx[i] += 1;
+                for j in i + 1..r {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// `C(2^n, r)` — how many placements [`for_each_fault_set`] will visit.
+pub fn fault_set_count(n: usize, r: usize) -> u64 {
+    let p = 1u128 << n;
+    let mut acc: u128 = 1;
+    for i in 0..r as u128 {
+        acc = acc * (p - i) / (i + 1);
+    }
+    acc as u64
+}
+
+/// Statistics of one `(n, r)` cell of Table 1: how often each mincut value
+/// occurred.
+#[derive(Clone, Debug, Default)]
+pub struct MincutHistogram {
+    /// `counts[m]` = number of trials with mincut `m`.
+    pub counts: Vec<usize>,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl MincutHistogram {
+    /// Runs the partition algorithm `trials` times with random fault sets.
+    pub fn collect(n: usize, r: usize, trials: usize, rng: &mut StdRng) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        for _ in 0..trials {
+            let faults = random_faults(n, r, rng);
+            let result = ftsort::partition::partition(&faults).expect("separable");
+            counts[result.mincut] += 1;
+        }
+        MincutHistogram { counts, trials }
+    }
+
+    /// Exact histogram over **every** fault placement (`C(2^n, r)` of them).
+    pub fn collect_exhaustive(n: usize, r: usize) -> Self {
+        let mut counts = vec![0usize; n + 1];
+        let trials = for_each_fault_set(n, r, |faults| {
+            let result = ftsort::partition::partition(faults).expect("separable");
+            counts[result.mincut] += 1;
+        });
+        MincutHistogram {
+            counts,
+            trials: trials as usize,
+        }
+    }
+
+    /// Percentage of trials with mincut `m`.
+    pub fn percent(&self, m: usize) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.counts.get(m).copied().unwrap_or(0) as f64 * 100.0 / self.trials as f64
+        }
+    }
+}
+
+/// Utilization statistics of one `(n, r)` cell of Table 2.
+#[derive(Clone, Debug)]
+pub struct UtilizationCell {
+    /// Best observed utilization (%) of the proposed algorithm.
+    pub ours_best: f64,
+    /// Worst observed utilization (%) of the proposed algorithm.
+    pub ours_worst: f64,
+    /// Best observed utilization (%) of the MFFS baseline.
+    pub mffs_best: f64,
+    /// Worst observed utilization (%) of the MFFS baseline.
+    pub mffs_worst: f64,
+}
+
+impl UtilizationCell {
+    /// Samples `trials` random fault placements.
+    pub fn collect(n: usize, r: usize, trials: usize, rng: &mut StdRng) -> Self {
+        let mut cell = UtilizationCell {
+            ours_best: 0.0,
+            ours_worst: f64::INFINITY,
+            mffs_best: 0.0,
+            mffs_worst: f64::INFINITY,
+        };
+        for _ in 0..trials {
+            let faults = random_faults(n, r, rng);
+            cell.absorb(&faults);
+        }
+        cell
+    }
+
+    /// Exact best/worst over **every** fault placement.
+    pub fn collect_exhaustive(n: usize, r: usize) -> Self {
+        let mut cell = UtilizationCell {
+            ours_best: 0.0,
+            ours_worst: f64::INFINITY,
+            mffs_best: 0.0,
+            mffs_worst: f64::INFINITY,
+        };
+        for_each_fault_set(n, r, |faults| cell.absorb(faults));
+        cell
+    }
+
+    fn absorb(&mut self, faults: &FaultSet) {
+        let normal = faults.normal_count() as f64;
+        let plan = FtPlan::new(faults).expect("r ≤ n−1 tolerable");
+        let ours = plan.live_count() as f64 / normal * 100.0;
+        self.ours_best = self.ours_best.max(ours);
+        self.ours_worst = self.ours_worst.min(ours);
+        let sc = max_fault_free_subcube(faults).expect("normal node exists");
+        let mffs = sc.len() as f64 / normal * 100.0;
+        self.mffs_best = self.mffs_best.max(mffs);
+        self.mffs_worst = self.mffs_worst.min(mffs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mincut_histogram_r0_r1_always_zero() {
+        let mut rng = rng(1);
+        for r in 0..=1 {
+            let h = MincutHistogram::collect(4, r, 50, &mut rng);
+            assert_eq!(h.counts[0], 50);
+            assert!((h.percent(0) - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mincut_histogram_percentages_sum_to_100() {
+        let mut rng = rng(2);
+        let h = MincutHistogram::collect(6, 5, 200, &mut rng);
+        let total: f64 = (0..=6).map(|m| h.percent(m)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_set_enumeration_counts() {
+        assert_eq!(fault_set_count(3, 0), 1);
+        assert_eq!(fault_set_count(3, 2), 28);
+        assert_eq!(fault_set_count(4, 3), 560);
+        assert_eq!(fault_set_count(6, 5), 7_624_512);
+        let mut seen = 0u64;
+        let visited = for_each_fault_set(3, 2, |fs| {
+            assert_eq!(fs.count(), 2);
+            seen += 1;
+        });
+        assert_eq!(seen, 28);
+        assert_eq!(visited, 28);
+    }
+
+    #[test]
+    fn exhaustive_histogram_matches_structure() {
+        // n=4, r=3: every placement has mincut exactly 2
+        let h = MincutHistogram::collect_exhaustive(4, 3);
+        assert_eq!(h.trials, 560);
+        assert_eq!(h.counts[2], 560);
+    }
+
+    #[test]
+    fn exhaustive_utilization_small_case() {
+        let cell = UtilizationCell::collect_exhaustive(3, 2);
+        // ours: F_3^1, live = 8−2 = 6 of 6 normal = 100%
+        assert!((cell.ours_best - 100.0).abs() < 1e-9);
+        assert!((cell.ours_worst - 100.0).abs() < 1e-9);
+        // MFFS: best Q2 (4/6), worst Q1 (2/6)
+        assert!((cell.mffs_best - 400.0 / 6.0).abs() < 1e-6);
+        assert!((cell.mffs_worst - 200.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_ours_dominates_mffs() {
+        let mut rng = rng(3);
+        for n in 4..=6 {
+            for r in 1..n {
+                let cell = UtilizationCell::collect(n, r, 50, &mut rng);
+                assert!(
+                    cell.ours_worst >= cell.mffs_best - 1e-9,
+                    "n={n} r={r}: ours worst {} vs MFFS best {}",
+                    cell.ours_worst,
+                    cell.mffs_best
+                );
+            }
+        }
+    }
+}
+
+pub mod workload;

@@ -1,0 +1,110 @@
+//! Workload generators for the harness.
+//!
+//! The paper evaluates on uniformly random keys; these generators widen the
+//! sweep so the harness can demonstrate a structural property of the
+//! algorithm family: bitonic sorting is *data-oblivious* (its communication
+//! schedule never depends on key values), so its simulated time is
+//! identical across distributions — unlike pivot-driven algorithms such as
+//! hyperquicksort.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A key distribution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Uniform random over the full `u32` range (the paper's workload).
+    Uniform,
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Sorted with a small fraction of random swaps.
+    NearlySorted,
+    /// Very few distinct values (heavy duplication).
+    FewDistinct,
+    /// Sum of four uniforms — a rough bell curve.
+    Gaussianish,
+    /// Organ pipe: ascending then descending.
+    OrganPipe,
+}
+
+impl Workload {
+    /// All generators, for sweeps.
+    pub const ALL: [Workload; 7] = [
+        Workload::Uniform,
+        Workload::Sorted,
+        Workload::Reversed,
+        Workload::NearlySorted,
+        Workload::FewDistinct,
+        Workload::Gaussianish,
+        Workload::OrganPipe,
+    ];
+
+    /// Generates `m` keys.
+    pub fn generate(self, m: usize, rng: &mut StdRng) -> Vec<u32> {
+        match self {
+            Workload::Uniform => (0..m).map(|_| rng.random()).collect(),
+            Workload::Sorted => (0..m as u32).collect(),
+            Workload::Reversed => (0..m as u32).rev().collect(),
+            Workload::NearlySorted => {
+                let mut v: Vec<u32> = (0..m as u32).collect();
+                for _ in 0..m / 20 {
+                    if m >= 2 {
+                        let i = rng.random_range(0..m);
+                        let j = rng.random_range(0..m);
+                        v.swap(i, j);
+                    }
+                }
+                v
+            }
+            Workload::FewDistinct => (0..m).map(|_| rng.random_range(0..4u32)).collect(),
+            Workload::Gaussianish => (0..m)
+                .map(|_| {
+                    (0..4)
+                        .map(|_| rng.random_range(0..1u32 << 24))
+                        .sum::<u32>()
+                })
+                .collect(),
+            Workload::OrganPipe => {
+                let half = m / 2;
+                (0..half as u32)
+                    .chain((0..(m - half) as u32).rev())
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for w in Workload::ALL {
+            for m in [0usize, 1, 17, 1000] {
+                assert_eq!(w.generate(m, &mut rng).len(), m, "{w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_and_reversed_have_their_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = Workload::Sorted.generate(100, &mut rng);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let r = Workload::Reversed.generate(100, &mut rng);
+        assert!(r.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn few_distinct_really_is_few() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = Workload::FewDistinct.generate(1000, &mut rng);
+        let distinct: std::collections::HashSet<u32> = v.into_iter().collect();
+        assert!(distinct.len() <= 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Smoke tests for the report binaries: each must run, exit zero, and print
+//! its key structural markers (tiny trial counts keep this fast).
+
+use std::process::Command;
+
+fn run_path(path: &str, args: &[&str]) -> String {
+    let out = Command::new(path)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("{path} failed to launch: {e}"));
+    assert!(
+        out.status.success(),
+        "{path} exited nonzero: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+macro_rules! bin_runner {
+    ($name:ident, $env:literal) => {
+        fn $name(args: &[&str]) -> String {
+            run_path(env!($env), args)
+        }
+    };
+}
+
+bin_runner!(table1, "CARGO_BIN_EXE_table1");
+bin_runner!(table2, "CARGO_BIN_EXE_table2");
+bin_runner!(figure7, "CARGO_BIN_EXE_figure7");
+bin_runner!(breakdown, "CARGO_BIN_EXE_breakdown");
+bin_runner!(obliviousness, "CARGO_BIN_EXE_obliviousness");
+bin_runner!(scaling, "CARGO_BIN_EXE_scaling");
+
+#[test]
+fn table1_smoke() {
+    let text = table1(&["--trials", "20", "--seed", "1"]);
+    assert!(text.contains("Table 1"), "{text}");
+    // structural certainties hold even at 20 trials
+    assert!(text.contains(" 3  2 |        -  100.00%"), "{text}");
+}
+
+#[test]
+fn table2_smoke() {
+    let text = table2(&["--trials", "20", "--seed", "1"]);
+    assert!(text.contains("Table 2"), "{text}");
+    assert!(text.contains("MFFS"), "{text}");
+}
+
+#[test]
+fn table2_ablation_smoke() {
+    let text = table2(&["--trials", "10", "--seed", "1", "--ablation-selection"],
+    );
+    assert!(text.contains("Ablation: heuristic selection"), "{text}");
+}
+
+#[test]
+fn figure7_smoke() {
+    let text = figure7(&["--n", "3", "--trials", "1", "--seed", "1"]);
+    assert!(text.contains("Figure 7(c)"), "{text}");
+    assert!(text.contains("320000"), "{text}");
+}
+
+#[test]
+fn figure7_csv_smoke() {
+    let text = figure7(&["--n", "3", "--trials", "1", "--seed", "1", "--csv"],
+    );
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("M,ours_r0,ours_r1,ours_r2,q2,q1"));
+    assert!(lines.next().unwrap().starts_with("3200,"));
+}
+
+#[test]
+fn breakdown_smoke() {
+    let text = breakdown(&["--n", "4", "--m", "2000", "--seed", "1"]);
+    assert!(text.contains("Phase breakdown"), "{text}");
+    assert!(text.contains("step7"), "{text}");
+}
+
+#[test]
+fn obliviousness_smoke() {
+    let text = obliviousness(&["--n", "3", "--m", "2000", "--seed", "1"]);
+    assert!(text.contains("spread"), "{text}");
+    assert!(text.contains("OrganPipe"), "{text}");
+}
+
+#[test]
+fn scaling_smoke() {
+    let text = scaling(&["--m", "2000", "--seed", "1"]);
+    assert!(text.contains("Machine-size sweep"), "{text}");
+    assert!(text.contains("past r = n"), "{text}");
+}

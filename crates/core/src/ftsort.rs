@@ -1,0 +1,802 @@
+//! The fault-tolerant sorting algorithm (paper §3, Steps 1–8).
+//!
+//! Given `Q_n` with `r` faulty processors:
+//!
+//! 1. **Partition** (§2.2): find mincut `m` and the cutting set `Ψ`; pick
+//!    `D_β ∈ Ψ` by the minmax extra-communication heuristic and designate a
+//!    dangling processor in every fault-free subcube, producing the
+//!    single-fault structure `F_n^m` with `2^m` subcubes of dimension
+//!    `s = n − m`, each with exactly one dead processor.
+//! 2. **Reindex** each subcube by XOR so its dead processor is local 0.
+//! 3. **Distribute** the `M` keys over the `N' = 2^n − 2^m` live processors
+//!    (`⌈M/N'⌉` each, `∞`-padded), **heapsort** locally, then run the
+//!    single-fault bitonic sort inside each subcube (ascending subcubes at
+//!    even addresses, descending at odd — tracked as window order, with
+//!    every local run stored ascending).
+//! 4. **Merge across subcubes** with a bitonic-like schedule at subcube
+//!    granularity: for `i = 0..m`, `mask = v_{i+1}`, and `j = i..0`, each
+//!    pair of subcubes adjacent along dimension `j` compare-splits between
+//!    corresponding reindexed processors (`mask == v_j` keeps the smaller
+//!    half), then every subcube re-sorts itself, ascending iff
+//!    `v_{j-1} == mask` (`v_{-1} ≡ 0`).
+//!
+//! Afterwards the keys are globally sorted in subcube-address order.
+//!
+//! ## Why the inter-subcube exchange is a correct block compare-split
+//!
+//! At substage `(i, j)` the two neighboring subcubes always carry *opposite*
+//! window orders (the step-8 rule makes order depend on `bit_j(v) == mask`,
+//! and the pair differs exactly in `v_j`). Corresponding processors `w ↔ w`
+//! therefore hold *complementary* rank windows, so pairing ranks `g` with
+//! `K'−1−g` splits the union exactly — the multiset counting argument that
+//! proves the pairwise kernel lifts verbatim to subcube granularity. Both
+//! dead processors sit at `w = 0` on both sides, so their (empty) pair is
+//! skipped without affecting the split.
+
+use crate::bitonic::{
+    compare_split_remote, distributed_bitonic_merge, distributed_bitonic_sort,
+    reverse_windows, KeepHalf, Protocol,
+};
+use crate::bitonic::sort::SortOutcome;
+use crate::distribute::{chunk_len, gather, scatter, Padded};
+use crate::partition::{partition, PartitionResult, SingleFaultStructure};
+use crate::select::{build_structure, select_cutting_sequence, Selection};
+use crate::seq::Direction;
+use hypercube::cost::CostModel;
+use hypercube::fault::FaultSet;
+use hypercube::sim::{Comm, Engine, Tag};
+
+/// Tag namespaces; step-8 re-sorts get a distinct namespace per `(i, j)`.
+const PHASE_STEP3: u16 = 2;
+const PHASE_STEP7: u16 = 3;
+const PHASE_STEP8_BASE: u16 = 100;
+
+/// How step 8 re-establishes sorted subcubes after each inter-subcube
+/// compare-split.
+///
+/// The paper's text prescribes a full bitonic sort, but after a
+/// compare-split the subcube content is already bitonic at window
+/// granularity, so a bitonic **merge** (`s` substages instead of
+/// `s(s+1)/2`) suffices — with one extra window-reversal exchange when the
+/// schedule demands the order the merge cannot produce directly. The merge
+/// saves ~25% of simulated time and is what makes the paper's own
+/// cost formula consistent with its measured Figure 7 (the formula, which
+/// charges a full re-sort per substage, predicts the fault-tolerant sort
+/// *loses* to the fault-free-subcube fallback at `n = 6, r = 2`). The
+/// literal full sort is kept as an ablation (see `EXPERIMENTS.md`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum Step8Strategy {
+    /// Bitonic merge + optional window reversal (default; matches Figure 7).
+    #[default]
+    BitonicMerge,
+    /// Full bitonic sort, as the paper's text literally prescribes.
+    FullSort,
+}
+
+/// Configuration of a fault-tolerant sort run.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct FtConfig {
+    /// The machine cost model.
+    pub cost: CostModel,
+    /// The compare-split wire protocol.
+    pub protocol: Protocol,
+    /// The step-8 strategy.
+    pub step8: Step8Strategy,
+    /// The local sorting algorithm of step 3 (paper: heapsort).
+    pub local_sort: crate::seq::LocalSort,
+    /// The routing algorithm charging message hops (oracle shortest paths
+    /// vs distributed depth-first adaptive routing).
+    pub router: hypercube::sim::engine::RouterKind,
+    /// When set, the host distribution (step 2) and final collection are
+    /// simulated as real binomial-tree scatter/gather collectives rooted at
+    /// the lowest-addressed live processor (the node the NCUBE host board
+    /// talks to), and their traffic is charged to the run. When unset
+    /// (default, matching the paper's Figure 7 which times the sort proper)
+    /// data appears on / is read off the processors for free.
+    pub include_host_io: bool,
+}
+
+
+/// Why a fault-tolerant sort cannot be planned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FtError {
+    /// More faults than the algorithm tolerates in this configuration: a
+    /// normal processor could be isolated, or the partition would leave no
+    /// live processor per subcube.
+    TooManyFaults {
+        /// Faults present.
+        r: usize,
+        /// Cube dimension.
+        n: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for FtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtError::TooManyFaults { r, n, reason } => {
+                write!(f, "cannot tolerate {r} faults on Q{n}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+/// A fully-resolved plan for sorting on a particular faulty hypercube:
+/// partition result, heuristic selection, and the designated structure.
+#[derive(Clone, Debug)]
+pub struct FtPlan {
+    faults: FaultSet,
+    partition: PartitionResult,
+    selection: Selection,
+    structure: SingleFaultStructure,
+}
+
+impl FtPlan {
+    /// Plans a sort: runs the partition algorithm, the selection heuristic
+    /// and dangling designation.
+    ///
+    /// Accepts any fault set for which a single-fault structure with
+    /// subcube dimension `s ≥ 1` exists; the paper guarantees this whenever
+    /// `r ≤ n − 1`.
+    pub fn new(faults: &FaultSet) -> Result<FtPlan, FtError> {
+        let n = faults.cube().dim();
+        let r = faults.count();
+        if faults.isolates_a_normal_node() {
+            return Err(FtError::TooManyFaults {
+                r,
+                n,
+                reason: "a normal processor is surrounded by faults",
+            });
+        }
+        let part = partition(faults).ok_or(FtError::TooManyFaults {
+            r,
+            n,
+            reason: "no cutting sequence separates the faults",
+        })?;
+        if n - part.mincut < 1 && r > 0 {
+            return Err(FtError::TooManyFaults {
+                r,
+                n,
+                reason: "partition leaves subcubes with no live processor",
+            });
+        }
+        let selection = select_cutting_sequence(faults, &part.cutting_set);
+        let structure = if r >= 2 {
+            build_structure(faults, &selection)
+        } else {
+            // r ≤ 1: no cut, the whole cube is one subcube (dead = the fault)
+            SingleFaultStructure::new(faults, &selection.dims)
+        };
+        Ok(FtPlan {
+            faults: faults.clone(),
+            partition: part,
+            selection,
+            structure,
+        })
+    }
+
+    /// The fault set the plan was built for.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The partition-algorithm output (mincut, `Ψ`).
+    pub fn partition(&self) -> &PartitionResult {
+        &self.partition
+    }
+
+    /// The heuristic selection (`D_β`, cost, dangling address).
+    pub fn selection(&self) -> &Selection {
+        &self.selection
+    }
+
+    /// The designated single-fault structure.
+    pub fn structure(&self) -> &SingleFaultStructure {
+        &self.structure
+    }
+
+    /// Live (data-holding) processors, `N'`.
+    pub fn live_count(&self) -> usize {
+        self.structure.live_count()
+    }
+
+    /// Processor utilization: live processors over normal processors
+    /// (the paper's Table 2 metric).
+    pub fn utilization(&self) -> f64 {
+        self.live_count() as f64 / self.faults.normal_count() as f64
+    }
+}
+
+/// Sorts `data` on the faulty hypercube described by `plan`.
+///
+/// Returns the keys sorted ascending (gathered in subcube-address order)
+/// together with the simulated time and operation counts.
+pub fn fault_tolerant_sort_with_plan<K>(
+    plan: &FtPlan,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
+    fault_tolerant_sort_configured(
+        plan,
+        &FtConfig {
+            cost,
+            protocol,
+            ..FtConfig::default()
+        },
+        data,
+    )
+}
+
+/// [`fault_tolerant_sort_with_plan`] with full configuration control
+/// (notably the step-8 strategy ablation).
+pub fn fault_tolerant_sort_configured<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
+    fault_tolerant_sort_profiled(plan, config, data).0
+}
+
+/// Virtual-time attribution of a run to the algorithm's phases.
+///
+/// Each field is the **maximum over processors** of the virtual time that
+/// processor spent in the phase (work *and* waiting, so a processor stalled
+/// on a partner charges the phase it stalls in). The fields therefore sum
+/// to at least the turnaround time of the slowest processor, approximately.
+#[derive(Clone, Copy, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseBreakdown {
+    /// Host scatter (only with [`FtConfig::include_host_io`]).
+    pub host_scatter_us: f64,
+    /// Step 3: local sort + intra-subcube single-fault bitonic sort.
+    pub step3_us: f64,
+    /// Step 7: inter-subcube compare-splits (multi-hop).
+    pub step7_us: f64,
+    /// Step 8: intra-subcube re-merge/re-sort (+ window reversals).
+    pub step8_us: f64,
+    /// Host gather (only with [`FtConfig::include_host_io`]).
+    pub host_gather_us: f64,
+}
+
+/// [`fault_tolerant_sort_configured`] that also reports where the virtual
+/// time went.
+pub fn fault_tolerant_sort_profiled<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+) -> (SortOutcome<K>, PhaseBreakdown)
+where
+    K: Ord + Clone + Send,
+{
+    let cost = config.cost;
+    let protocol = config.protocol;
+    let step8 = config.step8;
+    let st = plan.structure();
+    let cube = st.cube();
+    let m = st.m();
+    assert!(m <= 16, "tag namespace supports m ≤ 16");
+    let live = st.live_in_order();
+    let m_total = data.len();
+    let k = chunk_len(m_total, live.len());
+    let chunks = scatter(data, live.len());
+
+    // Step 2: the host hands each live processor its ⌈M/N'⌉ keys — either
+    // for free (paper-style timing of the sort proper) or as a real
+    // binomial-tree scatter rooted at the host's entry node.
+    let host_parts = config.include_host_io.then(|| {
+        let host = *live.iter().min().expect("at least one live processor");
+        hypercube::collectives::Participants::new(cube.len(), host, &live)
+    });
+    let mut inputs: Vec<Option<Vec<Padded<K>>>> = (0..cube.len()).map(|_| None).collect();
+    match &host_parts {
+        None => {
+            for (&p, chunk) in live.iter().zip(chunks) {
+                inputs[p.index()] = Some(chunk);
+            }
+        }
+        Some(parts) => {
+            // the host entry node starts with everything, in rank order
+            let mut by_rank: Vec<Vec<Padded<K>>> = vec![Vec::new(); live.len()];
+            for (&p, chunk) in live.iter().zip(chunks) {
+                by_rank[parts.rank(p).expect("live node participates")] = chunk;
+            }
+            for &p in &live {
+                inputs[p.index()] = Some(Vec::new());
+            }
+            inputs[parts.root().index()] = Some(by_rank.into_iter().flatten().collect());
+        }
+    }
+    let host_parts = &host_parts;
+
+    let engine = Engine::new(plan.faults().clone(), cost).with_router(config.router);
+    let out = engine.run(inputs, |ctx, mut chunk| {
+        let mut phases = PhaseBreakdown::default();
+        if let Some(parts) = host_parts {
+            let pieces = (ctx.me() == parts.root())
+                .then(|| chunk.chunks(k).map(|c| c.to_vec()).collect::<Vec<_>>());
+            chunk = hypercube::collectives::scatter(
+                ctx,
+                parts,
+                Tag::phase(500, 0, 0),
+                pieces,
+                k,
+            );
+            phases.host_scatter_us = ctx.clock();
+        }
+        let (v, w) = st.locate(ctx.me());
+        let members = st.members(v);
+        let dead = st.subcube(v).dead_local.map(|_| 0usize);
+
+        // Step 3: local sort (heapsort per the paper, configurable), then
+        // the single-fault bitonic sort inside the subcube; subcube order
+        // follows the subcube-address parity.
+        let comparisons = config.local_sort.sort(&mut chunk, Direction::Ascending);
+        ctx.charge_comparisons(comparisons as usize);
+        let mut dir = Direction::from_parity(v);
+        let mut run = distributed_bitonic_sort(
+            ctx,
+            &members,
+            w as usize,
+            dead,
+            dir,
+            chunk,
+            PHASE_STEP3,
+            protocol,
+        );
+        phases.step3_us = ctx.clock() - phases.host_scatter_us;
+
+        // Steps 4–8: bitonic-like merge over subcubes.
+        for i in 0..m {
+            let mask = (v >> (i + 1)) & 1; // v_{i+1}, with v_m ≡ 0
+            for j in (0..=i).rev() {
+                // Step 7: compare-split with the corresponding processor of
+                // the neighboring subcube along dimension j.
+                let u = v ^ (1 << j);
+                let partner = st.members(u)[w as usize];
+                // Invariant: before substage (i, j) the subcube's window
+                // order is ascending iff bit_j(v) == 0 when j == i (set by
+                // the previous block's final re-sort or the step-3 parity),
+                // and iff bit_j(v) == mask otherwise (set by the previous
+                // step 8). Either way the partner, differing in bit j,
+                // carries the opposite order.
+                let expected_asc = if j == i {
+                    (v >> j) & 1 == 0
+                } else {
+                    (v >> j) & 1 == mask
+                };
+                debug_assert_eq!(
+                    dir,
+                    if expected_asc {
+                        Direction::Ascending
+                    } else {
+                        Direction::Descending
+                    },
+                    "window-order invariant broken at (i={i}, j={j}, v={v:b})"
+                );
+                let keep = if (v >> j) & 1 == mask {
+                    KeepHalf::Low
+                } else {
+                    KeepHalf::High
+                };
+                let before_step7 = ctx.clock();
+                run = compare_split_remote(
+                    ctx,
+                    partner,
+                    Tag::phase(PHASE_STEP7, i as u16, j as u16),
+                    run,
+                    keep,
+                    protocol,
+                );
+                phases.step7_us += ctx.clock() - before_step7;
+                let before_step8 = ctx.clock();
+                // Step 8: re-establish subcube order; the schedule demands
+                // ascending iff v_{j-1} == mask (v_{-1} ≡ 0).
+                dir = direction_for(v, j, mask);
+                let phase = PHASE_STEP8_BASE + (i * 16 + j) as u16;
+                run = match step8 {
+                    Step8Strategy::FullSort => distributed_bitonic_sort(
+                        ctx, &members, w as usize, dead, dir, run, phase, protocol,
+                    ),
+                    Step8Strategy::BitonicMerge => {
+                        // The compare-split left this side's windows in the
+                        // bitonic form its kept half implies: Low keepers
+                        // can merge ascending, High keepers descending.
+                        let compatible = match keep {
+                            KeepHalf::Low => Direction::Ascending,
+                            KeepHalf::High => Direction::Descending,
+                        };
+                        let mut run = distributed_bitonic_merge(
+                            ctx, &members, w as usize, dead, compatible, run, phase,
+                            protocol,
+                        );
+                        if dir != compatible {
+                            run = reverse_windows(
+                                ctx,
+                                &members,
+                                w as usize,
+                                dead,
+                                run,
+                                PHASE_STEP8_BASE + 512 + (i * 16 + j) as u16,
+                            );
+                        }
+                        run
+                    }
+                };
+                phases.step8_us += ctx.clock() - before_step8;
+            }
+        }
+        assert_eq!(run.len(), k, "sort must preserve run length");
+        match host_parts {
+            None => (run, None, phases),
+            Some(parts) => {
+                let before_gather = ctx.clock();
+                let collected = hypercube::collectives::gather(
+                    ctx,
+                    parts,
+                    Tag::phase(501, 0, 0),
+                    run,
+                    k,
+                );
+                phases.host_gather_us = ctx.clock() - before_gather;
+                (Vec::new(), collected, phases)
+            }
+        }
+    });
+
+    let time_us = out.turnaround();
+    let stats = out.total_stats();
+    // Per-phase attribution: max over processors.
+    let mut breakdown = PhaseBreakdown::default();
+    for o in out.outcomes().iter().flatten() {
+        let p = o.result.2;
+        breakdown.host_scatter_us = breakdown.host_scatter_us.max(p.host_scatter_us);
+        breakdown.step3_us = breakdown.step3_us.max(p.step3_us);
+        breakdown.step7_us = breakdown.step7_us.max(p.step7_us);
+        breakdown.step8_us = breakdown.step8_us.max(p.step8_us);
+        breakdown.host_gather_us = breakdown.host_gather_us.max(p.host_gather_us);
+    }
+    // Gather in (v, w) order — the subcubes' address order of the paper.
+    let sorted = match host_parts {
+        None => {
+            let mut by_node: Vec<Option<Vec<Padded<K>>>> =
+                (0..cube.len()).map(|_| None).collect();
+            for (node, (run, _, _)) in out.into_results() {
+                by_node[node.index()] = Some(run);
+            }
+            gather(
+                live.iter()
+                    .map(|p| by_node[p.index()].take().expect("live node produced a run")),
+            )
+        }
+        Some(parts) => {
+            let root_pieces = out
+                .node(parts.root())
+                .and_then(|o| o.result.1.clone())
+                .expect("host entry node collected the result");
+            // rank order → (v, w) live order
+            gather(
+                live.iter()
+                    .map(|p| root_pieces[parts.rank(*p).expect("live")].clone()),
+            )
+        }
+    };
+    assert_eq!(sorted.len(), m_total, "keys lost or duplicated");
+    (
+        SortOutcome {
+            sorted,
+            time_us,
+            stats,
+            processors_used: live.len(),
+        },
+        breakdown,
+    )
+}
+
+/// The step-8 direction after substage `(i, j)`: ascending iff
+/// `v_{j-1} == mask` with `v_{-1} ≡ 0`.
+fn direction_for(v: u32, j: usize, mask: u32) -> Direction {
+    let v_jm1 = if j == 0 { 0 } else { (v >> (j - 1)) & 1 };
+    if v_jm1 == mask {
+        Direction::Ascending
+    } else {
+        Direction::Descending
+    }
+}
+
+/// One-call entry point: plan (partition + heuristics) and sort.
+///
+/// ```
+/// use ftsort::prelude::*;
+///
+/// // Q4 with three dead processors still sorts — on 12 live processors.
+/// let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 7, 13]);
+/// let out = fault_tolerant_sort(
+///     &faults,
+///     CostModel::default(),
+///     (0..100u32).rev().collect(),
+///     Protocol::HalfExchange,
+/// ).unwrap();
+/// assert_eq!(out.sorted, (0..100).collect::<Vec<u32>>());
+/// assert_eq!(out.processors_used, 12);
+/// ```
+///
+/// # Errors
+/// [`FtError`] when the fault set cannot be tolerated (see [`FtPlan::new`]).
+pub fn fault_tolerant_sort<K>(
+    faults: &FaultSet,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+) -> Result<SortOutcome<K>, FtError>
+where
+    K: Ord + Clone + Send,
+{
+    let plan = FtPlan::new(faults)?;
+    Ok(fault_tolerant_sort_with_plan(&plan, cost, data, protocol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::topology::Hypercube;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_data(rng: &mut StdRng, m: usize) -> Vec<u32> {
+        (0..m).map(|_| rng.random_range(0..1_000_000)).collect()
+    }
+
+    fn check_sorted(faults: &FaultSet, data: Vec<u32>, protocol: Protocol) -> SortOutcome<u32> {
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let out = fault_tolerant_sort(faults, CostModel::paper_form(), data, protocol)
+            .expect("plan must exist");
+        assert_eq!(out.sorted, expect);
+        out
+    }
+
+    #[test]
+    fn paper_example_configuration_sorts() {
+        // Q5 with the paper's 4 faults {3, 5, 16, 24}; 47 keys as in Fig. 6.
+        let faults =
+            FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = random_data(&mut rng, 47);
+        let out = check_sorted(&faults, data, Protocol::HalfExchange);
+        assert_eq!(out.processors_used, 24); // N' = 32 − 8
+    }
+
+    #[test]
+    fn plan_exposes_paper_quantities() {
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let plan = FtPlan::new(&faults).unwrap();
+        assert_eq!(plan.partition().mincut, 3);
+        assert_eq!(plan.selection().dims, vec![0, 1, 3]);
+        assert_eq!(plan.selection().cost, 3);
+        assert_eq!(plan.live_count(), 24);
+        let util = plan.utilization();
+        assert!((util - 24.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_one_fault_degenerate_to_bitonic() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = random_data(&mut rng, 100);
+        let out = check_sorted(
+            &FaultSet::none(Hypercube::new(3)),
+            data.clone(),
+            Protocol::HalfExchange,
+        );
+        assert_eq!(out.processors_used, 8);
+        let out = check_sorted(
+            &FaultSet::from_raw(Hypercube::new(3), &[6]),
+            data,
+            Protocol::HalfExchange,
+        );
+        assert_eq!(out.processors_used, 7);
+    }
+
+    #[test]
+    fn two_faults_no_dangling_processors() {
+        // With r = 2 the cube splits into two half-cubes, each with one
+        // fault: N' = N − 2, zero dangling (the paper's headline case).
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 3]);
+        let plan = FtPlan::new(&faults).unwrap();
+        assert_eq!(plan.partition().mincut, 1);
+        assert_eq!(plan.structure().dangling_count(), 0);
+        assert_eq!(plan.live_count(), 14);
+        assert!((plan.utilization() - 1.0).abs() < 1e-12);
+        let mut rng = StdRng::seed_from_u64(3);
+        check_sorted(&faults, random_data(&mut rng, 200), Protocol::HalfExchange);
+    }
+
+    #[test]
+    fn all_fault_counts_on_q4_and_q5() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [4usize, 5] {
+            for r in 0..n {
+                for _ in 0..5 {
+                    let faults = FaultSet::random(Hypercube::new(n), r, &mut rng);
+                    let m_total = rng.random_range(1..300);
+                    let data = random_data(&mut rng, m_total);
+                    check_sorted(&faults, data, Protocol::HalfExchange);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn both_protocols_agree() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[1, 6, 12]);
+        let data = random_data(&mut rng, 150);
+        let a = check_sorted(&faults, data.clone(), Protocol::FullExchange);
+        let b = check_sorted(&faults, data, Protocol::HalfExchange);
+        assert_eq!(a.sorted, b.sorted);
+    }
+
+    #[test]
+    fn tiny_inputs_and_duplicates() {
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[0, 15]);
+        check_sorted(&faults, vec![], Protocol::HalfExchange);
+        check_sorted(&faults, vec![5], Protocol::HalfExchange);
+        check_sorted(&faults, vec![9, 9, 9, 9, 9], Protocol::HalfExchange);
+        check_sorted(
+            &faults,
+            (0..50).map(|i| i % 4).collect(),
+            Protocol::HalfExchange,
+        );
+    }
+
+    #[test]
+    fn already_sorted_and_reversed_inputs() {
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[3, 5, 9]);
+        check_sorted(&faults, (0..111).collect(), Protocol::HalfExchange);
+        check_sorted(&faults, (0..111).rev().collect(), Protocol::HalfExchange);
+    }
+
+    #[test]
+    fn utilization_beats_mffs_bound() {
+        // Paper: dangling processors ≤ N/4 in the worst case, so utilization
+        // ≥ 3/4 over live+dangling; MFFS with r = n−1 is at best N/2.
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let n = 6;
+            let faults = FaultSet::random(Hypercube::new(n), n - 1, &mut rng);
+            let plan = FtPlan::new(&faults).unwrap();
+            let live = plan.live_count();
+            assert!(
+                live * 4 >= 3 * (1 << n),
+                "live {live} below 3N/4 for faults {:?}",
+                faults.to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn isolation_is_rejected() {
+        // Q2 with node 0's both neighbors faulty
+        let faults = FaultSet::from_raw(Hypercube::new(2), &[1, 2]);
+        let err = FtPlan::new(&faults).unwrap_err();
+        assert!(matches!(err, FtError::TooManyFaults { .. }));
+    }
+
+    #[test]
+    fn r_equal_n_still_works_when_separable() {
+        // The paper notes the partition also applies for r ≥ n if no normal
+        // node is isolated.
+        let faults = FaultSet::from_raw(Hypercube::new(3), &[0, 1, 2]); // r = n = 3
+        let mut rng = StdRng::seed_from_u64(7);
+        check_sorted(&faults, random_data(&mut rng, 60), Protocol::HalfExchange);
+    }
+
+    #[test]
+    fn host_io_collectives_produce_same_result_and_cost_more() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let plan = FtPlan::new(&faults).unwrap();
+        let data = random_data(&mut rng, 2_400);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let free = fault_tolerant_sort_configured(&plan, &FtConfig::default(), data.clone());
+        let host = fault_tolerant_sort_configured(
+            &plan,
+            &FtConfig {
+                include_host_io: true,
+                ..FtConfig::default()
+            },
+            data,
+        );
+        assert_eq!(free.sorted, expect);
+        assert_eq!(host.sorted, expect);
+        assert!(
+            host.time_us > free.time_us,
+            "host I/O must add time: {} vs {}",
+            host.time_us,
+            free.time_us
+        );
+        assert!(host.stats.element_hops > free.stats.element_hops);
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_the_run() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let plan = FtPlan::new(&faults).unwrap();
+        let data = random_data(&mut rng, 4_800);
+        let (out, phases) = fault_tolerant_sort_profiled(&plan, &FtConfig::default(), data);
+        assert!(phases.step3_us > 0.0);
+        assert!(phases.step7_us > 0.0);
+        assert!(phases.step8_us > 0.0);
+        assert_eq!(phases.host_scatter_us, 0.0, "host I/O off by default");
+        assert_eq!(phases.host_gather_us, 0.0);
+        let sum = phases.step3_us + phases.step7_us + phases.step8_us;
+        // per-phase maxima bound the turnaround from above (waiting charged
+        // per phase) and each phase is below the total
+        assert!(sum >= out.time_us * 0.99, "sum {sum} vs total {}", out.time_us);
+        assert!(phases.step3_us < out.time_us);
+        // with host I/O on, the I/O phases appear
+        let data = random_data(&mut rng, 4_800);
+        let (_, phases) = fault_tolerant_sort_profiled(
+            &plan,
+            &FtConfig {
+                include_host_io: true,
+                ..FtConfig::default()
+            },
+            data,
+        );
+        assert!(phases.host_scatter_us > 0.0);
+        assert!(phases.host_gather_us > 0.0);
+    }
+
+    #[test]
+    fn local_sort_choices_agree() {
+        use crate::seq::LocalSort;
+        let mut rng = StdRng::seed_from_u64(11);
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[1, 6, 12]);
+        let plan = FtPlan::new(&faults).unwrap();
+        let data = random_data(&mut rng, 3_000);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let mut times = Vec::new();
+        for local_sort in [LocalSort::Heapsort, LocalSort::Quicksort, LocalSort::Mergesort] {
+            let out = fault_tolerant_sort_configured(
+                &plan,
+                &FtConfig {
+                    local_sort,
+                    ..FtConfig::default()
+                },
+                data.clone(),
+            );
+            assert_eq!(out.sorted, expect, "{local_sort:?}");
+            times.push((local_sort, out.time_us, out.stats.comparisons));
+        }
+        // quicksort should use fewer comparisons than heapsort on random data
+        assert!(times[1].2 < times[0].2, "{times:?}");
+    }
+
+    #[test]
+    fn virtual_time_deterministic() {
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = random_data(&mut rng, 480);
+        let t1 = fault_tolerant_sort(&faults, CostModel::default(), data.clone(), Protocol::HalfExchange)
+            .unwrap()
+            .time_us;
+        let t2 = fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::HalfExchange)
+            .unwrap()
+            .time_us;
+        assert_eq!(t1, t2);
+        assert!(t1 > 0.0);
+    }
+}

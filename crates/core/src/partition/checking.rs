@@ -1,0 +1,185 @@
+//! The checking tree `T̃_n` (paper §2.2, Fig. 4).
+//!
+//! A binary tree whose root holds all faulty addresses; traversing cutting
+//! dimension `d` splits every current leaf into two children by bit `d` of
+//! each fault. A cutting sequence is *feasible* — it induces a single-fault
+//! subcube structure — exactly when every leaf ends up with at most one
+//! fault.
+
+use hypercube::address::NodeId;
+use hypercube::fault::FaultSet;
+use hypercube::subcube::Subcube;
+
+/// One node of the checking tree: a subcube and the faults it contains.
+#[derive(Clone, Debug)]
+pub struct CheckingNode {
+    /// The subcube this node represents.
+    pub subcube: Subcube,
+    /// The faulty processors lying inside it.
+    pub faults: Vec<NodeId>,
+    /// Depth in the tree (number of cutting dimensions applied).
+    pub depth: usize,
+}
+
+/// The materialized checking tree after applying a cutting sequence.
+///
+/// Mostly useful for inspection and the paper's worked examples; the search
+/// itself uses the equivalent flat grouping test (`is_feasible`).
+#[derive(Clone, Debug)]
+pub struct CheckingTree {
+    levels: Vec<Vec<CheckingNode>>,
+}
+
+impl CheckingTree {
+    /// Builds the tree for `faults` under the cutting sequence `dims`
+    /// (applied in order).
+    pub fn build(faults: &FaultSet, dims: &[usize]) -> Self {
+        let root = CheckingNode {
+            subcube: faults.cube().as_subcube(),
+            faults: faults.to_vec(),
+            depth: 0,
+        };
+        let mut levels = vec![vec![root]];
+        for (depth, &d) in dims.iter().enumerate() {
+            let mut next = Vec::with_capacity(levels[depth].len() * 2);
+            for node in &levels[depth] {
+                let (lo, hi) = node.subcube.split(d);
+                // paper's rule: bit d == 0 goes to the left child
+                let (lo_faults, hi_faults): (Vec<NodeId>, Vec<NodeId>) =
+                    node.faults.iter().partition(|f| f.bit(d) == 0);
+                next.push(CheckingNode {
+                    subcube: lo,
+                    faults: lo_faults,
+                    depth: depth + 1,
+                });
+                next.push(CheckingNode {
+                    subcube: hi,
+                    faults: hi_faults,
+                    depth: depth + 1,
+                });
+            }
+            levels.push(next);
+        }
+        CheckingTree { levels }
+    }
+
+    /// The nodes at a given depth (level 0 is the root).
+    pub fn level(&self, depth: usize) -> &[CheckingNode] {
+        &self.levels[depth]
+    }
+
+    /// The terminal nodes (deepest level).
+    pub fn leaves(&self) -> &[CheckingNode] {
+        self.levels.last().expect("tree always has a root level")
+    }
+
+    /// Tree depth = number of cutting dimensions applied.
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// Whether every terminal node has at most one fault — the paper's
+    /// single-fault subcube structure test.
+    pub fn is_single_fault(&self) -> bool {
+        self.leaves().iter().all(|n| n.faults.len() <= 1)
+    }
+}
+
+/// Flat equivalent of the checking-tree test: `dims` is feasible iff no two
+/// faults agree on every bit in `dims`. `O(r²·|dims|)` with tiny constants
+/// (`r ≤ n − 1 ≤ 31`).
+pub fn is_feasible(fault_addrs: &[u32], dims_mask: u32) -> bool {
+    for (i, &a) in fault_addrs.iter().enumerate() {
+        for &b in &fault_addrs[..i] {
+            if (a ^ b) & dims_mask == 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::topology::Hypercube;
+
+    /// The paper's Fig. 4: Q4 with faults {0, 6, 9} and D = (1, 3).
+    #[test]
+    fn paper_fig4_checking_tree() {
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[0, 6, 9]);
+        let tree = CheckingTree::build(&faults, &[1, 3]);
+        assert_eq!(tree.depth(), 2);
+        // After dimension 1: {0, 9} | {6}
+        let l1 = tree.level(1);
+        assert_eq!(
+            l1[0].faults,
+            vec![NodeId::new(0), NodeId::new(9)],
+            "left child holds bit-1 = 0 faults"
+        );
+        assert_eq!(l1[1].faults, vec![NodeId::new(6)]);
+        // After dimension 3: {0} | {9} | {6} | {}
+        let leaves = tree.leaves();
+        assert_eq!(leaves.len(), 4);
+        assert_eq!(leaves[0].faults, vec![NodeId::new(0)]);
+        assert_eq!(leaves[1].faults, vec![NodeId::new(9)]);
+        assert_eq!(leaves[2].faults, vec![NodeId::new(6)]);
+        assert!(leaves[3].faults.is_empty());
+        assert!(tree.is_single_fault());
+    }
+
+    #[test]
+    fn infeasible_sequence_detected() {
+        // faults 0 and 1 differ only in bit 0: cutting dim 1 cannot separate
+        let faults = FaultSet::from_raw(Hypercube::new(3), &[0, 1]);
+        let tree = CheckingTree::build(&faults, &[1]);
+        assert!(!tree.is_single_fault());
+        let tree = CheckingTree::build(&faults, &[0]);
+        assert!(tree.is_single_fault());
+    }
+
+    #[test]
+    fn empty_cut_is_feasible_iff_at_most_one_fault() {
+        let one = FaultSet::from_raw(Hypercube::new(3), &[4]);
+        assert!(CheckingTree::build(&one, &[]).is_single_fault());
+        let two = FaultSet::from_raw(Hypercube::new(3), &[4, 5]);
+        assert!(!CheckingTree::build(&two, &[]).is_single_fault());
+        let zero = FaultSet::none(Hypercube::new(3));
+        assert!(CheckingTree::build(&zero, &[]).is_single_fault());
+    }
+
+    #[test]
+    fn flat_test_matches_tree_test() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let n = rng.random_range(2..=6usize);
+            let r = rng.random_range(0..n);
+            let faults = FaultSet::random(Hypercube::new(n), r, &mut rng);
+            // random dim subset
+            let mask: u32 = rng.random_range(0..(1u32 << n));
+            let dims: Vec<usize> = (0..n).filter(|&d| mask >> d & 1 == 1).collect();
+            let tree = CheckingTree::build(&faults, &dims);
+            let addrs: Vec<u32> = faults.iter().map(|f| f.raw()).collect();
+            assert_eq!(
+                tree.is_single_fault(),
+                is_feasible(&addrs, mask),
+                "n={n} faults={addrs:?} dims={dims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_partition_the_cube() {
+        let faults = FaultSet::from_raw(Hypercube::new(4), &[0, 6, 9]);
+        let tree = CheckingTree::build(&faults, &[1, 3]);
+        let mut covered = [false; 16];
+        for leaf in tree.leaves() {
+            for node in leaf.subcube.nodes() {
+                assert!(!covered[node.index()]);
+                covered[node.index()] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+}

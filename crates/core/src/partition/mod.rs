@@ -1,0 +1,21 @@
+//! The partition algorithm (paper §2.2).
+//!
+//! Given `Q_n` with `r ≤ n − 1` faulty processors, find the *minimum* number
+//! of cutting dimensions `m` (*mincut*) and the *cutting set* `Ψ` — every
+//! ascending sequence of `m` dimensions `D = (d₁, …, d_m)` that partitions
+//! `Q_n` into the single-fault subcube structure `F_n^m` (`2^m` subcubes,
+//! each containing at most one fault).
+//!
+//! The search walks the *cutting dimension tree* `T_n` (whose root-to-node
+//! paths are exactly the ascending dimension sequences, `Σᵢ C(n,i) = 2ⁿ − 1`
+//! nodes) depth-first, pruning at the current mincut; feasibility of a
+//! sequence is decided by the *checking tree* `T̃_n`, which distributes the
+//! faulty addresses over the subcubes.
+
+mod checking;
+mod search;
+mod structure;
+
+pub use checking::CheckingTree;
+pub use search::{partition, PartitionResult};
+pub use structure::{DeadKind, SingleFaultStructure, SubcubeInfo};

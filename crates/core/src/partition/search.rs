@@ -1,0 +1,293 @@
+//! Depth-first search of the cutting dimension tree `T_n` (paper §2.2,
+//! Fig. 2, and "The Partition Algorithm").
+
+use super::checking::is_feasible;
+use hypercube::fault::FaultSet;
+
+/// The output of the partition algorithm: the *mincut* value `m` and the
+/// cutting set `Ψ` of all minimum cutting dimension sequences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionResult {
+    /// The minimum number of cutting dimensions `m`.
+    pub mincut: usize,
+    /// Every ascending sequence of `mincut` dimensions that partitions the
+    /// cube into `F_n^m` (the paper's `Ψ = {D₁, …, D_α}`), in lexicographic
+    /// order.
+    pub cutting_set: Vec<Vec<usize>>,
+    /// Number of cutting-dimension-tree nodes visited (diagnostics; at most
+    /// `2^n − 1`).
+    pub nodes_visited: usize,
+}
+
+impl PartitionResult {
+    /// `α`, the number of cutting sequences found.
+    pub fn alpha(&self) -> usize {
+        self.cutting_set.len()
+    }
+}
+
+/// Runs the partition algorithm on `faults`.
+///
+/// Returns `None` when *no* cutting sequence separates the faults — possible
+/// only when two faulty processors share an address, which [`FaultSet`]
+/// already forbids, so in practice the result is always `Some` (cutting
+/// along **all** `n` dimensions puts every processor in its own subcube).
+/// With `r ≤ 1` faults the mincut is 0 and `Ψ = {()}` (no cut needed).
+///
+/// Worst-case time is `O(r·N)` with `N = 2^n`: the tree has `2^n − 1` nodes
+/// and each visit checks `r` fault addresses (the paper's bound).
+///
+/// # Example — the paper's Example 1
+///
+/// ```
+/// use ftsort::partition::partition;
+/// use hypercube::prelude::*;
+///
+/// let faults = FaultSet::from_raw(Hypercube::new(5), &[0b00011, 0b00101, 0b10000, 0b11000]);
+/// let result = partition(&faults).unwrap();
+/// assert_eq!(result.mincut, 3);
+/// assert_eq!(result.cutting_set.len(), 5); // Ψ = {D₁ … D₅}
+/// assert_eq!(result.cutting_set[0], vec![0, 1, 3]); // D₁
+/// ```
+pub fn partition(faults: &FaultSet) -> Option<PartitionResult> {
+    let n = faults.cube().dim();
+    let addrs: Vec<u32> = faults.iter().map(|f| f.raw()).collect();
+
+    // r ≤ 1: the whole cube is already a single-fault structure.
+    if addrs.len() <= 1 {
+        return Some(PartitionResult {
+            mincut: 0,
+            cutting_set: vec![Vec::new()],
+            nodes_visited: 0,
+        });
+    }
+
+    let mut mincut = n + 1; // sentinel: nothing found yet
+    let mut psi: Vec<Vec<usize>> = Vec::new();
+    let mut visited = 0usize;
+    let mut prefix: Vec<usize> = Vec::new();
+
+    // DFS over ascending dimension sequences; children of a node labeled d
+    // are the dimensions > d (Fig. 2). `mask` carries the prefix as bits.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        n: usize,
+        addrs: &[u32],
+        first: usize,
+        mask: u32,
+        prefix: &mut Vec<usize>,
+        mincut: &mut usize,
+        psi: &mut Vec<Vec<usize>>,
+        visited: &mut usize,
+    ) {
+        for d in first..n {
+            let depth = prefix.len() + 1;
+            // cutoff: deeper than the best known mincut can never improve Ψ
+            if depth > *mincut {
+                return;
+            }
+            *visited += 1;
+            prefix.push(d);
+            let new_mask = mask | (1 << d);
+            if is_feasible(addrs, new_mask) {
+                if depth < *mincut {
+                    *mincut = depth;
+                    psi.clear();
+                }
+                psi.push(prefix.clone());
+                // a feasible node's descendants are longer, never minimal
+            } else {
+                dfs(n, addrs, d + 1, new_mask, prefix, mincut, psi, visited);
+            }
+            prefix.pop();
+        }
+    }
+
+    dfs(
+        n,
+        &addrs,
+        0,
+        0,
+        &mut prefix,
+        &mut mincut,
+        &mut psi,
+        &mut visited,
+    );
+
+    if psi.is_empty() {
+        return None;
+    }
+    psi.sort();
+    Some(PartitionResult {
+        mincut,
+        cutting_set: psi,
+        nodes_visited: visited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypercube::topology::Hypercube;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn q(n: usize) -> Hypercube {
+        Hypercube::new(n)
+    }
+
+    /// Brute-force reference: try every dimension subset by size.
+    fn reference(faults: &FaultSet) -> (usize, Vec<Vec<usize>>) {
+        let n = faults.cube().dim();
+        let addrs: Vec<u32> = faults.iter().map(|f| f.raw()).collect();
+        for m in 0..=n {
+            let mut found = Vec::new();
+            for mask in 0u32..(1 << n) {
+                if mask.count_ones() as usize != m {
+                    continue;
+                }
+                if is_feasible(&addrs, mask) {
+                    found.push((0..n).filter(|&d| mask >> d & 1 == 1).collect());
+                }
+            }
+            if !found.is_empty() {
+                found.sort();
+                return (m, found);
+            }
+        }
+        unreachable!("cutting all dimensions always separates distinct faults");
+    }
+
+    /// Paper Example 1: Q5 with faults 00011, 00101, 10000, 11000.
+    #[test]
+    fn paper_example_1() {
+        let faults = FaultSet::from_raw(q(5), &[0b00011, 0b00101, 0b10000, 0b11000]);
+        let result = partition(&faults).unwrap();
+        assert_eq!(result.mincut, 3);
+        assert_eq!(
+            result.cutting_set,
+            vec![
+                vec![0, 1, 3],
+                vec![0, 2, 3],
+                vec![1, 2, 3],
+                vec![1, 3, 4],
+                vec![2, 3, 4],
+            ],
+            "Ψ must match the paper exactly"
+        );
+        assert_eq!(result.alpha(), 5);
+    }
+
+    /// Paper Fig. 3: Q4 with faults {0, 6, 9}; (1, 3) is a minimal cut.
+    #[test]
+    fn paper_fig3_q4() {
+        let faults = FaultSet::from_raw(q(4), &[0, 6, 9]);
+        let result = partition(&faults).unwrap();
+        assert_eq!(result.mincut, 2);
+        assert!(result.cutting_set.contains(&vec![1, 3]));
+    }
+
+    #[test]
+    fn no_faults_and_single_fault_need_no_cut() {
+        let result = partition(&FaultSet::none(q(4))).unwrap();
+        assert_eq!(result.mincut, 0);
+        assert_eq!(result.cutting_set, vec![Vec::<usize>::new()]);
+        let result = partition(&FaultSet::from_raw(q(4), &[7])).unwrap();
+        assert_eq!(result.mincut, 0);
+    }
+
+    #[test]
+    fn two_faults_need_exactly_one_cut() {
+        // any two distinct faults differ in ≥ 1 bit, so mincut = 1 and Ψ has
+        // one sequence per differing bit
+        let faults = FaultSet::from_raw(q(4), &[0b0101, 0b0110]);
+        let result = partition(&faults).unwrap();
+        assert_eq!(result.mincut, 1);
+        assert_eq!(result.cutting_set, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn antipodal_faults_split_along_every_dimension() {
+        let faults = FaultSet::from_raw(q(3), &[0b000, 0b111]);
+        let result = partition(&faults).unwrap();
+        assert_eq!(result.mincut, 1);
+        assert_eq!(result.cutting_set, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in 2..=6 {
+            for r in 2..n.max(3) {
+                for _ in 0..100 {
+                    let faults = FaultSet::random(q(n), r.min(n), &mut rng);
+                    let got = partition(&faults).unwrap();
+                    let (want_m, want_psi) = reference(&faults);
+                    assert_eq!(got.mincut, want_m, "n={n} faults={:?}", faults.to_vec());
+                    assert_eq!(
+                        got.cutting_set, want_psi,
+                        "n={n} faults={:?}",
+                        faults.to_vec()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mincut_at_most_n_minus_2_when_r_at_most_n_minus_1() {
+        // the paper's utilization argument: with r ≤ n−1 faults, F_n^{n-2}
+        // always suffices
+        let mut rng = StdRng::seed_from_u64(32);
+        for n in 3..=7 {
+            for _ in 0..300 {
+                let faults = FaultSet::random(q(n), n - 1, &mut rng);
+                let result = partition(&faults).unwrap();
+                assert!(
+                    result.mincut <= n - 2,
+                    "n={n} faults={:?} mincut={}",
+                    faults.to_vec(),
+                    result.mincut
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn visited_nodes_bounded_by_tree_size() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for n in 2..=7 {
+            for r in 2..n {
+                let faults = FaultSet::random(q(n), r, &mut rng);
+                let result = partition(&faults).unwrap();
+                assert!(
+                    result.nodes_visited < (1 << n),
+                    "n={n}: visited {} > 2^n − 1",
+                    result.nodes_visited
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_sequence_in_psi_is_feasible_and_minimal() {
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..100 {
+            let faults = FaultSet::random(q(6), 5, &mut rng);
+            let addrs: Vec<u32> = faults.iter().map(|f| f.raw()).collect();
+            let result = partition(&faults).unwrap();
+            for d in &result.cutting_set {
+                assert_eq!(d.len(), result.mincut);
+                assert!(d.windows(2).all(|w| w[0] < w[1]), "ascending order");
+                let mask = d.iter().fold(0u32, |m, &x| m | (1 << x));
+                assert!(is_feasible(&addrs, mask));
+                // removing any dimension breaks feasibility (minimality)
+                for &skip in d {
+                    assert!(
+                        !is_feasible(&addrs, mask & !(1 << skip)),
+                        "sequence {d:?} is not minimal"
+                    );
+                }
+            }
+        }
+    }
+}

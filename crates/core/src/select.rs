@@ -1,0 +1,233 @@
+//! Heuristic selection of the cutting sequence and dangling processors
+//! (paper §3).
+//!
+//! Per-subcube XOR reindexing moves each dead processor to local address 0,
+//! but it also *misaligns* the live processors of neighboring subcubes:
+//! corresponding (same reindexed address) processors of subcubes `A`, `B`
+//! sit `HD(w_A, w_B)` extra hops apart, where `w_A`, `w_B` are the local
+//! addresses of the two subcubes' dead processors. The paper therefore:
+//!
+//! 1. picks `D_β ∈ Ψ` minimizing `Σ_{i=0}^{m-1} max(h_i)` (formula (1)),
+//!    where `h_i` is the worst such Hamming distance over pairs of *faulty*
+//!    subcubes adjacent along subcube-dimension `i`;
+//! 2. designates as dangling, in each fault-free subcube, the local address
+//!    that appears **most frequently** among the faulty processors — making
+//!    most neighboring pairs perfectly aligned.
+
+use crate::partition::SingleFaultStructure;
+use hypercube::address::extract_bits;
+use hypercube::fault::FaultSet;
+
+/// The outcome of the selection heuristic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// The chosen cutting sequence `D_β` (ascending).
+    pub dims: Vec<usize>,
+    /// Its extra-communication cost `Σᵢ max(hᵢ)`.
+    pub cost: u32,
+    /// The per-dimension maxima `max(h_i)`, `i = 0..m`.
+    pub per_dim: Vec<u32>,
+    /// The dangling local address `w*` for fault-free subcubes.
+    pub dangling_local: u32,
+}
+
+/// Evaluates formula (1) for one cutting sequence: the sum over subcube
+/// dimensions `i` of the worst Hamming distance between local fault
+/// addresses of faulty subcubes adjacent along `i`. Returns the per-`i`
+/// maxima and their sum.
+pub fn extra_comm_cost(faults: &FaultSet, dims: &[usize]) -> (Vec<u32>, u32) {
+    let n = faults.cube().dim();
+    let m = dims.len();
+    let local_dims: Vec<usize> =
+        (0..n).filter(|d| !dims.contains(d)).collect();
+    // local fault address by subcube address v (at most one per subcube)
+    let mut fault_w: Vec<Option<u32>> = vec![None; 1 << m];
+    for f in faults.iter() {
+        let v = extract_bits(f.raw(), dims) as usize;
+        let w = extract_bits(f.raw(), &local_dims);
+        debug_assert!(fault_w[v].is_none(), "sequence must separate faults");
+        fault_w[v] = Some(w);
+    }
+    let mut per_dim = Vec::with_capacity(m);
+    for i in 0..m {
+        let mut h_i = 0u32;
+        for v in 0..(1usize << m) {
+            if v & (1 << i) != 0 {
+                continue; // visit each pair once, from its v_i = 0 side
+            }
+            let u = v | (1 << i);
+            if let (Some(w_a), Some(w_b)) = (fault_w[v], fault_w[u]) {
+                h_i = h_i.max((w_a ^ w_b).count_ones());
+            }
+        }
+        per_dim.push(h_i);
+    }
+    let total = per_dim.iter().sum();
+    (per_dim, total)
+}
+
+/// The dangling rule: the local fault address appearing most frequently
+/// among the faulty subcubes (ties broken toward the smaller address).
+/// With no faults the choice is arbitrary; local 0 is returned.
+pub fn dangling_local_address(faults: &FaultSet, dims: &[usize]) -> u32 {
+    let n = faults.cube().dim();
+    let local_dims: Vec<usize> =
+        (0..n).filter(|d| !dims.contains(d)).collect();
+    let s = local_dims.len();
+    let mut counts = vec![0u32; 1 << s];
+    for f in faults.iter() {
+        counts[extract_bits(f.raw(), &local_dims) as usize] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(w, &c)| (c, std::cmp::Reverse(w)))
+        .map(|(w, _)| w as u32)
+        .unwrap_or(0)
+}
+
+/// Runs the full §3 heuristic: evaluates formula (1) on every sequence in
+/// the cutting set, picks the cheapest (ties broken toward the
+/// lexicographically first, matching the paper's choice of `D₁` in
+/// Example 2), and determines the dangling local address.
+///
+/// ```
+/// use ftsort::partition::partition;
+/// use ftsort::select::select_cutting_sequence;
+/// use hypercube::prelude::*;
+///
+/// // Example 2: D₁ = (0,1,3) wins with cost 3; dangling local address 10.
+/// let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+/// let psi = partition(&faults).unwrap().cutting_set;
+/// let sel = select_cutting_sequence(&faults, &psi);
+/// assert_eq!(sel.dims, vec![0, 1, 3]);
+/// assert_eq!(sel.cost, 3);
+/// assert_eq!(sel.dangling_local, 0b10);
+/// ```
+///
+/// # Panics
+/// If `cutting_set` is empty.
+pub fn select_cutting_sequence(faults: &FaultSet, cutting_set: &[Vec<usize>]) -> Selection {
+    assert!(!cutting_set.is_empty(), "empty cutting set");
+    let mut best: Option<Selection> = None;
+    for dims in cutting_set {
+        let (per_dim, cost) = extra_comm_cost(faults, dims);
+        let candidate = Selection {
+            dims: dims.clone(),
+            cost,
+            per_dim,
+            dangling_local: 0,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => cost < b.cost,
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    let mut sel = best.expect("non-empty cutting set");
+    sel.dangling_local = dangling_local_address(faults, &sel.dims);
+    sel
+}
+
+/// Convenience: build the fully-designated structure for a selection.
+pub fn build_structure(faults: &FaultSet, sel: &Selection) -> SingleFaultStructure {
+    SingleFaultStructure::new(faults, &sel.dims).with_danglings(sel.dangling_local)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition;
+    use hypercube::topology::Hypercube;
+
+    fn paper_faults() -> FaultSet {
+        FaultSet::from_raw(Hypercube::new(5), &[0b00011, 0b00101, 0b10000, 0b11000])
+    }
+
+    /// Example 2 pins the costs of all five sequences: 3, 3, 4, 3, 3.
+    #[test]
+    fn paper_example_2_costs() {
+        let faults = paper_faults();
+        let psi = partition(&faults).unwrap().cutting_set;
+        let costs: Vec<u32> = psi
+            .iter()
+            .map(|d| extra_comm_cost(&faults, d).1)
+            .collect();
+        assert_eq!(psi[0], vec![0, 1, 3]);
+        assert_eq!(costs, vec![3, 3, 4, 3, 3]);
+    }
+
+    /// Example 2's per-dimension breakdown for D₁ = (0,1,3):
+    /// HD(01,10) + HD(00,01) + HD(10,10) = 2 + 1 + 0.
+    #[test]
+    fn paper_example_2_per_dimension() {
+        let faults = paper_faults();
+        let (per_dim, total) = extra_comm_cost(&faults, &[0, 1, 3]);
+        assert_eq!(per_dim, vec![2, 1, 0]);
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn paper_example_2_selection() {
+        let faults = paper_faults();
+        let psi = partition(&faults).unwrap().cutting_set;
+        let sel = select_cutting_sequence(&faults, &psi);
+        assert_eq!(sel.dims, vec![0, 1, 3], "paper selects D₁");
+        assert_eq!(sel.cost, 3);
+        assert_eq!(sel.dangling_local, 0b10, "w = 10 appears most often");
+    }
+
+    #[test]
+    fn dangling_rule_ties_break_low() {
+        // two faults with distinct local addresses: counts tie at 1 each
+        let faults = FaultSet::from_raw(Hypercube::new(3), &[0b000, 0b011]);
+        // cut along dim 0: local dims {1,2}; fault locals: 00 and 01
+        assert_eq!(dangling_local_address(&faults, &[0]), 0b00);
+    }
+
+    #[test]
+    fn dangling_rule_no_faults() {
+        let faults = FaultSet::none(Hypercube::new(4));
+        assert_eq!(dangling_local_address(&faults, &[]), 0);
+    }
+
+    #[test]
+    fn cost_zero_when_all_faults_share_local_address() {
+        // faults 000100 and 001100 differ only in bit 3; cut along dim 3:
+        // both land at the same local address → perfectly aligned
+        let faults = FaultSet::from_raw(Hypercube::new(6), &[0b000100, 0b001100]);
+        let (per_dim, total) = extra_comm_cost(&faults, &[3]);
+        assert_eq!(per_dim, vec![0]);
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn selection_picks_minimum_over_psi() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let faults = FaultSet::random(Hypercube::new(6), 5, &mut rng);
+            let psi = partition(&faults).unwrap().cutting_set;
+            let sel = select_cutting_sequence(&faults, &psi);
+            let min = psi
+                .iter()
+                .map(|d| extra_comm_cost(&faults, d).1)
+                .min()
+                .unwrap();
+            assert_eq!(sel.cost, min);
+            assert!(psi.contains(&sel.dims));
+        }
+    }
+
+    #[test]
+    fn build_structure_is_fully_designated() {
+        let faults = paper_faults();
+        let psi = partition(&faults).unwrap().cutting_set;
+        let sel = select_cutting_sequence(&faults, &psi);
+        let st = build_structure(&faults, &sel);
+        assert!(st.subcubes().iter().all(|i| i.dead_local.is_some()));
+        assert_eq!(st.live_count(), 24);
+    }
+}

@@ -1,0 +1,238 @@
+//! Comparison-counted quicksort (median-of-three, insertion sort below a
+//! small cutoff) — an alternative local sort for the step-3 ablation.
+//!
+//! The paper prescribes heapsort; on real machines quicksort's constant is
+//! usually smaller while its worst case is quadratic. The ablation bench
+//! quantifies what that choice is worth on the simulated machine.
+
+use super::Direction;
+use std::cmp::Ordering;
+
+const INSERTION_CUTOFF: usize = 12;
+
+/// Sorts `data` in place in the requested direction, returning the number
+/// of key comparisons performed.
+pub fn quicksort<K: Ord>(data: &mut [K], dir: Direction) -> u64 {
+    let mut comparisons = 0u64;
+    quicksort_rec(data, dir, &mut comparisons);
+    comparisons
+}
+
+fn less<K: Ord>(a: &K, b: &K, dir: Direction, comparisons: &mut u64) -> bool {
+    *comparisons += 1;
+    match dir {
+        Direction::Ascending => a < b,
+        Direction::Descending => a > b,
+    }
+}
+
+fn quicksort_rec<K: Ord>(mut data: &mut [K], dir: Direction, comparisons: &mut u64) {
+    loop {
+        let n = data.len();
+        if n <= INSERTION_CUTOFF {
+            insertion_sort(data, dir, comparisons);
+            return;
+        }
+        // median-of-three pivot: first, middle, last → move median to end-1
+        let mid = n / 2;
+        if less(&data[mid], &data[0], dir, comparisons) {
+            data.swap(mid, 0);
+        }
+        if less(&data[n - 1], &data[0], dir, comparisons) {
+            data.swap(n - 1, 0);
+        }
+        if less(&data[n - 1], &data[mid], dir, comparisons) {
+            data.swap(n - 1, mid);
+        }
+        data.swap(mid, n - 2);
+        let pivot_idx = n - 2;
+        // Hoare-ish partition over data[1..n-2] with sentinels at both ends
+        let mut i = 0usize;
+        let mut j = pivot_idx;
+        loop {
+            i += 1;
+            while less(&data[i], &data[pivot_idx], dir, comparisons) {
+                i += 1;
+            }
+            j -= 1;
+            while less(&data[pivot_idx], &data[j], dir, comparisons) {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            data.swap(i, j);
+        }
+        data.swap(i, pivot_idx);
+        // recurse on the smaller side, loop on the larger (O(log n) stack)
+        let (lo, rest) = data.split_at_mut(i);
+        let (_pivot, hi) = rest.split_at_mut(1);
+        if lo.len() < hi.len() {
+            quicksort_rec(lo, dir, comparisons);
+            data = hi;
+        } else {
+            quicksort_rec(hi, dir, comparisons);
+            data = lo;
+        }
+    }
+}
+
+fn insertion_sort<K: Ord>(data: &mut [K], dir: Direction, comparisons: &mut u64) {
+    let want = |o: Ordering| match dir {
+        Direction::Ascending => o == Ordering::Less,
+        Direction::Descending => o == Ordering::Greater,
+    };
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 {
+            *comparisons += 1;
+            if want(data[j].cmp(&data[j - 1])) {
+                data.swap(j, j - 1);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Comparison-counted bottom-up merge sort (stable), the third local-sort
+/// option.
+pub fn mergesort<K: Ord>(data: &mut Vec<K>, dir: Direction) -> u64 {
+    let taken = std::mem::take(data);
+    let mut runs: Vec<Vec<K>> = taken.into_iter().map(|x| vec![x]).collect();
+    let mut comparisons = 0u64;
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(b) = it.next() {
+                let (m, c) = merge_dir(a, b, dir);
+                comparisons += c;
+                next.push(m);
+            } else {
+                next.push(a);
+            }
+        }
+        runs = next;
+    }
+    *data = runs.pop().unwrap_or_default();
+    comparisons
+}
+
+fn merge_dir<K: Ord>(a: Vec<K>, b: Vec<K>, dir: Direction) -> (Vec<K>, u64) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut comparisons = 0u64;
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                comparisons += 1;
+                let take_a = match dir {
+                    Direction::Ascending => x <= y,
+                    Direction::Descending => x >= y,
+                };
+                if take_a {
+                    out.push(ai.next().unwrap());
+                } else {
+                    out.push(bi.next().unwrap());
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                break;
+            }
+            (None, _) => {
+                out.extend(bi);
+                break;
+            }
+        }
+    }
+    (out, comparisons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn check_all(mut v: Vec<i64>) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut q = v.clone();
+        quicksort(&mut q, Direction::Ascending);
+        assert_eq!(q, expect);
+        let mut m = v.clone();
+        mergesort(&mut m, Direction::Ascending);
+        assert_eq!(m, expect);
+        expect.reverse();
+        quicksort(&mut v, Direction::Descending);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_basic_cases() {
+        check_all(vec![]);
+        check_all(vec![1]);
+        check_all(vec![2, 1]);
+        check_all(vec![3, 1, 2]);
+        check_all((0..100).collect());
+        check_all((0..100).rev().collect());
+        check_all(vec![5; 50]);
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..60 {
+            let len = rng.random_range(0..400);
+            let v: Vec<i64> = (0..len).map(|_| rng.random_range(-50..50)).collect();
+            check_all(v);
+        }
+    }
+
+    #[test]
+    fn mergesort_is_stable() {
+        let mut v = vec![(2, 'a'), (1, 'a'), (2, 'b'), (1, 'b')];
+        // sort by first field only
+        #[derive(PartialEq, Eq)]
+        struct ByKey((i32, char));
+        impl Ord for ByKey {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0 .0.cmp(&other.0 .0)
+            }
+        }
+        impl PartialOrd for ByKey {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        let mut wrapped: Vec<ByKey> = v.drain(..).map(ByKey).collect();
+        mergesort(&mut wrapped, Direction::Ascending);
+        let back: Vec<(i32, char)> = wrapped.into_iter().map(|w| w.0).collect();
+        assert_eq!(back, vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b')]);
+    }
+
+    #[test]
+    fn quicksort_comparisons_near_n_log_n_on_random_input() {
+        let mut rng = StdRng::seed_from_u64(37);
+        for k in [100usize, 1000, 10_000] {
+            let mut v: Vec<u64> = (0..k).map(|_| rng.random()).collect();
+            let c = quicksort(&mut v, Direction::Ascending);
+            let bound = 3.0 * k as f64 * (k as f64).log2();
+            assert!((c as f64) < bound, "k={k}: {c} comparisons");
+        }
+    }
+
+    #[test]
+    fn quicksort_beats_heapsort_on_average() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let v: Vec<u64> = (0..10_000).map(|_| rng.random()).collect();
+        let mut a = v.clone();
+        let qc = quicksort(&mut a, Direction::Ascending);
+        let mut b = v;
+        let hc = super::super::heapsort(&mut b, Direction::Ascending);
+        assert!(qc < hc, "quicksort {qc} vs heapsort {hc}");
+    }
+}

@@ -1,0 +1,561 @@
+//! Collective operations on (possibly faulty) hypercubes.
+//!
+//! The paper's host "distributes each normal processor ⌊M/N'⌋ elements"
+//! (step 2) and collects the sorted result at the end. These collectives
+//! implement that traffic as real messages over the simulated machine.
+//!
+//! Faulty and idle processors make the participant set an arbitrary subset
+//! of the cube, so the schedules are **rank-based binomial trees** (the
+//! classic MPI construction): participants are ranked `0 … P−1` with the
+//! root at rank 0, rank `r > 0` has parent `r` with its highest set bit
+//! cleared, and the children of `r` are `r | 2^d` for every `2^d > r`
+//! (bounded by `P`). The router charges the real hop distance between the
+//! physical nodes behind any pair of ranks, so holes cost extra hops but
+//! never break the schedule.
+
+use crate::address::NodeId;
+use crate::sim::{Comm, Tag};
+
+/// The ordered participant set of a collective. Rank 0 is the root.
+#[derive(Clone, Debug)]
+pub struct Participants {
+    /// Physical node of each rank; `nodes[0]` is the root.
+    nodes: Vec<NodeId>,
+    /// Inverse map, indexed by physical address.
+    rank_of: Vec<Option<usize>>,
+}
+
+impl Participants {
+    /// Builds the participant set from the live nodes (in slot order) with
+    /// `root` moved to rank 0 (the relative order of the others is kept).
+    ///
+    /// # Panics
+    /// If `root` is not in `live`, a node repeats, or `live` is empty.
+    pub fn new(cube_len: usize, root: NodeId, live: &[NodeId]) -> Self {
+        assert!(!live.is_empty(), "collective needs at least one participant");
+        let mut nodes = Vec::with_capacity(live.len());
+        nodes.push(root);
+        nodes.extend(live.iter().copied().filter(|&p| p != root));
+        assert_eq!(
+            nodes.len(),
+            live.len(),
+            "root must be one of the participants"
+        );
+        let mut rank_of = vec![None; cube_len];
+        for (r, &p) in nodes.iter().enumerate() {
+            assert!(p.index() < cube_len, "participant outside cube");
+            assert!(rank_of[p.index()].is_none(), "duplicate participant {p:?}");
+            rank_of[p.index()] = Some(r);
+        }
+        Participants { nodes, rank_of }
+    }
+
+    /// The root node (rank 0).
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of participants `P`.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false (construction requires ≥ 1 participant).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The rank of a node, if it participates.
+    pub fn rank(&self, node: NodeId) -> Option<usize> {
+        self.rank_of.get(node.index()).copied().flatten()
+    }
+
+    /// The physical node of a rank.
+    pub fn node(&self, rank: usize) -> NodeId {
+        self.nodes[rank]
+    }
+
+    /// Participants in rank order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Height of `rank`'s subtree: the root covers the whole range, every
+    /// other rank covers `2^(trailing zeros)` ranks.
+    fn height(&self, rank: usize) -> u32 {
+        if rank == 0 {
+            self.len().next_power_of_two().trailing_zeros()
+        } else {
+            rank.trailing_zeros()
+        }
+    }
+
+    /// Binomial-tree parent of `rank`: its lowest set bit cleared (`None`
+    /// for the root). This orientation makes every subtree a *contiguous*
+    /// rank range, so scatter/gather bundles are contiguous slices.
+    pub fn parent(&self, rank: usize) -> Option<usize> {
+        if rank == 0 {
+            None
+        } else {
+            Some(rank & (rank - 1))
+        }
+    }
+
+    /// Binomial-tree children of `rank`, ascending: `rank + 2^d` for
+    /// `d < height(rank)`, bounded by `P`.
+    pub fn children(&self, rank: usize) -> Vec<usize> {
+        let p = self.len();
+        (0..self.height(rank))
+            .map(|d| rank + (1usize << d))
+            .filter(|&c| c < p)
+            .collect()
+    }
+
+    /// The contiguous rank range of `rank`'s subtree (itself included):
+    /// `[rank, min(rank + 2^height, P))`.
+    pub fn subtree_span(&self, rank: usize) -> std::ops::Range<usize> {
+        let p = self.len();
+        let end = rank.saturating_add(1usize << self.height(rank)).min(p);
+        std::ops::Range {
+            start: rank,
+            end: end.max(rank + 1),
+        }
+    }
+}
+
+/// Broadcasts the root's payload to every participant; all return it.
+pub fn broadcast<K, C>(ctx: &mut C, parts: &Participants, tag: Tag, payload: Option<Vec<K>>) -> Vec<K>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+{
+    let me = ctx.me();
+    let rank = parts.rank(me).expect("non-participant called broadcast");
+    let payload = if rank == 0 {
+        payload.expect("root must supply the broadcast payload")
+    } else {
+        let parent = parts.parent(rank).expect("non-root has a parent");
+        ctx.recv(parts.node(parent), tag)
+    };
+    for child in parts.children(rank) {
+        ctx.send(parts.node(child), tag, payload.clone());
+    }
+    payload
+}
+
+/// Scatters `pieces[r]` to the participant of rank `r`; every participant
+/// returns its own piece. Only the root supplies `pieces`.
+///
+/// Bundles travel down the binomial tree: each node receives the
+/// concatenation for its subtree (with a piece-length header encoded by the
+/// caller-supplied uniform `piece_len`), keeps the front piece, and forwards
+/// contiguous sub-bundles to its children.
+pub fn scatter<K, C>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    pieces: Option<Vec<Vec<K>>>,
+    piece_len: usize,
+) -> Vec<K>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+{
+    let me = ctx.me();
+    let rank = parts.rank(me).expect("non-participant called scatter");
+    let my_span = parts.subtree_span(rank);
+    let mut bundle: Vec<K> = if rank == 0 {
+        let pieces = pieces.expect("root must supply the scatter pieces");
+        assert_eq!(pieces.len(), parts.len(), "one piece per participant");
+        assert!(
+            pieces.iter().all(|p| p.len() == piece_len),
+            "scatter requires uniform piece length"
+        );
+        pieces.into_iter().flatten().collect()
+    } else {
+        let parent = parts.parent(rank).expect("non-root has a parent");
+        ctx.recv(parts.node(parent), tag)
+    };
+    assert_eq!(bundle.len(), (my_span.end - my_span.start) * piece_len);
+    // forward children's sub-bundles, largest child first (they are
+    // contiguous suffixes; peel from the back)
+    for child in parts.children(rank).into_iter().rev() {
+        let child_span = parts.subtree_span(child);
+        let offset = (child_span.start - my_span.start) * piece_len;
+        let sub = bundle.split_off(offset);
+        ctx.send(parts.node(child), tag, sub);
+    }
+    bundle
+}
+
+/// Gathers every participant's piece to the root, which returns
+/// `Some(pieces-in-rank-order)`; everyone else returns `None`.
+pub fn gather<K, C>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    piece: Vec<K>,
+    piece_len: usize,
+) -> Option<Vec<Vec<K>>>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+{
+    let me = ctx.me();
+    let rank = parts.rank(me).expect("non-participant called gather");
+    assert_eq!(piece.len(), piece_len, "gather requires uniform piece length");
+    let my_span = parts.subtree_span(rank);
+    let mut bundle = piece;
+    bundle.reserve((my_span.end - my_span.start - 1) * piece_len);
+    // children report in ascending rank order; their spans are contiguous
+    for child in parts.children(rank) {
+        let child_span = parts.subtree_span(child);
+        let sub = ctx.recv(parts.node(child), tag);
+        assert_eq!(sub.len(), (child_span.end - child_span.start) * piece_len);
+        bundle.extend(sub);
+    }
+    match parts.parent(rank) {
+        Some(parent) => {
+            ctx.send(parts.node(parent), tag, bundle);
+            None
+        }
+        None => Some(bundle.chunks(piece_len.max(1)).map(|c| c.to_vec()).collect()),
+    }
+}
+
+/// Reduces every participant's value to the root with the associative
+/// element-wise combiner `op`; the root returns `Some(result)`.
+pub fn reduce<K, C, F>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    value: Vec<K>,
+    op: F,
+) -> Option<Vec<K>>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+    F: Fn(&K, &K) -> K,
+{
+    let me = ctx.me();
+    let rank = parts.rank(me).expect("non-participant called reduce");
+    let mut acc = value;
+    for child in parts.children(rank) {
+        let theirs = ctx.recv(parts.node(child), tag);
+        assert_eq!(theirs.len(), acc.len(), "reduce requires uniform length");
+        acc = acc
+            .iter()
+            .zip(theirs.iter())
+            .map(|(a, b)| op(a, b))
+            .collect();
+    }
+    match parts.parent(rank) {
+        Some(parent) => {
+            ctx.send(parts.node(parent), tag, acc);
+            None
+        }
+        None => Some(acc),
+    }
+}
+
+/// Tree-combine: folds every participant's payload up the binomial tree
+/// with an arbitrary associative combiner on whole payloads (unlike
+/// [`reduce`], which is element-wise). The root returns `Some(total)`.
+///
+/// Used e.g. for distributed top-k selection, where the combiner merges two
+/// sorted lists and truncates.
+pub fn combine<K, C, F>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    value: Vec<K>,
+    op: F,
+) -> Option<Vec<K>>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+    F: Fn(Vec<K>, Vec<K>) -> Vec<K>,
+{
+    let me = ctx.me();
+    let rank = parts.rank(me).expect("non-participant called combine");
+    let mut acc = value;
+    for child in parts.children(rank) {
+        let theirs = ctx.recv(parts.node(child), tag);
+        acc = op(acc, theirs);
+    }
+    match parts.parent(rank) {
+        Some(parent) => {
+            ctx.send(parts.node(parent), tag, acc);
+            None
+        }
+        None => Some(acc),
+    }
+}
+
+/// All-reduce: every participant returns the reduction of all values
+/// (reduce to the root, then broadcast back).
+pub fn allreduce<K, C, F>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    value: Vec<K>,
+    op: F,
+) -> Vec<K>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+    F: Fn(&K, &K) -> K,
+{
+    let reduced = reduce(ctx, parts, tag, value, op);
+    broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), reduced)
+}
+
+/// All-gather: every participant returns every piece, in rank order
+/// (gather to the root, then broadcast the concatenation back).
+pub fn allgather<K, C>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    piece: Vec<K>,
+    piece_len: usize,
+) -> Vec<Vec<K>>
+where
+    K: Clone + Send,
+    C: Comm<K>,
+{
+    let collected = gather(ctx, parts, tag, piece, piece_len);
+    let flat = collected.map(|pieces| pieces.into_iter().flatten().collect::<Vec<K>>());
+    let flat = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), flat);
+    flat.chunks(piece_len.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Barrier: gather-then-broadcast of an empty payload; returns when every
+/// participant has entered.
+pub fn barrier<C: Comm<u8>>(ctx: &mut C, parts: &Participants, tag: Tag) {
+    let up = gather(ctx, parts, tag, Vec::new(), 0);
+    let down = if up.is_some() { Some(Vec::new()) } else { None };
+    let _ = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 61)), down);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::fault::FaultSet;
+    use crate::sim::Engine;
+    use crate::topology::Hypercube;
+
+    fn make(n: usize, root: u32, live: &[u32]) -> (Engine, Participants, Vec<Option<Vec<u32>>>) {
+        let cube = Hypercube::new(n);
+        let live_nodes: Vec<NodeId> = live.iter().copied().map(NodeId::new).collect();
+        let parts = Participants::new(cube.len(), NodeId::new(root), &live_nodes);
+        let engine = Engine::fault_free(cube, CostModel::paper_form());
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; cube.len()];
+        for &p in live {
+            inputs[p as usize] = Some(vec![]);
+        }
+        (engine, parts, inputs)
+    }
+
+    #[test]
+    fn tree_structure_is_consistent() {
+        let parts = Participants::new(
+            16,
+            NodeId::new(3),
+            &[3, 0, 1, 5, 7, 9, 11].map(NodeId::new),
+        );
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.rank(NodeId::new(3)), Some(0));
+        for r in 1..parts.len() {
+            let p = parts.parent(r).unwrap();
+            assert!(p < r);
+            assert!(parts.children(p).contains(&r), "rank {r} parent {p}");
+        }
+        // every rank appears in exactly one child list
+        let mut seen = vec![false; parts.len()];
+        seen[0] = true;
+        for r in 0..parts.len() {
+            for c in parts.children(r) {
+                assert!(!seen[c], "rank {c} has two parents");
+                seen[c] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // subtree spans are contiguous and nested
+        for r in 0..parts.len() {
+            let span = parts.subtree_span(r);
+            assert!(span.contains(&r));
+            for c in parts.children(r) {
+                let cs = parts.subtree_span(c);
+                assert!(cs.start >= span.start && cs.end <= span.end);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        for (n, root, live) in [
+            (3usize, 0u32, (0..8).collect::<Vec<u32>>()),
+            (3, 5, (0..8).collect()),
+            (3, 0, vec![0, 1, 2, 4, 5, 7]),
+            (3, 7, vec![0, 1, 2, 4, 5, 7]),
+            (2, 1, vec![1, 2]),
+            (2, 3, vec![3]),
+            (4, 9, vec![9, 0, 3, 6, 12, 15, 1]),
+        ] {
+            let (engine, parts, inputs) = make(n, root, &live);
+            let parts_ref = &parts;
+            let out = engine.run(inputs, move |ctx, _| {
+                let payload = if ctx.me() == parts_ref.root() {
+                    Some(vec![42u32, 43])
+                } else {
+                    None
+                };
+                broadcast(ctx, parts_ref, Tag::new(5), payload)
+            });
+            let results = out.into_results();
+            assert_eq!(results.len(), live.len());
+            for (node, got) in results {
+                assert_eq!(got, vec![42, 43], "node {node:?} root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_each_rank_its_piece() {
+        let live = vec![6u32, 0, 1, 3, 4, 7];
+        let (engine, parts, inputs) = make(3, 6, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let rank = parts_ref.rank(ctx.me()).unwrap();
+            let pieces = (rank == 0).then(|| {
+                (0..parts_ref.len() as u32)
+                    .map(|r| vec![r * 10, r * 10 + 1])
+                    .collect::<Vec<_>>()
+            });
+            let piece = scatter(ctx, parts_ref, Tag::new(6), pieces, 2);
+            (rank, piece)
+        });
+        for (_, (rank, piece)) in out.into_results() {
+            assert_eq!(piece, vec![rank as u32 * 10, rank as u32 * 10 + 1]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let live = vec![2u32, 0, 5, 7, 6];
+        let (engine, parts, inputs) = make(3, 2, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let rank = parts_ref.rank(ctx.me()).unwrap() as u32;
+            gather(ctx, parts_ref, Tag::new(7), vec![rank, rank + 100], 2)
+        });
+        let mut root_result = None;
+        for (node, res) in out.into_results() {
+            if node == parts.root() {
+                root_result = res;
+            } else {
+                assert!(res.is_none());
+            }
+        }
+        let pieces = root_result.expect("root gathers");
+        assert_eq!(pieces.len(), 5);
+        for (r, p) in pieces.iter().enumerate() {
+            assert_eq!(*p, vec![r as u32, r as u32 + 100]);
+        }
+    }
+
+    #[test]
+    fn gather_inverts_scatter() {
+        let live: Vec<u32> = (0..16).collect();
+        let (engine, parts, inputs) = make(4, 0, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let rank = parts_ref.rank(ctx.me()).unwrap();
+            let pieces = (rank == 0)
+                .then(|| (0..16u32).map(|r| vec![r, r * r]).collect::<Vec<_>>());
+            let mine = scatter(ctx, parts_ref, Tag::new(8), pieces.clone(), 2);
+            gather(ctx, parts_ref, Tag::new(9), mine, 2)
+        });
+        let root_pieces = out
+            .node(NodeId::new(0))
+            .unwrap()
+            .result
+            .clone()
+            .expect("root");
+        assert_eq!(
+            root_pieces,
+            (0..16u32).map(|r| vec![r, r * r]).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn reduce_sums_over_participants() {
+        let live = vec![4u32, 1, 2, 7, 5, 0];
+        let (engine, parts, inputs) = make(3, 4, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let me = ctx.me().raw();
+            reduce(ctx, parts_ref, Tag::new(10), vec![me, 1], |a, b| a + b)
+        });
+        let expect_sum: u32 = live.iter().sum();
+        let root = out.node(NodeId::new(4)).unwrap().result.clone().unwrap();
+        assert_eq!(root, vec![expect_sum, live.len() as u32]);
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_total() {
+        let live = vec![5u32, 0, 3, 6, 1];
+        let (engine, parts, inputs) = make(3, 5, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let me = ctx.me().raw();
+            allreduce(ctx, parts_ref, Tag::new(12), vec![me], |a, b| *a.max(b))
+        });
+        for (node, v) in out.into_results() {
+            assert_eq!(v, vec![6], "node {node:?}");
+        }
+    }
+
+    #[test]
+    fn allgather_gives_everyone_all_pieces_in_rank_order() {
+        let live = vec![1u32, 4, 7, 2];
+        let (engine, parts, inputs) = make(3, 1, &live);
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let rank = parts_ref.rank(ctx.me()).unwrap() as u32;
+            allgather(ctx, parts_ref, Tag::new(13), vec![rank * 2, rank * 2 + 1], 2)
+        });
+        for (node, pieces) in out.into_results() {
+            assert_eq!(pieces.len(), 4, "node {node:?}");
+            for (r, p) in pieces.iter().enumerate() {
+                assert_eq!(*p, vec![r as u32 * 2, r as u32 * 2 + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes_with_faulty_machine() {
+        let cube = Hypercube::new(3);
+        let faults = FaultSet::from_raw(cube, &[3, 5]);
+        let live: Vec<NodeId> = faults.normal_nodes().collect();
+        let parts = Participants::new(cube.len(), live[0], &live);
+        let engine = Engine::new(faults, CostModel::paper_form());
+        let mut inputs: Vec<Option<Vec<u8>>> = vec![None; cube.len()];
+        for p in &live {
+            inputs[p.index()] = Some(vec![]);
+        }
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            barrier(ctx, parts_ref, Tag::new(11));
+            ctx.clock()
+        });
+        assert_eq!(out.into_results().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be one of the participants")]
+    fn root_must_participate() {
+        let _ = Participants::new(8, NodeId::new(0), &[NodeId::new(1), NodeId::new(2)]);
+    }
+}

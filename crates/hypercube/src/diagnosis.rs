@@ -1,0 +1,222 @@
+//! Off-line system-level fault diagnosis.
+//!
+//! The paper *assumes* fault locations are known before sorting starts,
+//! citing distributed diagnosis algorithms (Armstrong & Gray; Bhat) and
+//! Banerjee's off-line diagnosis. This module provides a working stand-in so
+//! the end-to-end pipeline (diagnose → partition → sort) is runnable: a
+//! PMC-style mutual-test round over hypercube links followed by syndrome
+//! decoding.
+//!
+//! In the PMC model a *normal* tester reports its neighbor's true status,
+//! while a *faulty* tester's reports are arbitrary (here: adversarially
+//! generated from a seeded RNG). A classical result says a system is
+//! one-step `t`-diagnosable if every unit has more than `t` testers and
+//! `2t < N`; the hypercube's node degree `n` therefore supports `t = n − 1`
+//! faults — exactly the paper's tolerance bound `r ≤ n − 1`.
+
+use crate::address::NodeId;
+use crate::fault::FaultSet;
+use crate::topology::Hypercube;
+use rand::Rng;
+
+/// The outcome of one directed test: `tester` claims `tested` is OK/faulty.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TestResult {
+    /// The processor performing the test.
+    pub tester: NodeId,
+    /// The processor being tested.
+    pub tested: NodeId,
+    /// The verdict reported by the tester (trustworthy only if the tester is
+    /// itself normal).
+    pub claims_faulty: bool,
+}
+
+/// The full syndrome: every processor tests each of its `n` neighbors.
+#[derive(Clone, Debug)]
+pub struct Syndrome {
+    cube: Hypercube,
+    results: Vec<TestResult>,
+}
+
+impl Syndrome {
+    /// Simulates a complete mutual-test round under the PMC model.
+    ///
+    /// Normal testers report the truth; faulty testers report uniformly
+    /// random verdicts drawn from `rng` (the adversarial part of PMC is
+    /// "arbitrary", and random reports exercise the decoder's robustness).
+    pub fn collect<R: Rng + ?Sized>(faults: &FaultSet, rng: &mut R) -> Self {
+        let cube = faults.cube();
+        let mut results = Vec::with_capacity(cube.len() * cube.dim());
+        for tester in cube.nodes() {
+            for tested in cube.neighbors(tester) {
+                let claims_faulty = if faults.is_normal(tester) {
+                    faults.is_faulty(tested)
+                } else {
+                    rng.random_bool(0.5)
+                };
+                results.push(TestResult {
+                    tester,
+                    tested,
+                    claims_faulty,
+                });
+            }
+        }
+        Syndrome { cube, results }
+    }
+
+    /// The raw test results.
+    pub fn results(&self) -> &[TestResult] {
+        &self.results
+    }
+
+    /// Decodes the syndrome assuming at most `t` faults, returning the
+    /// diagnosed fault set.
+    ///
+    /// Decoder: majority vote over testers, iterated to a fixed point.
+    /// Starting from "a node accused by a strict majority of its testers is
+    /// faulty", re-tally ignoring verdicts from already-diagnosed nodes until
+    /// stable. Exact for `t ≤ n − 1` on `Q_n` in the random-report model with
+    /// overwhelming probability, and exact for the paper's deterministic use
+    /// (normal testers only) always; `diagnose` verifies consistency and
+    /// returns `Err` when the syndrome is undecodable within `t`.
+    pub fn diagnose(&self, t: usize) -> Result<FaultSet, DiagnosisError> {
+        let n = self.cube.len();
+        // accusations[v] = list of (tester, verdict)
+        let mut votes: Vec<Vec<(NodeId, bool)>> = vec![Vec::new(); n];
+        for r in &self.results {
+            votes[r.tested.index()].push((r.tester, r.claims_faulty));
+        }
+        let mut faulty = vec![false; n];
+        // Iterate: recompute each node's status from testers currently
+        // believed normal. Fixed point in ≤ n rounds.
+        for _ in 0..self.cube.dim().max(1) + 2 {
+            let mut changed = false;
+            for v in 0..n {
+                let mut accuse = 0usize;
+                let mut clear = 0usize;
+                for &(tester, claims) in &votes[v] {
+                    if faulty[tester.index()] {
+                        continue;
+                    }
+                    if claims {
+                        accuse += 1;
+                    } else {
+                        clear += 1;
+                    }
+                }
+                let verdict = accuse > clear;
+                if verdict != faulty[v] {
+                    faulty[v] = verdict;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let diagnosed: Vec<NodeId> = (0..n)
+            .filter(|&v| faulty[v])
+            .map(NodeId::from)
+            .collect();
+        if diagnosed.len() > t {
+            return Err(DiagnosisError::TooManyFaults {
+                found: diagnosed.len(),
+                bound: t,
+            });
+        }
+        // Consistency check: every normal tester's verdicts must match the
+        // diagnosis.
+        for r in &self.results {
+            if !faulty[r.tester.index()] && r.claims_faulty != faulty[r.tested.index()] {
+                return Err(DiagnosisError::Inconsistent);
+            }
+        }
+        Ok(FaultSet::new(self.cube, diagnosed))
+    }
+}
+
+/// Why a syndrome could not be decoded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiagnosisError {
+    /// More faults diagnosed than the declared bound `t`.
+    TooManyFaults {
+        /// Number of faults the decoder found.
+        found: usize,
+        /// The declared diagnosability bound.
+        bound: usize,
+    },
+    /// The syndrome contradicts itself under the decoded fault set.
+    Inconsistent,
+}
+
+impl std::fmt::Display for DiagnosisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagnosisError::TooManyFaults { found, bound } => {
+                write!(f, "diagnosed {found} faults, exceeds bound {bound}")
+            }
+            DiagnosisError::Inconsistent => write!(f, "syndrome is inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for DiagnosisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diagnoses_single_fault_exactly() {
+        let cube = Hypercube::new(4);
+        let truth = FaultSet::from_raw(cube, &[9]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let syndrome = Syndrome::collect(&truth, &mut rng);
+        let diagnosed = syndrome.diagnose(3).expect("decodable");
+        assert_eq!(diagnosed.to_vec(), truth.to_vec());
+    }
+
+    #[test]
+    fn diagnoses_up_to_n_minus_1_faults() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 3..=6 {
+            let cube = Hypercube::new(n);
+            for r in 0..n {
+                for trial in 0..50 {
+                    let truth = FaultSet::random(cube, r, &mut rng);
+                    let syndrome = Syndrome::collect(&truth, &mut rng);
+                    match syndrome.diagnose(n - 1) {
+                        Ok(diag) => assert_eq!(
+                            diag.to_vec(),
+                            truth.to_vec(),
+                            "n={n} r={r} trial={trial}"
+                        ),
+                        Err(e) => panic!("n={n} r={r} trial={trial}: {e}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_syndrome_is_clean() {
+        let cube = Hypercube::new(5);
+        let truth = FaultSet::none(cube);
+        let mut rng = StdRng::seed_from_u64(3);
+        let syndrome = Syndrome::collect(&truth, &mut rng);
+        assert!(syndrome.results().iter().all(|r| !r.claims_faulty));
+        let diagnosed = syndrome.diagnose(4).unwrap();
+        assert!(diagnosed.is_empty());
+    }
+
+    #[test]
+    fn syndrome_has_n_times_degree_results() {
+        let cube = Hypercube::new(4);
+        let truth = FaultSet::from_raw(cube, &[1, 2]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let syndrome = Syndrome::collect(&truth, &mut rng);
+        assert_eq!(syndrome.results().len(), 16 * 4);
+    }
+}

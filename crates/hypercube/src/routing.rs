@@ -1,0 +1,445 @@
+//! Message routing in (possibly faulty) hypercubes.
+//!
+//! The NCUBE/7's VERTEX kernel routes with the classic *e-cube* (dimension
+//! order) algorithm: correct the differing address bits from the lowest
+//! dimension to the highest. Under the **partial** fault model the e-cube
+//! path is always usable because faulty processors still relay messages.
+//! Under the **total** fault model (paper §4, after Chen & Shin's adaptive
+//! fault-tolerant routing) paths must avoid faulty processors; we provide a
+//! shortest detour router for that case.
+
+use crate::address::NodeId;
+use crate::fault::{FaultModel, FaultSet};
+use crate::topology::Hypercube;
+use std::collections::VecDeque;
+
+/// A route through the hypercube: the full node sequence, source first and
+/// destination last. `hops() == path.len() - 1`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Route {
+    path: Vec<NodeId>,
+}
+
+impl Route {
+    /// The node sequence, source first.
+    pub fn path(&self) -> &[NodeId] {
+        &self.path
+    }
+
+    /// Number of links traversed.
+    pub fn hops(&self) -> u32 {
+        (self.path.len() - 1) as u32
+    }
+
+    /// The source node.
+    pub fn source(&self) -> NodeId {
+        self.path[0]
+    }
+
+    /// The destination node.
+    pub fn destination(&self) -> NodeId {
+        *self.path.last().expect("route is never empty")
+    }
+
+    /// Checks the route is a valid walk in `cube` (every step crosses one
+    /// link).
+    pub fn is_valid(&self, cube: &Hypercube) -> bool {
+        self.path.windows(2).all(|w| cube.adjacent(w[0], w[1]))
+            && self.path.iter().all(|p| cube.contains(*p))
+    }
+}
+
+/// The dimension-order (e-cube) route from `src` to `dst`: differing bits are
+/// corrected lowest dimension first. Deterministic and minimal
+/// (`hops == Hamming distance`), but oblivious to faults.
+pub fn ecube_route(src: NodeId, dst: NodeId) -> Route {
+    let mut path = vec![src];
+    let mut cur = src;
+    let mut diff = src.raw() ^ dst.raw();
+    while diff != 0 {
+        let d = diff.trailing_zeros() as usize;
+        cur = cur.neighbor(d);
+        path.push(cur);
+        diff &= diff - 1;
+    }
+    Route { path }
+}
+
+/// Routes `src → dst` under the given fault set and its fault model.
+///
+/// * [`FaultModel::Partial`]: returns the e-cube route (faulty processors
+///   relay — exactly what the paper's NCUBE implementation relies on).
+/// * [`FaultModel::Total`]: returns a shortest route whose *intermediate*
+///   nodes are all normal, found by breadth-first search. Returns `None` if
+///   `dst` is unreachable (cannot happen when `r ≤ n − 1` and both endpoints
+///   are normal).
+///
+/// Endpoints themselves are allowed to be faulty only under `Partial`.
+///
+/// ```
+/// use hypercube::prelude::*;
+/// use hypercube::routing::route;
+///
+/// let faults = FaultSet::from_raw(Hypercube::new(3), &[0b001]).with_model(FaultModel::Total);
+/// let r = route(&faults, NodeId::new(0b000), NodeId::new(0b011)).unwrap();
+/// assert_eq!(r.hops(), 2); // detours 000 → 010 → 011 around the dead 001
+/// assert!(r.path().iter().all(|p| faults.is_normal(*p)));
+/// ```
+pub fn route(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<Route> {
+    let cube = faults.cube();
+    assert!(cube.contains(src) && cube.contains(dst), "endpoint outside cube");
+    match faults.model() {
+        FaultModel::Partial if faults.link_fault_count() == 0 => Some(ecube_route(src, dst)),
+        FaultModel::Partial => {
+            // faulty processors still relay, but broken links are physical
+            bfs_route(faults, src, dst, |_| true)
+        }
+        FaultModel::Total => {
+            if faults.is_faulty(src) || faults.is_faulty(dst) {
+                return None;
+            }
+            bfs_route(faults, src, dst, |p| faults.is_normal(p))
+        }
+    }
+}
+
+/// Shortest route from `src` to `dst` whose intermediate nodes satisfy
+/// `passable` and whose links are all healthy. Expansion prefers e-cube
+/// order so the fault-free result coincides with [`ecube_route`].
+fn bfs_route(
+    faults: &FaultSet,
+    src: NodeId,
+    dst: NodeId,
+    passable: impl Fn(NodeId) -> bool,
+) -> Option<Route> {
+    let cube = faults.cube();
+    if src == dst {
+        return Some(Route { path: vec![src] });
+    }
+    let mut prev: Vec<Option<NodeId>> = vec![None; cube.len()];
+    let mut seen = vec![false; cube.len()];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        // expand dimensions in e-cube order: differing-low bits first
+        let diff = u.raw() ^ dst.raw();
+        let order = (0..cube.dim())
+            .filter(move |d| diff >> d & 1 == 1)
+            .chain((0..cube.dim()).filter(move |d| diff >> d & 1 == 0));
+        for d in order {
+            let v = u.neighbor(d);
+            if seen[v.index()] || faults.is_link_faulty(u, v) {
+                continue;
+            }
+            if v != dst && !passable(v) {
+                continue;
+            }
+            seen[v.index()] = true;
+            prev[v.index()] = Some(u);
+            if v == dst {
+                let mut path = vec![v];
+                let mut cur = v;
+                while let Some(p) = prev[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(Route { path });
+            }
+            queue.push_back(v);
+        }
+    }
+    None
+}
+
+/// Depth-first adaptive routing (after Chen & Shin's fault-tolerant routing,
+/// which the paper cites for making faults "total"-safe): unlike
+/// [`route`]'s BFS — an omniscient oracle — this router uses only knowledge
+/// a real node has: its own neighbors' health. At each step it prefers a
+/// *profitable* dimension (one that corrects a differing address bit),
+/// falls back to a detour dimension otherwise, and backtracks when stuck;
+/// a visited set guarantees termination.
+///
+/// Returns a (possibly non-minimal) route avoiding faulty nodes and links,
+/// or `None` when `dst` is unreachable.
+pub fn adaptive_route(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<Route> {
+    let cube = faults.cube();
+    assert!(cube.contains(src) && cube.contains(dst), "endpoint outside cube");
+    let blocked_node = |p: NodeId| match faults.model() {
+        FaultModel::Partial => false,
+        FaultModel::Total => faults.is_faulty(p),
+    };
+    if blocked_node(src) || blocked_node(dst) {
+        return None;
+    }
+    let mut visited = vec![false; cube.len()];
+    visited[src.index()] = true;
+    // `stack` is the DFS path; `walk` is the physical message trajectory,
+    // which also records backtracking hops (a real message must travel back)
+    let mut stack = vec![src];
+    let mut walk = vec![src];
+    'outer: while *stack.last().expect("non-empty") != dst {
+        let u = *stack.last().expect("non-empty");
+        let diff = u.raw() ^ dst.raw();
+        // profitable dimensions first (e-cube order), then detours
+        let order = (0..cube.dim())
+            .filter(|d| diff >> d & 1 == 1)
+            .chain((0..cube.dim()).filter(|d| diff >> d & 1 == 0));
+        for d in order {
+            let v = u.neighbor(d);
+            if visited[v.index()] || faults.is_link_faulty(u, v) || blocked_node(v) {
+                continue;
+            }
+            visited[v.index()] = true;
+            stack.push(v);
+            walk.push(v);
+            continue 'outer;
+        }
+        // dead end: physically backtrack one hop
+        stack.pop();
+        match stack.last() {
+            Some(&back) => walk.push(back),
+            None => return None,
+        }
+    }
+    Some(Route { path: walk })
+}
+
+/// The number of hops a message from `src` to `dst` takes under `faults`.
+///
+/// This is the quantity the paper charges `t_{s/r}` per element per hop; in
+/// step 7(a) corresponding reindexed processors of neighboring subcubes are
+/// up to `s + 1` hops apart.
+pub fn hop_count(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<u32> {
+    route(faults, src, dst).map(|r| r.hops())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: usize) -> Hypercube {
+        Hypercube::new(n)
+    }
+
+    #[test]
+    fn ecube_route_is_minimal_and_dimension_ordered() {
+        let r = ecube_route(NodeId::new(0b000), NodeId::new(0b101));
+        assert_eq!(
+            r.path(),
+            &[NodeId::new(0b000), NodeId::new(0b001), NodeId::new(0b101)]
+        );
+        assert_eq!(r.hops(), 2);
+        assert!(r.is_valid(&q(3)));
+    }
+
+    #[test]
+    fn ecube_route_to_self_is_trivial() {
+        let r = ecube_route(NodeId::new(5), NodeId::new(5));
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.source(), r.destination());
+    }
+
+    #[test]
+    fn ecube_hops_equal_hamming_distance() {
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let r = ecube_route(NodeId::new(a), NodeId::new(b));
+                assert_eq!(r.hops(), NodeId::new(a).hamming(NodeId::new(b)));
+                assert!(r.is_valid(&q(4)));
+            }
+        }
+    }
+
+    #[test]
+    fn partial_model_routes_through_faulty_relays() {
+        let faults = FaultSet::from_raw(q(3), &[0b001]).with_model(FaultModel::Partial);
+        let r = route(&faults, NodeId::new(0b000), NodeId::new(0b011)).unwrap();
+        // e-cube path 000 → 001 → 011 goes through the faulty relay; that is
+        // exactly the VERTEX behaviour the paper describes.
+        assert_eq!(r.path()[1], NodeId::new(0b001));
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    fn total_model_detours_around_faults() {
+        let faults = FaultSet::from_raw(q(3), &[0b001]).with_model(FaultModel::Total);
+        let r = route(&faults, NodeId::new(0b000), NodeId::new(0b011)).unwrap();
+        assert!(r.is_valid(&q(3)));
+        assert!(r.path().iter().all(|p| !faults.is_faulty(*p)));
+        // detour 000 → 010 → 011 still has 2 hops
+        assert_eq!(r.hops(), 2);
+    }
+
+    #[test]
+    fn total_model_may_need_longer_paths() {
+        // Kill both shortest-path intermediates between 00 and 11 in... Q2 has
+        // only 2 disjoint paths; use Q3: src 000, dst 011; kill 001 and 010.
+        let faults = FaultSet::from_raw(q(3), &[0b001, 0b010]).with_model(FaultModel::Total);
+        let r = route(&faults, NodeId::new(0b000), NodeId::new(0b011)).unwrap();
+        assert!(r.path().iter().all(|p| !faults.is_faulty(*p)));
+        assert_eq!(r.hops(), 4, "must detour through the u2=1 half");
+        assert!(r.is_valid(&q(3)));
+    }
+
+    #[test]
+    fn total_model_unreachable_when_isolated() {
+        // Q2: node 0 isolated by killing 1 and 2.
+        let faults = FaultSet::from_raw(q(2), &[1, 2]).with_model(FaultModel::Total);
+        assert!(route(&faults, NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn total_model_faulty_endpoint_rejected() {
+        let faults = FaultSet::from_raw(q(3), &[0]).with_model(FaultModel::Total);
+        assert!(route(&faults, NodeId::new(0), NodeId::new(1)).is_none());
+        assert!(route(&faults, NodeId::new(1), NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn total_model_matches_ecube_when_fault_free() {
+        let faults = FaultSet::none(q(4)).with_model(FaultModel::Total);
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let r = route(&faults, NodeId::new(a), NodeId::new(b)).unwrap();
+                assert_eq!(r.hops(), NodeId::new(a).hamming(NodeId::new(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn total_model_always_reaches_within_tolerance() {
+        // For r ≤ n-1 every pair of normal nodes stays connected.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for n in 2..=6 {
+            for r in 0..n {
+                let faults =
+                    FaultSet::random(q(n), r, &mut rng).with_model(FaultModel::Total);
+                let normals: Vec<NodeId> = faults.normal_nodes().collect();
+                for &a in normals.iter().take(8) {
+                    for &b in normals.iter().rev().take(8) {
+                        assert!(
+                            route(&faults, a, b).is_some(),
+                            "n={n} r={r}: {a:?} → {b:?} unreachable"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_model_detours_around_faulty_links() {
+        use crate::fault::Link;
+        // break the (0,1) link: e-cube route 000→001 must detour to 3 hops
+        let faults = FaultSet::none(q(3)).with_faulty_links([Link::new(NodeId::new(0), 0)]);
+        let r = route(&faults, NodeId::new(0), NodeId::new(1)).unwrap();
+        assert_eq!(r.hops(), 3);
+        assert!(r.is_valid(&q(3)));
+        assert!(r
+            .path()
+            .windows(2)
+            .all(|w| !faults.is_link_faulty(w[0], w[1])));
+    }
+
+    #[test]
+    fn total_model_avoids_both_faulty_nodes_and_links() {
+        use crate::fault::Link;
+        let faults = FaultSet::from_raw(q(3), &[0b001])
+            .with_model(FaultModel::Total)
+            .with_faulty_links([Link::new(NodeId::new(0), 1)]);
+        // 000 → 011: avoid node 001 and link (000,010): forced through bit 2
+        let r = route(&faults, NodeId::new(0), NodeId::new(0b011)).unwrap();
+        assert!(r.path().iter().all(|p| !faults.is_faulty(*p)));
+        assert!(r
+            .path()
+            .windows(2)
+            .all(|w| !faults.is_link_faulty(w[0], w[1])));
+        assert_eq!(r.hops(), 4);
+    }
+
+    #[test]
+    fn unreachable_when_links_isolate() {
+        use crate::fault::Link;
+        let all = [0usize, 1].map(|d| Link::new(NodeId::new(0), d));
+        let faults = FaultSet::none(q(2)).with_faulty_links(all);
+        assert!(route(&faults, NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn adaptive_route_matches_ecube_when_fault_free() {
+        let faults = FaultSet::none(q(4));
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let r = adaptive_route(&faults, NodeId::new(a), NodeId::new(b)).unwrap();
+                assert_eq!(r.hops(), NodeId::new(a).hamming(NodeId::new(b)));
+                assert!(r.is_valid(&q(4)));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_route_delivers_under_random_total_faults() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(51);
+        for n in 3..=6 {
+            for _ in 0..30 {
+                let faults =
+                    FaultSet::random(q(n), n - 1, &mut rng).with_model(FaultModel::Total);
+                let normals: Vec<NodeId> = faults.normal_nodes().collect();
+                for &a in normals.iter().take(4) {
+                    for &b in normals.iter().rev().take(4) {
+                        let r = adaptive_route(&faults, a, b)
+                            .unwrap_or_else(|| panic!("n={n}: {a:?}→{b:?} undelivered"));
+                        assert!(r.is_valid(&q(n)));
+                        assert_eq!(r.source(), a);
+                        assert_eq!(r.destination(), b);
+                        assert!(r.path().iter().all(|p| faults.is_normal(*p)));
+                        // never longer than the oracle + backtracking slack
+                        let oracle = route(&faults, a, b).unwrap().hops();
+                        assert!(r.hops() >= oracle);
+                        assert!(r.hops() <= 2 * (1 << n), "runaway walk");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_route_backtracks_out_of_dead_ends() {
+        use crate::fault::Link;
+        // Q3: force 0 → 7 into a cul-de-sac: break links so the e-cube
+        // preference leads to node 3 whose remaining exits are cut.
+        let faults = FaultSet::none(q(3)).with_faulty_links([
+            Link::new(NodeId::new(3), 2), // 3-7
+            Link::new(NodeId::new(2), 0), // 2-3
+        ]);
+        let r = adaptive_route(&faults, NodeId::new(0), NodeId::new(7)).unwrap();
+        assert_eq!(r.destination(), NodeId::new(7));
+        assert!(r
+            .path()
+            .windows(2)
+            .all(|w| q(3).adjacent(w[0], w[1]) && !faults.is_link_faulty(w[0], w[1])));
+    }
+
+    #[test]
+    fn adaptive_route_returns_none_when_isolated() {
+        let faults = FaultSet::from_raw(q(2), &[1, 2]).with_model(FaultModel::Total);
+        assert!(adaptive_route(&faults, NodeId::new(0), NodeId::new(3)).is_none());
+    }
+
+    #[test]
+    fn hop_count_is_at_least_hamming() {
+        let faults = FaultSet::from_raw(q(4), &[1, 2, 4]).with_model(FaultModel::Total);
+        for a in faults.normal_nodes() {
+            for b in faults.normal_nodes() {
+                let h = hop_count(&faults, a, b).unwrap();
+                assert!(h >= a.hamming(b));
+                assert_eq!(h % 2, a.hamming(b) % 2, "hypercube is bipartite");
+            }
+        }
+    }
+}

@@ -1,0 +1,673 @@
+//! The threaded MIMD engine: one OS thread per simulated processor,
+//! crossbeam channels as the interconnect.
+//!
+//! The engine spawns a thread for every node that is given an input (normal,
+//! participating processors); faulty and dangling processors get no thread,
+//! mirroring the paper's implementation where faulty nodes "run idle" and
+//! receive no elements. Message transport is charged through the routing
+//! layer: the number of links a message crosses is computed from the fault
+//! model ([`crate::routing::hop_count`]), so a detour under the total-fault
+//! model costs more virtual time than the same message under partial faults.
+
+use super::trace::{Trace, TraceEvent, TraceKind};
+use super::{Comm, Tag};
+use crate::address::NodeId;
+use crate::cost::{CostModel, VirtualClock};
+use crate::fault::FaultSet;
+use crate::routing;
+use crate::stats::RunStats;
+use crate::topology::Hypercube;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which routing algorithm the simulated machine charges hops with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub enum RouterKind {
+    /// Shortest paths (e-cube under partial faults, BFS detours under total
+    /// faults) — an omniscient oracle, the lower bound on hop counts.
+    #[default]
+    Oracle,
+    /// Depth-first adaptive routing using only neighbor-local knowledge
+    /// ([`crate::routing::adaptive_route`], after Chen & Shin) — what a
+    /// real fault-tolerant router achieves; may take longer walks.
+    Adaptive,
+}
+
+/// A message in flight.
+struct Message<K> {
+    src: NodeId,
+    tag: Tag,
+    data: Vec<K>,
+    /// Sender's virtual clock at send time.
+    sent_at: f64,
+    /// Links this message crosses (precomputed by the sender's router).
+    hops: u32,
+}
+
+/// What one simulated processor produced.
+#[derive(Clone, Debug)]
+pub struct NodeOutcome<T> {
+    /// The node program's return value.
+    pub result: T,
+    /// The node's final virtual clock, µs.
+    pub clock: f64,
+    /// Operation counters for this node.
+    pub stats: RunStats,
+}
+
+/// The result of running a program on the machine.
+#[derive(Clone, Debug)]
+pub struct RunOutcome<T> {
+    outcomes: Vec<Option<NodeOutcome<T>>>,
+    trace: Trace,
+}
+
+impl<T> RunOutcome<T> {
+    /// Per-node outcomes indexed by physical address (`None` where no thread
+    /// ran: faulty or idle processors).
+    pub fn outcomes(&self) -> &[Option<NodeOutcome<T>>] {
+        &self.outcomes
+    }
+
+    /// The event trace (empty unless [`Engine::with_tracing`] was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The outcome of a specific node, if it participated.
+    pub fn node(&self, id: NodeId) -> Option<&NodeOutcome<T>> {
+        self.outcomes.get(id.index()).and_then(|o| o.as_ref())
+    }
+
+    /// Turnaround time: the maximum virtual clock over all processors — the
+    /// quantity the paper plots as "execution time".
+    pub fn turnaround(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .flatten()
+            .map(|o| o.clock)
+            .fold(0.0, f64::max)
+    }
+
+    /// Aggregated operation counters over all processors.
+    pub fn total_stats(&self) -> RunStats {
+        self.outcomes.iter().flatten().map(|o| o.stats).sum()
+    }
+
+    /// Consumes the outcome, yielding `(node, result)` pairs in ascending
+    /// address order.
+    pub fn into_results(self) -> Vec<(NodeId, T)> {
+        self.outcomes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|o| (NodeId::from(i), o.result)))
+            .collect()
+    }
+}
+
+/// The per-node communication handle handed to node programs.
+///
+/// Implements [`Comm`]; created only by [`Engine::run`].
+pub struct NodeCtx<K> {
+    me: NodeId,
+    cube: Hypercube,
+    faults: Arc<FaultSet>,
+    cost: CostModel,
+    clock: VirtualClock,
+    stats: RunStats,
+    rx: Receiver<Message<K>>,
+    txs: Arc<Vec<Option<Sender<Message<K>>>>>,
+    /// Messages that arrived before they were asked for.
+    pending: HashMap<(NodeId, Tag), Vec<Message<K>>>,
+    recv_timeout: Duration,
+    router: RouterKind,
+    /// Event log (Some only when tracing is enabled).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<K> NodeCtx<K> {
+    fn take_pending(&mut self, src: NodeId, tag: Tag) -> Option<Message<K>> {
+        match self.pending.get_mut(&(src, tag)) {
+            Some(list) if !list.is_empty() => Some(list.remove(0)),
+            _ => None,
+        }
+    }
+}
+
+impl<K> Comm<K> for NodeCtx<K> {
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn send(&mut self, dst: NodeId, tag: Tag, data: Vec<K>) {
+        assert!(self.cube.contains(dst), "send to address outside cube");
+        let hops = match self.router {
+            RouterKind::Oracle => routing::hop_count(&self.faults, self.me, dst),
+            RouterKind::Adaptive => {
+                routing::adaptive_route(&self.faults, self.me, dst).map(|r| r.hops())
+            }
+        }
+        .unwrap_or_else(|| panic!("{:?} cannot reach {:?}", self.me, dst));
+        // The sender's port is busy pushing the elements onto its first link.
+        self.clock.advance(self.cost.transfer(data.len(), hops.min(1)));
+        self.stats.record_message(data.len(), hops);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.clock.now(),
+                node: self.me,
+                tag,
+                kind: TraceKind::Send {
+                    to: dst,
+                    elements: data.len(),
+                    hops,
+                },
+            });
+        }
+        let msg = Message {
+            src: self.me,
+            tag,
+            data,
+            sent_at: self.clock.now(),
+            hops,
+        };
+        let tx = self.txs[dst.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("send to non-participating node {dst:?}"));
+        tx.send(msg).expect("receiver hung up");
+    }
+
+    fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K> {
+        let msg = if let Some(m) = self.take_pending(src, tag) {
+            m
+        } else {
+            loop {
+                let m = self
+                    .rx
+                    .recv_timeout(self.recv_timeout)
+                    .unwrap_or_else(|_| {
+                        panic!(
+                            "{:?}: timed out waiting for message ({:?}, {:?}) — deadlock?",
+                            self.me, src, tag
+                        )
+                    });
+                if m.src == src && m.tag == tag {
+                    break m;
+                }
+                self.pending.entry((m.src, m.tag)).or_default().push(m);
+            }
+        };
+        self.clock
+            .receive(msg.sent_at, self.cost.transfer(msg.data.len(), msg.hops));
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.clock.now(),
+                node: self.me,
+                tag,
+                kind: TraceKind::Recv {
+                    from: src,
+                    elements: msg.data.len(),
+                },
+            });
+        }
+        msg.data
+    }
+
+    fn charge_comparisons(&mut self, count: usize) {
+        self.clock.advance(self.cost.compare(count));
+        self.stats.record_comparisons(count);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.clock.now(),
+                node: self.me,
+                tag: Tag::new(0),
+                kind: TraceKind::Compute { comparisons: count },
+            });
+        }
+    }
+
+    fn charge_compute(&mut self, cost: f64) {
+        self.clock.advance(cost);
+    }
+
+    fn clock(&self) -> f64 {
+        self.clock.now()
+    }
+}
+
+/// The simulated multicomputer.
+#[derive(Clone)]
+pub struct Engine {
+    faults: Arc<FaultSet>,
+    cost: CostModel,
+    recv_timeout: Duration,
+    router: RouterKind,
+    tracing: bool,
+}
+
+impl Engine {
+    /// Creates a machine over the fault set's topology with the given cost
+    /// model.
+    pub fn new(faults: FaultSet, cost: CostModel) -> Self {
+        Engine {
+            faults: Arc::new(faults),
+            cost,
+            recv_timeout: Duration::from_secs(30),
+            router: RouterKind::default(),
+            tracing: false,
+        }
+    }
+
+    /// Selects the routing algorithm used to charge hops (builder style).
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Enables per-event tracing (builder style); the run's [`Trace`] is
+    /// then available from [`RunOutcome::trace`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// A fault-free machine.
+    pub fn fault_free(cube: Hypercube, cost: CostModel) -> Self {
+        Engine::new(FaultSet::none(cube), cost)
+    }
+
+    /// Overrides the receive timeout used to detect deadlocked programs.
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// The topology.
+    pub fn cube(&self) -> Hypercube {
+        self.faults.cube()
+    }
+
+    /// The fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Runs `program` SPMD on every node for which `inputs` supplies data.
+    ///
+    /// `inputs[i]` is the initial local data of node `i`; nodes with `None`
+    /// (faulty or deliberately idle processors) get no thread and must not be
+    /// addressed by the program. Returns per-node results, virtual clocks and
+    /// operation counts.
+    ///
+    /// # Panics
+    /// Propagates panics from node programs (including the deadlock timeout)
+    /// and rejects inputs assigned to faulty processors.
+    pub fn run<K, T, F>(&self, inputs: Vec<Option<Vec<K>>>, program: F) -> RunOutcome<T>
+    where
+        K: Send,
+        T: Send,
+        F: Fn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+    {
+        let cube = self.cube();
+        assert_eq!(inputs.len(), cube.len(), "one input slot per processor");
+        for (i, slot) in inputs.iter().enumerate() {
+            if slot.is_some() {
+                assert!(
+                    self.faults.is_normal(NodeId::from(i)),
+                    "input assigned to faulty processor P{i}"
+                );
+            }
+        }
+
+        // Build one channel per participating node.
+        let mut txs: Vec<Option<Sender<Message<K>>>> = Vec::with_capacity(cube.len());
+        let mut rxs: Vec<Option<Receiver<Message<K>>>> = Vec::with_capacity(cube.len());
+        for slot in &inputs {
+            if slot.is_some() {
+                let (tx, rx) = unbounded();
+                txs.push(Some(tx));
+                rxs.push(Some(rx));
+            } else {
+                txs.push(None);
+                rxs.push(None);
+            }
+        }
+        let txs = Arc::new(txs);
+
+        let mut outcomes: Vec<Option<NodeOutcome<T>>> =
+            (0..cube.len()).map(|_| None).collect();
+        let program = &program;
+
+        let traces = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (i, (input, rx)) in inputs.into_iter().zip(rxs).enumerate() {
+                let (Some(input), Some(rx)) = (input, rx) else {
+                    continue;
+                };
+                let txs = Arc::clone(&txs);
+                let faults = Arc::clone(&self.faults);
+                let cost = self.cost;
+                let recv_timeout = self.recv_timeout;
+                let router = self.router;
+                let tracing = self.tracing;
+                let handle = scope.spawn(move || {
+                    let mut ctx = NodeCtx {
+                        me: NodeId::from(i),
+                        cube,
+                        faults,
+                        cost,
+                        clock: VirtualClock::new(),
+                        stats: RunStats::new(),
+                        rx,
+                        txs,
+                        pending: HashMap::new(),
+                        recv_timeout,
+                        router,
+                        trace: tracing.then(Vec::new),
+                    };
+                    let result = program(&mut ctx, input);
+                    (
+                        i,
+                        NodeOutcome {
+                            result,
+                            clock: ctx.clock.now(),
+                            stats: ctx.stats,
+                        },
+                        ctx.trace.unwrap_or_default(),
+                    )
+                });
+                handles.push(handle);
+            }
+            let mut traces = Vec::new();
+            for handle in handles {
+                let (i, outcome, trace) = handle.join().expect("node program panicked");
+                outcomes[i] = Some(outcome);
+                traces.push(trace);
+            }
+            traces
+        });
+
+        RunOutcome {
+            outcomes,
+            trace: Trace::assemble(traces),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultModel;
+
+    fn engine(n: usize) -> Engine {
+        Engine::fault_free(Hypercube::new(n), CostModel::paper_form())
+    }
+
+    /// Inputs giving every node one key equal to its own address.
+    fn identity_inputs(n: usize) -> Vec<Option<Vec<u32>>> {
+        (0..1usize << n).map(|i| Some(vec![i as u32])).collect()
+    }
+
+    #[test]
+    fn ping_pong_between_neighbors() {
+        let eng = engine(1);
+        let out = eng.run(identity_inputs(1), |ctx, data| {
+            let partner = ctx.me().neighbor(0);
+            let theirs = ctx.exchange(partner, Tag::new(0), data);
+            theirs[0]
+        });
+        let results = out.into_results();
+        assert_eq!(results, vec![(NodeId::new(0), 1), (NodeId::new(1), 0)]);
+    }
+
+    #[test]
+    fn dimension_sweep_total_exchange() {
+        // All-to-all reduction by sweeping dimensions: every node ends up
+        // with the sum over the whole cube.
+        let n = 4;
+        let eng = engine(n);
+        let out = eng.run(identity_inputs(n), |ctx, data| {
+            let mut acc = data[0];
+            for d in 0..ctx.cube().dim() {
+                let theirs = ctx.exchange(ctx.me().neighbor(d), Tag::new(d as u64), vec![acc]);
+                acc += theirs[0];
+            }
+            acc
+        });
+        let expected: u32 = (0..16).sum();
+        for (_, v) in out.into_results() {
+            assert_eq!(v, expected);
+        }
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_across_runs() {
+        let n = 4;
+        let run = || {
+            let eng = engine(n);
+            let out = eng.run(identity_inputs(n), |ctx, data| {
+                let mut acc = data;
+                for d in 0..ctx.cube().dim() {
+                    let theirs =
+                        ctx.exchange(ctx.me().neighbor(d), Tag::new(d as u64), acc.clone());
+                    ctx.charge_comparisons(acc.len() + theirs.len());
+                    acc.extend(theirs);
+                    acc.sort_unstable();
+                }
+                acc.len()
+            });
+            let clocks: Vec<f64> = out.outcomes().iter().flatten().map(|o| o.clock).collect();
+            (out.turnaround(), clocks)
+        };
+        let (t1, c1) = run();
+        let (t2, c2) = run();
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+        assert!(t1 > 0.0);
+    }
+
+    #[test]
+    fn clock_advances_with_message_size_and_hops() {
+        // node 0 sends k elements to the opposite corner (n hops); the
+        // receiver's clock must be ≥ k * n * t_sr.
+        let n = 3;
+        let k = 100usize;
+        let eng = engine(n);
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
+        inputs[0] = Some((0..k as u32).collect());
+        inputs[7] = Some(vec![]);
+        let out = eng.run(inputs, |ctx, data| {
+            if ctx.me() == NodeId::new(0) {
+                ctx.send(NodeId::new(7), Tag::new(1), data);
+                0.0
+            } else {
+                let got = ctx.recv(NodeId::new(0), Tag::new(1));
+                assert_eq!(got.len(), k);
+                ctx.clock()
+            }
+        });
+        let t_sr = eng.cost_model().t_sr;
+        let receiver_clock = out.node(NodeId::new(7)).unwrap().result;
+        // sender pays 1 hop of port time, receiver syncs to sent_at + 3 hops
+        let expected = (k as f64) * t_sr + (k as f64) * 3.0 * t_sr;
+        assert!(
+            (receiver_clock - expected).abs() < 1e-9,
+            "clock {receiver_clock} vs expected {expected}"
+        );
+        let stats = out.total_stats();
+        assert_eq!(stats.messages, 1);
+        assert_eq!(stats.elements_sent, k as u64);
+        assert_eq!(stats.element_hops, (k * 3) as u64);
+        assert_eq!(stats.max_hops, 3);
+    }
+
+    #[test]
+    fn total_fault_model_charges_detour_hops() {
+        // With node 1 totally faulty, 0 → 3 must detour (still 2 hops in Q2?
+        // no: Q2 path 0→2→3 avoids 1 and has 2 hops). Use Q3 and kill both
+        // intermediates 1 and 2 so the route 0→3 needs 4 hops.
+        let faults =
+            FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Total);
+        let eng = Engine::new(faults, CostModel::paper_form());
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
+        inputs[0] = Some(vec![42]);
+        inputs[3] = Some(vec![]);
+        let out = eng.run(inputs, |ctx, _data| {
+            if ctx.me() == NodeId::new(0) {
+                ctx.send(NodeId::new(3), Tag::new(9), vec![7]);
+            } else {
+                let got = ctx.recv(NodeId::new(0), Tag::new(9));
+                assert_eq!(got, vec![7]);
+            }
+        });
+        assert_eq!(out.total_stats().max_hops, 4);
+    }
+
+    #[test]
+    fn partial_fault_model_relays_through_faults() {
+        let faults =
+            FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Partial);
+        let eng = Engine::new(faults, CostModel::paper_form());
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
+        inputs[0] = Some(vec![]);
+        inputs[3] = Some(vec![]);
+        let out = eng.run(inputs, |ctx, _| {
+            if ctx.me() == NodeId::new(0) {
+                ctx.send(NodeId::new(3), Tag::new(9), vec![7u32]);
+            } else {
+                ctx.recv(NodeId::new(0), Tag::new(9));
+            }
+        });
+        assert_eq!(out.total_stats().max_hops, 2, "e-cube path relays via fault");
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let eng = engine(1);
+        let out = eng.run(identity_inputs(1), |ctx, _| {
+            let partner = ctx.me().neighbor(0);
+            if ctx.me() == NodeId::new(0) {
+                // send in one order…
+                ctx.send(partner, Tag::new(1), vec![10u32]);
+                ctx.send(partner, Tag::new(2), vec![20u32]);
+                0
+            } else {
+                // …receive in the other
+                let b = ctx.recv(NodeId::new(0), Tag::new(2));
+                let a = ctx.recv(NodeId::new(0), Tag::new(1));
+                a[0] + b[0]
+            }
+        });
+        assert_eq!(out.node(NodeId::new(1)).unwrap().result, 30);
+    }
+
+    #[test]
+    fn comparisons_charge_clock_and_stats() {
+        let eng = engine(0);
+        let out = eng.run(vec![Some(Vec::<u32>::new())], |ctx, _| {
+            ctx.charge_comparisons(17);
+            ctx.charge_compute(5.0);
+            ctx.clock()
+        });
+        let o = out.node(NodeId::new(0)).unwrap();
+        assert_eq!(o.result, 17.0 * eng.cost_model().t_c + 5.0);
+        assert_eq!(o.stats.comparisons, 17);
+    }
+
+    #[test]
+    fn faulty_nodes_cannot_receive_inputs() {
+        let faults = FaultSet::from_raw(Hypercube::new(2), &[1]);
+        let eng = Engine::new(faults, CostModel::paper_form());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
+            inputs[1] = Some(vec![1]);
+            eng.run(inputs, |_ctx, _d| 0u32);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn tracing_records_sends_recvs_and_compute() {
+        use super::super::trace::TraceKind;
+        let eng = Engine::fault_free(Hypercube::new(1), CostModel::paper_form()).with_tracing();
+        let out = eng.run(identity_inputs(1), |ctx, data| {
+            ctx.charge_comparisons(3);
+            let partner = ctx.me().neighbor(0);
+            let theirs = ctx.exchange(partner, Tag::new(4), data);
+            theirs[0]
+        });
+        let trace = out.trace();
+        assert!(!trace.is_empty());
+        // 2 sends + 2 recvs + 2 computes
+        assert_eq!(trace.len(), 6);
+        assert_eq!(trace.sends().count(), 2);
+        // timestamps are non-decreasing
+        assert!(trace
+            .events()
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time));
+        // every send has a matching recv with the same element count
+        for s in trace.sends() {
+            let TraceKind::Send { to, elements, .. } = s.kind else {
+                unreachable!()
+            };
+            assert!(trace.for_node(to).any(|e| matches!(
+                e.kind,
+                TraceKind::Recv { from, elements: el } if from == s.node && el == elements
+            )));
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let eng = Engine::fault_free(Hypercube::new(1), CostModel::paper_form());
+        let out = eng.run(identity_inputs(1), |ctx, data| {
+            ctx.exchange(ctx.me().neighbor(0), Tag::new(4), data)
+        });
+        assert!(out.trace().is_empty());
+    }
+
+    #[test]
+    fn recv_timeout_detects_deadlock() {
+        let eng = Engine::fault_free(Hypercube::new(0), CostModel::paper_form())
+            .with_recv_timeout(Duration::from_millis(100));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.run(vec![Some(vec![0u32])], |ctx, _| {
+                // nobody ever sends this: the engine must panic, not hang
+                ctx.recv(ctx.me(), Tag::new(1))
+            });
+        }));
+        assert!(result.is_err(), "deadlocked program must panic");
+    }
+
+    #[test]
+    fn idle_nodes_do_not_run() {
+        let eng = engine(2);
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
+        inputs[2] = Some(vec![]);
+        let out = eng.run(inputs, |ctx, _| ctx.me().raw());
+        assert!(out.node(NodeId::new(0)).is_none());
+        assert!(out.node(NodeId::new(1)).is_none());
+        assert_eq!(out.node(NodeId::new(2)).unwrap().result, 2);
+        assert!(out.node(NodeId::new(3)).is_none());
+        assert_eq!(out.into_results().len(), 1);
+    }
+}

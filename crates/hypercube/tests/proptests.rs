@@ -1,0 +1,186 @@
+//! Property-based tests of the substrate's algebraic invariants.
+
+use hypercube::address::{complement_dims, extract_bits, gray, gray_inverse, scatter_bits, NodeId};
+use hypercube::fault::{FaultModel, FaultSet, Link};
+use hypercube::routing::{ecube_route, hop_count, route};
+use hypercube::subcube::Subcube;
+use hypercube::topology::Hypercube;
+use proptest::prelude::*;
+
+fn dim_and_node() -> impl Strategy<Value = (usize, u32)> {
+    (1usize..=8).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n)))
+}
+
+proptest! {
+    #[test]
+    fn xor_is_an_automorphism((n, mask) in dim_and_node(), a in any::<u32>(), d in 0usize..8) {
+        prop_assume!(d < n);
+        let a = NodeId::new(a % (1 << n));
+        let b = a.neighbor(d);
+        prop_assert_eq!(a.xor(mask).hamming(b.xor(mask)), 1);
+    }
+
+    #[test]
+    fn extract_scatter_roundtrip((n, v) in dim_and_node(), mask in any::<u32>()) {
+        let dims: Vec<usize> = (0..n).filter(|&d| mask >> d & 1 == 1).collect();
+        let rest = complement_dims(n, &dims);
+        let hi = extract_bits(v, &dims);
+        let lo = extract_bits(v, &rest);
+        prop_assert_eq!(scatter_bits(hi, &dims) | scatter_bits(lo, &rest), v);
+        // and the parts are disjoint
+        prop_assert_eq!(scatter_bits(hi, &dims) & scatter_bits(lo, &rest), 0);
+    }
+
+    #[test]
+    fn gray_code_bijective_and_unit_step(i in 0u32..65535) {
+        prop_assert_eq!(gray_inverse(gray(i)), i);
+        prop_assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
+    }
+
+    #[test]
+    fn subcube_split_partitions((n, seed) in dim_and_node(), d in 0usize..8) {
+        prop_assume!(d < n);
+        let q = Subcube::whole(n);
+        let (lo, hi) = q.split(d);
+        let node = NodeId::new(seed);
+        prop_assert!(lo.contains(node) ^ hi.contains(node));
+        prop_assert_eq!(lo.len() + hi.len(), q.len());
+        prop_assert!(lo.is_disjoint(&hi));
+        prop_assert!(q.contains_subcube(&lo) && q.contains_subcube(&hi));
+    }
+
+    #[test]
+    fn subcube_local_global_roundtrip((n, v) in dim_and_node(), mask in any::<u32>(), pat in any::<u32>()) {
+        let space = (1u32 << n) - 1;
+        let mask = mask & space;
+        let pat = pat & mask;
+        let sc = Subcube::new(n, mask, pat);
+        let local = extract_bits(v & space, &sc.free_dims());
+        let g = sc.global_address(local);
+        prop_assert!(sc.contains(g));
+        prop_assert_eq!(sc.local_address(g), local);
+    }
+
+    #[test]
+    fn ecube_route_valid_and_minimal((n, a) in dim_and_node(), b in any::<u32>()) {
+        let cube = Hypercube::new(n);
+        let a = NodeId::new(a);
+        let b = NodeId::new(b % (1 << n));
+        let r = ecube_route(a, b);
+        prop_assert!(r.is_valid(&cube));
+        prop_assert_eq!(r.hops(), a.hamming(b));
+        prop_assert_eq!(r.source(), a);
+        prop_assert_eq!(r.destination(), b);
+    }
+
+    #[test]
+    fn total_routes_avoid_faults_and_stay_short(
+        (n, a) in (3usize..=6).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n))),
+        b in any::<u32>(),
+        fault_seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let cube = Hypercube::new(n);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+        let faults = FaultSet::random(cube, n - 1, &mut rng).with_model(FaultModel::Total);
+        let a = NodeId::new(a);
+        let b = NodeId::new(b % (1 << n));
+        prop_assume!(faults.is_normal(a) && faults.is_normal(b));
+        let r = route(&faults, a, b).expect("connected under r ≤ n−1");
+        prop_assert!(r.is_valid(&cube));
+        prop_assert!(r.path().iter().all(|p| faults.is_normal(*p)));
+        prop_assert!(r.hops() >= a.hamming(b));
+        prop_assert_eq!(r.hops() % 2, a.hamming(b) % 2, "bipartite parity");
+        // detours are bounded: BFS is shortest, so ≤ diameter + slack
+        prop_assert!(r.hops() <= (2 * n) as u32);
+    }
+
+    #[test]
+    fn link_fault_routes_avoid_broken_links(
+        (n, a) in (2usize..=5).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n))),
+        b in any::<u32>(),
+        l1 in any::<u32>(),
+        d1 in 0usize..5,
+    ) {
+        prop_assume!(d1 < n);
+        let cube = Hypercube::new(n);
+        let link = Link::new(NodeId::new(l1 % (1 << n)), d1);
+        let faults = FaultSet::none(cube).with_faulty_links([link]);
+        let a = NodeId::new(a);
+        let b = NodeId::new(b % (1 << n));
+        if let Some(r) = route(&faults, a, b) {
+            prop_assert!(r.is_valid(&cube));
+            prop_assert!(r.path().windows(2).all(|w| !faults.is_link_faulty(w[0], w[1])));
+        } else {
+            // a single broken link can never disconnect Q_n for n ≥ 2
+            prop_assert!(false, "single link fault disconnected the cube");
+        }
+    }
+
+    #[test]
+    fn collectives_roundtrip_arbitrary_participant_sets(
+        n in 2usize..=4,
+        live_mask in 1u32..,
+        root_pick in any::<u32>(),
+        k in 1usize..4,
+    ) {
+        use hypercube::collectives::{gather, scatter, Participants};
+        use hypercube::cost::CostModel;
+        use hypercube::sim::{Comm, Engine, Tag};
+        let cube = Hypercube::new(n);
+        let live_mask = live_mask & ((1u32 << cube.len()) - 1);
+        prop_assume!(live_mask != 0);
+        let live: Vec<NodeId> = (0..cube.len() as u32)
+            .filter(|i| live_mask >> i & 1 == 1)
+            .map(NodeId::new)
+            .collect();
+        let root = live[root_pick as usize % live.len()];
+        let parts = Participants::new(cube.len(), root, &live);
+        let engine = Engine::fault_free(cube, CostModel::paper_form());
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; cube.len()];
+        for p in &live {
+            inputs[p.index()] = Some(vec![]);
+        }
+        let parts_ref = &parts;
+        let out = engine.run(inputs, move |ctx, _| {
+            let rank = parts_ref.rank(ctx.me()).unwrap();
+            let pieces = (rank == 0).then(|| {
+                (0..parts_ref.len())
+                    .map(|r| (0..k).map(|j| (r * 10 + j) as u32).collect())
+                    .collect::<Vec<Vec<u32>>>()
+            });
+            let mine = scatter(ctx, parts_ref, Tag::new(1), pieces, k);
+            prop_assert_eq!(mine.len(), k);
+            prop_assert_eq!(mine[0], (rank * 10) as u32);
+            let back = gather(ctx, parts_ref, Tag::new(2), mine, k);
+            if rank == 0 {
+                let pieces = back.unwrap();
+                for (r, p) in pieces.iter().enumerate() {
+                    prop_assert_eq!(p[0], (r * 10) as u32);
+                }
+            } else {
+                prop_assert!(back.is_none());
+            }
+            Ok(())
+        });
+        for (_, r) in out.into_results() {
+            r?;
+        }
+    }
+
+    #[test]
+    fn hop_count_symmetric_under_total_faults(
+        fault_seed in any::<u64>(),
+        a in 0u32..32,
+        b in 0u32..32,
+    ) {
+        use rand::SeedableRng;
+        let cube = Hypercube::new(5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
+        let faults = FaultSet::random(cube, 4, &mut rng).with_model(FaultModel::Total);
+        let a = NodeId::new(a);
+        let b = NodeId::new(b);
+        prop_assume!(faults.is_normal(a) && faults.is_normal(b));
+        prop_assert_eq!(hop_count(&faults, a, b), hop_count(&faults, b, a));
+    }
+}

@@ -1,0 +1,100 @@
+//! Reproduces the paper's worked Examples 1 and 2 end-to-end, printing the
+//! cutting-dimension search, the checking tree, formula (1) costs, and the
+//! dangling-processor designation.
+//!
+//! ```text
+//! cargo run --release --example partition_explorer
+//! ```
+
+use ftsort::partition::{partition, CheckingTree, SingleFaultStructure};
+use ftsort::select::{dangling_local_address, extra_comm_cost, select_cutting_sequence};
+use hypercube::fault::FaultSet;
+use hypercube::topology::Hypercube;
+
+fn main() {
+    println!("=== Paper Example 1: Q5 with faults 00011, 00101, 10000, 11000 ===\n");
+    let cube = Hypercube::new(5);
+    let faults = FaultSet::from_raw(cube, &[0b00011, 0b00101, 0b10000, 0b11000]);
+    for f in faults.iter() {
+        println!("  faulty processor {:>2} = {}", f.raw(), f.to_bits(5));
+    }
+
+    let result = partition(&faults).expect("separable");
+    println!(
+        "\npartition algorithm: mincut m = {}, visited {} tree nodes (≤ 2^5 − 1 = 31)",
+        result.mincut, result.nodes_visited
+    );
+    println!("cutting set Ψ (α = {}):", result.alpha());
+    for (i, d) in result.cutting_set.iter().enumerate() {
+        let (per_dim, cost) = extra_comm_cost(&faults, d);
+        println!(
+            "  D{} = {:?}   formula-(1) cost = {}  (per dimension: {:?})",
+            i + 1,
+            d,
+            cost,
+            per_dim
+        );
+    }
+
+    println!("\n=== Paper Example 2: selection and dangling processors ===\n");
+    let sel = select_cutting_sequence(&faults, &result.cutting_set);
+    println!(
+        "selected D_β = {:?} with extra-communication cost {}",
+        sel.dims, sel.cost
+    );
+    let w = dangling_local_address(&faults, &sel.dims);
+    println!("dangling local address w* = {w:02b} (most frequent among faulty subcubes)");
+
+    let st = SingleFaultStructure::new(&faults, &sel.dims).with_danglings(w);
+    println!(
+        "structure F_5^{}: {} subcubes of dimension s = {}, N' = {} live processors\n",
+        st.m(),
+        st.subcubes().len(),
+        st.s(),
+        st.live_count()
+    );
+    for info in st.subcubes() {
+        let dead = st
+            .dead_physical(info.v)
+            .map(|p| format!("{:>2} ({})", p.raw(), p.to_bits(5)))
+            .unwrap_or_else(|| "-".into());
+        let kind = match info.dead_local {
+            Some((_, ftsort::partition::DeadKind::Faulty)) => "faulty  ",
+            Some((_, ftsort::partition::DeadKind::Dangling)) => "dangling",
+            None => "none    ",
+        };
+        println!(
+            "  subcube v = {:03b}  {}   dead: {} {}",
+            info.v, info.subcube, kind, dead
+        );
+    }
+    let dangling: Vec<u32> = (0..8u32)
+        .filter(|&v| {
+            matches!(
+                st.subcube(v).dead_local,
+                Some((_, ftsort::partition::DeadKind::Dangling))
+            )
+        })
+        .map(|v| st.dead_physical(v).unwrap().raw())
+        .collect();
+    println!(
+        "\ndangling processors: {:?} (paper: 18, 25, 26, 27)",
+        dangling
+    );
+
+    println!("\n=== Paper Fig. 3/4: checking tree for Q4, faults {{0, 6, 9}}, D = (1, 3) ===\n");
+    let q4_faults = FaultSet::from_raw(Hypercube::new(4), &[0, 6, 9]);
+    let tree = CheckingTree::build(&q4_faults, &[1, 3]);
+    for depth in 0..=tree.depth() {
+        print!("  level {depth}:");
+        for node in tree.level(depth) {
+            let faults: Vec<u32> = node.faults.iter().map(|f| f.raw()).collect();
+            print!("  {}{:?}", node.subcube, faults);
+        }
+        println!();
+    }
+    println!(
+        "\n  single-fault structure achieved: {}",
+        tree.is_single_fault()
+    );
+}

@@ -1,0 +1,239 @@
+//! `ftsort-cli` — drive the simulated faulty hypercube from the command
+//! line: plan partitions, sort workloads, diagnose syndromes, inspect
+//! routes.
+//!
+//! ```text
+//! ftsort-cli partition --n 5 --faults 3,5,16,24
+//! ftsort-cli sort      --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort]
+//! ftsort-cli mffs      --n 6 --faults 9,22 --m 100000
+//! ftsort-cli route     --n 4 --faults 1,2 --model total --from 0 --to 3
+//! ftsort-cli diagnose  --n 5 --faults 3,5,16 [--seed 7]
+//! ```
+
+use ftsort::prelude::*;
+use hypercube::diagnosis::Syndrome;
+use hypercube::routing;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: ftsort-cli <partition|sort|mffs|route|diagnose> [--flags]");
+        return ExitCode::from(2);
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in args {
+        if let Some(stripped) = a.strip_prefix("--") {
+            if let Some(k) = key.take() {
+                flags.insert(k, String::from("true"));
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            flags.insert(k, a);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(k) = key.take() {
+        flags.insert(k, String::from("true"));
+    }
+
+    match run(&cmd, &flags) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let n: usize = flag(flags, "n", "6")?;
+    let cube = Hypercube::new(n);
+    let fault_list: Vec<u32> = match flags.get("faults") {
+        Some(s) if !s.is_empty() && s != "true" => s
+            .split(',')
+            .map(|x| x.trim().parse().map_err(|e| format!("bad fault '{x}': {e}")))
+            .collect::<Result<_, _>>()?,
+        _ => Vec::new(),
+    };
+    let model = match flags.get("model").map(String::as_str) {
+        Some("total") => FaultModel::Total,
+        Some("partial") | None => FaultModel::Partial,
+        Some(other) => return Err(format!("unknown fault model '{other}'")),
+    };
+    let faults = FaultSet::from_raw(cube, &fault_list).with_model(model);
+
+    match cmd {
+        "partition" => partition_cmd(&faults),
+        "sort" => sort_cmd(&faults, flags),
+        "mffs" => mffs_cmd(&faults, flags),
+        "route" => route_cmd(&faults, flags),
+        "diagnose" => diagnose_cmd(&faults, flags),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flags
+        .get(key)
+        .map(String::as_str)
+        .unwrap_or(default)
+        .parse()
+        .map_err(|e| format!("bad --{key}: {e}"))
+}
+
+fn partition_cmd(faults: &FaultSet) -> Result<(), String> {
+    let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
+    let n = faults.cube().dim();
+    println!(
+        "Q{n} with {} faults {:?}",
+        faults.count(),
+        faults.to_vec()
+    );
+    println!("mincut m = {}", plan.partition().mincut);
+    println!("cutting set Ψ (α = {}):", plan.partition().alpha());
+    for d in &plan.partition().cutting_set {
+        let (per_dim, cost) = ftsort::select::extra_comm_cost(faults, d);
+        println!("  {d:?}  cost {cost}  per-dim {per_dim:?}");
+    }
+    println!(
+        "selected D_β = {:?} (cost {}), dangling local w* = {:0width$b}",
+        plan.selection().dims,
+        plan.selection().cost,
+        plan.selection().dangling_local,
+        width = plan.structure().s().max(1),
+    );
+    for info in plan.structure().subcubes() {
+        let dead = plan
+            .structure()
+            .dead_physical(info.v)
+            .map(|p| p.raw().to_string())
+            .unwrap_or_else(|| "-".into());
+        println!("  v={:0width$b}  {}  dead={}", info.v, info.subcube, dead,
+                 width = plan.structure().m().max(1));
+    }
+    println!(
+        "live N' = {} of {} normal ({:.1}% utilization)",
+        plan.live_count(),
+        faults.normal_count(),
+        plan.utilization() * 100.0
+    );
+    Ok(())
+}
+
+fn parse_protocol(flags: &HashMap<String, String>) -> Result<Protocol, String> {
+    match flags.get("protocol").map(String::as_str) {
+        Some("full") => Ok(Protocol::FullExchange),
+        Some("half") | None => Ok(Protocol::HalfExchange),
+        Some(other) => Err(format!("unknown protocol '{other}' (full|half)")),
+    }
+}
+
+fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), String> {
+    let m_total: usize = flag(flags, "m", "100000")?;
+    let seed: u64 = flag(flags, "seed", "1992")?;
+    let protocol = parse_protocol(flags)?;
+    let step8 = match flags.get("step8").map(String::as_str) {
+        Some("fullsort") => Step8Strategy::FullSort,
+        Some("merge") | None => Step8Strategy::BitonicMerge,
+        Some(other) => return Err(format!("unknown step8 '{other}' (merge|fullsort)")),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
+    let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
+    let config = FtConfig {
+        protocol,
+        step8,
+        include_host_io: flags.contains_key("host-io"),
+        ..FtConfig::default()
+    };
+    let (out, phases) = fault_tolerant_sort_profiled(&plan, &config, data);
+    if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
+        return Err("output not sorted — this is a bug".into());
+    }
+    println!(
+        "sorted {} keys on {} live processors of Q{} ({} faults)",
+        m_total,
+        out.processors_used,
+        faults.cube().dim(),
+        faults.count()
+    );
+    println!("simulated time : {:>12.1} ms", out.time_us / 1000.0);
+    println!("  scatter      : {:>12.1} ms", phases.host_scatter_us / 1000.0);
+    println!("  step 3       : {:>12.1} ms", phases.step3_us / 1000.0);
+    println!("  step 7       : {:>12.1} ms", phases.step7_us / 1000.0);
+    println!("  step 8       : {:>12.1} ms", phases.step8_us / 1000.0);
+    println!("  gather       : {:>12.1} ms", phases.host_gather_us / 1000.0);
+    println!("messages       : {:>12}", out.stats.messages);
+    println!("element·hops   : {:>12}", out.stats.element_hops);
+    println!("comparisons    : {:>12}", out.stats.comparisons);
+    Ok(())
+}
+
+fn mffs_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), String> {
+    let m_total: usize = flag(flags, "m", "100000")?;
+    let seed: u64 = flag(flags, "seed", "1992")?;
+    let protocol = parse_protocol(flags)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
+    let sc = max_fault_free_subcube(faults).ok_or("every processor is faulty")?;
+    println!("maximum fault-free subcube: {sc:?} ({} processors)", sc.len());
+    let out = mffs_sort(faults, CostModel::default(), data, protocol);
+    println!("simulated time : {:>12.1} ms", out.time_us / 1000.0);
+    println!("element·hops   : {:>12}", out.stats.element_hops);
+    Ok(())
+}
+
+fn route_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), String> {
+    let from: u32 = flag(flags, "from", "0")?;
+    let to: u32 = flag(flags, "to", "1")?;
+    let n = faults.cube().dim();
+    let src = NodeId::new(from);
+    let dst = NodeId::new(to);
+    match routing::route(faults, src, dst) {
+        Some(r) => {
+            let path: Vec<String> = r.path().iter().map(|p| p.to_bits(n)).collect();
+            println!("oracle route ({} hops): {}", r.hops(), path.join(" → "));
+        }
+        None => println!("oracle route: unreachable"),
+    }
+    match routing::adaptive_route(faults, src, dst) {
+        Some(r) => {
+            let path: Vec<String> = r.path().iter().map(|p| p.to_bits(n)).collect();
+            println!("adaptive walk ({} hops): {}", r.hops(), path.join(" → "));
+        }
+        None => println!("adaptive walk: unreachable"),
+    }
+    Ok(())
+}
+
+fn diagnose_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), String> {
+    let seed: u64 = flag(flags, "seed", "7")?;
+    let n = faults.cube().dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let syndrome = Syndrome::collect(faults, &mut rng);
+    println!(
+        "collected {} mutual test results on Q{n}",
+        syndrome.results().len()
+    );
+    match syndrome.diagnose(n.max(1) - 1) {
+        Ok(diag) => {
+            println!("diagnosed faults: {:?}", diag.to_vec());
+            if diag.to_vec() == faults.to_vec() {
+                println!("diagnosis matches the injected fault set ✓");
+            } else {
+                println!("diagnosis DIFFERS from injected {:?}", faults.to_vec());
+            }
+        }
+        Err(e) => println!("diagnosis failed: {e}"),
+    }
+    Ok(())
+}

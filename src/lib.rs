@@ -1,0 +1,22 @@
+//! # ft-hypercube-sort
+//!
+//! Meta-crate of the reproduction of *"Fault-Tolerant Sorting Algorithm on
+//! Hypercube Multicomputers"* (Sheu, Chen & Chang, ICPP 1992).
+//!
+//! Re-exports the two library crates:
+//! * [`hypercube`] — the simulated hypercube multicomputer substrate;
+//! * [`ftsort`] — the paper's algorithms (single-fault bitonic sort,
+//!   partition algorithm, fault-tolerant sort, MFFS baseline).
+//!
+//! See the `examples/` directory for runnable walkthroughs, including a
+//! reproduction of the paper's worked Examples 1 and 2.
+
+#![warn(missing_docs)]
+
+pub use ftsort;
+pub use hypercube;
+
+/// Crate-level convenience prelude re-exporting both sub-preludes.
+pub mod prelude {
+    pub use ftsort::prelude::*;
+}

@@ -1,0 +1,80 @@
+//! Integration tests of the `ftsort-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ftsort-cli"))
+}
+
+#[test]
+fn partition_reproduces_paper_example() {
+    let out = cli()
+        .args(["partition", "--n", "5", "--faults", "3,5,16,24"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mincut m = 3"), "{text}");
+    assert!(text.contains("[0, 1, 3]"), "{text}");
+    assert!(text.contains("selected D_β = [0, 1, 3]"), "{text}");
+    assert!(text.contains("w* = 10"), "{text}");
+    assert!(text.contains("live N' = 24 of 28"), "{text}");
+}
+
+#[test]
+fn sort_produces_summary() {
+    let out = cli()
+        .args(["sort", "--n", "4", "--faults", "2,9", "--m", "5000"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("sorted 5000 keys on 14 live processors"), "{text}");
+    assert!(text.contains("simulated time"), "{text}");
+}
+
+#[test]
+fn route_prints_both_routers() {
+    let out = cli()
+        .args([
+            "route", "--n", "3", "--faults", "1,2", "--model", "total", "--from", "0",
+            "--to", "3",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("oracle route (4 hops)"), "{text}");
+    assert!(text.contains("adaptive walk"), "{text}");
+}
+
+#[test]
+fn diagnose_matches_injection() {
+    let out = cli()
+        .args(["diagnose", "--n", "5", "--faults", "3,5,16"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("matches the injected fault set"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = cli().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"), "{err}");
+}
+
+#[test]
+fn isolation_reported_as_error() {
+    // Q2 with both neighbors of node 0 dead cannot be tolerated
+    let out = cli()
+        .args(["partition", "--n", "2", "--faults", "1,2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot tolerate"), "{err}");
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests: for arbitrary fault placements and
+//! arbitrary data, the fault-tolerant sort is a permutation-preserving
+//! sorting function, and the core invariants of the partition machinery
+//! hold.
+
+use ftsort::bitonic::Protocol;
+use ftsort::ftsort::{fault_tolerant_sort, FtPlan};
+use ftsort::partition::partition;
+use ftsort::select::select_cutting_sequence;
+use hypercube::cost::CostModel;
+use hypercube::fault::FaultSet;
+use hypercube::topology::Hypercube;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: a cube dimension, a set of distinct fault addresses with
+/// `r ≤ n − 1`, and a data vector.
+fn cube_faults_data() -> impl Strategy<Value = (usize, Vec<u32>, Vec<i64>)> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            let nn = 1u32 << n;
+            (
+                Just(n),
+                proptest::sample::subsequence((0..nn).collect::<Vec<u32>>(), 0..n),
+                vec(any::<i64>(), 0..400),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ft_sort_sorts_any_input((n, faults, data) in cube_faults_data()) {
+        let fs = FaultSet::from_raw(Hypercube::new(n), &faults);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let out = fault_tolerant_sort(
+            &fs,
+            CostModel::default(),
+            data,
+            Protocol::HalfExchange,
+        ).expect("r ≤ n−1 is always tolerable");
+        prop_assert_eq!(out.sorted, expect);
+    }
+
+    #[test]
+    fn partition_invariants((n, faults, _data) in cube_faults_data()) {
+        let fs = FaultSet::from_raw(Hypercube::new(n), &faults);
+        let result = partition(&fs).expect("distinct faults are separable");
+        // every sequence separates the faults, is ascending, has mincut len
+        for d in &result.cutting_set {
+            prop_assert_eq!(d.len(), result.mincut);
+            prop_assert!(d.windows(2).all(|w| w[0] < w[1]));
+            let mut groups = std::collections::HashMap::new();
+            for f in fs.iter() {
+                let key = d.iter().fold(0u32, |acc, &dim| {
+                    (acc << 1) | f.bit(dim)
+                });
+                *groups.entry(key).or_insert(0usize) += 1;
+            }
+            prop_assert!(groups.values().all(|&c| c <= 1));
+        }
+        // paper bound: r ≤ n−1 ⟹ mincut ≤ n−2 (for r ≥ 2)
+        if fs.count() >= 2 {
+            prop_assert!(result.mincut <= n.saturating_sub(2).max(1));
+        }
+    }
+
+    #[test]
+    fn plan_structure_invariants((n, faults, _data) in cube_faults_data()) {
+        let fs = FaultSet::from_raw(Hypercube::new(n), &faults);
+        let plan = FtPlan::new(&fs).expect("tolerable");
+        let st = plan.structure();
+        // every fault is dead, every dead sits at reindexed local 0
+        for v in 0..(1u32 << st.m()) {
+            let members = st.members(v);
+            prop_assert_eq!(members.len(), 1 << st.s());
+            if let Some(dead) = st.dead_physical(v) {
+                prop_assert_eq!(members[0], dead);
+            }
+            // members are a bijection onto the subcube
+            let mut seen = std::collections::HashSet::new();
+            for &p in &members {
+                prop_assert!(st.subcube(v).subcube.contains(p));
+                prop_assert!(seen.insert(p));
+            }
+        }
+        for f in fs.iter() {
+            let (v, w) = st.locate(f);
+            prop_assert_eq!(w, 0, "fault must reindex to local 0");
+            prop_assert_eq!(st.dead_physical(v), Some(f));
+        }
+        // live processors = N − (subcubes with a dead node), all normal
+        let live = st.live_in_order();
+        prop_assert!(live.iter().all(|&p| fs.is_normal(p)));
+        if fs.count() >= 2 {
+            prop_assert_eq!(live.len(), (1 << n) - (1 << st.m()));
+        }
+    }
+
+    #[test]
+    fn selection_cost_is_min_over_psi((n, faults, _data) in cube_faults_data()) {
+        prop_assume!(faults.len() >= 2);
+        let fs = FaultSet::from_raw(Hypercube::new(n), &faults);
+        let psi = partition(&fs).unwrap().cutting_set;
+        let sel = select_cutting_sequence(&fs, &psi);
+        for d in &psi {
+            let (_, cost) = ftsort::select::extra_comm_cost(&fs, d);
+            prop_assert!(sel.cost <= cost);
+        }
+    }
+}

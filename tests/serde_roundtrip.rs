@@ -1,0 +1,67 @@
+//! Serde round-trips for the serializable public types (report binaries
+//! persist these; a round-trip must be lossless).
+
+use ftsort::bitonic::Protocol;
+use ftsort::ftsort::{PhaseBreakdown, Step8Strategy};
+use ftsort::seq::{Direction, LocalSort};
+use hypercube::address::NodeId;
+use hypercube::cost::CostModel;
+use hypercube::fault::{FaultModel, FaultSet, Link};
+use hypercube::sim::RouterKind;
+use hypercube::stats::RunStats;
+use hypercube::subcube::Subcube;
+use hypercube::topology::Hypercube;
+
+fn roundtrip<T>(value: &T)
+where
+    T: serde::Serialize + serde::de::DeserializeOwned + PartialEq + std::fmt::Debug,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn substrate_types_roundtrip() {
+    roundtrip(&NodeId::new(42));
+    roundtrip(&Hypercube::new(6));
+    roundtrip(&Subcube::new(5, 0b01011, 0b01001));
+    roundtrip(&Link::new(NodeId::new(5), 1));
+    roundtrip(&FaultModel::Total);
+    roundtrip(&RouterKind::Adaptive);
+    roundtrip(&CostModel::default());
+    let mut stats = RunStats::new();
+    stats.record_message(10, 3);
+    stats.record_comparisons(7);
+    roundtrip(&stats);
+    let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24])
+        .with_model(FaultModel::Total)
+        .with_faulty_links([Link::new(NodeId::new(0), 2)]);
+    roundtrip(&faults);
+}
+
+#[test]
+fn algorithm_config_types_roundtrip() {
+    roundtrip(&Protocol::HalfExchange);
+    roundtrip(&Protocol::FullExchange);
+    roundtrip(&Step8Strategy::FullSort);
+    roundtrip(&LocalSort::Quicksort);
+    roundtrip(&Direction::Descending);
+    roundtrip(&PhaseBreakdown {
+        host_scatter_us: 1.0,
+        step3_us: 2.0,
+        step7_us: 3.0,
+        step8_us: 4.0,
+        host_gather_us: 5.0,
+    });
+}
+
+#[test]
+fn fault_set_roundtrip_preserves_membership() {
+    let faults = FaultSet::from_raw(Hypercube::new(4), &[1, 6, 12]);
+    let json = serde_json::to_string(&faults).unwrap();
+    let back: FaultSet = serde_json::from_str(&json).unwrap();
+    for p in Hypercube::new(4).nodes() {
+        assert_eq!(faults.is_faulty(p), back.is_faulty(p));
+    }
+}
