@@ -95,5 +95,10 @@ fn bench_routers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fault_models, bench_step8_strategies, bench_routers);
+criterion_group!(
+    benches,
+    bench_fault_models,
+    bench_step8_strategies,
+    bench_routers
+);
 criterion_main!(benches);

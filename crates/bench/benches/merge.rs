@@ -1,0 +1,108 @@
+//! Criterion bench for the compare-split merge kernels: the owning forms
+//! (`merge_runs`, `merge_keep_low`) versus the buffer-reuse `_into` forms
+//! that power the zero-allocation hot path. Both forms perform identical
+//! comparison sequences; the difference measured here is pure allocator
+//! traffic.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ftsort::seq::{
+    merge_keep_high_into, merge_keep_low, merge_keep_low_into, merge_runs, merge_runs_into,
+};
+use std::hint::black_box;
+
+/// Two sorted runs of `k` keys each, deterministic but interleaved.
+fn runs(k: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = ft_bench::rng(0x6d65_7267);
+    let mut a = ft_bench::random_keys(k, &mut rng);
+    let mut b = ft_bench::random_keys(k, &mut rng);
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+fn bench_merge_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_runs");
+    for k in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(2 * k as u64));
+        let (a, b) = runs(k);
+        group.bench_function(format!("owning_k{k}"), |b_| {
+            b_.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| black_box(merge_runs(a, b)),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("into_k{k}"), |b_| {
+            // buffer reuse: `out` persists across iterations, and the drained
+            // inputs keep their capacity, so refilling them is a memcpy
+            let mut out = Vec::with_capacity(2 * k);
+            let mut ka = Vec::with_capacity(k);
+            let mut kb = Vec::with_capacity(k);
+            b_.iter(|| {
+                ka.clear();
+                ka.extend_from_slice(&a);
+                kb.clear();
+                kb.extend_from_slice(&b);
+                black_box(merge_runs_into(&mut ka, &mut kb, &mut out))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_keep_low(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_keep_low");
+    for k in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(2 * k as u64));
+        let (a, b) = runs(k);
+        group.bench_function(format!("owning_k{k}"), |b_| {
+            b_.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| black_box(merge_keep_low(a, b, k)),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("into_k{k}"), |b_| {
+            let mut out = Vec::with_capacity(k);
+            let mut ka = Vec::with_capacity(k);
+            let mut kb = Vec::with_capacity(k);
+            b_.iter(|| {
+                ka.clear();
+                ka.extend_from_slice(&a);
+                kb.clear();
+                kb.extend_from_slice(&b);
+                black_box(merge_keep_low_into(&mut ka, &mut kb, k, &mut out))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge_keep_high_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_keep_high");
+    for k in [1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(2 * k as u64));
+        let (a, b) = runs(k);
+        group.bench_function(format!("into_k{k}"), |b_| {
+            let mut out = Vec::with_capacity(k);
+            let mut ka = Vec::with_capacity(k);
+            let mut kb = Vec::with_capacity(k);
+            b_.iter(|| {
+                ka.clear();
+                ka.extend_from_slice(&a);
+                kb.clear();
+                kb.extend_from_slice(&b);
+                black_box(merge_keep_high_into(&mut ka, &mut kb, k, &mut out))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_runs,
+    bench_merge_keep_low,
+    bench_merge_keep_high_into
+);
+criterion_main!(benches);

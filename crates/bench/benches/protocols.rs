@@ -23,8 +23,7 @@ fn bench_protocols(c: &mut Criterion) {
                 || random_keys(M, &mut rng),
                 |data| {
                     black_box(
-                        fault_tolerant_sort(&faults, CostModel::default(), data, protocol)
-                            .unwrap(),
+                        fault_tolerant_sort(&faults, CostModel::default(), data, protocol).unwrap(),
                     )
                 },
                 BatchSize::LargeInput,

@@ -106,5 +106,11 @@ fn bench_mffs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_heapsort, bench_fault_free, bench_ft_sort, bench_mffs);
+criterion_group!(
+    benches,
+    bench_heapsort,
+    bench_fault_free,
+    bench_ft_sort,
+    bench_mffs
+);
 criterion_main!(benches);

@@ -3,17 +3,19 @@
 //! the cost-structure view behind the paper's §3 analysis.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin breakdown [-- --n 6 --m 100000 --seed 1992 --host-io]
+//! cargo run -p ft-bench --release --bin breakdown [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq]
 //! ```
 
-use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
 use ftsort::ftsort::{fault_tolerant_sort_profiled, FtConfig, FtPlan};
+use hypercube::sim::EngineKind;
 
 fn main() {
     let mut n = 6usize;
     let mut m_total = 100_000usize;
     let mut seed = DEFAULT_SEED;
     let mut host_io = false;
+    let mut engine = EngineKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -21,6 +23,7 @@ fn main() {
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--host-io" => host_io = true,
+            "--engine" => engine = parse_engine(args.next()),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -44,6 +47,7 @@ fn main() {
         let data = random_keys(m_total, &mut rng);
         let config = FtConfig {
             include_host_io: host_io,
+            engine,
             ..FtConfig::default()
         };
         let (out, phases) = fault_tolerant_sort_profiled(&plan, &config, data);

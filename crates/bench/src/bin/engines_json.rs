@@ -1,0 +1,153 @@
+//! Engine shoot-out: wall-clock time of the **threaded** MIMD engine versus
+//! the **sequential** event-driven engine running the identical full
+//! fault-tolerant sort, emitted as machine-readable `BENCH_engines.json`.
+//!
+//! Both engines produce byte-identical simulated results (sorted output,
+//! virtual time, operation counts — asserted here per run); the only thing
+//! that differs is how long the host takes to compute them. The sequential
+//! engine wins because it replaces `2^n` OS threads + channel handoffs with
+//! one lowest-virtual-clock scheduler loop and zero-allocation buffer reuse.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin engines_json \
+//!     [-- --sizes 6,8,10 --m 16000 --trials 3 --seed 1992 --out BENCH_engines.json]
+//! ```
+
+use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ftsort::bitonic::Protocol;
+use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use hypercube::sim::EngineKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    n: usize,
+    r: usize,
+    m_total: usize,
+    virtual_us: f64,
+    threaded_s: f64,
+    seq_s: f64,
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![6, 8, 10];
+    let mut m_total = 16_000usize;
+    let mut trials = 3usize;
+    let mut seed = DEFAULT_SEED;
+    let mut out = String::from("BENCH_engines.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sizes" => {
+                sizes = args
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter_map(|v| v.parse().ok())
+                    .collect();
+                if sizes.is_empty() {
+                    eprintln!("--sizes needs a comma list, e.g. 6,8,10");
+                    std::process::exit(2);
+                }
+            }
+            "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
+            "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(trials),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut rng = ft_bench::rng(seed);
+
+    println!(
+        "Engine wall-clock comparison, full FT sort, M = {m_total}, r = n − 1, \
+         best of {trials} runs; seed = {seed}\n"
+    );
+    println!(
+        "{:>3} {:>3} {:>10} {:>12} {:>12} {:>9}",
+        "n", "r", "virtual ms", "threaded s", "seq s", "speedup"
+    );
+    println!("{}", "-".repeat(54));
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let r = n - 1;
+        let faults = random_faults(n, r, &mut rng);
+        let plan = FtPlan::new(&faults).expect("r = n − 1 is tolerable");
+        let data = random_keys(m_total, &mut rng);
+        let time = |kind: EngineKind| {
+            let config = FtConfig {
+                protocol: Protocol::HalfExchange,
+                engine: kind,
+                ..FtConfig::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut outcome = None;
+            for _ in 0..trials {
+                let start = Instant::now();
+                let run = fault_tolerant_sort_configured(&plan, &config, data.clone());
+                best = best.min(start.elapsed().as_secs_f64());
+                outcome = Some(run);
+            }
+            (best, outcome.expect("trials ≥ 1"))
+        };
+        let (threaded_s, threaded) = time(EngineKind::Threaded);
+        let (seq_s, seq) = time(EngineKind::Seq);
+        // the engines must be indistinguishable in simulated results
+        assert_eq!(threaded.sorted, seq.sorted, "n={n}: sorted output differs");
+        assert_eq!(threaded.time_us, seq.time_us, "n={n}: virtual time differs");
+        assert_eq!(threaded.stats, seq.stats, "n={n}: operation counts differ");
+        println!(
+            "{:>3} {:>3} {:>10.1} {:>12.3} {:>12.3} {:>8.1}×",
+            n,
+            r,
+            seq.time_us / 1000.0,
+            threaded_s,
+            seq_s,
+            threaded_s / seq_s
+        );
+        rows.push(Row {
+            n,
+            r,
+            m_total,
+            virtual_us: seq.time_us,
+            threaded_s,
+            seq_s,
+        });
+    }
+
+    let json = render_json(seed, trials, &rows);
+    std::fs::write(&out, &json).expect("write BENCH_engines.json");
+    println!("\nwrote {out}");
+}
+
+/// Hand-rolled JSON so the report stays dependency-free.
+fn render_json(seed: u64, trials: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"engines\",");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"trials\": {trials},");
+    let _ = writeln!(s, "  \"identical_simulated_results\": true,");
+    s.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"virtual_us\": {:.3}, \
+             \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"speedup\": {:.2}}}",
+            row.n,
+            row.r,
+            row.m_total,
+            row.virtual_us,
+            row.threaded_s,
+            row.seq_s,
+            row.threaded_s / row.seq_s
+        );
+        s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

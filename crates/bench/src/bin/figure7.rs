@@ -11,13 +11,14 @@
 //! * no `--n` → all four panels
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin figure7 [-- --n 6 --seed 1992 --trials 3]
+//! cargo run -p ft-bench --release --bin figure7 [-- --n 6 --seed 1992 --trials 3 --engine seq]
 //! ```
 
-use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
-use ftsort::bitonic::{bitonic_sort, Protocol};
-use ftsort::ftsort::fault_tolerant_sort;
+use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
+use ftsort::bitonic::{bitonic_sort_with_engine, Protocol};
+use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
 use hypercube::cost::CostModel;
+use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 
 const M_SWEEP: [usize; 5] = [3_200, 10_000, 32_000, 100_000, 320_000];
@@ -28,6 +29,7 @@ fn main() {
     let mut trials = 3usize;
     let mut csv = false;
     let mut cost = CostModel::default();
+    let mut engine = EngineKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -35,11 +37,20 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(trials),
             "--csv" => csv = true,
+            "--engine" => engine = parse_engine(args.next()),
             // sensitivity knobs (see EXPERIMENTS.md §Sensitivity)
-            "--tsr" => cost.t_sr = args.next().and_then(|v| v.parse().ok()).unwrap_or(cost.t_sr),
+            "--tsr" => {
+                cost.t_sr = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cost.t_sr)
+            }
             "--tc" => cost.t_c = args.next().and_then(|v| v.parse().ok()).unwrap_or(cost.t_c),
             "--startup" => {
-                cost.t_startup = args.next().and_then(|v| v.parse().ok()).unwrap_or(cost.t_startup)
+                cost.t_startup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(cost.t_startup)
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -52,12 +63,19 @@ fn main() {
         None => vec![6, 5, 3, 4], // the paper's (a), (b), (c), (d) order
     };
     for n in panels {
-        figure7_panel(n, seed, trials, csv, cost);
+        figure7_panel(n, seed, trials, csv, cost, engine);
         println!();
     }
 }
 
-fn figure7_panel(n: usize, seed: u64, trials: usize, csv: bool, cost: CostModel) {
+fn figure7_panel(
+    n: usize,
+    seed: u64,
+    trials: usize,
+    csv: bool,
+    cost: CostModel,
+    engine: EngineKind,
+) {
     let label = match n {
         6 => "(a)",
         5 => "(b)",
@@ -108,13 +126,17 @@ fn figure7_panel(n: usize, seed: u64, trials: usize, csv: bool, cost: CostModel)
         for sets in fault_sets.iter() {
             let mut total = 0.0;
             for faults in sets {
-                let out = fault_tolerant_sort(
-                    faults,
-                    cost,
+                let plan = FtPlan::new(faults).expect("tolerable");
+                let out = fault_tolerant_sort_configured(
+                    &plan,
+                    &FtConfig {
+                        cost,
+                        protocol: Protocol::HalfExchange,
+                        engine,
+                        ..FtConfig::default()
+                    },
                     data.clone(),
-                    Protocol::HalfExchange,
-                )
-                .expect("tolerable");
+                );
                 total += out.time_us;
             }
             let ms = total / sets.len() as f64 / 1000.0;
@@ -125,11 +147,12 @@ fn figure7_panel(n: usize, seed: u64, trials: usize, csv: bool, cost: CostModel)
             }
         }
         for t in 1..n {
-            let out = bitonic_sort(
+            let out = bitonic_sort_with_engine(
                 Hypercube::new(n - t),
                 cost,
                 data.clone(),
                 Protocol::HalfExchange,
+                engine,
             );
             let ms = out.time_us / 1000.0;
             if csv {
@@ -144,9 +167,7 @@ fn figure7_panel(n: usize, seed: u64, trials: usize, csv: bool, cost: CostModel)
         return;
     }
     match n {
-        6 => println!(
-            "Paper claims: r=1,2 < fault-free Q5; r=3,4,5 < fault-free Q4 (but > Q5)."
-        ),
+        6 => println!("Paper claims: r=1,2 < fault-free Q5; r=3,4,5 < fault-free Q4 (but > Q5)."),
         5 => println!("Paper claims: r=1,2 < fault-free Q4; r=3,4 < fault-free Q3."),
         _ => {}
     }

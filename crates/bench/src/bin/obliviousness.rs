@@ -6,28 +6,31 @@
 //! and why the paper's fault-tolerance surgery is possible at all.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin obliviousness [-- --n 5 --m 64000 --seed 1992]
+//! cargo run -p ft-bench --release --bin obliviousness [-- --n 5 --m 64000 --seed 1992 --engine seq]
 //! ```
 
 use ft_bench::workload::Workload;
-use ft_bench::DEFAULT_SEED;
-use ftsort::baselines::hyperquicksort;
+use ft_bench::{parse_engine, DEFAULT_SEED};
+use ftsort::baselines::hyperquicksort_with_engine;
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::fault_tolerant_sort;
+use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
+use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 
 fn main() {
     let mut n = 5usize;
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
+    let mut engine = EngineKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--n" => n = args.next().and_then(|v| v.parse().ok()).unwrap_or(n),
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--engine" => engine = parse_engine(args.next()),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -53,15 +56,18 @@ fn main() {
         let data = w.generate(m_total, &mut rng);
         let mut expect = data.clone();
         expect.sort_unstable();
-        let ours = fault_tolerant_sort(
-            &faults,
-            CostModel::default(),
+        let plan = FtPlan::new(&faults).expect("tolerable");
+        let ours = fault_tolerant_sort_configured(
+            &plan,
+            &FtConfig {
+                protocol: Protocol::HalfExchange,
+                engine,
+                ..FtConfig::default()
+            },
             data.clone(),
-            Protocol::HalfExchange,
-        )
-        .expect("tolerable");
+        );
         assert_eq!(ours.sorted, expect);
-        let hq = hyperquicksort(cube, CostModel::default(), data);
+        let hq = hyperquicksort_with_engine(cube, CostModel::default(), data, engine);
         assert_eq!(hq.sorted, expect);
         println!(
             "{:<14} {:>14.1} {:>16.1}",

@@ -8,25 +8,28 @@
 //!    normal node is isolated (paper §2.2's closing remark).
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin scaling [-- --m 64000 --seed 1992]
+//! cargo run -p ft-bench --release --bin scaling [-- --m 64000 --seed 1992 --engine seq]
 //! ```
 
-use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::{fault_tolerant_sort, FtPlan};
-use ftsort::mffs::mffs_sort;
+use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::mffs::mffs_sort_with_engine;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
+use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 
 fn main() {
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
+    let mut engine = EngineKind::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--engine" => engine = parse_engine(args.next()),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -51,17 +54,21 @@ fn main() {
             let data = random_keys(m_total, &mut rng);
             let plan = FtPlan::new(&faults).expect("tolerable");
             live += plan.live_count();
-            ours_ms += fault_tolerant_sort(
+            let config = FtConfig {
+                protocol: Protocol::HalfExchange,
+                engine,
+                ..FtConfig::default()
+            };
+            ours_ms +=
+                fault_tolerant_sort_configured(&plan, &config, data.clone()).time_us / 1000.0;
+            mffs_ms += mffs_sort_with_engine(
                 &faults,
                 CostModel::default(),
-                data.clone(),
+                data,
                 Protocol::HalfExchange,
+                engine,
             )
-            .unwrap()
             .time_us
-                / 1000.0;
-            mffs_ms += mffs_sort(&faults, CostModel::default(), data, Protocol::HalfExchange)
-                .time_us
                 / 1000.0;
         }
         let t = trials as f64;
@@ -98,15 +105,14 @@ fn main() {
             }
         }
         match plan {
-            Some((faults, p)) => {
+            Some((_faults, p)) => {
                 let data = random_keys(m_total, &mut rng);
-                let out = fault_tolerant_sort(
-                    &faults,
-                    CostModel::default(),
-                    data,
-                    Protocol::HalfExchange,
-                )
-                .unwrap();
+                let config = FtConfig {
+                    protocol: Protocol::HalfExchange,
+                    engine,
+                    ..FtConfig::default()
+                };
+                let out = fault_tolerant_sort_configured(&p, &config, data);
                 println!(
                     "{:>2} {:>10} {:>4} {:>8} {:>9.1}% {:>12.1}",
                     r,

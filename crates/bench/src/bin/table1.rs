@@ -18,6 +18,13 @@ fn main() {
             "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(trials),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--exhaustive" => exhaustive = true,
+            // Accepted for interface uniformity with the other report bins;
+            // Table 1 only runs the partition algorithm, no simulation, so
+            // the engine choice cannot change anything.
+            "--engine" => {
+                let _ = ft_bench::parse_engine(args.next());
+                eprintln!("note: table1 runs no simulation; --engine has no effect");
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

@@ -24,6 +24,13 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--ablation-selection" => ablation = true,
             "--exhaustive" => exhaustive = true,
+            // Accepted for interface uniformity with the other report bins;
+            // Table 2 only runs the partition algorithm, no simulation, so
+            // the engine choice cannot change anything.
+            "--engine" => {
+                let _ = ft_bench::parse_engine(args.next());
+                eprintln!("note: table2 runs no simulation; --engine has no effect");
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

@@ -29,6 +29,23 @@ pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Parses a `--engine` value for the report binaries, exiting with a usage
+/// error on unknown spellings. Both engines produce identical simulated
+/// results; the flag only changes how fast the reports regenerate.
+pub fn parse_engine(value: Option<String>) -> hypercube::sim::EngineKind {
+    let Some(v) = value else {
+        eprintln!("--engine requires a value (threaded|seq)");
+        std::process::exit(2);
+    };
+    match hypercube::sim::EngineKind::parse(&v) {
+        Some(kind) => kind,
+        None => {
+            eprintln!("unknown engine '{v}' (threaded|seq)");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Calls `f` for every `r`-subset of the `2^n` processor addresses —
 /// exhaustive enumeration of fault placements, for exact versions of the
 /// paper's sampled tables. Returns the number of placements visited.
@@ -39,7 +56,10 @@ pub fn for_each_fault_set(n: usize, r: usize, mut f: impl FnMut(&FaultSet)) -> u
     let mut idx: Vec<u32> = (0..r as u32).collect();
     let mut count = 0u64;
     loop {
-        let faults = FaultSet::new(cube, idx.iter().map(|&i| hypercube::address::NodeId::new(i)));
+        let faults = FaultSet::new(
+            cube,
+            idx.iter().map(|&i| hypercube::address::NodeId::new(i)),
+        );
         f(&faults);
         count += 1;
         // next combination

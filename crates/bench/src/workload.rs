@@ -60,11 +60,7 @@ impl Workload {
             }
             Workload::FewDistinct => (0..m).map(|_| rng.random_range(0..4u32)).collect(),
             Workload::Gaussianish => (0..m)
-                .map(|_| {
-                    (0..4)
-                        .map(|_| rng.random_range(0..1u32 << 24))
-                        .sum::<u32>()
-                })
+                .map(|_| (0..4).map(|_| rng.random_range(0..1u32 << 24)).sum::<u32>())
                 .collect(),
             Workload::OrganPipe => {
                 let half = m / 2;

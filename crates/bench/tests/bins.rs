@@ -30,6 +30,7 @@ bin_runner!(figure7, "CARGO_BIN_EXE_figure7");
 bin_runner!(breakdown, "CARGO_BIN_EXE_breakdown");
 bin_runner!(obliviousness, "CARGO_BIN_EXE_obliviousness");
 bin_runner!(scaling, "CARGO_BIN_EXE_scaling");
+bin_runner!(engines_json, "CARGO_BIN_EXE_engines_json");
 
 #[test]
 fn table1_smoke() {
@@ -48,8 +49,7 @@ fn table2_smoke() {
 
 #[test]
 fn table2_ablation_smoke() {
-    let text = table2(&["--trials", "10", "--seed", "1", "--ablation-selection"],
-    );
+    let text = table2(&["--trials", "10", "--seed", "1", "--ablation-selection"]);
     assert!(text.contains("Ablation: heuristic selection"), "{text}");
 }
 
@@ -62,8 +62,7 @@ fn figure7_smoke() {
 
 #[test]
 fn figure7_csv_smoke() {
-    let text = figure7(&["--n", "3", "--trials", "1", "--seed", "1", "--csv"],
-    );
+    let text = figure7(&["--n", "3", "--trials", "1", "--seed", "1", "--csv"]);
     let mut lines = text.lines();
     assert_eq!(lines.next(), Some("M,ours_r0,ours_r1,ours_r2,q2,q1"));
     assert!(lines.next().unwrap().starts_with("3200,"));
@@ -88,4 +87,29 @@ fn scaling_smoke() {
     let text = scaling(&["--m", "2000", "--seed", "1"]);
     assert!(text.contains("Machine-size sweep"), "{text}");
     assert!(text.contains("past r = n"), "{text}");
+}
+
+#[test]
+fn breakdown_engine_flag_smoke() {
+    // both engines must produce identical simulated output text
+    let seq = breakdown(&["--n", "3", "--m", "500", "--seed", "1", "--engine", "seq"]);
+    let thr = breakdown(&[
+        "--n", "3", "--m", "500", "--seed", "1", "--engine", "threaded",
+    ]);
+    assert_eq!(seq, thr);
+}
+
+#[test]
+fn engines_json_smoke() {
+    let out = std::env::temp_dir().join("ft_bench_engines_smoke.json");
+    let out_str = out.to_str().unwrap();
+    let text = engines_json(&[
+        "--sizes", "3", "--m", "500", "--trials", "1", "--seed", "1", "--out", out_str,
+    ]);
+    assert!(text.contains("Engine wall-clock comparison"), "{text}");
+    let json = std::fs::read_to_string(&out).expect("json written");
+    let _ = std::fs::remove_file(&out);
+    assert!(json.contains("\"bench\": \"engines\""), "{json}");
+    assert!(json.contains("\"n\": 3"), "{json}");
+    assert!(json.contains("\"speedup\""), "{json}");
 }

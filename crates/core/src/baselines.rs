@@ -15,11 +15,11 @@
 
 use crate::bitonic::{compare_split_remote, KeepHalf, Protocol};
 use crate::distribute::{gather, scatter, Padded};
-use crate::seq::{heapsort, merge_runs, Direction};
+use crate::seq::{heapsort, merge_runs, Direction, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::embedding::RingEmbedding;
-use hypercube::sim::{Comm, Engine, Tag};
+use hypercube::sim::{Comm, Engine, EngineKind, Tag};
 use hypercube::topology::Hypercube;
 
 use crate::bitonic::sort::SortOutcome;
@@ -31,6 +31,21 @@ pub fn odd_even_ring_sort<K>(
     cost: CostModel,
     data: Vec<K>,
     protocol: Protocol,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
+    odd_even_ring_sort_with_engine(cube, cost, data, protocol, EngineKind::default())
+}
+
+/// [`odd_even_ring_sort`] with an explicit execution engine. Both engines
+/// return identical outcomes; the choice only affects wall-clock speed.
+pub fn odd_even_ring_sort_with_engine<K>(
+    cube: Hypercube,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+    kind: EngineKind,
 ) -> SortOutcome<K>
 where
     K: Ord + Clone + Send,
@@ -47,10 +62,11 @@ where
         inputs[ring.node_at(pos).index()] = Some(chunk);
     }
 
-    let engine = Engine::fault_free(cube, cost);
+    let engine = Engine::fault_free(cube, cost).with_engine(kind);
     let ring_ref = &ring;
-    let out = engine.run(inputs, move |ctx, mut run| {
+    let out = engine.run(inputs, async move |ctx, mut run| {
         let pos = ring_ref.position_of(ctx.me());
+        let mut scratch = Scratch::new();
         let comparisons = heapsort(&mut run, Direction::Ascending);
         ctx.charge_comparisons(comparisons as usize);
         // P phases; in phase t, pair starts at even (t even) or odd (t odd)
@@ -78,7 +94,9 @@ where
                 run,
                 keep,
                 protocol,
-            );
+                &mut scratch,
+            )
+            .await;
         }
         run
     });
@@ -105,13 +123,27 @@ pub fn hyperquicksort<K>(cube: Hypercube, cost: CostModel, data: Vec<K>) -> Sort
 where
     K: Ord + Clone + Send,
 {
+    hyperquicksort_with_engine(cube, cost, data, EngineKind::default())
+}
+
+/// [`hyperquicksort`] with an explicit execution engine. Both engines
+/// return identical outcomes; the choice only affects wall-clock speed.
+pub fn hyperquicksort_with_engine<K>(
+    cube: Hypercube,
+    cost: CostModel,
+    data: Vec<K>,
+    kind: EngineKind,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
     let p = cube.len();
     let m_total = data.len();
     let chunks = scatter(data, p);
     let inputs: Vec<Option<Vec<Padded<K>>>> = chunks.into_iter().map(Some).collect();
 
-    let engine = Engine::fault_free(cube, cost);
-    let out = engine.run(inputs, move |ctx, mut run| {
+    let engine = Engine::fault_free(cube, cost).with_engine(kind);
+    let out = engine.run(inputs, async move |ctx, mut run| {
         let me = ctx.me();
         let comparisons = heapsort(&mut run, Direction::Ascending);
         ctx.charge_comparisons(comparisons as usize);
@@ -128,7 +160,7 @@ where
             // broadcast the pivot within the subcube via dimension sweep
             // over dims d..0 (root sends down; empty payload = no pivot,
             // meaning the root's run was empty — use Dummy as +∞ pivot)
-            let pivot = broadcast_in_subcube(ctx, root_addr, d, pivot);
+            let pivot = broadcast_in_subcube(ctx, root_addr, d, pivot).await;
             // split the local run and exchange along dimension d
             let split_at = run.partition_point(|x| *x < pivot);
             ctx.charge_comparisons((run.len().max(1)).ilog2() as usize + 1);
@@ -143,7 +175,7 @@ where
                 (high, run)
             };
             ctx.send(partner, tag, sent);
-            let received = ctx.recv(partner, tag);
+            let received = ctx.recv(partner, tag).await;
             let (merged, c) = merge_runs(kept, received);
             ctx.charge_comparisons(c as usize);
             run = merged;
@@ -170,7 +202,7 @@ where
 /// Broadcast of one optional key from the subcube root over dimensions
 /// `d..=0`; a missing pivot (empty root run) is replaced by `Dummy` (`+∞`),
 /// which sends everything to the low side — a safe degenerate split.
-fn broadcast_in_subcube<K, C>(
+async fn broadcast_in_subcube<K, C>(
     ctx: &mut C,
     root: NodeId,
     d: usize,
@@ -197,7 +229,7 @@ where
                 ctx.send(me.neighbor(dim), tag, vec![v.clone()]);
             }
         } else if rel >> dim & 1 == 1 && lower_bits == 0 {
-            let got = ctx.recv(me.neighbor(dim), tag);
+            let got = ctx.recv(me.neighbor(dim), tag).await;
             have = got.into_iter().next();
         }
     }
@@ -248,11 +280,7 @@ mod tests {
 
     #[test]
     fn hyperquicksort_handles_duplicates_and_sorted_input() {
-        let out = hyperquicksort(
-            Hypercube::new(3),
-            CostModel::paper_form(),
-            vec![7u32; 300],
-        );
+        let out = hyperquicksort(Hypercube::new(3), CostModel::paper_form(), vec![7u32; 300]);
         assert!(out.sorted.iter().all(|&x| x == 7));
         assert_eq!(out.sorted.len(), 300);
         let out = hyperquicksort(

@@ -17,7 +17,7 @@
 //! this works for any fault location.
 
 use super::protocol::{compare_split_remote, KeepHalf, Protocol};
-use crate::seq::Direction;
+use crate::seq::{Direction, Scratch};
 use hypercube::address::NodeId;
 use hypercube::sim::{Comm, Tag};
 
@@ -37,11 +37,12 @@ use hypercube::sim::{Comm, Tag};
 ///
 /// Every participating live processor must call this with identical
 /// `members`, `dead_logical`, `dir`, `phase`, `protocol`, and equal-length
-/// sorted-ascending runs.
+/// sorted-ascending runs. `scratch` is the node's reusable buffer pool;
+/// after it warms up the compare-split substages stop allocating.
 ///
 /// Returns this processor's final run (sorted ascending, same length).
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub fn distributed_bitonic_sort<K, C>(
+pub async fn distributed_bitonic_sort<K, C>(
     ctx: &mut C,
     members: &[NodeId],
     my_logical: usize,
@@ -50,6 +51,7 @@ pub fn distributed_bitonic_sort<K, C>(
     run: Vec<K>,
     phase: u16,
     protocol: Protocol,
+    scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
     K: Ord + Clone + Send,
@@ -72,13 +74,16 @@ where
             if dead_logical == Some(partner_logical) {
                 continue; // paper §2.1: the fault's partner keeps its run
             }
-            let keep_low_asc =
-                (my_logical >> (i + 1)) & 1 == (my_logical >> j) & 1;
+            let keep_low_asc = (my_logical >> (i + 1)) & 1 == (my_logical >> j) & 1;
             let keep_low = match dir {
                 Direction::Ascending => keep_low_asc,
                 Direction::Descending => !keep_low_asc,
             };
-            let keep = if keep_low { KeepHalf::Low } else { KeepHalf::High };
+            let keep = if keep_low {
+                KeepHalf::Low
+            } else {
+                KeepHalf::High
+            };
             run = compare_split_remote(
                 ctx,
                 members[partner_logical],
@@ -86,7 +91,9 @@ where
                 run,
                 keep,
                 protocol,
-            );
+                scratch,
+            )
+            .await;
         }
     }
     run
@@ -114,7 +121,7 @@ pub fn substage_count(s: usize) -> usize {
 /// side (ascending) and the High-keeping side (descending), which is how
 /// the fault-tolerant sort's step 8 uses this merge.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub fn distributed_bitonic_merge<K, C>(
+pub async fn distributed_bitonic_merge<K, C>(
     ctx: &mut C,
     members: &[NodeId],
     my_logical: usize,
@@ -123,6 +130,7 @@ pub fn distributed_bitonic_merge<K, C>(
     run: Vec<K>,
     phase: u16,
     protocol: Protocol,
+    scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
     K: Ord + Clone + Send,
@@ -149,7 +157,11 @@ where
             Direction::Ascending => keep_low_asc,
             Direction::Descending => !keep_low_asc,
         };
-        let keep = if keep_low { KeepHalf::Low } else { KeepHalf::High };
+        let keep = if keep_low {
+            KeepHalf::Low
+        } else {
+            KeepHalf::High
+        };
         run = compare_split_remote(
             ctx,
             members[partner_logical],
@@ -157,7 +169,9 @@ where
             run,
             keep,
             protocol,
-        );
+            scratch,
+        )
+        .await;
     }
     run
 }
@@ -167,7 +181,7 @@ where
 /// *descending* (and vice versa), with every local run still stored
 /// ascending. Used by the fault-tolerant sort to flip a subcube's order
 /// when the schedule demands the direction its merge could not produce.
-pub fn reverse_windows<K, C>(
+pub async fn reverse_windows<K, C>(
     ctx: &mut C,
     members: &[NodeId],
     my_logical: usize,
@@ -194,6 +208,7 @@ where
         Tag::phase(phase, u16::MAX, 0),
         run,
     )
+    .await
 }
 
 #[cfg(test)]
@@ -224,8 +239,9 @@ mod tests {
             .map(|(i, c)| if dead == Some(i) { None } else { Some(c) })
             .collect();
         let members_ref = &members;
-        let out = engine.run(inputs, move |ctx, mut data| {
+        let out = engine.run(inputs, async move |ctx, mut data| {
             data.sort_unstable();
+            let mut scratch = Scratch::new();
             distributed_bitonic_sort(
                 ctx,
                 members_ref,
@@ -235,7 +251,9 @@ mod tests {
                 data,
                 1,
                 protocol,
+                &mut scratch,
             )
+            .await
         });
         let mut result: Vec<Vec<u32>> = vec![Vec::new(); p];
         for (node, run) in out.into_results() {
@@ -251,12 +269,7 @@ mod tests {
     #[test]
     fn sorts_ascending_across_processors() {
         for protocol in [Protocol::FullExchange, Protocol::HalfExchange] {
-            let chunks = vec![
-                vec![9, 3, 7],
-                vec![1, 8, 2],
-                vec![6, 6, 0],
-                vec![5, 4, 10],
-            ];
+            let chunks = vec![vec![9, 3, 7], vec![1, 8, 2], vec![6, 6, 0], vec![5, 4, 10]];
             let sorted = run_sort(2, chunks, None, Direction::Ascending, protocol);
             assert_eq!(
                 flatten(&sorted),
@@ -269,7 +282,13 @@ mod tests {
     #[test]
     fn sorts_descending_across_processors() {
         let chunks = vec![vec![9, 3], vec![1, 8], vec![6, 0], vec![5, 4]];
-        let sorted = run_sort(2, chunks, None, Direction::Descending, Protocol::HalfExchange);
+        let sorted = run_sort(
+            2,
+            chunks,
+            None,
+            Direction::Descending,
+            Protocol::HalfExchange,
+        );
         // windows descend across processors; runs stay ascending locally
         assert_eq!(flatten(&sorted), vec![8, 9, 5, 6, 3, 4, 0, 1]);
         for run in &sorted {
@@ -281,7 +300,7 @@ mod tests {
     fn single_dead_processor_at_zero_ascending() {
         for protocol in [Protocol::FullExchange, Protocol::HalfExchange] {
             let chunks = vec![
-                vec![],            // dead
+                vec![], // dead
                 vec![9, 3, 7],
                 vec![1, 8, 2],
                 vec![6, 0, 5],
@@ -299,7 +318,13 @@ mod tests {
     #[test]
     fn single_dead_processor_at_zero_descending() {
         let chunks = vec![vec![], vec![9, 3], vec![1, 8], vec![6, 0]];
-        let sorted = run_sort(2, chunks, Some(0), Direction::Descending, Protocol::HalfExchange);
+        let sorted = run_sort(
+            2,
+            chunks,
+            Some(0),
+            Direction::Descending,
+            Protocol::HalfExchange,
+        );
         assert_eq!(flatten(&sorted), vec![8, 9, 3, 6, 0, 1]);
     }
 
@@ -323,11 +348,7 @@ mod tests {
                     let mut expect = flatten(&chunks);
                     expect.sort_unstable();
                     let sorted = run_sort(s, chunks, dead, Direction::Ascending, protocol);
-                    assert_eq!(
-                        flatten(&sorted),
-                        expect,
-                        "s={s} dead={dead:?} {protocol:?}"
-                    );
+                    assert_eq!(flatten(&sorted), expect, "s={s} dead={dead:?} {protocol:?}");
                     for (i, run) in sorted.iter().enumerate() {
                         if dead != Some(i) {
                             assert_eq!(run.len(), k as usize, "run length preserved");
@@ -345,7 +366,13 @@ mod tests {
             let chunks: Vec<Vec<u32>> = (0..4).map(|i| vec![(pattern >> i) & 1]).collect();
             let mut expect = flatten(&chunks);
             expect.sort_unstable();
-            let sorted = run_sort(2, chunks, None, Direction::Ascending, Protocol::HalfExchange);
+            let sorted = run_sort(
+                2,
+                chunks,
+                None,
+                Direction::Ascending,
+                Protocol::HalfExchange,
+            );
             assert_eq!(flatten(&sorted), expect, "pattern {pattern:04b}");
         }
     }
@@ -366,7 +393,8 @@ mod tests {
             .map(|(i, c)| if dead == Some(i) { None } else { Some(c) })
             .collect();
         let members_ref = &members;
-        let out = engine.run(inputs, move |ctx, data| {
+        let out = engine.run(inputs, async move |ctx, data| {
+            let mut scratch = Scratch::new();
             distributed_bitonic_merge(
                 ctx,
                 members_ref,
@@ -376,7 +404,9 @@ mod tests {
                 data,
                 1,
                 Protocol::HalfExchange,
+                &mut scratch,
             )
+            .await
         });
         let mut result: Vec<Vec<u32>> = vec![Vec::new(); p];
         for (node, run) in out.into_results() {
@@ -388,12 +418,7 @@ mod tests {
     /// Builds window chunks whose concatenation is an
     /// ascending-then-descending (form A) or descending-then-ascending
     /// (form B) sequence, each window internally ascending.
-    fn bitonic_windows(
-        rng: &mut StdRng,
-        windows: usize,
-        k: usize,
-        cyclic: bool,
-    ) -> Vec<Vec<u32>> {
+    fn bitonic_windows(rng: &mut StdRng, windows: usize, k: usize, cyclic: bool) -> Vec<Vec<u32>> {
         let total = windows * k;
         let mut vals: Vec<u32> = (0..total).map(|_| rng.random_range(0..1000)).collect();
         vals.sort_unstable();
@@ -517,16 +542,21 @@ mod tests {
                 })
                 .collect();
             let members: Vec<NodeId> = (0..p).map(NodeId::from).collect();
-            let engine =
-                Engine::new(FaultSet::none(Hypercube::new(s)), CostModel::paper_form());
+            let engine = Engine::new(FaultSet::none(Hypercube::new(s)), CostModel::paper_form());
             let inputs: Vec<Option<Vec<u32>>> = chunks
                 .iter()
                 .enumerate()
-                .map(|(i, c)| if dead == Some(i) { None } else { Some(c.clone()) })
+                .map(|(i, c)| {
+                    if dead == Some(i) {
+                        None
+                    } else {
+                        Some(c.clone())
+                    }
+                })
                 .collect();
             let members_ref = &members;
-            let out = engine.run(inputs, move |ctx, data| {
-                reverse_windows(ctx, members_ref, ctx.me().index(), dead, data, 9)
+            let out = engine.run(inputs, async move |ctx, data| {
+                reverse_windows(ctx, members_ref, ctx.me().index(), dead, data, 9).await
             });
             let mut result: Vec<Vec<u32>> = vec![Vec::new(); p];
             for (node, run) in out.into_results() {
@@ -568,9 +598,10 @@ mod tests {
             .map(|phys| Some(vec![phys * 7 % 13, phys * 3 % 11]))
             .collect();
         let members_ref = &members;
-        let out = engine.run(inputs, move |ctx, mut data| {
+        let out = engine.run(inputs, async move |ctx, mut data| {
             data.sort_unstable();
             let my_logical = (ctx.me().raw() ^ mask) as usize;
+            let mut scratch = Scratch::new();
             distributed_bitonic_sort(
                 ctx,
                 members_ref,
@@ -580,7 +611,9 @@ mod tests {
                 data,
                 1,
                 Protocol::HalfExchange,
+                &mut scratch,
             )
+            .await
         });
         // gather in *logical* order
         let results = out.into_results();

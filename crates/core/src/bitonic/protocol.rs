@@ -12,7 +12,7 @@
 //! half a run in each direction and compare element-wise; the classic
 //! alternative ships whole runs and merges.
 
-use crate::seq::{merge_keep_high, merge_keep_low, merge_runs};
+use crate::seq::{merge_keep_high_into, merge_keep_low_into, merge_runs, merge_runs_into, Scratch};
 use hypercube::address::NodeId;
 use hypercube::sim::{Comm, Tag};
 
@@ -74,13 +74,20 @@ pub fn compare_split_local<K: Ord>(a: Vec<K>, b: Vec<K>) -> (Vec<K>, Vec<K>) {
 /// with the same `tag`, the same `protocol`, and the opposite `keep`.
 /// Returns this side's kept half, sorted ascending. Comparisons and element
 /// transfers are charged to the node's clock and counters.
-pub fn compare_split_remote<K, C>(
+///
+/// `scratch` is the node's buffer pool: all intermediate runs (merge
+/// outputs, loser halves, the `FullExchange` working copy) are taken from
+/// and returned to it, so a warm pool makes the call allocation-free. The
+/// returned run itself comes from the pool; hand it back (directly or via a
+/// later send whose reply is pooled) to keep the cycle closed.
+pub async fn compare_split_remote<K, C>(
     ctx: &mut C,
     partner: NodeId,
     tag: Tag,
     run: Vec<K>,
     keep: KeepHalf,
     protocol: Protocol,
+    scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
     K: Ord + Clone + Send,
@@ -89,17 +96,23 @@ where
     debug_assert!(crate::seq::is_sorted(&run), "run must be sorted ascending");
     match protocol {
         Protocol::FullExchange => {
-            let theirs = ctx.exchange(partner, round_tag(tag, 0), run.clone());
-            assert_eq!(theirs.len(), run.len(), "partner run length mismatch");
             let k = run.len();
-            let (kept, comparisons) = match keep {
-                KeepHalf::Low => merge_keep_low(run, theirs, k),
-                KeepHalf::High => merge_keep_high(run, theirs, k),
+            // working copy from the pool; the original ships to the partner
+            let mut mine = scratch.take(k);
+            mine.extend(run.iter().cloned());
+            let mut theirs = ctx.exchange(partner, round_tag(tag, 0), run).await;
+            assert_eq!(theirs.len(), k, "partner run length mismatch");
+            let mut kept = scratch.take(k);
+            let comparisons = match keep {
+                KeepHalf::Low => merge_keep_low_into(&mut mine, &mut theirs, k, &mut kept),
+                KeepHalf::High => merge_keep_high_into(&mut mine, &mut theirs, k, &mut kept),
             };
             ctx.charge_comparisons(comparisons as usize);
+            scratch.put(mine);
+            scratch.put(theirs);
             kept
         }
-        Protocol::HalfExchange => half_exchange(ctx, partner, tag, run, keep),
+        Protocol::HalfExchange => half_exchange(ctx, partner, tag, run, keep, scratch).await,
     }
 }
 
@@ -117,12 +130,13 @@ where
 /// out as **contiguous sorted slices** — no re-scan is needed, only merges.
 /// Returned keys are normalized (merged) before sending so each round is a
 /// single sorted message.
-fn half_exchange<K, C>(
+async fn half_exchange<K, C>(
     ctx: &mut C,
     partner: NodeId,
     tag: Tag,
     run: Vec<K>,
     keep: KeepHalf,
+    scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
     K: Ord + Clone + Send,
@@ -133,10 +147,11 @@ where
     match keep {
         KeepHalf::Low => {
             let mut mine = run;
-            let top = mine.split_off(h); // a[h..k] → partner
+            let mut top = scratch.take(k - h);
+            top.extend(mine.drain(h..)); // a[h..k] → partner
             ctx.send(partner, round_tag(tag, 0), top);
             // partner's top h keys: b[k-h..k] ascending; received[i] = b[k-h+i]
-            let received = ctx.recv(partner, round_tag(tag, 0));
+            let mut received = ctx.recv(partner, round_tag(tag, 0)).await;
             assert_eq!(received.len(), h, "protocol size mismatch");
             // pairs t in 0..h: (a_t, b_{k-1-t}) with b_{k-1-t} = received[h-1-t].
             // a wins (is the min) on a prefix t < c.
@@ -150,28 +165,38 @@ where
                 }
             }
             ctx.charge_comparisons(scanned);
-            let mut a_side = mine; // a[0..h]
-            let a_losers = a_side.split_off(c); // a[c..h] (maxes, ascending)
-            let mut b_side = received; // b[k-h..k]
-            let b_losers = b_side.split_off(h - c); // b[k-c..k] (maxes, ascending)
-            // kept mins: a[0..c] and b[k-h..k-c], both ascending
-            let (kept, c1) = merge_runs(a_side, b_side);
+            let mut a_losers = scratch.take(h - c);
+            a_losers.extend(mine.drain(c..)); // a[c..h] (maxes, ascending)
+            let mut b_losers = scratch.take(c);
+            b_losers.extend(received.drain(h - c..)); // b[k-c..k] (maxes, ascending)
+                                                      // kept mins: a[0..c] = mine and b[k-h..k-c] = received, both ascending
+            let mut kept = scratch.take(h);
+            let c1 = merge_runs_into(&mut mine, &mut received, &mut kept);
             // losers returned to the High side, normalized
-            let (losers, c2) = merge_runs(a_losers, b_losers);
+            let mut losers = scratch.take(k - h);
+            let c2 = merge_runs_into(&mut a_losers, &mut b_losers, &mut losers);
             ctx.charge_comparisons((c1 + c2) as usize);
+            scratch.put(mine);
+            scratch.put(received);
+            scratch.put(a_losers);
+            scratch.put(b_losers);
             ctx.send(partner, round_tag(tag, 1), losers);
-            let back = ctx.recv(partner, round_tag(tag, 1));
+            let mut back = ctx.recv(partner, round_tag(tag, 1)).await;
             assert_eq!(back.len(), k - h, "protocol size mismatch");
-            let (result, c3) = merge_runs(kept, back);
+            let mut result = scratch.take(k);
+            let c3 = merge_runs_into(&mut kept, &mut back, &mut result);
             ctx.charge_comparisons(c3 as usize);
+            scratch.put(kept);
+            scratch.put(back);
             result
         }
         KeepHalf::High => {
             let mut mine = run; // b, ascending
-            let top = mine.split_off(k - h); // b[k-h..k] → partner
+            let mut top = scratch.take(h);
+            top.extend(mine.drain(k - h..)); // b[k-h..k] → partner
             ctx.send(partner, round_tag(tag, 0), top);
             // partner's top k-h keys: a[h..k]; received[i] = a[h+i]
-            let received = ctx.recv(partner, round_tag(tag, 0));
+            let mut received = ctx.recv(partner, round_tag(tag, 0)).await;
             assert_eq!(received.len(), k - h, "protocol size mismatch");
             // pairs t in h..k: (a_t, b_{k-1-t}) with a_t = received[t-h] and
             // b_{k-1-t} = mine[k-1-t]. a wins (is the max) on a suffix t ≥ c2.
@@ -185,20 +210,30 @@ where
                 }
             }
             ctx.charge_comparisons(scanned);
-            let mut b_side = mine; // b[0..k-h]
-            let b_winners = b_side.split_off(k - c2); // b[k-c2..k-h] (maxes)
-            let mut a_side = received; // a[h..k]
-            let a_winners = a_side.split_off(c2 - h); // a[c2..k] (maxes)
-            // kept maxes: b[k-c2..k-h] and a[c2..k], both ascending
-            let (kept, cc1) = merge_runs(b_winners, a_winners);
-            // losers (mins) returned to the Low side: a[h..c2] and b[0..k-c2]
-            let (losers, cc2) = merge_runs(a_side, b_side);
+            let mut b_winners = scratch.take(c2 - h);
+            b_winners.extend(mine.drain(k - c2..)); // b[k-c2..k-h] (maxes)
+            let mut a_winners = scratch.take(k - c2);
+            a_winners.extend(received.drain(c2 - h..)); // a[c2..k] (maxes)
+                                                        // kept maxes: b[k-c2..k-h] and a[c2..k], both ascending
+            let mut kept = scratch.take(h);
+            let cc1 = merge_runs_into(&mut b_winners, &mut a_winners, &mut kept);
+            // losers (mins) returned to the Low side: a[h..c2] = received and
+            // b[0..k-c2] = mine
+            let mut losers = scratch.take(k - h);
+            let cc2 = merge_runs_into(&mut received, &mut mine, &mut losers);
             ctx.charge_comparisons((cc1 + cc2) as usize);
+            scratch.put(mine);
+            scratch.put(received);
+            scratch.put(b_winners);
+            scratch.put(a_winners);
             ctx.send(partner, round_tag(tag, 1), losers);
-            let back = ctx.recv(partner, round_tag(tag, 1));
+            let mut back = ctx.recv(partner, round_tag(tag, 1)).await;
             assert_eq!(back.len(), h, "protocol size mismatch");
-            let (result, cc3) = merge_runs(kept, back);
+            let mut result = scratch.take(k);
+            let cc3 = merge_runs_into(&mut kept, &mut back, &mut result);
             ctx.charge_comparisons(cc3 as usize);
+            scratch.put(kept);
+            scratch.put(back);
             result
         }
     }
@@ -234,15 +269,15 @@ mod tests {
     fn check_remote(a: Vec<u32>, b: Vec<u32>) {
         let (want_lo, want_hi) = compare_split_local(a.clone(), b.clone());
         for protocol in [Protocol::FullExchange, Protocol::HalfExchange] {
-            let engine =
-                Engine::new(FaultSet::none(Hypercube::new(1)), CostModel::paper_form());
+            let engine = Engine::new(FaultSet::none(Hypercube::new(1)), CostModel::paper_form());
             let inputs = vec![Some(a.clone()), Some(b.clone())];
-            let out = engine.run(inputs, move |ctx, data| {
+            let out = engine.run(inputs, async move |ctx, data| {
                 let keep = if ctx.me().raw() == 0 {
                     KeepHalf::Low
                 } else {
                     KeepHalf::High
                 };
+                let mut scratch = Scratch::new();
                 compare_split_remote(
                     ctx,
                     ctx.me().neighbor(0),
@@ -250,7 +285,9 @@ mod tests {
                     data,
                     keep,
                     protocol,
+                    &mut scratch,
                 )
+                .await
             });
             let results = out.into_results();
             assert_eq!(results[0].1, want_lo, "{protocol:?} low side");
@@ -286,16 +323,16 @@ mod tests {
     #[test]
     fn half_exchange_sends_fewer_initial_elements_but_more_messages() {
         let run_with = |protocol: Protocol| {
-            let engine =
-                Engine::new(FaultSet::none(Hypercube::new(1)), CostModel::paper_form());
+            let engine = Engine::new(FaultSet::none(Hypercube::new(1)), CostModel::paper_form());
             let a: Vec<u32> = (0..100).map(|i| i * 2).collect();
             let b: Vec<u32> = (0..100).map(|i| i * 2 + 1).collect();
-            let out = engine.run(vec![Some(a), Some(b)], move |ctx, data| {
+            let out = engine.run(vec![Some(a), Some(b)], async move |ctx, data| {
                 let keep = if ctx.me().raw() == 0 {
                     KeepHalf::Low
                 } else {
                     KeepHalf::High
                 };
+                let mut scratch = Scratch::new();
                 compare_split_remote(
                     ctx,
                     ctx.me().neighbor(0),
@@ -303,7 +340,9 @@ mod tests {
                     data,
                     keep,
                     protocol,
+                    &mut scratch,
                 )
+                .await
             });
             out.total_stats()
         };

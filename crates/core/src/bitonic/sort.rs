@@ -10,11 +10,11 @@
 use super::distributed::distributed_bitonic_sort;
 use super::protocol::Protocol;
 use crate::distribute::{chunk_len, gather, scatter, Padded};
-use crate::seq::{heapsort, Direction};
+use crate::seq::{heapsort, Direction, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
-use hypercube::sim::{Comm, Engine};
+use hypercube::sim::{Comm, Engine, EngineKind};
 use hypercube::stats::RunStats;
 use hypercube::topology::Hypercube;
 
@@ -59,7 +59,22 @@ pub fn bitonic_sort<K>(
 where
     K: Ord + Clone + Send,
 {
-    let engine = Engine::fault_free(cube, cost);
+    bitonic_sort_with_engine(cube, cost, data, protocol, EngineKind::default())
+}
+
+/// [`bitonic_sort`] with an explicit execution engine. Both engines return
+/// identical outcomes; the choice only affects wall-clock speed.
+pub fn bitonic_sort_with_engine<K>(
+    cube: Hypercube,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+    kind: EngineKind,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
+    let engine = Engine::fault_free(cube, cost).with_engine(kind);
     let members: Vec<NodeId> = cube.nodes().collect();
     sort_on_members(&engine, &members, None, data, protocol)
 }
@@ -124,11 +139,12 @@ where
         inputs[members[logical].index()] = Some(chunk);
     }
 
-    let out = engine.run(inputs, |ctx, mut chunk| {
+    let out = engine.run(inputs, async |ctx, mut chunk| {
         let my_logical = members
             .iter()
             .position(|&p| p == ctx.me())
             .expect("node not in member map");
+        let mut scratch = Scratch::new();
         let comparisons = heapsort(&mut chunk, Direction::Ascending);
         ctx.charge_comparisons(comparisons as usize);
         let run = distributed_bitonic_sort(
@@ -140,7 +156,9 @@ where
             chunk,
             PHASE_MAIN,
             protocol,
-        );
+            &mut scratch,
+        )
+        .await;
         assert_eq!(run.len(), k, "bitonic sort must preserve run length");
         run
     });

@@ -102,7 +102,11 @@ pub fn predicted_time_implementation(cost: &CostModel, inputs: &CostInputs) -> f
     let t_sr = cost.t_sr;
     let t_c = cost.t_c;
 
-    let heapsort = if k > 1.0 { 2.0 * k * k.log2() * t_c } else { t_c };
+    let heapsort = if k > 1.0 {
+        2.0 * k * k.log2() * t_c
+    } else {
+        t_c
+    };
     let neighbor_substage = 2.0 * k * t_sr + 2.5 * k * t_c;
     let step3 = (s * (s + 1)) as f64 / 2.0 * neighbor_substage;
     let step7 = k * (2.0 + s as f64) * t_sr + 2.5 * k * t_c;
@@ -159,9 +163,30 @@ mod tests {
     #[test]
     fn time_grows_with_m_total() {
         let c = paper_cost();
-        let t1 = predicted_time(&c, &CostInputs { n: 6, m: 3, m_total: 3_200 });
-        let t2 = predicted_time(&c, &CostInputs { n: 6, m: 3, m_total: 32_000 });
-        let t3 = predicted_time(&c, &CostInputs { n: 6, m: 3, m_total: 320_000 });
+        let t1 = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 3,
+                m_total: 3_200,
+            },
+        );
+        let t2 = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 3,
+                m_total: 32_000,
+            },
+        );
+        let t3 = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 3,
+                m_total: 320_000,
+            },
+        );
         assert!(t1 < t2 && t2 < t3);
         // superlinear growth in M is bounded by the k log k regime: ratio
         // t3/t2 should be a bit above 10 but below 20
@@ -174,8 +199,22 @@ mod tests {
         // same n and M: a finer partition (larger m) has fewer live
         // processors and more inter-subcube stages
         let c = paper_cost();
-        let t_m1 = predicted_time(&c, &CostInputs { n: 6, m: 1, m_total: 64_000 });
-        let t_m3 = predicted_time(&c, &CostInputs { n: 6, m: 3, m_total: 64_000 });
+        let t_m1 = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 1,
+                m_total: 64_000,
+            },
+        );
+        let t_m3 = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 3,
+                m_total: 64_000,
+            },
+        );
         assert!(t_m1 < t_m3);
     }
 
@@ -192,8 +231,22 @@ mod tests {
         // documented.
         let c = paper_cost();
         let m_total = 320_000;
-        let ours = predicted_time(&c, &CostInputs { n: 6, m: 1, m_total });
-        let fallback = predicted_time(&c, &CostInputs { n: 5, m: 0, m_total });
+        let ours = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 1,
+                m_total,
+            },
+        );
+        let fallback = predicted_time(
+            &c,
+            &CostInputs {
+                n: 5,
+                m: 0,
+                m_total,
+            },
+        );
         assert!(
             ours > fallback,
             "formula prediction flipped: ours {ours} vs Q5 fallback {fallback}"
@@ -207,8 +260,22 @@ mod tests {
         // Figure 7: staying on the big cube wins.
         let c = paper_cost();
         let m_total = 320_000;
-        let ours = predicted_time(&c, &CostInputs { n: 6, m: 0, m_total });
-        let fallback = predicted_time(&c, &CostInputs { n: 5, m: 0, m_total });
+        let ours = predicted_time(
+            &c,
+            &CostInputs {
+                n: 6,
+                m: 0,
+                m_total,
+            },
+        );
+        let fallback = predicted_time(
+            &c,
+            &CostInputs {
+                n: 5,
+                m: 0,
+                m_total,
+            },
+        );
         assert!(ours < fallback, "ours {ours} vs fallback {fallback}");
     }
 
@@ -235,10 +302,7 @@ mod tests {
                 let sim = fault_tolerant_sort(&fs, cost, data, Protocol::HalfExchange)
                     .unwrap()
                     .time_us;
-                let pred = predicted_time_implementation(
-                    &cost,
-                    &CostInputs { n, m, m_total },
-                );
+                let pred = predicted_time_implementation(&cost, &CostInputs { n, m, m_total });
                 // the model is deliberately a (slight) over-estimate: the
                 // worst-case hop count s+1 and the full scan bound rarely
                 // bind, so predictions land consistently ~1.2–1.4× above
@@ -258,7 +322,11 @@ mod tests {
         // share of the total must grow monotonically with M.
         let c = paper_cost();
         let share = |m_total: usize| {
-            let inputs = CostInputs { n: 4, m: 1, m_total };
+            let inputs = CostInputs {
+                n: 4,
+                m: 1,
+                m_total,
+            };
             dominant_term(&c, &inputs) / predicted_time(&c, &inputs)
         };
         let s1 = share(10_000);

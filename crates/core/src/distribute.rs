@@ -86,11 +86,21 @@ mod tests {
         assert!(Padded::Real(u32::MAX) < Padded::Dummy);
         assert!(Padded::Real(0u32) < Padded::Real(1u32));
         assert_eq!(Padded::<u32>::Dummy, Padded::Dummy);
-        let mut v = vec![Padded::Dummy, Padded::Real(5), Padded::Dummy, Padded::Real(1)];
+        let mut v = vec![
+            Padded::Dummy,
+            Padded::Real(5),
+            Padded::Dummy,
+            Padded::Real(1),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Padded::Real(1), Padded::Real(5), Padded::Dummy, Padded::Dummy]
+            vec![
+                Padded::Real(1),
+                Padded::Real(5),
+                Padded::Dummy,
+                Padded::Dummy
+            ]
         );
     }
 

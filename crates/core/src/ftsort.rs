@@ -33,18 +33,18 @@
 //! dead processors sit at `w = 0` on both sides, so their (empty) pair is
 //! skipped without affecting the split.
 
-use crate::bitonic::{
-    compare_split_remote, distributed_bitonic_merge, distributed_bitonic_sort,
-    reverse_windows, KeepHalf, Protocol,
-};
 use crate::bitonic::sort::SortOutcome;
+use crate::bitonic::{
+    compare_split_remote, distributed_bitonic_merge, distributed_bitonic_sort, reverse_windows,
+    KeepHalf, Protocol,
+};
 use crate::distribute::{chunk_len, gather, scatter, Padded};
 use crate::partition::{partition, PartitionResult, SingleFaultStructure};
 use crate::select::{build_structure, select_cutting_sequence, Selection};
-use crate::seq::Direction;
+use crate::seq::{Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
-use hypercube::sim::{Comm, Engine, Tag};
+use hypercube::sim::{Comm, Engine, EngineKind, Tag};
 
 /// Tag namespaces; step-8 re-sorts get a distinct namespace per `(i, j)`.
 const PHASE_STEP3: u16 = 2;
@@ -74,8 +74,7 @@ pub enum Step8Strategy {
 }
 
 /// Configuration of a fault-tolerant sort run.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct FtConfig {
     /// The machine cost model.
     pub cost: CostModel,
@@ -88,6 +87,10 @@ pub struct FtConfig {
     /// The routing algorithm charging message hops (oracle shortest paths
     /// vs distributed depth-first adaptive routing).
     pub router: hypercube::sim::engine::RouterKind,
+    /// Which execution engine simulates the run (the sequential event-driven
+    /// scheduler by default; the threaded MIMD engine as a cross-check).
+    /// Both produce identical sorted output, virtual times and statistics.
+    pub engine: EngineKind,
     /// When set, the host distribution (step 2) and final collection are
     /// simulated as real binomial-tree scatter/gather collectives rooted at
     /// the lowest-addressed live processor (the node the NCUBE host board
@@ -96,7 +99,6 @@ pub struct FtConfig {
     /// data appears on / is read off the processors for free.
     pub include_host_io: bool,
 }
-
 
 /// Why a fault-tolerant sort cannot be planned.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -319,19 +321,19 @@ where
     }
     let host_parts = &host_parts;
 
-    let engine = Engine::new(plan.faults().clone(), cost).with_router(config.router);
-    let out = engine.run(inputs, |ctx, mut chunk| {
+    let engine = Engine::new(plan.faults().clone(), cost)
+        .with_router(config.router)
+        .with_engine(config.engine);
+    let out = engine.run(inputs, async |ctx, mut chunk| {
         let mut phases = PhaseBreakdown::default();
+        // One buffer pool per node for the whole run: compare-splits cycle
+        // allocations through it instead of allocating per substage.
+        let mut scratch = Scratch::new();
         if let Some(parts) = host_parts {
             let pieces = (ctx.me() == parts.root())
                 .then(|| chunk.chunks(k).map(|c| c.to_vec()).collect::<Vec<_>>());
-            chunk = hypercube::collectives::scatter(
-                ctx,
-                parts,
-                Tag::phase(500, 0, 0),
-                pieces,
-                k,
-            );
+            chunk =
+                hypercube::collectives::scatter(ctx, parts, Tag::phase(500, 0, 0), pieces, k).await;
             phases.host_scatter_us = ctx.clock();
         }
         let (v, w) = st.locate(ctx.me());
@@ -353,7 +355,9 @@ where
             chunk,
             PHASE_STEP3,
             protocol,
-        );
+            &mut scratch,
+        )
+        .await;
         phases.step3_us = ctx.clock() - phases.host_scatter_us;
 
         // Steps 4–8: bitonic-like merge over subcubes.
@@ -397,7 +401,9 @@ where
                     run,
                     keep,
                     protocol,
-                );
+                    &mut scratch,
+                )
+                .await;
                 phases.step7_us += ctx.clock() - before_step7;
                 let before_step8 = ctx.clock();
                 // Step 8: re-establish subcube order; the schedule demands
@@ -405,9 +411,20 @@ where
                 dir = direction_for(v, j, mask);
                 let phase = PHASE_STEP8_BASE + (i * 16 + j) as u16;
                 run = match step8 {
-                    Step8Strategy::FullSort => distributed_bitonic_sort(
-                        ctx, &members, w as usize, dead, dir, run, phase, protocol,
-                    ),
+                    Step8Strategy::FullSort => {
+                        distributed_bitonic_sort(
+                            ctx,
+                            &members,
+                            w as usize,
+                            dead,
+                            dir,
+                            run,
+                            phase,
+                            protocol,
+                            &mut scratch,
+                        )
+                        .await
+                    }
                     Step8Strategy::BitonicMerge => {
                         // The compare-split left this side's windows in the
                         // bitonic form its kept half implies: Low keepers
@@ -417,9 +434,17 @@ where
                             KeepHalf::High => Direction::Descending,
                         };
                         let mut run = distributed_bitonic_merge(
-                            ctx, &members, w as usize, dead, compatible, run, phase,
+                            ctx,
+                            &members,
+                            w as usize,
+                            dead,
+                            compatible,
+                            run,
+                            phase,
                             protocol,
-                        );
+                            &mut scratch,
+                        )
+                        .await;
                         if dir != compatible {
                             run = reverse_windows(
                                 ctx,
@@ -428,7 +453,8 @@ where
                                 dead,
                                 run,
                                 PHASE_STEP8_BASE + 512 + (i * 16 + j) as u16,
-                            );
+                            )
+                            .await;
                         }
                         run
                     }
@@ -441,13 +467,8 @@ where
             None => (run, None, phases),
             Some(parts) => {
                 let before_gather = ctx.clock();
-                let collected = hypercube::collectives::gather(
-                    ctx,
-                    parts,
-                    Tag::phase(501, 0, 0),
-                    run,
-                    k,
-                );
+                let collected =
+                    hypercube::collectives::gather(ctx, parts, Tag::phase(501, 0, 0), run, k).await;
                 phases.host_gather_us = ctx.clock() - before_gather;
                 (Vec::new(), collected, phases)
             }
@@ -469,8 +490,7 @@ where
     // Gather in (v, w) order — the subcubes' address order of the paper.
     let sorted = match host_parts {
         None => {
-            let mut by_node: Vec<Option<Vec<Padded<K>>>> =
-                (0..cube.len()).map(|_| None).collect();
+            let mut by_node: Vec<Option<Vec<Padded<K>>>> = (0..cube.len()).map(|_| None).collect();
             for (node, (run, _, _)) in out.into_results() {
                 by_node[node.index()] = Some(run);
             }
@@ -568,8 +588,7 @@ mod tests {
     #[test]
     fn paper_example_configuration_sorts() {
         // Q5 with the paper's 4 faults {3, 5, 16, 24}; 47 keys as in Fig. 6.
-        let faults =
-            FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
         let mut rng = StdRng::seed_from_u64(1);
         let data = random_data(&mut rng, 47);
         let out = check_sorted(&faults, data, Protocol::HalfExchange);
@@ -743,7 +762,11 @@ mod tests {
         let sum = phases.step3_us + phases.step7_us + phases.step8_us;
         // per-phase maxima bound the turnaround from above (waiting charged
         // per phase) and each phase is below the total
-        assert!(sum >= out.time_us * 0.99, "sum {sum} vs total {}", out.time_us);
+        assert!(
+            sum >= out.time_us * 0.99,
+            "sum {sum} vs total {}",
+            out.time_us
+        );
         assert!(phases.step3_us < out.time_us);
         // with host I/O on, the I/O phases appear
         let data = random_data(&mut rng, 4_800);
@@ -769,7 +792,11 @@ mod tests {
         let mut expect = data.clone();
         expect.sort_unstable();
         let mut times = Vec::new();
-        for local_sort in [LocalSort::Heapsort, LocalSort::Quicksort, LocalSort::Mergesort] {
+        for local_sort in [
+            LocalSort::Heapsort,
+            LocalSort::Quicksort,
+            LocalSort::Mergesort,
+        ] {
             let out = fault_tolerant_sort_configured(
                 &plan,
                 &FtConfig {
@@ -790,9 +817,14 @@ mod tests {
         let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
         let mut rng = StdRng::seed_from_u64(8);
         let data = random_data(&mut rng, 480);
-        let t1 = fault_tolerant_sort(&faults, CostModel::default(), data.clone(), Protocol::HalfExchange)
-            .unwrap()
-            .time_us;
+        let t1 = fault_tolerant_sort(
+            &faults,
+            CostModel::default(),
+            data.clone(),
+            Protocol::HalfExchange,
+        )
+        .unwrap()
+        .time_us;
         let t2 = fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::HalfExchange)
             .unwrap()
             .time_us;

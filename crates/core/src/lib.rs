@@ -36,14 +36,18 @@ pub mod topk;
 
 /// The commonly-used names in one import.
 pub mod prelude {
-    pub use crate::baselines::{hyperquicksort, odd_even_ring_sort};
-    pub use crate::bitonic::{bitonic_sort, single_fault_bitonic_sort, Protocol, SortOutcome};
+    pub use crate::baselines::{
+        hyperquicksort, hyperquicksort_with_engine, odd_even_ring_sort,
+        odd_even_ring_sort_with_engine,
+    };
+    pub use crate::bitonic::{
+        bitonic_sort, bitonic_sort_with_engine, single_fault_bitonic_sort, Protocol, SortOutcome,
+    };
     pub use crate::ftsort::{
         fault_tolerant_sort, fault_tolerant_sort_configured, fault_tolerant_sort_profiled,
-        fault_tolerant_sort_with_plan, FtConfig, FtError, FtPlan, PhaseBreakdown,
-        Step8Strategy,
+        fault_tolerant_sort_with_plan, FtConfig, FtError, FtPlan, PhaseBreakdown, Step8Strategy,
     };
-    pub use crate::mffs::{max_fault_free_subcube, mffs_sort};
+    pub use crate::mffs::{max_fault_free_subcube, mffs_sort, mffs_sort_with_engine};
     pub use crate::partition::{partition, PartitionResult, SingleFaultStructure};
     pub use crate::select::{select_cutting_sequence, Selection};
     pub use crate::seq::{Direction, LocalSort};

@@ -6,14 +6,14 @@
 //! it idle ("dangling"). With one fault in `Q_6` this wastes almost half the
 //! machine — the underutilization the paper's partition scheme removes.
 
-use crate::bitonic::{distributed_bitonic_sort, Protocol};
 use crate::bitonic::sort::SortOutcome;
+use crate::bitonic::{distributed_bitonic_sort, Protocol};
 use crate::distribute::{gather, scatter, Padded};
-use crate::seq::{heapsort, Direction};
+use crate::seq::{heapsort, Direction, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
-use hypercube::sim::{Comm, Engine};
+use hypercube::sim::{Comm, Engine, EngineKind};
 use hypercube::subcube::Subcube;
 
 /// Finds a maximum-dimension fault-free subcube, scanning dimensions from
@@ -55,6 +55,21 @@ pub fn mffs_sort<K>(
 where
     K: Ord + Clone + Send,
 {
+    mffs_sort_with_engine(faults, cost, data, protocol, EngineKind::default())
+}
+
+/// [`mffs_sort`] with an explicit execution engine. Both engines return
+/// identical outcomes; the choice only affects wall-clock speed.
+pub fn mffs_sort_with_engine<K>(
+    faults: &FaultSet,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+    kind: EngineKind,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
     let sc = max_fault_free_subcube(faults).expect("no fault-free processor left");
     let cube = faults.cube();
     let members: Vec<NodeId> = sc.nodes().collect();
@@ -66,13 +81,14 @@ where
         inputs[p.index()] = Some(chunk);
     }
 
-    let engine = Engine::new(faults.clone(), cost);
+    let engine = Engine::new(faults.clone(), cost).with_engine(kind);
     let members_ref = &members;
-    let out = engine.run(inputs, move |ctx, mut chunk| {
+    let out = engine.run(inputs, async move |ctx, mut chunk| {
         let my_logical = members_ref
             .iter()
             .position(|&p| p == ctx.me())
             .expect("node in subcube");
+        let mut scratch = Scratch::new();
         let comparisons = heapsort(&mut chunk, Direction::Ascending);
         ctx.charge_comparisons(comparisons as usize);
         distributed_bitonic_sort(
@@ -84,7 +100,9 @@ where
             chunk,
             1,
             protocol,
+            &mut scratch,
         )
+        .await
     });
 
     let time_us = out.turnaround();
@@ -175,7 +193,12 @@ mod tests {
         let data: Vec<u32> = (0..200).map(|_| rng.random_range(0..10_000)).collect();
         let mut expect = data.clone();
         expect.sort_unstable();
-        let out = mffs_sort(&faults, CostModel::paper_form(), data, Protocol::HalfExchange);
+        let out = mffs_sort(
+            &faults,
+            CostModel::paper_form(),
+            data,
+            Protocol::HalfExchange,
+        );
         assert_eq!(out.sorted, expect);
         assert_eq!(out.processors_used, 8, "only the Q3 works");
     }
@@ -195,7 +218,12 @@ mod tests {
             Protocol::HalfExchange,
         )
         .unwrap();
-        let baseline = mffs_sort(&faults, CostModel::paper_form(), data, Protocol::HalfExchange);
+        let baseline = mffs_sort(
+            &faults,
+            CostModel::paper_form(),
+            data,
+            Protocol::HalfExchange,
+        );
         assert_eq!(ours.sorted, baseline.sorted);
         assert!(
             ours.time_us < baseline.time_us,

@@ -224,7 +224,8 @@ mod tests {
                     let (want_m, want_psi) = reference(&faults);
                     assert_eq!(got.mincut, want_m, "n={n} faults={:?}", faults.to_vec());
                     assert_eq!(
-                        got.cutting_set, want_psi,
+                        got.cutting_set,
+                        want_psi,
                         "n={n} faults={:?}",
                         faults.to_vec()
                     );

@@ -63,7 +63,10 @@ impl SingleFaultStructure {
             dims.windows(2).all(|w| w[0] < w[1]),
             "cutting sequence must be strictly ascending"
         );
-        assert!(dims.iter().all(|&d| d < n), "cutting dimension out of range");
+        assert!(
+            dims.iter().all(|&d| d < n),
+            "cutting dimension out of range"
+        );
         let m = dims.len();
         let local_dims = complement_dims(n, dims);
         let fixed_mask: u32 = dims.iter().fold(0, |acc, &d| acc | (1 << d));
@@ -104,7 +107,10 @@ impl SingleFaultStructure {
     /// # Panics
     /// If `w` is out of range. No-op on subcubes that already have a fault.
     pub fn with_danglings(mut self, w: u32) -> Self {
-        assert!((w as u64) < (1u64 << self.s()), "dangling address out of range");
+        assert!(
+            (w as u64) < (1u64 << self.s()),
+            "dangling address out of range"
+        );
         for info in &mut self.subcubes {
             if info.dead_local.is_none() {
                 info.dead_local = Some((w, DeadKind::Dangling));
@@ -190,8 +196,7 @@ impl SingleFaultStructure {
     /// subcube `v`, if designated.
     pub fn dead_physical(&self, v: u32) -> Option<NodeId> {
         let info = self.subcube(v);
-        info.dead_local
-            .map(|(w, _)| info.subcube.global_address(w))
+        info.dead_local.map(|(w, _)| info.subcube.global_address(w))
     }
 
     /// All live processors' physical addresses in `(v, reindexed w)` order —
@@ -218,10 +223,7 @@ mod tests {
 
     fn paper_example() -> (FaultSet, SingleFaultStructure) {
         // Example 1/2: Q5, faults 00011, 00101, 10000, 11000, D₁ = (0,1,3)
-        let faults = FaultSet::from_raw(
-            Hypercube::new(5),
-            &[0b00011, 0b00101, 0b10000, 0b11000],
-        );
+        let faults = FaultSet::from_raw(Hypercube::new(5), &[0b00011, 0b00101, 0b10000, 0b11000]);
         let st = SingleFaultStructure::new(&faults, &[0, 1, 3]);
         (faults, st)
     }
@@ -240,12 +242,13 @@ mod tests {
             (0b000, 0b10),
             (0b100, 0b10),
         ];
-        for (fp, (v, w)) in [0b00011u32, 0b00101, 0b10000, 0b11000]
-            .iter()
-            .zip(expect)
-        {
+        for (fp, (v, w)) in [0b00011u32, 0b00101, 0b10000, 0b11000].iter().zip(expect) {
             let sub = st.subcube(v);
-            assert_eq!(sub.dead_local, Some((w, DeadKind::Faulty)), "fault {fp:#07b}");
+            assert_eq!(
+                sub.dead_local,
+                Some((w, DeadKind::Faulty)),
+                "fault {fp:#07b}"
+            );
             assert!(sub.subcube.contains(NodeId::new(*fp)));
         }
     }
@@ -261,9 +264,7 @@ mod tests {
             .filter_map(|v| {
                 let info = st.subcube(v);
                 match info.dead_local {
-                    Some((w, DeadKind::Dangling)) => {
-                        Some(info.subcube.global_address(w).raw())
-                    }
+                    Some((w, DeadKind::Dangling)) => Some(info.subcube.global_address(w).raw()),
                     _ => None,
                 }
             })
@@ -346,7 +347,10 @@ mod tests {
         let st = SingleFaultStructure::new(&faults, &[]);
         assert_eq!(st.live_count(), 8);
         assert_eq!(st.dead_physical(0), None);
-        assert_eq!(st.members(0), (0..8u32).map(NodeId::new).collect::<Vec<_>>());
+        assert_eq!(
+            st.members(0),
+            (0..8u32).map(NodeId::new).collect::<Vec<_>>()
+        );
     }
 
     #[test]

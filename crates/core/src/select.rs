@@ -38,8 +38,7 @@ pub struct Selection {
 pub fn extra_comm_cost(faults: &FaultSet, dims: &[usize]) -> (Vec<u32>, u32) {
     let n = faults.cube().dim();
     let m = dims.len();
-    let local_dims: Vec<usize> =
-        (0..n).filter(|d| !dims.contains(d)).collect();
+    let local_dims: Vec<usize> = (0..n).filter(|d| !dims.contains(d)).collect();
     // local fault address by subcube address v (at most one per subcube)
     let mut fault_w: Vec<Option<u32>> = vec![None; 1 << m];
     for f in faults.iter() {
@@ -71,8 +70,7 @@ pub fn extra_comm_cost(faults: &FaultSet, dims: &[usize]) -> (Vec<u32>, u32) {
 /// With no faults the choice is arbitrary; local 0 is returned.
 pub fn dangling_local_address(faults: &FaultSet, dims: &[usize]) -> u32 {
     let n = faults.cube().dim();
-    let local_dims: Vec<usize> =
-        (0..n).filter(|d| !dims.contains(d)).collect();
+    let local_dims: Vec<usize> = (0..n).filter(|d| !dims.contains(d)).collect();
     let s = local_dims.len();
     let mut counts = vec![0u32; 1 << s];
     for f in faults.iter() {
@@ -151,10 +149,7 @@ mod tests {
     fn paper_example_2_costs() {
         let faults = paper_faults();
         let psi = partition(&faults).unwrap().cutting_set;
-        let costs: Vec<u32> = psi
-            .iter()
-            .map(|d| extra_comm_cost(&faults, d).1)
-            .collect();
+        let costs: Vec<u32> = psi.iter().map(|d| extra_comm_cost(&faults, d).1).collect();
         assert_eq!(psi[0], vec![0, 1, 3]);
         assert_eq!(costs, vec![3, 3, 4, 3, 3]);
     }

@@ -1,13 +1,24 @@
 //! Merge kernels for sorted and bitonic runs.
+//!
+//! Every kernel exists in two forms: an owning form (`merge_runs`, …) that
+//! allocates its output, and an `_into` form that drains the inputs into a
+//! caller-supplied buffer, leaving the input allocations intact for reuse.
+//! The `_into` forms are the compare-split hot path: together with the
+//! [`crate::seq::Scratch`] buffer pool they make a compare-split round
+//! allocation-free once the pool is warm. Both forms perform identical
+//! comparison sequences, so charged virtual time does not depend on which
+//! is used.
 
-/// Merges two ascending runs into one ascending run, returning the merged
-/// run and the number of comparisons performed (≤ `a.len() + b.len() − 1`,
-/// the quantity the paper's step 7(c) charges).
-pub fn merge_runs<K: Ord>(a: Vec<K>, b: Vec<K>) -> (Vec<K>, u64) {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Merges ascending `a` and `b` into `out` (cleared first), draining both
+/// inputs but keeping their allocations. Returns the number of comparisons
+/// performed (≤ `a.len() + b.len() − 1`, the quantity the paper's
+/// step 7(c) charges).
+pub fn merge_runs_into<K: Ord>(a: &mut Vec<K>, b: &mut Vec<K>, out: &mut Vec<K>) -> u64 {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let mut comparisons = 0u64;
-    let mut ai = a.into_iter().peekable();
-    let mut bi = b.into_iter().peekable();
+    let mut ai = a.drain(..).peekable();
+    let mut bi = b.drain(..).peekable();
     loop {
         match (ai.peek(), bi.peek()) {
             (Some(x), Some(y)) => {
@@ -28,18 +39,33 @@ pub fn merge_runs<K: Ord>(a: Vec<K>, b: Vec<K>) -> (Vec<K>, u64) {
             }
         }
     }
+    comparisons
+}
+
+/// Merges two ascending runs into one ascending run, returning the merged
+/// run and the comparison count. Owning wrapper over [`merge_runs_into`].
+pub fn merge_runs<K: Ord>(mut a: Vec<K>, mut b: Vec<K>) -> (Vec<K>, u64) {
+    let mut out = Vec::new();
+    let comparisons = merge_runs_into(&mut a, &mut b, &mut out);
     (out, comparisons)
 }
 
-/// Merges two ascending runs but keeps only the `keep` smallest keys —
-/// the truncated merge a `Low`-keeping compare-split needs. At most `keep`
-/// comparisons.
-pub fn merge_keep_low<K: Ord>(a: Vec<K>, b: Vec<K>, keep: usize) -> (Vec<K>, u64) {
+/// Merges ascending `a` and `b` into `out` (cleared first) keeping only the
+/// `keep` smallest keys — the truncated merge a `Low`-keeping compare-split
+/// needs. At most `keep` comparisons. Drains both inputs (losers included),
+/// keeping their allocations.
+pub fn merge_keep_low_into<K: Ord>(
+    a: &mut Vec<K>,
+    b: &mut Vec<K>,
+    keep: usize,
+    out: &mut Vec<K>,
+) -> u64 {
     debug_assert!(keep <= a.len() + b.len());
-    let mut out = Vec::with_capacity(keep);
+    out.clear();
+    out.reserve(keep);
     let mut comparisons = 0u64;
-    let mut ai = a.into_iter().peekable();
-    let mut bi = b.into_iter().peekable();
+    let mut ai = a.drain(..).peekable();
+    let mut bi = b.drain(..).peekable();
     while out.len() < keep {
         match (ai.peek(), bi.peek()) {
             (Some(x), Some(y)) => {
@@ -55,17 +81,31 @@ pub fn merge_keep_low<K: Ord>(a: Vec<K>, b: Vec<K>, keep: usize) -> (Vec<K>, u64
             (None, None) => unreachable!("keep exceeds input size"),
         }
     }
+    comparisons
+}
+
+/// Merges two ascending runs but keeps only the `keep` smallest keys.
+/// Owning wrapper over [`merge_keep_low_into`].
+pub fn merge_keep_low<K: Ord>(mut a: Vec<K>, mut b: Vec<K>, keep: usize) -> (Vec<K>, u64) {
+    let mut out = Vec::new();
+    let comparisons = merge_keep_low_into(&mut a, &mut b, keep, &mut out);
     (out, comparisons)
 }
 
-/// Merges two ascending runs but keeps only the `keep` largest keys, by
-/// merging from the back. At most `keep` comparisons.
-pub fn merge_keep_high<K: Ord>(a: Vec<K>, b: Vec<K>, keep: usize) -> (Vec<K>, u64) {
+/// Merges ascending `a` and `b` into `out` (cleared first) keeping only the
+/// `keep` largest keys, by merging from the back. At most `keep`
+/// comparisons. Drains both inputs (losers included), keeping their
+/// allocations.
+pub fn merge_keep_high_into<K: Ord>(
+    a: &mut Vec<K>,
+    b: &mut Vec<K>,
+    keep: usize,
+    out: &mut Vec<K>,
+) -> u64 {
     debug_assert!(keep <= a.len() + b.len());
-    let mut out = Vec::with_capacity(keep);
+    out.clear();
+    out.reserve(keep);
     let mut comparisons = 0u64;
-    let mut a = a;
-    let mut b = b;
     while out.len() < keep {
         let take_a = match (a.last(), b.last()) {
             (Some(x), Some(y)) => {
@@ -83,6 +123,16 @@ pub fn merge_keep_high<K: Ord>(a: Vec<K>, b: Vec<K>, keep: usize) -> (Vec<K>, u6
         }
     }
     out.reverse();
+    a.clear();
+    b.clear();
+    comparisons
+}
+
+/// Merges two ascending runs but keeps only the `keep` largest keys.
+/// Owning wrapper over [`merge_keep_high_into`].
+pub fn merge_keep_high<K: Ord>(mut a: Vec<K>, mut b: Vec<K>, keep: usize) -> (Vec<K>, u64) {
+    let mut out = Vec::new();
+    let comparisons = merge_keep_high_into(&mut a, &mut b, keep, &mut out);
     (out, comparisons)
 }
 
@@ -273,6 +323,71 @@ mod tests {
         assert_eq!(hi, vec![5]);
         let (hi, _) = merge_keep_high(vec![1, 2], vec![3, 4], 4);
         assert_eq!(hi, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_keep_low_keeps_nothing_with_zero_comparisons() {
+        // keep == 0 on non-empty inputs: nothing kept, nothing compared
+        let (lo, c) = merge_keep_low(vec![1, 4, 7], vec![2, 3], 0);
+        assert!(lo.is_empty());
+        assert_eq!(c, 0);
+        let (hi, c) = merge_keep_high(vec![1, 4, 7], vec![2, 3], 0);
+        assert!(hi.is_empty());
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn merge_keep_low_full_keep_is_a_plain_merge() {
+        // keep == a.len() + b.len(): the truncated merge degenerates to the
+        // full merge, including the comparison count
+        let a = vec![1, 4, 7, 10];
+        let b = vec![2, 3, 9];
+        let keep = a.len() + b.len();
+        let (lo, c_keep) = merge_keep_low(a.clone(), b.clone(), keep);
+        let (full, c_full) = merge_runs(a, b);
+        assert_eq!(lo, full);
+        assert_eq!(lo, vec![1, 2, 3, 4, 7, 9, 10]);
+        assert_eq!(c_keep, c_full);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_and_match_owning_forms() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let ka = rng.random_range(0..16usize);
+            let kb = rng.random_range(0..16usize);
+            let mut a: Vec<u32> = (0..ka).map(|_| rng.random_range(0..40)).collect();
+            let mut b: Vec<u32> = (0..kb).map(|_| rng.random_range(0..40)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            let keep = rng.random_range(0..=ka + kb);
+            for mode in 0..3 {
+                let (mut a2, mut b2) = (a.clone(), b.clone());
+                let (a_cap, b_cap) = (a2.capacity(), b2.capacity());
+                let (expect, c_into) = match mode {
+                    0 => (
+                        merge_runs(a.clone(), b.clone()),
+                        merge_runs_into(&mut a2, &mut b2, &mut out),
+                    ),
+                    1 => (
+                        merge_keep_low(a.clone(), b.clone(), keep),
+                        merge_keep_low_into(&mut a2, &mut b2, keep, &mut out),
+                    ),
+                    _ => (
+                        merge_keep_high(a.clone(), b.clone(), keep),
+                        merge_keep_high_into(&mut a2, &mut b2, keep, &mut out),
+                    ),
+                };
+                assert_eq!(out, expect.0);
+                assert_eq!(c_into, expect.1, "comparison counts must agree");
+                // inputs drained but their allocations preserved
+                assert!(a2.is_empty() && b2.is_empty());
+                assert_eq!(a2.capacity(), a_cap);
+                assert_eq!(b2.capacity(), b_cap);
+            }
+        }
     }
 
     #[test]

@@ -8,10 +8,15 @@
 mod heapsort;
 mod merge;
 mod quicksort;
+mod scratch;
 
 pub use heapsort::heapsort;
-pub use merge::{merge_keep_high, merge_keep_low, merge_runs, sort_bitonic_run};
+pub use merge::{
+    merge_keep_high, merge_keep_high_into, merge_keep_low, merge_keep_low_into, merge_runs,
+    merge_runs_into, sort_bitonic_run,
+};
 pub use quicksort::{mergesort, quicksort};
+pub use scratch::Scratch;
 
 /// The local sorting algorithm used in step 3. The paper prescribes
 /// [`LocalSort::Heapsort`]; the alternatives exist for the local-sort

@@ -1,0 +1,90 @@
+//! A per-node pool of reusable `Vec` buffers for the compare-split hot path.
+
+/// A free list of empty `Vec<K>` allocations.
+///
+/// Each node program keeps one `Scratch` for the duration of a sort. The
+/// compare-split protocol [`take`]s buffers for merge outputs and loser
+/// halves and [`put`]s spent input buffers back, so after the first few
+/// rounds warm the pool no compare-split allocates — buffers just cycle
+/// between the pool, the in-flight messages and the live run. (On the
+/// sequential engine message payloads move by ownership, so an exchange
+/// swaps whole allocations between the partners' pools.)
+///
+/// [`take`]: Scratch::take
+/// [`put`]: Scratch::put
+#[derive(Debug)]
+pub struct Scratch<K> {
+    bufs: Vec<Vec<K>>,
+}
+
+impl<K> Default for Scratch<K> {
+    fn default() -> Self {
+        Scratch::new()
+    }
+}
+
+impl<K> Scratch<K> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Scratch { bufs: Vec::new() }
+    }
+
+    /// Takes an empty buffer with capacity ≥ `capacity` from the pool (the
+    /// most recently returned one, for cache warmth), or allocates one if
+    /// the pool is dry.
+    pub fn take(&mut self, capacity: usize) -> Vec<K> {
+        match self.bufs.pop() {
+            Some(mut buf) => {
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns a spent buffer to the pool. The contents are dropped; the
+    /// allocation is kept for the next [`Scratch::take`].
+    pub fn put(&mut self, mut buf: Vec<K>) {
+        buf.clear();
+        self.bufs.push(buf);
+    }
+
+    /// Number of pooled buffers (diagnostics / tests).
+    pub fn pooled(&self) -> usize {
+        self.bufs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_reuses_returned_allocations() {
+        let mut pool: Scratch<u64> = Scratch::new();
+        let mut a = pool.take(100);
+        a.extend(0..100);
+        let ptr = a.as_ptr();
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.take(50);
+        assert_eq!(b.as_ptr(), ptr, "pooled allocation is reused");
+        assert_eq!(b.capacity(), cap);
+        assert!(b.is_empty());
+        assert_eq!(pool.pooled(), 0);
+    }
+
+    #[test]
+    fn take_grows_when_pool_is_dry_or_small() {
+        let mut pool: Scratch<u8> = Scratch::new();
+        let a = pool.take(16);
+        assert!(a.capacity() >= 16);
+        pool.put(a);
+        let b = pool.take(1024);
+        assert!(
+            b.capacity() >= 1024,
+            "reserve grows a too-small pooled buffer"
+        );
+    }
+}

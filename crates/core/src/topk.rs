@@ -44,7 +44,7 @@ where
     let parts_ref = &parts;
 
     let engine = Engine::new(plan.faults().clone(), cost);
-    let out = engine.run(inputs, move |ctx, mut chunk| {
+    let out = engine.run(inputs, async move |ctx, mut chunk| {
         // local: drop the ∞ padding (it would outrank every real key!),
         // sort ascending, keep my top k (as an ascending run)
         chunk.retain(|p| p.is_real());
@@ -59,6 +59,7 @@ where
             let start = total.saturating_sub(k);
             merged.split_off(start.min(merged.len()))
         })
+        .await
     });
 
     let time_us = out.turnaround();
@@ -121,8 +122,8 @@ mod tests {
         let mut expect = data.clone();
         expect.sort_unstable_by(|a, b| b.cmp(a));
         expect.truncate(k);
-        let out = top_k_on_faulty_cube(faults, CostModel::paper_form(), data, k)
-            .expect("tolerable");
+        let out =
+            top_k_on_faulty_cube(faults, CostModel::paper_form(), data, k).expect("tolerable");
         assert_eq!(out.sorted, expect, "k={k} faults={:?}", faults.to_vec());
     }
 

@@ -1,114 +1,165 @@
-//! Property-based tests of the sorting kernels and their invariants.
+//! Randomized property tests of the sorting kernels and their invariants.
+//!
+//! Each property runs over a deterministic seeded sample of the input space
+//! (a lightweight stand-in for a property-testing framework, which the
+//! offline build environment cannot provide); failures are reproducible
+//! from the fixed seeds.
 
 use ftsort::bitonic::compare_split_local;
 use ftsort::distribute::{chunk_len, gather, scatter};
 use ftsort::seq::{
-    heapsort, merge_keep_high, merge_keep_low, merge_runs, mergesort, quicksort,
-    sort_bitonic_run, Direction, LocalSort,
+    heapsort, merge_keep_high, merge_keep_low, merge_runs, mergesort, quicksort, sort_bitonic_run,
+    Direction, LocalSort,
 };
-use proptest::collection::vec;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Two vectors of the same (arbitrary) length.
-fn equal_pairs(max: usize) -> impl Strategy<Value = (Vec<i32>, Vec<i32>)> {
-    (0..max).prop_flat_map(|k| (vec(any::<i32>(), k), vec(any::<i32>(), k)))
+const CASES: usize = 256;
+
+fn keys(rng: &mut StdRng, len: usize) -> Vec<i32> {
+    (0..len).map(|_| rng.random()).collect()
 }
 
-proptest! {
-    #[test]
-    fn heapsort_matches_std(mut v in vec(any::<i32>(), 0..300)) {
+/// Two random vectors of the same (random) length below `max`.
+fn equal_pair(rng: &mut StdRng, max: usize) -> (Vec<i32>, Vec<i32>) {
+    let k = rng.random_range(0..max);
+    (keys(rng, k), keys(rng, k))
+}
+
+#[test]
+fn heapsort_matches_std() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1001);
+    for _ in 0..CASES {
+        let len = rng.random_range(0..300);
+        let mut v = keys(&mut rng, len);
         let mut expect = v.clone();
         expect.sort_unstable();
         heapsort(&mut v, Direction::Ascending);
-        prop_assert_eq!(&v, &expect);
+        assert_eq!(v, expect);
         heapsort(&mut v, Direction::Descending);
         expect.reverse();
-        prop_assert_eq!(v, expect);
+        assert_eq!(v, expect);
     }
+}
 
-    #[test]
-    fn quicksort_and_mergesort_match_std(v in vec(any::<i32>(), 0..300)) {
+#[test]
+fn quicksort_and_mergesort_match_std() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1002);
+    for _ in 0..CASES {
+        let len = rng.random_range(0..300);
+        let v = keys(&mut rng, len);
         let mut expect = v.clone();
         expect.sort_unstable();
         let mut q = v.clone();
         quicksort(&mut q, Direction::Ascending);
-        prop_assert_eq!(&q, &expect);
+        assert_eq!(q, expect);
         let mut m = v;
         mergesort(&mut m, Direction::Ascending);
-        prop_assert_eq!(m, expect);
+        assert_eq!(m, expect);
     }
+}
 
-    #[test]
-    fn all_local_sorts_agree(v in vec(any::<i16>(), 0..200)) {
+#[test]
+fn all_local_sorts_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1003);
+    for _ in 0..CASES {
+        let v: Vec<i32> = (0..rng.random_range(0..200))
+            .map(|_| rng.random_range(-500..500))
+            .collect();
         let mut a = v.clone();
         let mut b = v.clone();
         let mut c = v;
         LocalSort::Heapsort.sort(&mut a, Direction::Ascending);
         LocalSort::Quicksort.sort(&mut b, Direction::Ascending);
         LocalSort::Mergesort.sort(&mut c, Direction::Ascending);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&b, &c);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
     }
+}
 
-    #[test]
-    fn merge_runs_is_a_sorted_union(mut a in vec(any::<i32>(), 0..100), mut b in vec(any::<i32>(), 0..100)) {
+#[test]
+fn merge_runs_is_a_sorted_union() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1004);
+    for _ in 0..CASES {
+        let (la, lb) = (rng.random_range(0..100), rng.random_range(0..100));
+        let mut a = keys(&mut rng, la);
+        let mut b = keys(&mut rng, lb);
         a.sort_unstable();
         b.sort_unstable();
         let mut expect: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
         expect.sort_unstable();
         let (m, c) = merge_runs(a.clone(), b.clone());
-        prop_assert_eq!(m, expect);
-        prop_assert!(c <= (a.len() + b.len()).saturating_sub(1) as u64);
+        assert_eq!(m, expect);
+        assert!(c <= (a.len() + b.len()).saturating_sub(1) as u64);
     }
+}
 
-    #[test]
-    fn merge_keep_bounds_comparisons((mut a, mut b) in equal_pairs(80)) {
+#[test]
+fn merge_keep_bounds_comparisons() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1005);
+    for _ in 0..CASES {
+        let (mut a, mut b) = equal_pair(&mut rng, 80);
         a.sort_unstable();
         b.sort_unstable();
         let k = a.len();
         let (lo, c1) = merge_keep_low(a.clone(), b.clone(), k);
         let (hi, c2) = merge_keep_high(a.clone(), b.clone(), k);
-        prop_assert!(c1 <= k as u64);
-        prop_assert!(c2 <= k as u64);
+        assert!(c1 <= k as u64);
+        assert!(c2 <= k as u64);
         let mut both: Vec<i32> = lo.iter().chain(hi.iter()).copied().collect();
         both.sort_unstable();
         let mut expect: Vec<i32> = a.into_iter().chain(b).collect();
         expect.sort_unstable();
-        prop_assert_eq!(both, expect);
+        assert_eq!(both, expect);
     }
+}
 
-    #[test]
-    fn compare_split_local_is_an_exact_split((mut a, mut b) in equal_pairs(60)) {
+#[test]
+fn compare_split_local_is_an_exact_split() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1006);
+    for _ in 0..CASES {
+        let (mut a, mut b) = equal_pair(&mut rng, 60);
         a.sort_unstable();
         b.sort_unstable();
         let k = a.len();
         let mut expect: Vec<i32> = a.iter().chain(b.iter()).copied().collect();
         expect.sort_unstable();
         let (lo, hi) = compare_split_local(a, b);
-        prop_assert_eq!(&lo[..], &expect[..k]);
-        prop_assert_eq!(&hi[..], &expect[k..]);
+        assert_eq!(&lo[..], &expect[..k]);
+        assert_eq!(&hi[..], &expect[k..]);
     }
+}
 
-    #[test]
-    fn bitonic_run_sorter_handles_any_updown(up in vec(any::<i32>(), 0..50), down in vec(any::<i32>(), 0..50)) {
-        let mut u = up;
+#[test]
+fn bitonic_run_sorter_handles_any_updown() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1007);
+    for _ in 0..CASES {
+        let (lu, ld) = (rng.random_range(0..50), rng.random_range(0..50));
+        let mut u = keys(&mut rng, lu);
         u.sort_unstable();
-        let mut d = down;
+        let mut d = keys(&mut rng, ld);
         d.sort_unstable_by(|a, b| b.cmp(a));
         let mut input = u;
         input.extend(d);
         let mut expect = input.clone();
         expect.sort_unstable();
         let (out, _) = sort_bitonic_run(input);
-        prop_assert_eq!(out, expect);
+        assert_eq!(out, expect);
     }
+}
 
-    #[test]
-    fn scatter_gather_roundtrip(data in vec(any::<u64>(), 0..200), parts in 1usize..20) {
+#[test]
+fn scatter_gather_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_1008);
+    for _ in 0..CASES {
+        let data: Vec<u64> = (0..rng.random_range(0..200))
+            .map(|_| rng.random())
+            .collect();
+        let parts = rng.random_range(1usize..20);
         let chunks = scatter(data.clone(), parts);
-        prop_assert_eq!(chunks.len(), parts);
+        assert_eq!(chunks.len(), parts);
         let k = chunk_len(data.len(), parts);
-        prop_assert!(chunks.iter().all(|c| c.len() == k));
-        prop_assert_eq!(gather(chunks), data);
+        assert!(chunks.iter().all(|c| c.len() == k));
+        assert_eq!(gather(chunks), data);
     }
 }

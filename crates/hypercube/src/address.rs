@@ -19,7 +19,9 @@ pub const MAX_DIM: usize = 32;
 /// `NodeId` is a thin wrapper over the binary address. It is meaningful only
 /// relative to a dimension `n` (carried by [`crate::topology::Hypercube`] or
 /// passed explicitly); the wrapper itself does not store `n`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -253,10 +255,7 @@ mod tests {
         let fp2 = 0b00101;
         assert_eq!(extract_bits(fp2, &dims), 0b001);
         assert_eq!(extract_bits(fp2, &local), 0b01);
-        assert_eq!(
-            scatter_bits(0b001, &dims) | scatter_bits(0b01, &local),
-            fp2
-        );
+        assert_eq!(scatter_bits(0b001, &dims) | scatter_bits(0b01, &local), fp2);
         // FP3 = 10000: v = 000, w = 10.
         let fp3 = 0b10000;
         assert_eq!(extract_bits(fp3, &dims), 0b000);

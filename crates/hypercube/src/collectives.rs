@@ -32,7 +32,10 @@ impl Participants {
     /// # Panics
     /// If `root` is not in `live`, a node repeats, or `live` is empty.
     pub fn new(cube_len: usize, root: NodeId, live: &[NodeId]) -> Self {
-        assert!(!live.is_empty(), "collective needs at least one participant");
+        assert!(
+            !live.is_empty(),
+            "collective needs at least one participant"
+        );
         let mut nodes = Vec::with_capacity(live.len());
         nodes.push(root);
         nodes.extend(live.iter().copied().filter(|&p| p != root));
@@ -124,7 +127,12 @@ impl Participants {
 }
 
 /// Broadcasts the root's payload to every participant; all return it.
-pub fn broadcast<K, C>(ctx: &mut C, parts: &Participants, tag: Tag, payload: Option<Vec<K>>) -> Vec<K>
+pub async fn broadcast<K, C>(
+    ctx: &mut C,
+    parts: &Participants,
+    tag: Tag,
+    payload: Option<Vec<K>>,
+) -> Vec<K>
 where
     K: Clone + Send,
     C: Comm<K>,
@@ -135,7 +143,7 @@ where
         payload.expect("root must supply the broadcast payload")
     } else {
         let parent = parts.parent(rank).expect("non-root has a parent");
-        ctx.recv(parts.node(parent), tag)
+        ctx.recv(parts.node(parent), tag).await
     };
     for child in parts.children(rank) {
         ctx.send(parts.node(child), tag, payload.clone());
@@ -150,7 +158,7 @@ where
 /// concatenation for its subtree (with a piece-length header encoded by the
 /// caller-supplied uniform `piece_len`), keeps the front piece, and forwards
 /// contiguous sub-bundles to its children.
-pub fn scatter<K, C>(
+pub async fn scatter<K, C>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -174,7 +182,7 @@ where
         pieces.into_iter().flatten().collect()
     } else {
         let parent = parts.parent(rank).expect("non-root has a parent");
-        ctx.recv(parts.node(parent), tag)
+        ctx.recv(parts.node(parent), tag).await
     };
     assert_eq!(bundle.len(), (my_span.end - my_span.start) * piece_len);
     // forward children's sub-bundles, largest child first (they are
@@ -190,7 +198,7 @@ where
 
 /// Gathers every participant's piece to the root, which returns
 /// `Some(pieces-in-rank-order)`; everyone else returns `None`.
-pub fn gather<K, C>(
+pub async fn gather<K, C>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -203,14 +211,18 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called gather");
-    assert_eq!(piece.len(), piece_len, "gather requires uniform piece length");
+    assert_eq!(
+        piece.len(),
+        piece_len,
+        "gather requires uniform piece length"
+    );
     let my_span = parts.subtree_span(rank);
     let mut bundle = piece;
     bundle.reserve((my_span.end - my_span.start - 1) * piece_len);
     // children report in ascending rank order; their spans are contiguous
     for child in parts.children(rank) {
         let child_span = parts.subtree_span(child);
-        let sub = ctx.recv(parts.node(child), tag);
+        let sub = ctx.recv(parts.node(child), tag).await;
         assert_eq!(sub.len(), (child_span.end - child_span.start) * piece_len);
         bundle.extend(sub);
     }
@@ -219,13 +231,18 @@ where
             ctx.send(parts.node(parent), tag, bundle);
             None
         }
-        None => Some(bundle.chunks(piece_len.max(1)).map(|c| c.to_vec()).collect()),
+        None => Some(
+            bundle
+                .chunks(piece_len.max(1))
+                .map(|c| c.to_vec())
+                .collect(),
+        ),
     }
 }
 
 /// Reduces every participant's value to the root with the associative
 /// element-wise combiner `op`; the root returns `Some(result)`.
-pub fn reduce<K, C, F>(
+pub async fn reduce<K, C, F>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -241,7 +258,7 @@ where
     let rank = parts.rank(me).expect("non-participant called reduce");
     let mut acc = value;
     for child in parts.children(rank) {
-        let theirs = ctx.recv(parts.node(child), tag);
+        let theirs = ctx.recv(parts.node(child), tag).await;
         assert_eq!(theirs.len(), acc.len(), "reduce requires uniform length");
         acc = acc
             .iter()
@@ -264,7 +281,7 @@ where
 ///
 /// Used e.g. for distributed top-k selection, where the combiner merges two
 /// sorted lists and truncates.
-pub fn combine<K, C, F>(
+pub async fn combine<K, C, F>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -280,7 +297,7 @@ where
     let rank = parts.rank(me).expect("non-participant called combine");
     let mut acc = value;
     for child in parts.children(rank) {
-        let theirs = ctx.recv(parts.node(child), tag);
+        let theirs = ctx.recv(parts.node(child), tag).await;
         acc = op(acc, theirs);
     }
     match parts.parent(rank) {
@@ -294,7 +311,7 @@ where
 
 /// All-reduce: every participant returns the reduction of all values
 /// (reduce to the root, then broadcast back).
-pub fn allreduce<K, C, F>(
+pub async fn allreduce<K, C, F>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -306,13 +323,13 @@ where
     C: Comm<K>,
     F: Fn(&K, &K) -> K,
 {
-    let reduced = reduce(ctx, parts, tag, value, op);
-    broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), reduced)
+    let reduced = reduce(ctx, parts, tag, value, op).await;
+    broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), reduced).await
 }
 
 /// All-gather: every participant returns every piece, in rank order
 /// (gather to the root, then broadcast the concatenation back).
-pub fn allgather<K, C>(
+pub async fn allgather<K, C>(
     ctx: &mut C,
     parts: &Participants,
     tag: Tag,
@@ -323,18 +340,18 @@ where
     K: Clone + Send,
     C: Comm<K>,
 {
-    let collected = gather(ctx, parts, tag, piece, piece_len);
+    let collected = gather(ctx, parts, tag, piece, piece_len).await;
     let flat = collected.map(|pieces| pieces.into_iter().flatten().collect::<Vec<K>>());
-    let flat = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), flat);
+    let flat = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 60)), flat).await;
     flat.chunks(piece_len.max(1)).map(|c| c.to_vec()).collect()
 }
 
 /// Barrier: gather-then-broadcast of an empty payload; returns when every
 /// participant has entered.
-pub fn barrier<C: Comm<u8>>(ctx: &mut C, parts: &Participants, tag: Tag) {
-    let up = gather(ctx, parts, tag, Vec::new(), 0);
+pub async fn barrier<C: Comm<u8>>(ctx: &mut C, parts: &Participants, tag: Tag) {
+    let up = gather(ctx, parts, tag, Vec::new(), 0).await;
     let down = if up.is_some() { Some(Vec::new()) } else { None };
-    let _ = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 61)), down);
+    let _ = broadcast(ctx, parts, Tag(tag.0 ^ (1 << 61)), down).await;
 }
 
 #[cfg(test)]
@@ -359,11 +376,7 @@ mod tests {
 
     #[test]
     fn tree_structure_is_consistent() {
-        let parts = Participants::new(
-            16,
-            NodeId::new(3),
-            &[3, 0, 1, 5, 7, 9, 11].map(NodeId::new),
-        );
+        let parts = Participants::new(16, NodeId::new(3), &[3, 0, 1, 5, 7, 9, 11].map(NodeId::new));
         assert_eq!(parts.len(), 7);
         assert_eq!(parts.rank(NodeId::new(3)), Some(0));
         for r in 1..parts.len() {
@@ -405,13 +418,13 @@ mod tests {
         ] {
             let (engine, parts, inputs) = make(n, root, &live);
             let parts_ref = &parts;
-            let out = engine.run(inputs, move |ctx, _| {
+            let out = engine.run(inputs, async move |ctx, _| {
                 let payload = if ctx.me() == parts_ref.root() {
                     Some(vec![42u32, 43])
                 } else {
                     None
                 };
-                broadcast(ctx, parts_ref, Tag::new(5), payload)
+                broadcast(ctx, parts_ref, Tag::new(5), payload).await
             });
             let results = out.into_results();
             assert_eq!(results.len(), live.len());
@@ -426,14 +439,14 @@ mod tests {
         let live = vec![6u32, 0, 1, 3, 4, 7];
         let (engine, parts, inputs) = make(3, 6, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let rank = parts_ref.rank(ctx.me()).unwrap();
             let pieces = (rank == 0).then(|| {
                 (0..parts_ref.len() as u32)
                     .map(|r| vec![r * 10, r * 10 + 1])
                     .collect::<Vec<_>>()
             });
-            let piece = scatter(ctx, parts_ref, Tag::new(6), pieces, 2);
+            let piece = scatter(ctx, parts_ref, Tag::new(6), pieces, 2).await;
             (rank, piece)
         });
         for (_, (rank, piece)) in out.into_results() {
@@ -446,9 +459,9 @@ mod tests {
         let live = vec![2u32, 0, 5, 7, 6];
         let (engine, parts, inputs) = make(3, 2, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let rank = parts_ref.rank(ctx.me()).unwrap() as u32;
-            gather(ctx, parts_ref, Tag::new(7), vec![rank, rank + 100], 2)
+            gather(ctx, parts_ref, Tag::new(7), vec![rank, rank + 100], 2).await
         });
         let mut root_result = None;
         for (node, res) in out.into_results() {
@@ -470,12 +483,12 @@ mod tests {
         let live: Vec<u32> = (0..16).collect();
         let (engine, parts, inputs) = make(4, 0, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let rank = parts_ref.rank(ctx.me()).unwrap();
-            let pieces = (rank == 0)
-                .then(|| (0..16u32).map(|r| vec![r, r * r]).collect::<Vec<_>>());
-            let mine = scatter(ctx, parts_ref, Tag::new(8), pieces.clone(), 2);
-            gather(ctx, parts_ref, Tag::new(9), mine, 2)
+            let pieces =
+                (rank == 0).then(|| (0..16u32).map(|r| vec![r, r * r]).collect::<Vec<_>>());
+            let mine = scatter(ctx, parts_ref, Tag::new(8), pieces.clone(), 2).await;
+            gather(ctx, parts_ref, Tag::new(9), mine, 2).await
         });
         let root_pieces = out
             .node(NodeId::new(0))
@@ -494,9 +507,9 @@ mod tests {
         let live = vec![4u32, 1, 2, 7, 5, 0];
         let (engine, parts, inputs) = make(3, 4, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let me = ctx.me().raw();
-            reduce(ctx, parts_ref, Tag::new(10), vec![me, 1], |a, b| a + b)
+            reduce(ctx, parts_ref, Tag::new(10), vec![me, 1], |a, b| a + b).await
         });
         let expect_sum: u32 = live.iter().sum();
         let root = out.node(NodeId::new(4)).unwrap().result.clone().unwrap();
@@ -508,9 +521,9 @@ mod tests {
         let live = vec![5u32, 0, 3, 6, 1];
         let (engine, parts, inputs) = make(3, 5, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let me = ctx.me().raw();
-            allreduce(ctx, parts_ref, Tag::new(12), vec![me], |a, b| *a.max(b))
+            allreduce(ctx, parts_ref, Tag::new(12), vec![me], |a, b| *a.max(b)).await
         });
         for (node, v) in out.into_results() {
             assert_eq!(v, vec![6], "node {node:?}");
@@ -522,9 +535,16 @@ mod tests {
         let live = vec![1u32, 4, 7, 2];
         let (engine, parts, inputs) = make(3, 1, &live);
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let rank = parts_ref.rank(ctx.me()).unwrap() as u32;
-            allgather(ctx, parts_ref, Tag::new(13), vec![rank * 2, rank * 2 + 1], 2)
+            allgather(
+                ctx,
+                parts_ref,
+                Tag::new(13),
+                vec![rank * 2, rank * 2 + 1],
+                2,
+            )
+            .await
         });
         for (node, pieces) in out.into_results() {
             assert_eq!(pieces.len(), 4, "node {node:?}");
@@ -546,8 +566,8 @@ mod tests {
             inputs[p.index()] = Some(vec![]);
         }
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
-            barrier(ctx, parts_ref, Tag::new(11));
+        let out = engine.run(inputs, async move |ctx, _| {
+            barrier(ctx, parts_ref, Tag::new(11)).await;
             ctx.clock()
         });
         assert_eq!(out.into_results().len(), 6);

@@ -114,10 +114,7 @@ impl Syndrome {
                 break;
             }
         }
-        let diagnosed: Vec<NodeId> = (0..n)
-            .filter(|&v| faulty[v])
-            .map(NodeId::from)
-            .collect();
+        let diagnosed: Vec<NodeId> = (0..n).filter(|&v| faulty[v]).map(NodeId::from).collect();
         if diagnosed.len() > t {
             return Err(DiagnosisError::TooManyFaults {
                 found: diagnosed.len(),
@@ -188,11 +185,9 @@ mod tests {
                     let truth = FaultSet::random(cube, r, &mut rng);
                     let syndrome = Syndrome::collect(&truth, &mut rng);
                     match syndrome.diagnose(n - 1) {
-                        Ok(diag) => assert_eq!(
-                            diag.to_vec(),
-                            truth.to_vec(),
-                            "n={n} r={r} trial={trial}"
-                        ),
+                        Ok(diag) => {
+                            assert_eq!(diag.to_vec(), truth.to_vec(), "n={n} r={r} trial={trial}")
+                        }
                         Err(e) => panic!("n={n} r={r} trial={trial}: {e}"),
                     }
                 }

@@ -32,7 +32,9 @@ pub enum FaultModel {
 
 /// A (bidirectional) hypercube link, identified by its lower endpoint and
 /// the dimension it spans.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct Link {
     /// The endpoint with the lower address (bit `dim` = 0).
     pub lo: NodeId,
@@ -83,7 +85,11 @@ impl FaultSet {
     pub fn new(cube: Hypercube, nodes: impl IntoIterator<Item = NodeId>) -> Self {
         let mut faulty = BTreeSet::new();
         for p in nodes {
-            assert!(cube.contains(p), "faulty node {p:?} outside Q{}", cube.dim());
+            assert!(
+                cube.contains(p),
+                "faulty node {p:?} outside Q{}",
+                cube.dim()
+            );
             assert!(faulty.insert(p), "duplicate faulty node {p:?}");
         }
         FaultSet {
@@ -335,7 +341,10 @@ mod tests {
         assert!(fs.is_faulty(NodeId::new(3)));
         assert!(fs.is_normal(NodeId::new(4)));
         assert!(fs.within_tolerance()); // r = 4 = n - 1
-        assert_eq!(fs.to_vec(), vec![3u32.into(), 5u32.into(), 16u32.into(), 24u32.into()]);
+        assert_eq!(
+            fs.to_vec(),
+            vec![3u32.into(), 5u32.into(), 16u32.into(), 24u32.into()]
+        );
     }
 
     #[test]
@@ -461,10 +470,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate faulty link")]
     fn duplicate_link_faults_rejected() {
-        let _ = FaultSet::none(q(3)).with_faulty_links([
-            Link::new(NodeId::new(0), 1),
-            Link::new(NodeId::new(2), 1),
-        ]);
+        let _ = FaultSet::none(q(3))
+            .with_faulty_links([Link::new(NodeId::new(0), 1), Link::new(NodeId::new(2), 1)]);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //!   models of the paper's §4.
 //! * [`routing`] — e-cube (VERTEX-style) routing, plus shortest fault-avoiding
 //!   detours for the total-fault model.
-//! * [`sim`] — a threaded MIMD engine: one OS thread per processor, channels
-//!   as links, with deterministic virtual-time accounting under the paper's
-//!   cost model ([`cost`]) and operation counters ([`stats`]).
+//! * [`sim`] — two interchangeable execution engines for async SPMD node
+//!   programs: a sequential event-driven scheduler (the default) and a
+//!   threaded MIMD engine (one OS thread per processor, bounded channels as
+//!   links), both with identical deterministic virtual-time accounting under
+//!   the paper's cost model ([`cost`]) and operation counters ([`stats`]).
 //! * [`diagnosis`] — a PMC-style off-line diagnosis stand-in for the fault
 //!   identification step the paper assumes.
 //! * [`embedding`] — Gray-code ring/mesh embeddings (substrate completeness).
@@ -33,10 +35,12 @@
 //! let inputs: Vec<Option<Vec<u32>>> = (0..8)
 //!     .map(|i| if i < 4 { Some(vec![i]) } else { None })
 //!     .collect();
-//! let out = engine.run(inputs, |ctx, data| {
+//! let out = engine.run(inputs, async |ctx, data| {
 //!     let mut acc = data[0];
 //!     for d in 0..2 {
-//!         let got = ctx.exchange(ctx.me().neighbor(d), Tag::new(d as u64), vec![acc]);
+//!         let got = ctx
+//!             .exchange(ctx.me().neighbor(d), Tag::new(d as u64), vec![acc])
+//!             .await;
 //!         acc = acc.max(got[0]);
 //!     }
 //!     acc
@@ -65,7 +69,9 @@ pub mod prelude {
     pub use crate::collectives::Participants;
     pub use crate::cost::CostModel;
     pub use crate::fault::{FaultModel, FaultSet, Link};
-    pub use crate::sim::{Comm, Engine, NodeCtx, RouterKind, RunOutcome, Tag};
+    pub use crate::sim::{
+        Comm, Engine, EngineKind, NodeCtx, RouterKind, RunOutcome, SeqEngine, Tag,
+    };
     pub use crate::stats::RunStats;
     pub use crate::subcube::Subcube;
     pub use crate::topology::Hypercube;

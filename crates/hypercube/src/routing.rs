@@ -87,7 +87,10 @@ pub fn ecube_route(src: NodeId, dst: NodeId) -> Route {
 /// ```
 pub fn route(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<Route> {
     let cube = faults.cube();
-    assert!(cube.contains(src) && cube.contains(dst), "endpoint outside cube");
+    assert!(
+        cube.contains(src) && cube.contains(dst),
+        "endpoint outside cube"
+    );
     match faults.model() {
         FaultModel::Partial if faults.link_fault_count() == 0 => Some(ecube_route(src, dst)),
         FaultModel::Partial => {
@@ -165,7 +168,10 @@ fn bfs_route(
 /// or `None` when `dst` is unreachable.
 pub fn adaptive_route(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<Route> {
     let cube = faults.cube();
-    assert!(cube.contains(src) && cube.contains(dst), "endpoint outside cube");
+    assert!(
+        cube.contains(src) && cube.contains(dst),
+        "endpoint outside cube"
+    );
     let blocked_node = |p: NodeId| match faults.model() {
         FaultModel::Partial => false,
         FaultModel::Total => faults.is_faulty(p),
@@ -316,8 +322,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for n in 2..=6 {
             for r in 0..n {
-                let faults =
-                    FaultSet::random(q(n), r, &mut rng).with_model(FaultModel::Total);
+                let faults = FaultSet::random(q(n), r, &mut rng).with_model(FaultModel::Total);
                 let normals: Vec<NodeId> = faults.normal_nodes().collect();
                 for &a in normals.iter().take(8) {
                     for &b in normals.iter().rev().take(8) {
@@ -387,8 +392,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(51);
         for n in 3..=6 {
             for _ in 0..30 {
-                let faults =
-                    FaultSet::random(q(n), n - 1, &mut rng).with_model(FaultModel::Total);
+                let faults = FaultSet::random(q(n), n - 1, &mut rng).with_model(FaultModel::Total);
                 let normals: Vec<NodeId> = faults.normal_nodes().collect();
                 for &a in normals.iter().take(4) {
                     for &b in normals.iter().rev().take(4) {

@@ -1,5 +1,7 @@
-//! The threaded MIMD engine: one OS thread per simulated processor,
-//! crossbeam channels as the interconnect.
+//! The threaded MIMD engine: one OS thread per simulated processor, bounded
+//! `std::sync::mpsc` channels as the interconnect — plus the shared node
+//! context ([`NodeCtx`]) used by both this engine and the sequential
+//! event-driven engine ([`super::sequential::SeqEngine`]).
 //!
 //! The engine spawns a thread for every node that is given an input (normal,
 //! participating processors); faulty and dangling processors get no thread,
@@ -8,18 +10,26 @@
 //! layer: the number of links a message crosses is computed from the fault
 //! model ([`crate::routing::hop_count`]), so a detour under the total-fault
 //! model costs more virtual time than the same message under partial faults.
+//!
+//! [`Engine`] is a front door over both executors: [`Engine::run`] dispatches
+//! on [`EngineKind`] (default [`EngineKind::Seq`]), so callers pick an
+//! executor with [`Engine::with_engine`] and are guaranteed identical
+//! simulated results either way.
 
+use super::sequential::{SeqCtx, SeqEngine};
 use super::trace::{Trace, TraceEvent, TraceKind};
-use super::{Comm, Tag};
+use super::{Comm, EngineKind, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
 use crate::routing;
 use crate::stats::RunStats;
 use crate::topology::Hypercube;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
+use std::future::Future;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 /// Which routing algorithm the simulated machine charges hops with.
@@ -35,7 +45,7 @@ pub enum RouterKind {
     Adaptive,
 }
 
-/// A message in flight.
+/// A message in flight on the threaded engine.
 struct Message<K> {
     src: NodeId,
     tag: Tag,
@@ -65,8 +75,12 @@ pub struct RunOutcome<T> {
 }
 
 impl<T> RunOutcome<T> {
-    /// Per-node outcomes indexed by physical address (`None` where no thread
-    /// ran: faulty or idle processors).
+    pub(super) fn new(outcomes: Vec<Option<NodeOutcome<T>>>, trace: Trace) -> Self {
+        RunOutcome { outcomes, trace }
+    }
+
+    /// Per-node outcomes indexed by physical address (`None` where no
+    /// program ran: faulty or idle processors).
     pub fn outcomes(&self) -> &[Option<NodeOutcome<T>>] {
         &self.outcomes
     }
@@ -107,31 +121,157 @@ impl<T> RunOutcome<T> {
     }
 }
 
+/// Hops charged for a `src → dst` message under the given router.
+pub(super) fn route_hops(faults: &FaultSet, router: RouterKind, src: NodeId, dst: NodeId) -> u32 {
+    match router {
+        RouterKind::Oracle => routing::hop_count(faults, src, dst),
+        RouterKind::Adaptive => routing::adaptive_route(faults, src, dst).map(|r| r.hops()),
+    }
+    .unwrap_or_else(|| panic!("{src:?} cannot reach {dst:?}"))
+}
+
+/// Checks the input layout against the topology and fault set.
+pub(super) fn validate_inputs<K>(faults: &FaultSet, inputs: &[Option<Vec<K>>]) {
+    assert_eq!(
+        inputs.len(),
+        faults.cube().len(),
+        "one input slot per processor"
+    );
+    for (i, slot) in inputs.iter().enumerate() {
+        if slot.is_some() {
+            assert!(
+                faults.is_normal(NodeId::from(i)),
+                "input assigned to faulty processor P{i}"
+            );
+        }
+    }
+}
+
+/// Per-node state of the threaded engine: real channels, local clock.
+struct ThreadedCtx<K> {
+    clock: VirtualClock,
+    stats: RunStats,
+    rx: Receiver<Message<K>>,
+    txs: Arc<Vec<Option<SyncSender<Message<K>>>>>,
+    /// Messages that arrived before they were asked for.
+    pending: HashMap<(NodeId, Tag), Vec<Message<K>>>,
+    recv_timeout: Duration,
+    /// Event log (Some only when tracing is enabled).
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl<K> ThreadedCtx<K> {
+    fn take_pending(&mut self, src: NodeId, tag: Tag) -> Option<Message<K>> {
+        match self.pending.get_mut(&(src, tag)) {
+            Some(list) if !list.is_empty() => Some(list.remove(0)),
+            _ => None,
+        }
+    }
+
+    fn send(
+        &mut self,
+        me: NodeId,
+        dst: NodeId,
+        tag: Tag,
+        data: Vec<K>,
+        hops: u32,
+        cost: CostModel,
+    ) {
+        // The sender's port is busy pushing the elements onto its first link.
+        self.clock.advance(cost.transfer(data.len(), hops.min(1)));
+        self.stats.record_message(data.len(), hops);
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.clock.now(),
+                node: me,
+                tag,
+                kind: TraceKind::Send {
+                    to: dst,
+                    elements: data.len(),
+                    hops,
+                },
+            });
+        }
+        let msg = Message {
+            src: me,
+            tag,
+            data,
+            sent_at: self.clock.now(),
+            hops,
+        };
+        let tx = self.txs[dst.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("send to non-participating node {dst:?}"));
+        tx.send(msg).expect("receiver hung up");
+    }
+
+    fn recv(&mut self, me: NodeId, src: NodeId, tag: Tag, cost: CostModel) -> Vec<K> {
+        let msg = if let Some(m) = self.take_pending(src, tag) {
+            m
+        } else {
+            loop {
+                let m = self.rx.recv_timeout(self.recv_timeout).unwrap_or_else(|_| {
+                    panic!("{me:?}: timed out waiting for message ({src:?}, {tag:?}) — deadlock?")
+                });
+                if m.src == src && m.tag == tag {
+                    break m;
+                }
+                self.pending.entry((m.src, m.tag)).or_default().push(m);
+            }
+        };
+        self.clock
+            .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.clock.now(),
+                node: me,
+                tag,
+                kind: TraceKind::Recv {
+                    from: src,
+                    elements: msg.data.len(),
+                },
+            });
+        }
+        msg.data
+    }
+}
+
+/// Executor-specific half of a [`NodeCtx`].
+enum CtxInner<K> {
+    Threaded(Box<ThreadedCtx<K>>),
+    Seq(SeqCtx<K>),
+}
+
 /// The per-node communication handle handed to node programs.
 ///
-/// Implements [`Comm`]; created only by [`Engine::run`].
+/// Implements [`Comm`]; created only by the engines. The same type serves
+/// both executors so one generic node program compiles once and runs on
+/// either.
 pub struct NodeCtx<K> {
     me: NodeId,
     cube: Hypercube,
     faults: Arc<FaultSet>,
     cost: CostModel,
-    clock: VirtualClock,
-    stats: RunStats,
-    rx: Receiver<Message<K>>,
-    txs: Arc<Vec<Option<Sender<Message<K>>>>>,
-    /// Messages that arrived before they were asked for.
-    pending: HashMap<(NodeId, Tag), Vec<Message<K>>>,
-    recv_timeout: Duration,
     router: RouterKind,
-    /// Event log (Some only when tracing is enabled).
-    trace: Option<Vec<TraceEvent>>,
+    inner: CtxInner<K>,
 }
 
 impl<K> NodeCtx<K> {
-    fn take_pending(&mut self, src: NodeId, tag: Tag) -> Option<Message<K>> {
-        match self.pending.get_mut(&(src, tag)) {
-            Some(list) if !list.is_empty() => Some(list.remove(0)),
-            _ => None,
+    pub(super) fn new_seq(
+        me: NodeId,
+        cube: Hypercube,
+        faults: Arc<FaultSet>,
+        cost: CostModel,
+        router: RouterKind,
+        seq: SeqCtx<K>,
+    ) -> Self {
+        NodeCtx {
+            me,
+            cube,
+            faults,
+            cost,
+            router,
+            inner: CtxInner::Seq(seq),
         }
     }
 }
@@ -155,96 +295,65 @@ impl<K> Comm<K> for NodeCtx<K> {
 
     fn send(&mut self, dst: NodeId, tag: Tag, data: Vec<K>) {
         assert!(self.cube.contains(dst), "send to address outside cube");
-        let hops = match self.router {
-            RouterKind::Oracle => routing::hop_count(&self.faults, self.me, dst),
-            RouterKind::Adaptive => {
-                routing::adaptive_route(&self.faults, self.me, dst).map(|r| r.hops())
-            }
+        let hops = route_hops(&self.faults, self.router, self.me, dst);
+        match &mut self.inner {
+            CtxInner::Threaded(t) => t.send(self.me, dst, tag, data, hops, self.cost),
+            CtxInner::Seq(s) => s.send(self.me, dst, tag, data, hops, self.cost),
         }
-        .unwrap_or_else(|| panic!("{:?} cannot reach {:?}", self.me, dst));
-        // The sender's port is busy pushing the elements onto its first link.
-        self.clock.advance(self.cost.transfer(data.len(), hops.min(1)));
-        self.stats.record_message(data.len(), hops);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                time: self.clock.now(),
-                node: self.me,
-                tag,
-                kind: TraceKind::Send {
-                    to: dst,
-                    elements: data.len(),
-                    hops,
-                },
-            });
-        }
-        let msg = Message {
-            src: self.me,
-            tag,
-            data,
-            sent_at: self.clock.now(),
-            hops,
-        };
-        let tx = self.txs[dst.index()]
-            .as_ref()
-            .unwrap_or_else(|| panic!("send to non-participating node {dst:?}"));
-        tx.send(msg).expect("receiver hung up");
     }
 
-    fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K> {
-        let msg = if let Some(m) = self.take_pending(src, tag) {
-            m
-        } else {
-            loop {
-                let m = self
-                    .rx
-                    .recv_timeout(self.recv_timeout)
-                    .unwrap_or_else(|_| {
-                        panic!(
-                            "{:?}: timed out waiting for message ({:?}, {:?}) — deadlock?",
-                            self.me, src, tag
-                        )
-                    });
-                if m.src == src && m.tag == tag {
-                    break m;
-                }
-                self.pending.entry((m.src, m.tag)).or_default().push(m);
-            }
-        };
-        self.clock
-            .receive(msg.sent_at, self.cost.transfer(msg.data.len(), msg.hops));
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                time: self.clock.now(),
-                node: self.me,
-                tag,
-                kind: TraceKind::Recv {
-                    from: src,
-                    elements: msg.data.len(),
-                },
-            });
+    async fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K> {
+        match &mut self.inner {
+            CtxInner::Threaded(t) => t.recv(self.me, src, tag, self.cost),
+            CtxInner::Seq(s) => s.recv(self.me, src, tag, self.cost).await,
         }
-        msg.data
     }
 
     fn charge_comparisons(&mut self, count: usize) {
-        self.clock.advance(self.cost.compare(count));
-        self.stats.record_comparisons(count);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                time: self.clock.now(),
-                node: self.me,
-                tag: Tag::new(0),
-                kind: TraceKind::Compute { comparisons: count },
-            });
+        match &mut self.inner {
+            CtxInner::Threaded(t) => {
+                t.clock.advance(self.cost.compare(count));
+                t.stats.record_comparisons(count);
+                if let Some(trace) = &mut t.trace {
+                    trace.push(TraceEvent {
+                        time: t.clock.now(),
+                        node: self.me,
+                        tag: Tag::new(0),
+                        kind: TraceKind::Compute { comparisons: count },
+                    });
+                }
+            }
+            CtxInner::Seq(s) => s.charge_comparisons(self.me, count, self.cost),
         }
     }
 
     fn charge_compute(&mut self, cost: f64) {
-        self.clock.advance(cost);
+        match &mut self.inner {
+            CtxInner::Threaded(t) => t.clock.advance(cost),
+            CtxInner::Seq(s) => s.charge_compute(self.me, cost),
+        }
     }
 
     fn clock(&self) -> f64 {
-        self.clock.now()
+        match &self.inner {
+            CtxInner::Threaded(t) => t.clock.now(),
+            CtxInner::Seq(s) => s.clock(self.me),
+        }
+    }
+}
+
+/// Polls a node-program future to completion on the current thread.
+///
+/// On the threaded engine a blocked receive blocks *inside* the poll (on the
+/// channel), so the future is always `Ready` after one poll.
+pub(super) fn run_to_completion<Fut: Future>(fut: Fut) -> Fut::Output {
+    let mut cx = Context::from_waker(Waker::noop());
+    let mut fut = std::pin::pin!(fut);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(v) => v,
+        Poll::Pending => unreachable!(
+            "threaded-engine node programs never suspend: recv blocks on the channel inside poll"
+        ),
     }
 }
 
@@ -256,11 +365,12 @@ pub struct Engine {
     recv_timeout: Duration,
     router: RouterKind,
     tracing: bool,
+    kind: EngineKind,
 }
 
 impl Engine {
     /// Creates a machine over the fault set's topology with the given cost
-    /// model.
+    /// model, using the default executor ([`EngineKind::Seq`]).
     pub fn new(faults: FaultSet, cost: CostModel) -> Self {
         Engine {
             faults: Arc::new(faults),
@@ -268,12 +378,20 @@ impl Engine {
             recv_timeout: Duration::from_secs(30),
             router: RouterKind::default(),
             tracing: false,
+            kind: EngineKind::default(),
         }
     }
 
     /// Selects the routing algorithm used to charge hops (builder style).
     pub fn with_router(mut self, router: RouterKind) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Selects the executor (builder style). Both executors produce
+    /// identical simulated results; they differ only in wall-clock cost.
+    pub fn with_engine(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
         self
     }
 
@@ -289,7 +407,9 @@ impl Engine {
         Engine::new(FaultSet::none(cube), cost)
     }
 
-    /// Overrides the receive timeout used to detect deadlocked programs.
+    /// Overrides the receive timeout the threaded executor uses to detect
+    /// deadlocked programs (the sequential executor detects deadlock
+    /// immediately and ignores this).
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
         self
@@ -310,39 +430,69 @@ impl Engine {
         self.cost
     }
 
+    /// The executor this machine runs programs on.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    pub(super) fn faults_arc(&self) -> Arc<FaultSet> {
+        Arc::clone(&self.faults)
+    }
+
+    pub(super) fn router(&self) -> RouterKind {
+        self.router
+    }
+
+    pub(super) fn tracing(&self) -> bool {
+        self.tracing
+    }
+
     /// Runs `program` SPMD on every node for which `inputs` supplies data.
     ///
     /// `inputs[i]` is the initial local data of node `i`; nodes with `None`
-    /// (faulty or deliberately idle processors) get no thread and must not be
+    /// (faulty or deliberately idle processors) are not run and must not be
     /// addressed by the program. Returns per-node results, virtual clocks and
-    /// operation counts.
+    /// operation counts — identical for both [`EngineKind`]s.
     ///
     /// # Panics
-    /// Propagates panics from node programs (including the deadlock timeout)
+    /// Propagates panics from node programs (including deadlock detection)
     /// and rejects inputs assigned to faulty processors.
     pub fn run<K, T, F>(&self, inputs: Vec<Option<Vec<K>>>, program: F) -> RunOutcome<T>
     where
         K: Send,
         T: Send,
-        F: Fn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+        F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+    {
+        match self.kind {
+            EngineKind::Threaded => self.run_threaded(inputs, program),
+            EngineKind::Seq => SeqEngine::from_engine(self).run(inputs, program),
+        }
+    }
+
+    fn run_threaded<K, T, F>(&self, inputs: Vec<Option<Vec<K>>>, program: F) -> RunOutcome<T>
+    where
+        K: Send,
+        T: Send,
+        F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
     {
         let cube = self.cube();
-        assert_eq!(inputs.len(), cube.len(), "one input slot per processor");
-        for (i, slot) in inputs.iter().enumerate() {
-            if slot.is_some() {
-                assert!(
-                    self.faults.is_normal(NodeId::from(i)),
-                    "input assigned to faulty processor P{i}"
-                );
-            }
-        }
+        validate_inputs(&self.faults, &inputs);
 
-        // Build one channel per participating node.
-        let mut txs: Vec<Option<Sender<Message<K>>>> = Vec::with_capacity(cube.len());
+        // Build one bounded channel per participating node. The capacity is
+        // the engine's per-node message budget, derived from the cost
+        // model's communication structure: in any single algorithm phase a
+        // node receives from at most `dim` distinct peers (its tree children
+        // in a binomial collective, or one compare-split partner), and the
+        // two-round half-exchange protocol keeps at most 2 messages per
+        // peer in flight. `2 * dim + 4` therefore bounds the backlog of any
+        // well-formed program; receivers drain their channel whenever they
+        // block, so senders never stall against a live receiver.
+        let capacity = 2 * cube.dim() + 4;
+        let mut txs: Vec<Option<SyncSender<Message<K>>>> = Vec::with_capacity(cube.len());
         let mut rxs: Vec<Option<Receiver<Message<K>>>> = Vec::with_capacity(cube.len());
         for slot in &inputs {
             if slot.is_some() {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = sync_channel(capacity);
                 txs.push(Some(tx));
                 rxs.push(Some(rx));
             } else {
@@ -352,8 +502,7 @@ impl Engine {
         }
         let txs = Arc::new(txs);
 
-        let mut outcomes: Vec<Option<NodeOutcome<T>>> =
-            (0..cube.len()).map(|_| None).collect();
+        let mut outcomes: Vec<Option<NodeOutcome<T>>> = (0..cube.len()).map(|_| None).collect();
         let program = &program;
 
         let traces = std::thread::scope(|scope| {
@@ -374,24 +523,29 @@ impl Engine {
                         cube,
                         faults,
                         cost,
-                        clock: VirtualClock::new(),
-                        stats: RunStats::new(),
-                        rx,
-                        txs,
-                        pending: HashMap::new(),
-                        recv_timeout,
                         router,
-                        trace: tracing.then(Vec::new),
+                        inner: CtxInner::Threaded(Box::new(ThreadedCtx {
+                            clock: VirtualClock::new(),
+                            stats: RunStats::new(),
+                            rx,
+                            txs,
+                            pending: HashMap::new(),
+                            recv_timeout,
+                            trace: tracing.then(Vec::new),
+                        })),
                     };
-                    let result = program(&mut ctx, input);
+                    let result = run_to_completion(program(&mut ctx, input));
+                    let CtxInner::Threaded(t) = ctx.inner else {
+                        unreachable!()
+                    };
                     (
                         i,
                         NodeOutcome {
                             result,
-                            clock: ctx.clock.now(),
-                            stats: ctx.stats,
+                            clock: t.clock.now(),
+                            stats: t.stats,
                         },
-                        ctx.trace.unwrap_or_default(),
+                        t.trace.unwrap_or_default(),
                     )
                 });
                 handles.push(handle);
@@ -421,6 +575,13 @@ mod tests {
         Engine::fault_free(Hypercube::new(n), CostModel::paper_form())
     }
 
+    fn both(n: usize) -> [Engine; 2] {
+        [
+            engine(n).with_engine(EngineKind::Seq),
+            engine(n).with_engine(EngineKind::Threaded),
+        ]
+    }
+
     /// Inputs giving every node one key equal to its own address.
     fn identity_inputs(n: usize) -> Vec<Option<Vec<u32>>> {
         (0..1usize << n).map(|i| Some(vec![i as u32])).collect()
@@ -428,14 +589,15 @@ mod tests {
 
     #[test]
     fn ping_pong_between_neighbors() {
-        let eng = engine(1);
-        let out = eng.run(identity_inputs(1), |ctx, data| {
-            let partner = ctx.me().neighbor(0);
-            let theirs = ctx.exchange(partner, Tag::new(0), data);
-            theirs[0]
-        });
-        let results = out.into_results();
-        assert_eq!(results, vec![(NodeId::new(0), 1), (NodeId::new(1), 0)]);
+        for eng in both(1) {
+            let out = eng.run(identity_inputs(1), async |ctx, data| {
+                let partner = ctx.me().neighbor(0);
+                let theirs = ctx.exchange(partner, Tag::new(0), data).await;
+                theirs[0]
+            });
+            let results = out.into_results();
+            assert_eq!(results, vec![(NodeId::new(0), 1), (NodeId::new(1), 0)]);
+        }
     }
 
     #[test]
@@ -443,31 +605,35 @@ mod tests {
         // All-to-all reduction by sweeping dimensions: every node ends up
         // with the sum over the whole cube.
         let n = 4;
-        let eng = engine(n);
-        let out = eng.run(identity_inputs(n), |ctx, data| {
-            let mut acc = data[0];
-            for d in 0..ctx.cube().dim() {
-                let theirs = ctx.exchange(ctx.me().neighbor(d), Tag::new(d as u64), vec![acc]);
-                acc += theirs[0];
+        for eng in both(n) {
+            let out = eng.run(identity_inputs(n), async |ctx, data| {
+                let mut acc = data[0];
+                for d in 0..ctx.cube().dim() {
+                    let theirs = ctx
+                        .exchange(ctx.me().neighbor(d), Tag::new(d as u64), vec![acc])
+                        .await;
+                    acc += theirs[0];
+                }
+                acc
+            });
+            let expected: u32 = (0..16).sum();
+            for (_, v) in out.into_results() {
+                assert_eq!(v, expected);
             }
-            acc
-        });
-        let expected: u32 = (0..16).sum();
-        for (_, v) in out.into_results() {
-            assert_eq!(v, expected);
         }
     }
 
     #[test]
-    fn virtual_time_is_deterministic_across_runs() {
+    fn virtual_time_is_deterministic_across_runs_and_engines() {
         let n = 4;
-        let run = || {
-            let eng = engine(n);
-            let out = eng.run(identity_inputs(n), |ctx, data| {
+        let run = |kind: EngineKind| {
+            let eng = engine(n).with_engine(kind);
+            let out = eng.run(identity_inputs(n), async |ctx, data| {
                 let mut acc = data;
                 for d in 0..ctx.cube().dim() {
-                    let theirs =
-                        ctx.exchange(ctx.me().neighbor(d), Tag::new(d as u64), acc.clone());
+                    let theirs = ctx
+                        .exchange(ctx.me().neighbor(d), Tag::new(d as u64), acc.clone())
+                        .await;
                     ctx.charge_comparisons(acc.len() + theirs.len());
                     acc.extend(theirs);
                     acc.sort_unstable();
@@ -477,11 +643,15 @@ mod tests {
             let clocks: Vec<f64> = out.outcomes().iter().flatten().map(|o| o.clock).collect();
             (out.turnaround(), clocks)
         };
-        let (t1, c1) = run();
-        let (t2, c2) = run();
+        let (t1, c1) = run(EngineKind::Seq);
+        let (t2, c2) = run(EngineKind::Seq);
         assert_eq!(t1, t2);
         assert_eq!(c1, c2);
         assert!(t1 > 0.0);
+        // …and the threaded executor computes the exact same virtual times.
+        let (t3, c3) = run(EngineKind::Threaded);
+        assert_eq!(t1, t3);
+        assert_eq!(c1, c3);
     }
 
     #[test]
@@ -490,33 +660,34 @@ mod tests {
         // receiver's clock must be ≥ k * n * t_sr.
         let n = 3;
         let k = 100usize;
-        let eng = engine(n);
-        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
-        inputs[0] = Some((0..k as u32).collect());
-        inputs[7] = Some(vec![]);
-        let out = eng.run(inputs, |ctx, data| {
-            if ctx.me() == NodeId::new(0) {
-                ctx.send(NodeId::new(7), Tag::new(1), data);
-                0.0
-            } else {
-                let got = ctx.recv(NodeId::new(0), Tag::new(1));
-                assert_eq!(got.len(), k);
-                ctx.clock()
-            }
-        });
-        let t_sr = eng.cost_model().t_sr;
-        let receiver_clock = out.node(NodeId::new(7)).unwrap().result;
-        // sender pays 1 hop of port time, receiver syncs to sent_at + 3 hops
-        let expected = (k as f64) * t_sr + (k as f64) * 3.0 * t_sr;
-        assert!(
-            (receiver_clock - expected).abs() < 1e-9,
-            "clock {receiver_clock} vs expected {expected}"
-        );
-        let stats = out.total_stats();
-        assert_eq!(stats.messages, 1);
-        assert_eq!(stats.elements_sent, k as u64);
-        assert_eq!(stats.element_hops, (k * 3) as u64);
-        assert_eq!(stats.max_hops, 3);
+        for eng in both(n) {
+            let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
+            inputs[0] = Some((0..k as u32).collect());
+            inputs[7] = Some(vec![]);
+            let out = eng.run(inputs, async |ctx, data| {
+                if ctx.me() == NodeId::new(0) {
+                    ctx.send(NodeId::new(7), Tag::new(1), data);
+                    0.0
+                } else {
+                    let got = ctx.recv(NodeId::new(0), Tag::new(1)).await;
+                    assert_eq!(got.len(), k);
+                    ctx.clock()
+                }
+            });
+            let t_sr = eng.cost_model().t_sr;
+            let receiver_clock = out.node(NodeId::new(7)).unwrap().result;
+            // sender pays 1 hop of port time, receiver syncs to sent_at + 3 hops
+            let expected = (k as f64) * t_sr + (k as f64) * 3.0 * t_sr;
+            assert!(
+                (receiver_clock - expected).abs() < 1e-9,
+                "clock {receiver_clock} vs expected {expected}"
+            );
+            let stats = out.total_stats();
+            assert_eq!(stats.messages, 1);
+            assert_eq!(stats.elements_sent, k as u64);
+            assert_eq!(stats.element_hops, (k * 3) as u64);
+            assert_eq!(stats.max_hops, 3);
+        }
     }
 
     #[test]
@@ -524,17 +695,16 @@ mod tests {
         // With node 1 totally faulty, 0 → 3 must detour (still 2 hops in Q2?
         // no: Q2 path 0→2→3 avoids 1 and has 2 hops). Use Q3 and kill both
         // intermediates 1 and 2 so the route 0→3 needs 4 hops.
-        let faults =
-            FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Total);
+        let faults = FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Total);
         let eng = Engine::new(faults, CostModel::paper_form());
         let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
         inputs[0] = Some(vec![42]);
         inputs[3] = Some(vec![]);
-        let out = eng.run(inputs, |ctx, _data| {
+        let out = eng.run(inputs, async |ctx, _data| {
             if ctx.me() == NodeId::new(0) {
                 ctx.send(NodeId::new(3), Tag::new(9), vec![7]);
             } else {
-                let got = ctx.recv(NodeId::new(0), Tag::new(9));
+                let got = ctx.recv(NodeId::new(0), Tag::new(9)).await;
                 assert_eq!(got, vec![7]);
             }
         });
@@ -543,131 +713,183 @@ mod tests {
 
     #[test]
     fn partial_fault_model_relays_through_faults() {
-        let faults =
-            FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Partial);
+        let faults = FaultSet::from_raw(Hypercube::new(3), &[1, 2]).with_model(FaultModel::Partial);
         let eng = Engine::new(faults, CostModel::paper_form());
         let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
         inputs[0] = Some(vec![]);
         inputs[3] = Some(vec![]);
-        let out = eng.run(inputs, |ctx, _| {
+        let out = eng.run(inputs, async |ctx, _| {
             if ctx.me() == NodeId::new(0) {
                 ctx.send(NodeId::new(3), Tag::new(9), vec![7u32]);
             } else {
-                ctx.recv(NodeId::new(0), Tag::new(9));
+                ctx.recv(NodeId::new(0), Tag::new(9)).await;
             }
         });
-        assert_eq!(out.total_stats().max_hops, 2, "e-cube path relays via fault");
+        assert_eq!(
+            out.total_stats().max_hops,
+            2,
+            "e-cube path relays via fault"
+        );
     }
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        let eng = engine(1);
-        let out = eng.run(identity_inputs(1), |ctx, _| {
-            let partner = ctx.me().neighbor(0);
-            if ctx.me() == NodeId::new(0) {
-                // send in one order…
-                ctx.send(partner, Tag::new(1), vec![10u32]);
-                ctx.send(partner, Tag::new(2), vec![20u32]);
-                0
-            } else {
-                // …receive in the other
-                let b = ctx.recv(NodeId::new(0), Tag::new(2));
-                let a = ctx.recv(NodeId::new(0), Tag::new(1));
-                a[0] + b[0]
-            }
-        });
-        assert_eq!(out.node(NodeId::new(1)).unwrap().result, 30);
+        for eng in both(1) {
+            let out = eng.run(identity_inputs(1), async |ctx, _| {
+                let partner = ctx.me().neighbor(0);
+                if ctx.me() == NodeId::new(0) {
+                    // send in one order…
+                    ctx.send(partner, Tag::new(1), vec![10u32]);
+                    ctx.send(partner, Tag::new(2), vec![20u32]);
+                    0
+                } else {
+                    // …receive in the other
+                    let b = ctx.recv(NodeId::new(0), Tag::new(2)).await;
+                    let a = ctx.recv(NodeId::new(0), Tag::new(1)).await;
+                    a[0] + b[0]
+                }
+            });
+            assert_eq!(out.node(NodeId::new(1)).unwrap().result, 30);
+        }
     }
 
     #[test]
     fn comparisons_charge_clock_and_stats() {
-        let eng = engine(0);
-        let out = eng.run(vec![Some(Vec::<u32>::new())], |ctx, _| {
-            ctx.charge_comparisons(17);
-            ctx.charge_compute(5.0);
-            ctx.clock()
-        });
-        let o = out.node(NodeId::new(0)).unwrap();
-        assert_eq!(o.result, 17.0 * eng.cost_model().t_c + 5.0);
-        assert_eq!(o.stats.comparisons, 17);
+        for eng in both(0) {
+            let out = eng.run(vec![Some(Vec::<u32>::new())], async |ctx, _| {
+                ctx.charge_comparisons(17);
+                ctx.charge_compute(5.0);
+                ctx.clock()
+            });
+            let o = out.node(NodeId::new(0)).unwrap();
+            assert_eq!(o.result, 17.0 * eng.cost_model().t_c + 5.0);
+            assert_eq!(o.stats.comparisons, 17);
+        }
     }
 
     #[test]
     fn faulty_nodes_cannot_receive_inputs() {
-        let faults = FaultSet::from_raw(Hypercube::new(2), &[1]);
-        let eng = Engine::new(faults, CostModel::paper_form());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
-            inputs[1] = Some(vec![1]);
-            eng.run(inputs, |_ctx, _d| 0u32);
-        }));
-        assert!(result.is_err());
+        for kind in [EngineKind::Seq, EngineKind::Threaded] {
+            let faults = FaultSet::from_raw(Hypercube::new(2), &[1]);
+            let eng = Engine::new(faults, CostModel::paper_form()).with_engine(kind);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
+                inputs[1] = Some(vec![1]);
+                eng.run(inputs, async |_ctx, _d| 0u32);
+            }));
+            assert!(result.is_err());
+        }
     }
 
     #[test]
     fn tracing_records_sends_recvs_and_compute() {
         use super::super::trace::TraceKind;
-        let eng = Engine::fault_free(Hypercube::new(1), CostModel::paper_form()).with_tracing();
-        let out = eng.run(identity_inputs(1), |ctx, data| {
-            ctx.charge_comparisons(3);
-            let partner = ctx.me().neighbor(0);
-            let theirs = ctx.exchange(partner, Tag::new(4), data);
-            theirs[0]
-        });
-        let trace = out.trace();
-        assert!(!trace.is_empty());
-        // 2 sends + 2 recvs + 2 computes
-        assert_eq!(trace.len(), 6);
-        assert_eq!(trace.sends().count(), 2);
-        // timestamps are non-decreasing
-        assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].time <= w[1].time));
-        // every send has a matching recv with the same element count
-        for s in trace.sends() {
-            let TraceKind::Send { to, elements, .. } = s.kind else {
-                unreachable!()
-            };
-            assert!(trace.for_node(to).any(|e| matches!(
-                e.kind,
-                TraceKind::Recv { from, elements: el } if from == s.node && el == elements
-            )));
+        for eng in both(1) {
+            let eng = eng.with_tracing();
+            let out = eng.run(identity_inputs(1), async |ctx, data| {
+                ctx.charge_comparisons(3);
+                let partner = ctx.me().neighbor(0);
+                let theirs = ctx.exchange(partner, Tag::new(4), data).await;
+                theirs[0]
+            });
+            let trace = out.trace();
+            assert!(!trace.is_empty());
+            // 2 sends + 2 recvs + 2 computes
+            assert_eq!(trace.len(), 6);
+            assert_eq!(trace.sends().count(), 2);
+            // timestamps are non-decreasing
+            assert!(trace.events().windows(2).all(|w| w[0].time <= w[1].time));
+            // every send has a matching recv with the same element count
+            for s in trace.sends() {
+                let TraceKind::Send { to, elements, .. } = s.kind else {
+                    unreachable!()
+                };
+                assert!(trace.for_node(to).any(|e| matches!(
+                    e.kind,
+                    TraceKind::Recv { from, elements: el } if from == s.node && el == elements
+                )));
+            }
         }
     }
 
     #[test]
     fn tracing_disabled_by_default() {
         let eng = Engine::fault_free(Hypercube::new(1), CostModel::paper_form());
-        let out = eng.run(identity_inputs(1), |ctx, data| {
-            ctx.exchange(ctx.me().neighbor(0), Tag::new(4), data)
+        let out = eng.run(identity_inputs(1), async |ctx, data| {
+            ctx.exchange(ctx.me().neighbor(0), Tag::new(4), data).await
         });
         assert!(out.trace().is_empty());
     }
 
     #[test]
     fn recv_timeout_detects_deadlock() {
-        let eng = Engine::fault_free(Hypercube::new(0), CostModel::paper_form())
-            .with_recv_timeout(Duration::from_millis(100));
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            eng.run(vec![Some(vec![0u32])], |ctx, _| {
-                // nobody ever sends this: the engine must panic, not hang
-                ctx.recv(ctx.me(), Tag::new(1))
-            });
-        }));
-        assert!(result.is_err(), "deadlocked program must panic");
+        // Threaded: the channel read times out. Seq: the scheduler sees no
+        // runnable node and panics immediately.
+        for eng in both(0) {
+            let eng = eng.with_recv_timeout(Duration::from_millis(100));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng.run(vec![Some(vec![0u32])], async |ctx, _| {
+                    // nobody ever sends this: the engine must panic, not hang
+                    ctx.recv(ctx.me(), Tag::new(1)).await
+                });
+            }));
+            assert!(result.is_err(), "deadlocked program must panic");
+        }
     }
 
     #[test]
     fn idle_nodes_do_not_run() {
-        let eng = engine(2);
-        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
-        inputs[2] = Some(vec![]);
-        let out = eng.run(inputs, |ctx, _| ctx.me().raw());
-        assert!(out.node(NodeId::new(0)).is_none());
-        assert!(out.node(NodeId::new(1)).is_none());
-        assert_eq!(out.node(NodeId::new(2)).unwrap().result, 2);
-        assert!(out.node(NodeId::new(3)).is_none());
-        assert_eq!(out.into_results().len(), 1);
+        for eng in both(2) {
+            let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
+            inputs[2] = Some(vec![]);
+            let out = eng.run(inputs, async |ctx, _| ctx.me().raw());
+            assert!(out.node(NodeId::new(0)).is_none());
+            assert!(out.node(NodeId::new(1)).is_none());
+            assert_eq!(out.node(NodeId::new(2)).unwrap().result, 2);
+            assert!(out.node(NodeId::new(3)).is_none());
+            assert_eq!(out.into_results().len(), 1);
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_trace_clocks_and_stats() {
+        // A busier program: binomial-tree gather at node 0 on Q3.
+        let n = 3;
+        let run = |kind: EngineKind| {
+            engine(n)
+                .with_engine(kind)
+                .with_tracing()
+                .run(identity_inputs(n), async |ctx, data| {
+                    let me = ctx.me().raw();
+                    let mut acc = data;
+                    for d in 0..ctx.cube().dim() {
+                        if me & ((1 << (d + 1)) - 1) == 0 {
+                            let child = ctx.me().neighbor(d);
+                            let theirs = ctx.recv(child, Tag::new(d as u64)).await;
+                            ctx.charge_comparisons(theirs.len());
+                            acc.extend(theirs);
+                        } else if me & ((1 << d) - 1) == 0 {
+                            ctx.send(ctx.me().neighbor(d), Tag::new(d as u64), acc);
+                            return Vec::new();
+                        }
+                    }
+                    acc
+                })
+        };
+        let a = run(EngineKind::Seq);
+        let b = run(EngineKind::Threaded);
+        assert_eq!(a.node(NodeId::new(0)).unwrap().result.len(), 8);
+        for (x, y) in a.outcomes().iter().zip(b.outcomes()) {
+            match (x, y) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.result, y.result);
+                    assert_eq!(x.clock, y.clock);
+                    assert_eq!(x.stats, y.stats);
+                }
+                _ => panic!("participation differs between engines"),
+            }
+        }
+        assert_eq!(a.trace().events(), b.trace().events());
     }
 }

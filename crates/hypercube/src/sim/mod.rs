@@ -1,11 +1,12 @@
 //! The simulated message-passing multicomputer.
 //!
 //! Algorithms are written SPMD-style: the same *node program* runs on every
-//! normal processor, communicating through the [`Comm`] handle. The
-//! [`engine::Engine`] executes one OS thread per simulated processor with
-//! crossbeam channels as the interconnect and an e-cube router (or a
-//! fault-avoiding router under the total-fault model) charging the paper's
-//! cost model per element and hop.
+//! normal processor, communicating through the [`Comm`] handle. Node
+//! programs are `async`: a blocked receive suspends the node, which lets
+//! one executor run nodes on OS threads ([`engine::Engine`] with
+//! [`EngineKind::Threaded`]) and another schedule all of them cooperatively
+//! on a single thread ([`sequential::SeqEngine`], the default) — same
+//! program, identical simulated results.
 //!
 //! ## Deterministic virtual time
 //!
@@ -14,13 +15,17 @@
 //! time and the receiver synchronizes to `max(local, sent_at + transfer)`.
 //! Because the algorithms' communication patterns are data-independent, the
 //! resulting virtual times are a deterministic function of the inputs — they
-//! do not depend on OS scheduling — so simulated "execution times" (Figure 7)
-//! are exactly reproducible.
+//! do not depend on OS scheduling *or on the executor* — so simulated
+//! "execution times" (Figure 7) are exactly reproducible, and both engines
+//! produce byte-identical outputs, clocks, statistics and traces (asserted
+//! by `tests/engine_diff.rs` in the workspace root).
 
 pub mod engine;
+pub mod sequential;
 pub mod trace;
 
 pub use engine::{Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
+pub use sequential::SeqEngine;
 pub use trace::{Trace, TraceEvent, TraceKind};
 
 use crate::address::NodeId;
@@ -28,12 +33,52 @@ use crate::cost::CostModel;
 use crate::fault::FaultSet;
 use crate::topology::Hypercube;
 
+/// Which executor runs the node programs.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum EngineKind {
+    /// One OS thread per simulated processor, bounded channels as the
+    /// interconnect. Real concurrency; wall-clock cost grows with the
+    /// machine size (a `Q_10` run schedules 1024 kernel threads).
+    Threaded,
+    /// Single-threaded run-to-completion cooperative scheduler
+    /// ([`sequential::SeqEngine`]): blocked receives park the node on a
+    /// `(src, tag)` wait map and the runnable node with the lowest virtual
+    /// clock executes next. No OS threads, no synchronization on the hot
+    /// path — the default.
+    #[default]
+    Seq,
+}
+
+impl EngineKind {
+    /// Parses the CLI spelling (`threaded` | `seq`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "threaded" => Some(EngineKind::Threaded),
+            "seq" | "sequential" => Some(EngineKind::Seq),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Threaded => write!(f, "threaded"),
+            EngineKind::Seq => write!(f, "seq"),
+        }
+    }
+}
+
 /// A message tag disambiguating algorithm phases.
 ///
 /// Receives are addressed by `(source, tag)`; messages from the same source
 /// with different tags can arrive in any order and are buffered until asked
 /// for. Build tags with [`Tag::new`] or [`Tag::phase`].
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Tag(pub u64);
 
 impl Tag {
@@ -52,7 +97,11 @@ impl Tag {
 /// The communication and accounting interface a node program runs against.
 ///
 /// All sorting algorithms in the `ftsort` crate are generic over this trait,
-/// so they can run on the real threaded engine or on any future executor.
+/// so they run unmodified on the threaded MIMD engine and on the sequential
+/// event-driven engine. `recv` (and anything built on it) is `async`: the
+/// threaded engine blocks inside the poll, the sequential engine suspends
+/// the node program and resumes it when the message arrives.
+#[allow(async_fn_in_trait)] // simulator-internal trait; no Send futures needed
 pub trait Comm<K> {
     /// This processor's physical address.
     fn me(&self) -> NodeId;
@@ -67,17 +116,19 @@ pub trait Comm<K> {
     fn cost_model(&self) -> CostModel;
 
     /// Sends `data` to `dst` (non-blocking); the router charges
-    /// `hops(me, dst)` links per element.
+    /// `hops(me, dst)` links per element. Ownership of the payload moves to
+    /// the receiver — on the sequential engine this is a pointer handoff,
+    /// no copy.
     fn send(&mut self, dst: NodeId, tag: Tag, data: Vec<K>);
 
-    /// Receives the message with tag `tag` from `src`, blocking until it
+    /// Receives the message with tag `tag` from `src`, suspending until it
     /// arrives. Messages with other `(src, tag)` pairs are buffered.
-    fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K>;
+    async fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K>;
 
     /// Full-duplex exchange with a partner: send ours, receive theirs.
-    fn exchange(&mut self, partner: NodeId, tag: Tag, data: Vec<K>) -> Vec<K> {
+    async fn exchange(&mut self, partner: NodeId, tag: Tag, data: Vec<K>) -> Vec<K> {
         self.send(partner, tag, data);
-        self.recv(partner, tag)
+        self.recv(partner, tag).await
     }
 
     /// Charges `count` key comparisons to the local clock and statistics.
@@ -106,5 +157,48 @@ mod tests {
         assert_eq!(Tag::phase(0, 0, 0), Tag::new(0));
         assert_eq!(Tag::phase(0, 0, 5), Tag::new(5));
         assert_eq!(Tag::phase(0, 1, 0), Tag::new(1 << 16));
+    }
+
+    #[test]
+    fn distinct_phase_triples_never_alias() {
+        // Collision safety over the index ranges the algorithms actually
+        // use: phases 0..=20 plus the step-8 namespaces around 100 and 612,
+        // loop indices up to 16, and the u16::MAX marker reverse_windows
+        // uses. Any alias would let one substage consume another's message.
+        let mut seen = std::collections::HashMap::new();
+        let phases: Vec<u16> = (0..=20)
+            .chain(100..=116)
+            .chain(612..=628)
+            .chain([500, 501, u16::MAX])
+            .collect();
+        let idxs: Vec<u16> = (0..=16).chain([u16::MAX]).collect();
+        for &p in &phases {
+            for &i in &idxs {
+                for &j in &idxs {
+                    let tag = Tag::phase(p, i, j);
+                    if let Some(prev) = seen.insert(tag, (p, i, j)) {
+                        panic!("{:?} aliases {:?} at {tag:?}", (p, i, j), prev);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phase_tags_leave_protocol_round_bits_clear() {
+        // compare_split_remote reserves the top two tag bits for its rounds
+        let t = Tag::phase(u16::MAX, u16::MAX, u16::MAX);
+        assert_eq!(t.0 >> 62, 0);
+    }
+
+    #[test]
+    fn engine_kind_parses_cli_spellings() {
+        assert_eq!(EngineKind::parse("threaded"), Some(EngineKind::Threaded));
+        assert_eq!(EngineKind::parse("seq"), Some(EngineKind::Seq));
+        assert_eq!(EngineKind::parse("sequential"), Some(EngineKind::Seq));
+        assert_eq!(EngineKind::parse("fast"), None);
+        assert_eq!(EngineKind::Threaded.to_string(), "threaded");
+        assert_eq!(EngineKind::Seq.to_string(), "seq");
+        assert_eq!(EngineKind::default(), EngineKind::Seq);
     }
 }

@@ -1,0 +1,551 @@
+//! The sequential event-driven engine: all node programs cooperatively
+//! scheduled on one thread.
+//!
+//! Node programs are async state machines; a blocked [`Comm::recv`] parks
+//! the node on a per-`(src, tag)` wait entry and returns `Pending`. The
+//! scheduler keeps runnable nodes in a min-heap ordered by virtual clock and
+//! always resumes the runnable node with the *lowest* virtual time — the
+//! classic event-driven simulation discipline. A send checks the wait map
+//! and, if the destination is parked on exactly that `(src, tag)`, makes it
+//! runnable again.
+//!
+//! Compared to the threaded engine this removes all OS threads, channels,
+//! context switches and payload copies (a message send hands over the
+//! `Vec<K>` allocation to the receiver), while charging the *same* virtual
+//! time through the same [`CostModel`]/[`VirtualClock`] calls in the same
+//! per-node order — so clocks, statistics and traces are byte-identical
+//! between the engines.
+//!
+//! Deadlock is detected exactly: if unfinished nodes remain but none is
+//! runnable, the engine panics immediately with the full wait map instead of
+//! waiting for a timeout.
+//!
+//! [`Comm::recv`]: super::Comm::recv
+
+use super::engine::{validate_inputs, Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
+use super::trace::{Trace, TraceEvent, TraceKind};
+use super::Tag;
+use crate::address::NodeId;
+use crate::cost::{CostModel, VirtualClock};
+use crate::fault::FaultSet;
+use crate::stats::RunStats;
+use crate::topology::Hypercube;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+/// A message parked in the destination's inbox.
+struct SeqMessage<K> {
+    src: NodeId,
+    tag: Tag,
+    data: Vec<K>,
+    sent_at: f64,
+    hops: u32,
+}
+
+/// Per-node bookkeeping inside the shared scheduler state.
+struct SeqNode {
+    clock: VirtualClock,
+    stats: RunStats,
+    trace: Option<Vec<TraceEvent>>,
+    /// `Some((src, tag))` while the node is parked in a blocked `recv`.
+    waiting: Option<(NodeId, Tag)>,
+    participating: bool,
+}
+
+/// Scheduler state shared by all node contexts of one run.
+struct SeqShared<K> {
+    /// Per-destination inboxes, scanned front-to-back on `recv` so delivery
+    /// stays FIFO per `(src, tag)` — the same order a channel gives. The
+    /// algorithms keep each node's outstanding-message count small (cf. the
+    /// threaded engine's `2·dim + 4` channel bound), so a linear scan of a
+    /// short `Vec` beats hashing `(dst, src, tag)` triples — and unlike a
+    /// map keyed by tag, consumed messages leave nothing behind.
+    inboxes: Vec<Vec<SeqMessage<K>>>,
+    nodes: Vec<SeqNode>,
+    /// Nodes unparked by sends since the last scheduling step.
+    woken: Vec<usize>,
+}
+
+impl<K> SeqShared<K> {
+    fn take(&mut self, dst: NodeId, src: NodeId, tag: Tag) -> Option<SeqMessage<K>> {
+        let inbox = &mut self.inboxes[dst.index()];
+        let i = inbox.iter().position(|m| m.src == src && m.tag == tag)?;
+        Some(inbox.remove(i))
+    }
+}
+
+/// The sequential engine's half of a [`NodeCtx`].
+pub(super) struct SeqCtx<K> {
+    shared: Rc<RefCell<SeqShared<K>>>,
+}
+
+impl<K> SeqCtx<K> {
+    pub(super) fn send(
+        &mut self,
+        me: NodeId,
+        dst: NodeId,
+        tag: Tag,
+        data: Vec<K>,
+        hops: u32,
+        cost: CostModel,
+    ) {
+        let mut sh = self.shared.borrow_mut();
+        assert!(
+            sh.nodes[dst.index()].participating,
+            "send to non-participating node {dst:?}"
+        );
+        let node = &mut sh.nodes[me.index()];
+        // The sender's port is busy pushing the elements onto its first link.
+        node.clock.advance(cost.transfer(data.len(), hops.min(1)));
+        node.stats.record_message(data.len(), hops);
+        if let Some(trace) = &mut node.trace {
+            trace.push(TraceEvent {
+                time: node.clock.now(),
+                node: me,
+                tag,
+                kind: TraceKind::Send {
+                    to: dst,
+                    elements: data.len(),
+                    hops,
+                },
+            });
+        }
+        let msg = SeqMessage {
+            src: me,
+            tag,
+            data,
+            sent_at: node.clock.now(),
+            hops,
+        };
+        sh.inboxes[dst.index()].push(msg);
+        if sh.nodes[dst.index()].waiting == Some((me, tag)) {
+            sh.nodes[dst.index()].waiting = None;
+            sh.woken.push(dst.index());
+        }
+    }
+
+    pub(super) async fn recv(
+        &mut self,
+        me: NodeId,
+        src: NodeId,
+        tag: Tag,
+        cost: CostModel,
+    ) -> Vec<K> {
+        loop {
+            {
+                let mut sh = self.shared.borrow_mut();
+                if let Some(msg) = sh.take(me, src, tag) {
+                    let node = &mut sh.nodes[me.index()];
+                    node.clock
+                        .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+                    if let Some(trace) = &mut node.trace {
+                        trace.push(TraceEvent {
+                            time: node.clock.now(),
+                            node: me,
+                            tag,
+                            kind: TraceKind::Recv {
+                                from: src,
+                                elements: msg.data.len(),
+                            },
+                        });
+                    }
+                    return msg.data;
+                }
+                // Park: the matching send will clear this and requeue us.
+                sh.nodes[me.index()].waiting = Some((src, tag));
+            }
+            PendOnce(false).await;
+        }
+    }
+
+    pub(super) fn charge_comparisons(&mut self, me: NodeId, count: usize, cost: CostModel) {
+        let mut sh = self.shared.borrow_mut();
+        let node = &mut sh.nodes[me.index()];
+        node.clock.advance(cost.compare(count));
+        node.stats.record_comparisons(count);
+        if let Some(trace) = &mut node.trace {
+            trace.push(TraceEvent {
+                time: node.clock.now(),
+                node: me,
+                tag: Tag::new(0),
+                kind: TraceKind::Compute { comparisons: count },
+            });
+        }
+    }
+
+    pub(super) fn charge_compute(&mut self, me: NodeId, cost: f64) {
+        self.shared.borrow_mut().nodes[me.index()]
+            .clock
+            .advance(cost);
+    }
+
+    pub(super) fn clock(&self, me: NodeId) -> f64 {
+        self.shared.borrow().nodes[me.index()].clock.now()
+    }
+}
+
+/// Yields exactly once, returning control to the scheduler.
+struct PendOnce(bool);
+
+impl Future for PendOnce {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.0 {
+            Poll::Ready(())
+        } else {
+            self.0 = true;
+            Poll::Pending
+        }
+    }
+}
+
+/// Min-heap key: virtual clock with a total order, ties broken by node index
+/// (the `Ord` on the tuple) for determinism.
+#[derive(PartialEq)]
+struct ClockKey(f64);
+
+impl Eq for ClockKey {}
+
+impl PartialOrd for ClockKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ClockKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The sequential run-to-completion engine.
+///
+/// Usually reached through [`Engine::run`] with [`EngineKind::Seq`]
+/// (the default); constructing a `SeqEngine` directly gives the same
+/// behavior with looser trait bounds (`K`/`T` need not be `Send`, the
+/// program need not be `Sync`).
+///
+/// [`EngineKind::Seq`]: super::EngineKind::Seq
+#[derive(Clone)]
+pub struct SeqEngine {
+    faults: Arc<FaultSet>,
+    cost: CostModel,
+    router: RouterKind,
+    tracing: bool,
+}
+
+impl SeqEngine {
+    /// Creates a machine over the fault set's topology with the given cost
+    /// model.
+    pub fn new(faults: FaultSet, cost: CostModel) -> Self {
+        SeqEngine {
+            faults: Arc::new(faults),
+            cost,
+            router: RouterKind::default(),
+            tracing: false,
+        }
+    }
+
+    /// A fault-free machine.
+    pub fn fault_free(cube: Hypercube, cost: CostModel) -> Self {
+        SeqEngine::new(FaultSet::none(cube), cost)
+    }
+
+    /// Selects the routing algorithm used to charge hops (builder style).
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Enables per-event tracing (builder style).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    pub(super) fn from_engine(engine: &Engine) -> Self {
+        SeqEngine {
+            faults: engine.faults_arc(),
+            cost: engine.cost_model(),
+            router: engine.router(),
+            tracing: engine.tracing(),
+        }
+    }
+
+    /// The topology.
+    pub fn cube(&self) -> Hypercube {
+        self.faults.cube()
+    }
+
+    /// The fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Runs `program` SPMD on every node for which `inputs` supplies data —
+    /// same contract and same results as [`Engine::run`], on one thread.
+    ///
+    /// # Panics
+    /// Propagates node-program panics, rejects inputs assigned to faulty
+    /// processors, and panics immediately (with the wait map) if the
+    /// programs deadlock.
+    pub fn run<K, T, F>(&self, inputs: Vec<Option<Vec<K>>>, program: F) -> RunOutcome<T>
+    where
+        F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T,
+    {
+        let cube = self.cube();
+        validate_inputs(&self.faults, &inputs);
+
+        let shared = Rc::new(RefCell::new(SeqShared {
+            inboxes: (0..inputs.len()).map(|_| Vec::new()).collect(),
+            nodes: inputs
+                .iter()
+                .map(|slot| SeqNode {
+                    clock: VirtualClock::new(),
+                    stats: RunStats::new(),
+                    trace: (self.tracing && slot.is_some()).then(Vec::new),
+                    waiting: None,
+                    participating: slot.is_some(),
+                })
+                .collect(),
+            woken: Vec::new(),
+        }));
+
+        let program = &program;
+        // One resumable state machine per participating node, indexed by
+        // address. The future owns its NodeCtx (moved into the async block),
+        // so it is self-contained and type-erasable.
+        let mut tasks: Vec<Option<Pin<Box<dyn Future<Output = T> + '_>>>> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(ClockKey, usize)>> = BinaryHeap::new();
+        let mut remaining = 0usize;
+        for (i, slot) in inputs.into_iter().enumerate() {
+            let Some(input) = slot else {
+                tasks.push(None);
+                continue;
+            };
+            let ctx = NodeCtx::new_seq(
+                NodeId::from(i),
+                cube,
+                Arc::clone(&self.faults),
+                self.cost,
+                self.router,
+                SeqCtx {
+                    shared: Rc::clone(&shared),
+                },
+            );
+            tasks.push(Some(Box::pin(async move {
+                let mut ctx = ctx;
+                program(&mut ctx, input).await
+            })));
+            heap.push(Reverse((ClockKey(0.0), i)));
+            remaining += 1;
+        }
+
+        let mut results: Vec<Option<T>> = (0..cube.len()).map(|_| None).collect();
+        let mut poll_cx = Context::from_waker(Waker::noop());
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let task = tasks[i].as_mut().expect("scheduled node has a task");
+            match task.as_mut().poll(&mut poll_cx) {
+                Poll::Ready(value) => {
+                    results[i] = Some(value);
+                    tasks[i] = None;
+                    remaining -= 1;
+                }
+                Poll::Pending => {
+                    debug_assert!(
+                        shared.borrow().nodes[i].waiting.is_some(),
+                        "a pending node must be parked on a recv"
+                    );
+                }
+            }
+            // Requeue nodes this step's sends made runnable, at their
+            // current virtual time. (Take the buffer out to keep its
+            // capacity without holding the borrow across the heap pushes.)
+            let mut sh = shared.borrow_mut();
+            let mut woken = std::mem::take(&mut sh.woken);
+            for w in woken.drain(..) {
+                heap.push(Reverse((ClockKey(sh.nodes[w].clock.now()), w)));
+            }
+            sh.woken = woken;
+        }
+
+        if remaining > 0 {
+            let sh = shared.borrow();
+            let parked: Vec<String> = sh
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| {
+                    n.waiting
+                        .map(|(src, tag)| format!("P{i} waits for ({src:?}, {tag:?})"))
+                })
+                .collect();
+            panic!(
+                "deadlock: no runnable node, {remaining} unfinished [{}]",
+                parked.join("; ")
+            );
+        }
+
+        let shared = Rc::into_inner(shared)
+            .expect("all node contexts dropped with their tasks")
+            .into_inner();
+        let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(cube.len());
+        let mut traces = Vec::new();
+        for (i, (result, node)) in results.into_iter().zip(shared.nodes).enumerate() {
+            match result {
+                Some(result) => {
+                    outcomes.push(Some(NodeOutcome {
+                        result,
+                        clock: node.clock.now(),
+                        stats: node.stats,
+                    }));
+                    traces.push(node.trace.unwrap_or_default());
+                }
+                None => {
+                    debug_assert!(!node.participating, "participant P{i} lost its result");
+                    outcomes.push(None);
+                }
+            }
+        }
+        RunOutcome::new(outcomes, Trace::assemble(traces))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Comm, EngineKind};
+    use super::*;
+
+    fn engine(n: usize) -> SeqEngine {
+        SeqEngine::fault_free(Hypercube::new(n), CostModel::paper_form())
+    }
+
+    #[test]
+    fn runs_non_send_programs() {
+        // Rc is !Send: this program cannot run on the threaded engine, but
+        // the direct SeqEngine API accepts it.
+        let eng = engine(1);
+        let marker = Rc::new(7u32);
+        let out = eng.run(
+            (0..2).map(|i| Some(vec![i as u32])).collect(),
+            async |ctx, data| {
+                let theirs = ctx.exchange(ctx.me().neighbor(0), Tag::new(0), data).await;
+                Rc::new(theirs[0] + *marker)
+            },
+        );
+        let results = out.into_results();
+        assert_eq!(*results[0].1, 8);
+        assert_eq!(*results[1].1, 7);
+    }
+
+    #[test]
+    fn scheduler_resumes_lowest_clock_first() {
+        // Node 1 does heavy local compute before its send; node 2 sends
+        // immediately. Node 0 receives from both — the virtual times must
+        // reflect each sender's own clock regardless of scheduling order.
+        let eng = engine(2);
+        let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
+        inputs[0] = Some(vec![]);
+        inputs[1] = Some(vec![]);
+        inputs[2] = Some(vec![]);
+        let out = eng.run(inputs, async |ctx, _| match ctx.me().raw() {
+            0 => {
+                let a = ctx.recv(NodeId::new(1), Tag::new(1)).await;
+                let b = ctx.recv(NodeId::new(2), Tag::new(2)).await;
+                (a[0], b[0])
+            }
+            1 => {
+                ctx.charge_compute(1000.0);
+                ctx.send(NodeId::new(0), Tag::new(1), vec![10]);
+                (0, 0)
+            }
+            _ => {
+                ctx.send(NodeId::new(0), Tag::new(2), vec![20]);
+                (0, 0)
+            }
+        });
+        assert_eq!(out.node(NodeId::new(0)).unwrap().result, (10, 20));
+        let t0 = out.node(NodeId::new(0)).unwrap().clock;
+        assert!(
+            t0 >= 1000.0,
+            "receiver clock {t0} must include the slow sender's compute"
+        );
+    }
+
+    #[test]
+    fn deadlock_panics_immediately_with_wait_map() {
+        let eng = engine(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.run(
+                (0..2).map(|_| Some(Vec::<u32>::new())).collect(),
+                async |ctx, _| {
+                    // both nodes receive first: classic cycle
+                    let partner = ctx.me().neighbor(0);
+                    let got = ctx.recv(partner, Tag::new(3)).await;
+                    ctx.send(partner, Tag::new(3), vec![1u32]);
+                    got
+                },
+            );
+        }));
+        let err = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("deadlock"), "{err}");
+        assert!(err.contains("P0"), "{err}");
+        assert!(err.contains("P1"), "{err}");
+    }
+
+    #[test]
+    fn matches_engine_dispatch() {
+        // SeqEngine reached through Engine::with_engine(Seq) is the same
+        // machine as the direct constructor.
+        let direct = engine(2).run(
+            (0..4).map(|i| Some(vec![i as u32])).collect(),
+            async |ctx, data| {
+                let mut acc = data;
+                for d in 0..ctx.cube().dim() {
+                    let theirs = ctx
+                        .exchange(ctx.me().neighbor(d), Tag::new(d as u64), acc.clone())
+                        .await;
+                    acc.extend(theirs);
+                    acc.sort_unstable();
+                }
+                acc
+            },
+        );
+        let via_engine = Engine::fault_free(Hypercube::new(2), CostModel::paper_form())
+            .with_engine(EngineKind::Seq)
+            .run(
+                (0..4).map(|i| Some(vec![i as u32])).collect(),
+                async |ctx, data| {
+                    let mut acc = data;
+                    for d in 0..ctx.cube().dim() {
+                        let theirs = ctx
+                            .exchange(ctx.me().neighbor(d), Tag::new(d as u64), acc.clone())
+                            .await;
+                        acc.extend(theirs);
+                        acc.sort_unstable();
+                    }
+                    acc
+                },
+            );
+        for (a, b) in direct.outcomes().iter().zip(via_engine.outcomes()) {
+            let (Some(a), Some(b)) = (a, b) else {
+                panic!("both engines must run every node")
+            };
+            assert_eq!(a.result, b.result);
+            assert_eq!(a.clock, b.clock);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}

@@ -148,9 +148,8 @@ impl Subcube {
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         let free = self.free_dims();
         let pattern = self.pattern;
-        (0..self.len() as u32).map(move |i| {
-            NodeId::new(pattern | crate::address::scatter_bits(i, &free))
-        })
+        (0..self.len() as u32)
+            .map(move |i| NodeId::new(pattern | crate::address::scatter_bits(i, &free)))
     }
 
     /// The *local address* of `node` within the subcube: its free-dimension
@@ -166,7 +165,10 @@ impl Subcube {
     /// Inverse of [`Subcube::local_address`].
     pub fn global_address(&self, local: u32) -> NodeId {
         let free = self.free_dims();
-        assert!((local as u64) < (1u64 << free.len()), "local address out of range");
+        assert!(
+            (local as u64) < (1u64 << free.len()),
+            "local address out of range"
+        );
         NodeId::new(self.pattern | crate::address::scatter_bits(local, &free))
     }
 

@@ -1,186 +1,225 @@
-//! Property-based tests of the substrate's algebraic invariants.
+//! Randomized property tests of the substrate's algebraic invariants.
+//!
+//! Each property is exercised over a deterministic seeded sample of the
+//! input space (a lightweight stand-in for a property-testing framework,
+//! which the offline build environment cannot provide); failures print the
+//! offending case, which is reproducible from the fixed seed.
 
 use hypercube::address::{complement_dims, extract_bits, gray, gray_inverse, scatter_bits, NodeId};
 use hypercube::fault::{FaultModel, FaultSet, Link};
 use hypercube::routing::{ecube_route, hop_count, route};
 use hypercube::subcube::Subcube;
 use hypercube::topology::Hypercube;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn dim_and_node() -> impl Strategy<Value = (usize, u32)> {
-    (1usize..=8).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n)))
+const CASES: usize = 256;
+
+/// A random `(dim, node)` pair with `1 ≤ dim ≤ max_n`.
+fn dim_and_node(rng: &mut StdRng, max_n: usize) -> (usize, u32) {
+    let n = rng.random_range(1..=max_n);
+    (n, rng.random_range(0u32..(1u32 << n)))
 }
 
-proptest! {
-    #[test]
-    fn xor_is_an_automorphism((n, mask) in dim_and_node(), a in any::<u32>(), d in 0usize..8) {
-        prop_assume!(d < n);
-        let a = NodeId::new(a % (1 << n));
+#[test]
+fn xor_is_an_automorphism() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0001);
+    for _ in 0..CASES {
+        let (n, mask) = dim_and_node(&mut rng, 8);
+        let a = NodeId::new(rng.random::<u32>() % (1 << n));
+        let d = rng.random_range(0..n);
         let b = a.neighbor(d);
-        prop_assert_eq!(a.xor(mask).hamming(b.xor(mask)), 1);
+        assert_eq!(a.xor(mask).hamming(b.xor(mask)), 1);
     }
+}
 
-    #[test]
-    fn extract_scatter_roundtrip((n, v) in dim_and_node(), mask in any::<u32>()) {
+#[test]
+fn extract_scatter_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0002);
+    for _ in 0..CASES {
+        let (n, v) = dim_and_node(&mut rng, 8);
+        let mask = rng.random::<u32>();
         let dims: Vec<usize> = (0..n).filter(|&d| mask >> d & 1 == 1).collect();
         let rest = complement_dims(n, &dims);
         let hi = extract_bits(v, &dims);
         let lo = extract_bits(v, &rest);
-        prop_assert_eq!(scatter_bits(hi, &dims) | scatter_bits(lo, &rest), v);
+        assert_eq!(scatter_bits(hi, &dims) | scatter_bits(lo, &rest), v);
         // and the parts are disjoint
-        prop_assert_eq!(scatter_bits(hi, &dims) & scatter_bits(lo, &rest), 0);
+        assert_eq!(scatter_bits(hi, &dims) & scatter_bits(lo, &rest), 0);
     }
+}
 
-    #[test]
-    fn gray_code_bijective_and_unit_step(i in 0u32..65535) {
-        prop_assert_eq!(gray_inverse(gray(i)), i);
-        prop_assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
+#[test]
+fn gray_code_bijective_and_unit_step() {
+    for i in 0u32..65535 {
+        assert_eq!(gray_inverse(gray(i)), i);
+        assert_eq!((gray(i) ^ gray(i + 1)).count_ones(), 1);
     }
+}
 
-    #[test]
-    fn subcube_split_partitions((n, seed) in dim_and_node(), d in 0usize..8) {
-        prop_assume!(d < n);
+#[test]
+fn subcube_split_partitions() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0003);
+    for _ in 0..CASES {
+        let (n, seed) = dim_and_node(&mut rng, 8);
+        let d = rng.random_range(0..n);
         let q = Subcube::whole(n);
         let (lo, hi) = q.split(d);
         let node = NodeId::new(seed);
-        prop_assert!(lo.contains(node) ^ hi.contains(node));
-        prop_assert_eq!(lo.len() + hi.len(), q.len());
-        prop_assert!(lo.is_disjoint(&hi));
-        prop_assert!(q.contains_subcube(&lo) && q.contains_subcube(&hi));
+        assert!(lo.contains(node) ^ hi.contains(node));
+        assert_eq!(lo.len() + hi.len(), q.len());
+        assert!(lo.is_disjoint(&hi));
+        assert!(q.contains_subcube(&lo) && q.contains_subcube(&hi));
     }
+}
 
-    #[test]
-    fn subcube_local_global_roundtrip((n, v) in dim_and_node(), mask in any::<u32>(), pat in any::<u32>()) {
+#[test]
+fn subcube_local_global_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0004);
+    for _ in 0..CASES {
+        let (n, v) = dim_and_node(&mut rng, 8);
         let space = (1u32 << n) - 1;
-        let mask = mask & space;
-        let pat = pat & mask;
+        let mask = rng.random::<u32>() & space;
+        let pat = rng.random::<u32>() & mask;
         let sc = Subcube::new(n, mask, pat);
         let local = extract_bits(v & space, &sc.free_dims());
         let g = sc.global_address(local);
-        prop_assert!(sc.contains(g));
-        prop_assert_eq!(sc.local_address(g), local);
+        assert!(sc.contains(g));
+        assert_eq!(sc.local_address(g), local);
     }
+}
 
-    #[test]
-    fn ecube_route_valid_and_minimal((n, a) in dim_and_node(), b in any::<u32>()) {
+#[test]
+fn ecube_route_valid_and_minimal() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0005);
+    for _ in 0..CASES {
+        let (n, a) = dim_and_node(&mut rng, 8);
         let cube = Hypercube::new(n);
         let a = NodeId::new(a);
-        let b = NodeId::new(b % (1 << n));
+        let b = NodeId::new(rng.random::<u32>() % (1 << n));
         let r = ecube_route(a, b);
-        prop_assert!(r.is_valid(&cube));
-        prop_assert_eq!(r.hops(), a.hamming(b));
-        prop_assert_eq!(r.source(), a);
-        prop_assert_eq!(r.destination(), b);
+        assert!(r.is_valid(&cube));
+        assert_eq!(r.hops(), a.hamming(b));
+        assert_eq!(r.source(), a);
+        assert_eq!(r.destination(), b);
     }
+}
 
-    #[test]
-    fn total_routes_avoid_faults_and_stay_short(
-        (n, a) in (3usize..=6).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n))),
-        b in any::<u32>(),
-        fault_seed in any::<u64>(),
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn total_routes_avoid_faults_and_stay_short() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0006);
+    let mut checked = 0;
+    while checked < CASES {
+        let n = rng.random_range(3usize..=6);
         let cube = Hypercube::new(n);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
         let faults = FaultSet::random(cube, n - 1, &mut rng).with_model(FaultModel::Total);
-        let a = NodeId::new(a);
-        let b = NodeId::new(b % (1 << n));
-        prop_assume!(faults.is_normal(a) && faults.is_normal(b));
+        let a = NodeId::new(rng.random_range(0u32..(1u32 << n)));
+        let b = NodeId::new(rng.random_range(0u32..(1u32 << n)));
+        if !(faults.is_normal(a) && faults.is_normal(b)) {
+            continue;
+        }
+        checked += 1;
         let r = route(&faults, a, b).expect("connected under r ≤ n−1");
-        prop_assert!(r.is_valid(&cube));
-        prop_assert!(r.path().iter().all(|p| faults.is_normal(*p)));
-        prop_assert!(r.hops() >= a.hamming(b));
-        prop_assert_eq!(r.hops() % 2, a.hamming(b) % 2, "bipartite parity");
+        assert!(r.is_valid(&cube));
+        assert!(r.path().iter().all(|p| faults.is_normal(*p)));
+        assert!(r.hops() >= a.hamming(b));
+        assert_eq!(r.hops() % 2, a.hamming(b) % 2, "bipartite parity");
         // detours are bounded: BFS is shortest, so ≤ diameter + slack
-        prop_assert!(r.hops() <= (2 * n) as u32);
+        assert!(r.hops() <= (2 * n) as u32);
     }
+}
 
-    #[test]
-    fn link_fault_routes_avoid_broken_links(
-        (n, a) in (2usize..=5).prop_flat_map(|n| (Just(n), 0u32..(1u32 << n))),
-        b in any::<u32>(),
-        l1 in any::<u32>(),
-        d1 in 0usize..5,
-    ) {
-        prop_assume!(d1 < n);
+#[test]
+fn link_fault_routes_avoid_broken_links() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0007);
+    for _ in 0..CASES {
+        let n = rng.random_range(2usize..=5);
         let cube = Hypercube::new(n);
-        let link = Link::new(NodeId::new(l1 % (1 << n)), d1);
+        let d1 = rng.random_range(0..n);
+        let link = Link::new(NodeId::new(rng.random::<u32>() % (1 << n)), d1);
         let faults = FaultSet::none(cube).with_faulty_links([link]);
-        let a = NodeId::new(a);
-        let b = NodeId::new(b % (1 << n));
-        if let Some(r) = route(&faults, a, b) {
-            prop_assert!(r.is_valid(&cube));
-            prop_assert!(r.path().windows(2).all(|w| !faults.is_link_faulty(w[0], w[1])));
-        } else {
+        let a = NodeId::new(rng.random_range(0u32..(1u32 << n)));
+        let b = NodeId::new(rng.random_range(0u32..(1u32 << n)));
+        match route(&faults, a, b) {
+            Some(r) => {
+                assert!(r.is_valid(&cube));
+                assert!(r
+                    .path()
+                    .windows(2)
+                    .all(|w| !faults.is_link_faulty(w[0], w[1])));
+            }
             // a single broken link can never disconnect Q_n for n ≥ 2
-            prop_assert!(false, "single link fault disconnected the cube");
+            None => panic!("single link fault disconnected the cube"),
         }
     }
+}
 
-    #[test]
-    fn collectives_roundtrip_arbitrary_participant_sets(
-        n in 2usize..=4,
-        live_mask in 1u32..,
-        root_pick in any::<u32>(),
-        k in 1usize..4,
-    ) {
-        use hypercube::collectives::{gather, scatter, Participants};
-        use hypercube::cost::CostModel;
-        use hypercube::sim::{Comm, Engine, Tag};
+#[test]
+fn collectives_roundtrip_arbitrary_participant_sets() {
+    use hypercube::collectives::{gather, scatter, Participants};
+    use hypercube::cost::CostModel;
+    use hypercube::sim::{Comm, Engine, EngineKind, Tag};
+    let mut rng = StdRng::seed_from_u64(0x5eed_0008);
+    for case in 0..64 {
+        let n = rng.random_range(2usize..=4);
         let cube = Hypercube::new(n);
-        let live_mask = live_mask & ((1u32 << cube.len()) - 1);
-        prop_assume!(live_mask != 0);
+        let live_mask = rng.random_range(1u32..(1u32 << cube.len()));
+        let k = rng.random_range(1usize..4);
         let live: Vec<NodeId> = (0..cube.len() as u32)
             .filter(|i| live_mask >> i & 1 == 1)
             .map(NodeId::new)
             .collect();
-        let root = live[root_pick as usize % live.len()];
+        let root = live[rng.random::<u32>() as usize % live.len()];
         let parts = Participants::new(cube.len(), root, &live);
-        let engine = Engine::fault_free(cube, CostModel::paper_form());
+        // alternate executors so the property covers both
+        let kind = if case % 2 == 0 {
+            EngineKind::Seq
+        } else {
+            EngineKind::Threaded
+        };
+        let engine = Engine::fault_free(cube, CostModel::paper_form()).with_engine(kind);
         let mut inputs: Vec<Option<Vec<u32>>> = vec![None; cube.len()];
         for p in &live {
             inputs[p.index()] = Some(vec![]);
         }
         let parts_ref = &parts;
-        let out = engine.run(inputs, move |ctx, _| {
+        let out = engine.run(inputs, async move |ctx, _| {
             let rank = parts_ref.rank(ctx.me()).unwrap();
             let pieces = (rank == 0).then(|| {
                 (0..parts_ref.len())
                     .map(|r| (0..k).map(|j| (r * 10 + j) as u32).collect())
                     .collect::<Vec<Vec<u32>>>()
             });
-            let mine = scatter(ctx, parts_ref, Tag::new(1), pieces, k);
-            prop_assert_eq!(mine.len(), k);
-            prop_assert_eq!(mine[0], (rank * 10) as u32);
-            let back = gather(ctx, parts_ref, Tag::new(2), mine, k);
+            let mine = scatter(ctx, parts_ref, Tag::new(1), pieces, k).await;
+            assert_eq!(mine.len(), k);
+            assert_eq!(mine[0], (rank * 10) as u32);
+            let back = gather(ctx, parts_ref, Tag::new(2), mine, k).await;
             if rank == 0 {
                 let pieces = back.unwrap();
                 for (r, p) in pieces.iter().enumerate() {
-                    prop_assert_eq!(p[0], (r * 10) as u32);
+                    assert_eq!(p[0], (r * 10) as u32);
                 }
             } else {
-                prop_assert!(back.is_none());
+                assert!(back.is_none());
             }
-            Ok(())
         });
-        for (_, r) in out.into_results() {
-            r?;
-        }
+        assert_eq!(out.into_results().len(), live.len());
     }
+}
 
-    #[test]
-    fn hop_count_symmetric_under_total_faults(
-        fault_seed in any::<u64>(),
-        a in 0u32..32,
-        b in 0u32..32,
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn hop_count_symmetric_under_total_faults() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0009);
+    let mut checked = 0;
+    while checked < CASES {
         let cube = Hypercube::new(5);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(fault_seed);
         let faults = FaultSet::random(cube, 4, &mut rng).with_model(FaultModel::Total);
-        let a = NodeId::new(a);
-        let b = NodeId::new(b);
-        prop_assume!(faults.is_normal(a) && faults.is_normal(b));
-        prop_assert_eq!(hop_count(&faults, a, b), hop_count(&faults, b, a));
+        let a = NodeId::new(rng.random_range(0u32..32));
+        let b = NodeId::new(rng.random_range(0u32..32));
+        if !(faults.is_normal(a) && faults.is_normal(b)) {
+            continue;
+        }
+        checked += 1;
+        assert_eq!(hop_count(&faults, a, b), hop_count(&faults, b, a));
     }
 }

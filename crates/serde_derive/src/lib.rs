@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored `serde`
+//! stand-in. The workspace only *tags* types as serializable (the derive
+//! appears in `#[derive(...)]` lists); nothing serializes through serde at
+//! runtime — JSON reports are emitted by hand — so the derives expand to
+//! nothing. `attributes(serde)` is declared so `#[serde(...)]` field/type
+//! attributes remain legal if a type ever adds them.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,8 +6,8 @@
 //! cargo run --release --example fault_sweep [n] [M] [trials]
 //! ```
 
-use ftsort::prelude::*;
 use ftsort::mffs::{max_fault_free_subcube, mffs_sort};
+use ftsort::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {

@@ -6,10 +6,10 @@
 //! cargo run --release --example message_trace [n] [r] [M]
 //! ```
 
-use ftsort::prelude::*;
-use ftsort::distribute::{chunk_len, scatter, Padded};
-use ftsort::seq::heapsort;
 use ftsort::bitonic::distributed_bitonic_sort;
+use ftsort::distribute::{chunk_len, scatter, Padded};
+use ftsort::prelude::*;
+use ftsort::seq::{heapsort, Scratch};
 use hypercube::sim::TraceKind;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -38,10 +38,10 @@ fn main() {
         .map(|l| NodeId::new(l ^ fault_mask))
         .collect();
     let dead = (!faults.is_empty()).then_some(0usize);
-    let live: Vec<usize> = (0..members.len())
-        .filter(|&l| dead != Some(l))
+    let live: Vec<usize> = (0..members.len()).filter(|&l| dead != Some(l)).collect();
+    let data: Vec<u32> = (0..m_total as u32)
+        .map(|_| rng.random_range(0..100))
         .collect();
-    let data: Vec<u32> = (0..m_total as u32).map(|_| rng.random_range(0..100)).collect();
     let chunks = scatter(data, live.len());
     let k = chunk_len(m_total, live.len());
     let mut inputs: Vec<Option<Vec<Padded<u32>>>> = vec![None; cube.len()];
@@ -51,11 +51,12 @@ fn main() {
 
     let engine = Engine::new(faults.clone(), CostModel::paper_form()).with_tracing();
     let members_ref = &members;
-    let out = engine.run(inputs, move |ctx, mut chunk| {
+    let out = engine.run(inputs, async move |ctx, mut chunk| {
         let my_logical = members_ref
             .iter()
             .position(|&p| p == ctx.me())
             .expect("member");
+        let mut scratch = Scratch::new();
         let c = heapsort(&mut chunk, Direction::Ascending);
         ctx.charge_comparisons(c as usize);
         distributed_bitonic_sort(
@@ -67,7 +68,9 @@ fn main() {
             chunk,
             1,
             Protocol::HalfExchange,
+            &mut scratch,
         )
+        .await
     });
 
     // Render the trace.

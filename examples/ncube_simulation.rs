@@ -38,8 +38,12 @@ fn main() {
     expect.sort_unstable();
 
     // Our algorithm.
-    match fault_tolerant_sort(&faults, CostModel::default(), data.clone(), Protocol::HalfExchange)
-    {
+    match fault_tolerant_sort(
+        &faults,
+        CostModel::default(),
+        data.clone(),
+        Protocol::HalfExchange,
+    ) {
         Ok(out) => {
             assert_eq!(out.sorted, expect);
             println!(
@@ -61,10 +65,7 @@ fn main() {
                 base.processors_used
             );
             println!("  simulated time : {:>10.1} ms", base.time_us / 1000.0);
-            println!(
-                "\nspeedup over MFFS: {:.2}×",
-                base.time_us / out.time_us
-            );
+            println!("\nspeedup over MFFS: {:.2}×", base.time_us / out.time_us);
         }
         Err(e) => println!("cannot sort: {e}"),
     }

@@ -10,12 +10,10 @@
 //! cargo run --release --example paper_walkthrough
 //! ```
 
-use ftsort::bitonic::{
-    compare_split_remote, distributed_bitonic_sort, KeepHalf, Protocol,
-};
+use ftsort::bitonic::{compare_split_remote, distributed_bitonic_sort, KeepHalf, Protocol};
 use ftsort::distribute::{chunk_len, scatter, Padded};
 use ftsort::ftsort::FtPlan;
-use ftsort::seq::{heapsort, Direction};
+use ftsort::seq::{heapsort, Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::prelude::*;
 use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
@@ -89,10 +87,11 @@ fn main() {
     for (label, upto) in phase_plans {
         let engine = Engine::new(faults.clone(), CostModel::default());
         let st_ref = &st;
-        let out = engine.run(inputs.clone(), move |ctx, mut chunk| {
+        let out = engine.run(inputs.clone(), async move |ctx, mut chunk| {
             let (v, w) = st_ref.locate(ctx.me());
             let members = st_ref.members(v);
             let dead = st_ref.subcube(v).dead_local.map(|_| 0usize);
+            let mut scratch = Scratch::new();
             let cmp = heapsort(&mut chunk, Direction::Ascending);
             ctx.charge_comparisons(cmp as usize);
             let mut run = distributed_bitonic_sort(
@@ -104,7 +103,9 @@ fn main() {
                 chunk,
                 2,
                 Protocol::HalfExchange,
-            );
+                &mut scratch,
+            )
+            .await;
             let mut done = 0usize;
             for i in 0..st_ref.m() {
                 let mask = (v >> (i + 1)) & 1;
@@ -126,7 +127,9 @@ fn main() {
                         run,
                         keep,
                         Protocol::HalfExchange,
-                    );
+                        &mut scratch,
+                    )
+                    .await;
                     let dir = if (if j == 0 { 0 } else { (v >> (j - 1)) & 1 }) == mask {
                         Direction::Ascending
                     } else {
@@ -141,7 +144,9 @@ fn main() {
                         run,
                         100 + (i * 16 + j) as u16,
                         Protocol::HalfExchange,
-                    );
+                        &mut scratch,
+                    )
+                    .await;
                 }
             }
             run

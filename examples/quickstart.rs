@@ -57,7 +57,12 @@ fn main() {
     );
 
     // Compare with the maximum fault-free subcube baseline.
-    let baseline = mffs_sort(&faults, CostModel::default(), expect.clone(), Protocol::HalfExchange);
+    let baseline = mffs_sort(
+        &faults,
+        CostModel::default(),
+        expect.clone(),
+        Protocol::HalfExchange,
+    );
     println!(
         "MFFS baseline: {} processors, {:.1} ms — ours is {:.2}× faster",
         baseline.processors_used,

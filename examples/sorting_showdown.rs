@@ -22,7 +22,10 @@ fn main() {
     let mut expect = data.clone();
     expect.sort_unstable();
 
-    println!("Q{n} ({} processors), M = {m_total} random keys\n", cube.len());
+    println!(
+        "Q{n} ({} processors), M = {m_total} random keys\n",
+        cube.len()
+    );
     println!(
         "{:<28} {:>6} {:>12} {:>12} {:>14} {:>12}",
         "algorithm", "procs", "time ms", "messages", "element·hops", "comparisons"
@@ -54,8 +57,7 @@ fn main() {
     let faults = FaultSet::random(cube, n - 1, &mut rng);
     println!("\ninjecting {} faults: {:?}\n", n - 1, faults.to_vec());
     let plan = FtPlan::new(&faults).expect("tolerable");
-    let out =
-        fault_tolerant_sort_with_plan(&plan, cost, data.clone(), Protocol::HalfExchange);
+    let out = fault_tolerant_sort_with_plan(&plan, cost, data.clone(), Protocol::HalfExchange);
     report("fault-tolerant sort (ours)", &out);
     let out = mffs_sort(&faults, cost, data, Protocol::HalfExchange);
     report("MFFS baseline", &out);

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! ftsort-cli partition --n 5 --faults 3,5,16,24
-//! ftsort-cli sort      --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort]
+//! ftsort-cli sort      --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq]
 //! ftsort-cli mffs      --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route     --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose  --n 5 --faults 3,5,16 [--seed 7]
@@ -57,7 +57,11 @@ fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let fault_list: Vec<u32> = match flags.get("faults") {
         Some(s) if !s.is_empty() && s != "true" => s
             .split(',')
-            .map(|x| x.trim().parse().map_err(|e| format!("bad fault '{x}': {e}")))
+            .map(|x| {
+                x.trim()
+                    .parse()
+                    .map_err(|e| format!("bad fault '{x}': {e}"))
+            })
             .collect::<Result<_, _>>()?,
         _ => Vec::new(),
     };
@@ -78,7 +82,11 @@ fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
-fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: &str) -> Result<T, String>
+fn flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: &str,
+) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {
@@ -93,11 +101,7 @@ where
 fn partition_cmd(faults: &FaultSet) -> Result<(), String> {
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
     let n = faults.cube().dim();
-    println!(
-        "Q{n} with {} faults {:?}",
-        faults.count(),
-        faults.to_vec()
-    );
+    println!("Q{n} with {} faults {:?}", faults.count(), faults.to_vec());
     println!("mincut m = {}", plan.partition().mincut);
     println!("cutting set Ψ (α = {}):", plan.partition().alpha());
     for d in &plan.partition().cutting_set {
@@ -117,8 +121,13 @@ fn partition_cmd(faults: &FaultSet) -> Result<(), String> {
             .dead_physical(info.v)
             .map(|p| p.raw().to_string())
             .unwrap_or_else(|| "-".into());
-        println!("  v={:0width$b}  {}  dead={}", info.v, info.subcube, dead,
-                 width = plan.structure().m().max(1));
+        println!(
+            "  v={:0width$b}  {}  dead={}",
+            info.v,
+            info.subcube,
+            dead,
+            width = plan.structure().m().max(1)
+        );
     }
     println!(
         "live N' = {} of {} normal ({:.1}% utilization)",
@@ -146,12 +155,19 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         Some("merge") | None => Step8Strategy::BitonicMerge,
         Some(other) => return Err(format!("unknown step8 '{other}' (merge|fullsort)")),
     };
+    let engine = match flags.get("engine") {
+        None => EngineKind::default(),
+        Some(s) => {
+            EngineKind::parse(s).ok_or_else(|| format!("unknown engine '{s}' (threaded|seq)"))?
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
     let config = FtConfig {
         protocol,
         step8,
+        engine,
         include_host_io: flags.contains_key("host-io"),
         ..FtConfig::default()
     };
@@ -167,11 +183,17 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         faults.count()
     );
     println!("simulated time : {:>12.1} ms", out.time_us / 1000.0);
-    println!("  scatter      : {:>12.1} ms", phases.host_scatter_us / 1000.0);
+    println!(
+        "  scatter      : {:>12.1} ms",
+        phases.host_scatter_us / 1000.0
+    );
     println!("  step 3       : {:>12.1} ms", phases.step3_us / 1000.0);
     println!("  step 7       : {:>12.1} ms", phases.step7_us / 1000.0);
     println!("  step 8       : {:>12.1} ms", phases.step8_us / 1000.0);
-    println!("  gather       : {:>12.1} ms", phases.host_gather_us / 1000.0);
+    println!(
+        "  gather       : {:>12.1} ms",
+        phases.host_gather_us / 1000.0
+    );
     println!("messages       : {:>12}", out.stats.messages);
     println!("element·hops   : {:>12}", out.stats.element_hops);
     println!("comparisons    : {:>12}", out.stats.comparisons);
@@ -185,7 +207,10 @@ fn mffs_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let sc = max_fault_free_subcube(faults).ok_or("every processor is faulty")?;
-    println!("maximum fault-free subcube: {sc:?} ({} processors)", sc.len());
+    println!(
+        "maximum fault-free subcube: {sc:?} ({} processors)",
+        sc.len()
+    );
     let out = mffs_sort(faults, CostModel::default(), data, protocol);
     println!("simulated time : {:>12.1} ms", out.time_us / 1000.0);
     println!("element·hops   : {:>12}", out.stats.element_hops);

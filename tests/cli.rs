@@ -27,9 +27,16 @@ fn sort_produces_summary() {
         .args(["sort", "--n", "4", "--faults", "2,9", "--m", "5000"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("sorted 5000 keys on 14 live processors"), "{text}");
+    assert!(
+        text.contains("sorted 5000 keys on 14 live processors"),
+        "{text}"
+    );
     assert!(text.contains("simulated time"), "{text}");
 }
 
@@ -37,8 +44,7 @@ fn sort_produces_summary() {
 fn route_prints_both_routers() {
     let out = cli()
         .args([
-            "route", "--n", "3", "--faults", "1,2", "--model", "total", "--from", "0",
-            "--to", "3",
+            "route", "--n", "3", "--faults", "1,2", "--model", "total", "--from", "0", "--to", "3",
         ])
         .output()
         .expect("binary runs");
@@ -57,6 +63,40 @@ fn diagnose_matches_injection() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("matches the injected fault set"), "{text}");
+}
+
+#[test]
+fn sort_engine_flag_is_result_invariant() {
+    // both engines simulate the same machine: the printed summary
+    // (keys, live processors, simulated time, stats) must be identical
+    let run = |engine: &str| {
+        let out = cli()
+            .args([
+                "sort", "--n", "4", "--faults", "2,9", "--m", "2000", "--engine", engine,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run("seq"), run("threaded"));
+}
+
+#[test]
+fn sort_rejects_unknown_engine() {
+    let out = cli()
+        .args([
+            "sort", "--n", "3", "--faults", "1", "--m", "100", "--engine", "warp",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown engine"), "{err}");
 }
 
 #[test]

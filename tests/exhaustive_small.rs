@@ -36,8 +36,13 @@ fn all_fault_sets(n: usize, r: usize) -> Vec<FaultSet> {
 fn check(faults: &FaultSet, data: Vec<u32>) {
     let mut expect = data.clone();
     expect.sort_unstable();
-    let out = fault_tolerant_sort(faults, CostModel::paper_form(), data, Protocol::HalfExchange)
-        .unwrap_or_else(|e| panic!("{:?}: {e}", faults.to_vec()));
+    let out = fault_tolerant_sort(
+        faults,
+        CostModel::paper_form(),
+        data,
+        Protocol::HalfExchange,
+    )
+    .unwrap_or_else(|e| panic!("{:?}: {e}", faults.to_vec()));
     assert_eq!(out.sorted, expect, "faults {:?}", faults.to_vec());
 }
 

@@ -22,8 +22,13 @@ fn data(seed: u64) -> Vec<u32> {
 
 fn ft_time(n: usize, faults: &[u32], seed: u64) -> f64 {
     let fs = FaultSet::from_raw(Hypercube::new(n), faults);
-    let out = fault_tolerant_sort(&fs, CostModel::default(), data(seed), Protocol::HalfExchange)
-        .expect("tolerable fault set");
+    let out = fault_tolerant_sort(
+        &fs,
+        CostModel::default(),
+        data(seed),
+        Protocol::HalfExchange,
+    )
+    .expect("tolerable fault set");
     let mut expect = data(seed);
     expect.sort_unstable();
     assert_eq!(out.sorted, expect, "result must be sorted");
@@ -62,7 +67,10 @@ fn q6_three_to_five_faults_beat_q4_fallback() {
         let faults: Vec<u32> = fs.iter().map(|p| p.raw()).collect();
         let t = ft_time(6, &faults, 2);
         assert!(t < q4, "r={r}: {t} vs Q4 {q4} (faults {faults:?})");
-        assert!(t > q5 * 0.8, "r={r}: unexpectedly faster than Q5 would allow");
+        assert!(
+            t > q5 * 0.8,
+            "r={r}: unexpectedly faster than Q5 would allow"
+        );
     }
 }
 
@@ -100,8 +108,13 @@ fn q3_q4_panels() {
 fn paper_example_beats_mffs() {
     let fs = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]);
     let input = data(4);
-    let ours = fault_tolerant_sort(&fs, CostModel::default(), input.clone(), Protocol::HalfExchange)
-        .unwrap();
+    let ours = fault_tolerant_sort(
+        &fs,
+        CostModel::default(),
+        input.clone(),
+        Protocol::HalfExchange,
+    )
+    .unwrap();
     let baseline = mffs_sort(&fs, CostModel::default(), input, Protocol::HalfExchange);
     assert_eq!(ours.sorted, baseline.sorted);
     assert_eq!(baseline.processors_used, 8);

@@ -6,12 +6,10 @@
 //! The engine is deterministic, so running successively longer prefixes of
 //! the algorithm reproduces every intermediate machine state.
 
-use ftsort::bitonic::{
-    compare_split_remote, distributed_bitonic_sort, KeepHalf, Protocol,
-};
+use ftsort::bitonic::{compare_split_remote, distributed_bitonic_sort, KeepHalf, Protocol};
 use ftsort::distribute::{scatter, Padded};
 use ftsort::ftsort::FtPlan;
-use ftsort::seq::{heapsort, Direction};
+use ftsort::seq::{heapsort, Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -38,10 +36,11 @@ fn run_prefix(
     let st = plan.structure().clone();
     let engine = Engine::new(plan.faults().clone(), CostModel::paper_form());
     let st_ref = &st;
-    let out = engine.run(inputs.to_vec(), move |ctx, mut chunk| {
+    let out = engine.run(inputs.to_vec(), async move |ctx, mut chunk| {
         let (v, w) = st_ref.locate(ctx.me());
         let members = st_ref.members(v);
         let dead = st_ref.subcube(v).dead_local.map(|_| 0usize);
+        let mut scratch = Scratch::new();
         let c = heapsort(&mut chunk, Direction::Ascending);
         ctx.charge_comparisons(c as usize);
         let mut run = distributed_bitonic_sort(
@@ -53,7 +52,9 @@ fn run_prefix(
             chunk,
             2,
             Protocol::HalfExchange,
-        );
+            &mut scratch,
+        )
+        .await;
         let mut done = 0usize;
         for i in 0..st_ref.m() {
             let mask = (v >> (i + 1)) & 1;
@@ -75,7 +76,9 @@ fn run_prefix(
                     run,
                     keep,
                     Protocol::HalfExchange,
-                );
+                    &mut scratch,
+                )
+                .await;
                 run = distributed_bitonic_sort(
                     ctx,
                     &members,
@@ -85,13 +88,14 @@ fn run_prefix(
                     run,
                     100 + (i * 16 + j) as u16,
                     Protocol::HalfExchange,
-                );
+                    &mut scratch,
+                )
+                .await;
             }
         }
         run
     });
-    let mut state: Vec<Option<Vec<Padded<u32>>>> =
-        vec![None; plan.faults().cube().len()];
+    let mut state: Vec<Option<Vec<Padded<u32>>>> = vec![None; plan.faults().cube().len()];
     for (node, run) in out.into_results() {
         state[node.index()] = Some(run);
     }

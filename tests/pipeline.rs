@@ -26,8 +26,13 @@ fn diagnose_then_sort_end_to_end() {
         let data: Vec<u64> = (0..5_000).map(|_| rng.random()).collect();
         let mut expect = data.clone();
         expect.sort_unstable();
-        let out = fault_tolerant_sort(&diagnosed, CostModel::default(), data, Protocol::HalfExchange)
-            .expect("tolerable");
+        let out = fault_tolerant_sort(
+            &diagnosed,
+            CostModel::default(),
+            data,
+            Protocol::HalfExchange,
+        )
+        .expect("tolerable");
         assert_eq!(out.sorted, expect, "n={n}");
     }
 }
@@ -41,9 +46,13 @@ fn total_fault_model_costs_at_least_partial() {
     let faults = [3u32, 5, 16, 24];
     let partial = FaultSet::from_raw(Hypercube::new(5), &faults).with_model(FaultModel::Partial);
     let total = FaultSet::from_raw(Hypercube::new(5), &faults).with_model(FaultModel::Total);
-    let t_partial =
-        fault_tolerant_sort(&partial, CostModel::default(), data.clone(), Protocol::HalfExchange)
-            .unwrap();
+    let t_partial = fault_tolerant_sort(
+        &partial,
+        CostModel::default(),
+        data.clone(),
+        Protocol::HalfExchange,
+    )
+    .unwrap();
     let t_total =
         fault_tolerant_sort(&total, CostModel::default(), data, Protocol::HalfExchange).unwrap();
     assert_eq!(t_partial.sorted, t_total.sorted);
@@ -93,21 +102,24 @@ fn step8_strategies_agree_on_results() {
 
 #[test]
 fn link_faults_are_routed_around() {
-    use hypercube::fault::Link;
     use hypercube::address::NodeId;
+    use hypercube::fault::Link;
     let mut rng = StdRng::seed_from_u64(23);
     let data: Vec<u32> = (0..4_000).map(|_| rng.random()).collect();
     let mut expect = data.clone();
     expect.sort_unstable();
     let clean = FaultSet::from_raw(Hypercube::new(4), &[6, 9]);
-    let broken = clean.clone().with_faulty_links([
-        Link::new(NodeId::new(0), 0),
-        Link::new(NodeId::new(5), 2),
-    ]);
+    let broken = clean
+        .clone()
+        .with_faulty_links([Link::new(NodeId::new(0), 0), Link::new(NodeId::new(5), 2)]);
     assert!(broken.is_connected());
-    let out_clean =
-        fault_tolerant_sort(&clean, CostModel::default(), data.clone(), Protocol::HalfExchange)
-            .unwrap();
+    let out_clean = fault_tolerant_sort(
+        &clean,
+        CostModel::default(),
+        data.clone(),
+        Protocol::HalfExchange,
+    )
+    .unwrap();
     let out_broken =
         fault_tolerant_sort(&broken, CostModel::default(), data, Protocol::HalfExchange).unwrap();
     assert_eq!(out_clean.sorted, expect);
@@ -119,8 +131,8 @@ fn link_faults_are_routed_around() {
 
 #[test]
 fn absorbing_link_faults_also_works() {
-    use hypercube::fault::Link;
     use hypercube::address::NodeId;
+    use hypercube::fault::Link;
     let mut rng = StdRng::seed_from_u64(29);
     let data: Vec<u32> = (0..2_000).map(|_| rng.random()).collect();
     let mut expect = data.clone();
@@ -129,8 +141,13 @@ fn absorbing_link_faults_also_works() {
         .with_faulty_links([Link::new(NodeId::new(8), 1)]);
     let absorbed = faults.absorb_link_faults();
     assert_eq!(absorbed.count(), 2);
-    let out = fault_tolerant_sort(&absorbed, CostModel::default(), data, Protocol::HalfExchange)
-        .unwrap();
+    let out = fault_tolerant_sort(
+        &absorbed,
+        CostModel::default(),
+        data,
+        Protocol::HalfExchange,
+    )
+    .unwrap();
     assert_eq!(out.sorted, expect);
 }
 
@@ -138,8 +155,8 @@ fn absorbing_link_faults_also_works() {
 fn adaptive_router_costs_at_least_the_oracle() {
     use hypercube::sim::RouterKind;
     let mut rng = StdRng::seed_from_u64(31);
-    let faults = FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24])
-        .with_model(FaultModel::Total);
+    let faults =
+        FaultSet::from_raw(Hypercube::new(5), &[3, 5, 16, 24]).with_model(FaultModel::Total);
     let plan = FtPlan::new(&faults).unwrap();
     let data: Vec<u32> = (0..4_000).map(|_| rng.random()).collect();
     let mut expect = data.clone();
@@ -184,8 +201,8 @@ fn sorts_structs_not_just_integers() {
     let mut expect = data.clone();
     expect.sort();
     let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
-    let out = fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::FullExchange)
-        .unwrap();
+    let out =
+        fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::FullExchange).unwrap();
     assert_eq!(out.sorted, expect);
 }
 
@@ -203,9 +220,8 @@ fn bitonic_communication_is_data_oblivious() {
     ];
     let mut baseline: Option<(u64, u64)> = None;
     for data in inputs {
-        let out =
-            fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::HalfExchange)
-                .unwrap();
+        let out = fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::HalfExchange)
+            .unwrap();
         let key = (out.stats.messages, out.stats.element_hops);
         match &baseline {
             None => baseline = Some(key),
@@ -237,7 +253,10 @@ fn stats_are_internally_consistent() {
         fault_tolerant_sort(&faults, CostModel::default(), data, Protocol::HalfExchange).unwrap();
     let s = out.stats;
     assert!(s.messages > 0);
-    assert!(s.element_hops >= s.elements_sent, "every element moves ≥1 hop");
+    assert!(
+        s.element_hops >= s.elements_sent,
+        "every element moves ≥1 hop"
+    );
     assert!(s.max_hops >= 1);
     assert!(s.comparisons > 0);
     assert!(s.max_message_elements > 0);
