@@ -3,11 +3,12 @@
 //! the cost-structure view behind the paper's §3 analysis.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin breakdown [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq]
+//! cargo run -p ft-bench --release --bin breakdown \
+//!     [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
-use ftsort::ftsort::{fault_tolerant_sort_profiled, FtConfig, FtPlan};
+use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
+use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use hypercube::sim::EngineKind;
 
 fn main() {
@@ -16,6 +17,7 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut host_io = false;
     let mut engine = EngineKind::default();
+    let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -25,8 +27,10 @@ fn main() {
             "--host-io" => host_io = true,
             "--engine" => engine = parse_engine(args.next()),
             other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+                if !obs_flags.parse(other, &mut args) {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -48,9 +52,13 @@ fn main() {
         let config = FtConfig {
             include_host_io: host_io,
             engine,
+            tracing: obs_flags.tracing(),
             ..FtConfig::default()
         };
-        let (out, phases) = fault_tolerant_sort_profiled(&plan, &config, data);
+        let (out, phases, obs) = fault_tolerant_sort_observed(&plan, &config, data);
+        if obs_flags.enabled() {
+            obs_flags.observe(obs);
+        }
         println!(
             "{:>2} {:>3} {:>4} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>9.1}",
             r,
@@ -64,4 +72,5 @@ fn main() {
             out.time_us / 1000.0
         );
     }
+    obs_flags.write();
 }

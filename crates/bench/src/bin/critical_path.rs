@@ -1,0 +1,109 @@
+//! Critical-path report: runs the fault-tolerant sort with tracing on,
+//! walks the happens-before graph backward from the last-finishing node,
+//! and prints where the virtual makespan actually went — per-phase
+//! attribution of the longest dependency chain (which phases *gate* the
+//! run, as opposed to the per-processor maxima of `breakdown`) plus an
+//! ASCII gantt chart with the path capitalized.
+//!
+//! Both engines produce the identical trace, so the report is
+//! engine-invariant; `--engine` only changes how fast it regenerates.
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin critical_path \
+//!     [-- --n 5 --faults 3,5,16,24 --m 4800 --seed 1992 --engine seq --width 72]
+//! ```
+
+use ft_bench::{parse_engine, random_keys, DEFAULT_SEED};
+use ftsort::ftsort::{fault_tolerant_sort_observed, phase_name, FtConfig, FtPlan};
+use hypercube::fault::FaultSet;
+use hypercube::obs::critical_path::{gantt, CriticalPath, SegmentKind};
+use hypercube::sim::EngineKind;
+use hypercube::topology::Hypercube;
+
+fn main() {
+    let mut n = 5usize;
+    let mut fault_list: Vec<u32> = vec![3, 5, 16, 24];
+    let mut m_total = 4_800usize;
+    let mut seed = DEFAULT_SEED;
+    let mut engine = EngineKind::default();
+    let mut width = 72usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--n" => n = args.next().and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--faults" => {
+                fault_list = args
+                    .next()
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .filter_map(|v| v.trim().parse().ok())
+                    .collect();
+            }
+            "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--engine" => engine = parse_engine(args.next()),
+            "--width" => width = args.next().and_then(|v| v.parse().ok()).unwrap_or(width),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let faults = FaultSet::from_raw(Hypercube::new(n), &fault_list);
+    let plan = match FtPlan::new(&faults) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rng = ft_bench::rng(seed);
+    let data = random_keys(m_total, &mut rng);
+    let config = FtConfig {
+        engine,
+        tracing: true,
+        ..FtConfig::default()
+    };
+    let (out, _, obs) = fault_tolerant_sort_observed(&plan, &config, data);
+    assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]), "output sorted");
+
+    let path = CriticalPath::compute(&obs).expect("traced run has a path");
+    println!(
+        "Critical path of the FT sort: Q{n} faults {:?}, M = {m_total}, seed = {seed}",
+        faults.to_vec()
+    );
+    println!(
+        "makespan {:.1} us, path of {} segments ending at node {}",
+        path.makespan,
+        path.segments.len(),
+        path.end_node.raw()
+    );
+    let transfer_us: f64 = path
+        .segments
+        .iter()
+        .filter(|s| s.kind == SegmentKind::Transfer)
+        .map(|s| s.duration())
+        .sum();
+    println!(
+        "gated by message transfers for {:.1} us ({:.1}% of the path)\n",
+        transfer_us,
+        100.0 * transfer_us / path.makespan
+    );
+    println!("{:<16} {:>12} {:>7}", "phase", "on-path us", "share");
+    println!("{}", "-".repeat(37));
+    let rows = path.attribute(&obs, &phase_name);
+    let mut sum = 0.0;
+    for (name, us) in &rows {
+        sum += us;
+        println!("{name:<16} {us:>12.1} {:>6.1}%", 100.0 * us / path.makespan);
+    }
+    println!("{}", "-".repeat(37));
+    println!(
+        "{:<16} {sum:>12.1} {:>6.1}%\n",
+        "total",
+        100.0 * sum / path.makespan
+    );
+    debug_assert!((sum - path.makespan).abs() <= 1e-6 * path.makespan.max(1.0));
+    print!("{}", gantt(&obs, &path, &phase_name, width));
+}

@@ -13,9 +13,11 @@
 //!     [-- --sizes 6,8,10 --m 16000 --trials 3 --seed 1992 --out BENCH_engines.json]
 //! ```
 
-use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{random_faults, random_keys, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::ftsort::{
+    fault_tolerant_sort_configured, fault_tolerant_sort_observed, FtConfig, FtPlan,
+};
 use hypercube::sim::EngineKind;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -35,6 +37,7 @@ fn main() {
     let mut trials = 3usize;
     let mut seed = DEFAULT_SEED;
     let mut out = String::from("BENCH_engines.json");
+    let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,8 +58,10 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--out" => out = args.next().unwrap_or(out),
             other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+                if !obs_flags.parse(other, &mut args) {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -117,11 +122,24 @@ fn main() {
             threaded_s,
             seq_s,
         });
+        // Observability exports come from one extra (untimed) run so the
+        // trace-recording overhead never contaminates the wall clocks.
+        if obs_flags.enabled() {
+            let config = FtConfig {
+                protocol: Protocol::HalfExchange,
+                engine: EngineKind::Seq,
+                tracing: obs_flags.tracing(),
+                ..FtConfig::default()
+            };
+            let (_, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
+            obs_flags.observe(obs);
+        }
     }
 
     let json = render_json(seed, trials, &rows);
     std::fs::write(&out, &json).expect("write BENCH_engines.json");
     println!("\nwrote {out}");
+    obs_flags.write();
 }
 
 /// Hand-rolled JSON so the report stays dependency-free.

@@ -11,12 +11,13 @@
 //! * no `--n` → all four panels
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin figure7 [-- --n 6 --seed 1992 --trials 3 --engine seq]
+//! cargo run -p ft-bench --release --bin figure7 \
+//!     [-- --n 6 --seed 1992 --trials 3 --engine seq --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::{bitonic_sort_with_engine, Protocol};
-use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use hypercube::cost::CostModel;
 use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
@@ -30,6 +31,7 @@ fn main() {
     let mut csv = false;
     let mut cost = CostModel::default();
     let mut engine = EngineKind::default();
+    let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -53,8 +55,10 @@ fn main() {
                     .unwrap_or(cost.t_startup)
             }
             other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+                if !obs_flags.parse(other, &mut args) {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -63,11 +67,13 @@ fn main() {
         None => vec![6, 5, 3, 4], // the paper's (a), (b), (c), (d) order
     };
     for n in panels {
-        figure7_panel(n, seed, trials, csv, cost, engine);
+        figure7_panel(n, seed, trials, csv, cost, engine, &mut obs_flags);
         println!();
     }
+    obs_flags.write();
 }
 
+#[allow(clippy::too_many_arguments)]
 fn figure7_panel(
     n: usize,
     seed: u64,
@@ -75,6 +81,7 @@ fn figure7_panel(
     csv: bool,
     cost: CostModel,
     engine: EngineKind,
+    obs_flags: &mut ObsFlags,
 ) {
     let label = match n {
         6 => "(a)",
@@ -127,17 +134,21 @@ fn figure7_panel(
             let mut total = 0.0;
             for faults in sets {
                 let plan = FtPlan::new(faults).expect("tolerable");
-                let out = fault_tolerant_sort_configured(
+                let (out, _, obs) = fault_tolerant_sort_observed(
                     &plan,
                     &FtConfig {
                         cost,
                         protocol: Protocol::HalfExchange,
                         engine,
+                        tracing: obs_flags.tracing(),
                         ..FtConfig::default()
                     },
                     data.clone(),
                 );
                 total += out.time_us;
+                if obs_flags.enabled() {
+                    obs_flags.observe(obs);
+                }
             }
             let ms = total / sets.len() as f64 / 1000.0;
             if csv {

@@ -6,14 +6,15 @@
 //! and why the paper's fault-tolerance surgery is possible at all.
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin obliviousness [-- --n 5 --m 64000 --seed 1992 --engine seq]
+//! cargo run -p ft-bench --release --bin obliviousness \
+//!     [-- --n 5 --m 64000 --seed 1992 --engine seq --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::workload::Workload;
-use ft_bench::{parse_engine, DEFAULT_SEED};
+use ft_bench::{parse_engine, ObsFlags, DEFAULT_SEED};
 use ftsort::baselines::hyperquicksort_with_engine;
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::sim::EngineKind;
@@ -24,6 +25,7 @@ fn main() {
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -32,8 +34,10 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--engine" => engine = parse_engine(args.next()),
             other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+                if !obs_flags.parse(other, &mut args) {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -57,16 +61,20 @@ fn main() {
         let mut expect = data.clone();
         expect.sort_unstable();
         let plan = FtPlan::new(&faults).expect("tolerable");
-        let ours = fault_tolerant_sort_configured(
+        let (ours, _, obs) = fault_tolerant_sort_observed(
             &plan,
             &FtConfig {
                 protocol: Protocol::HalfExchange,
                 engine,
+                tracing: obs_flags.tracing(),
                 ..FtConfig::default()
             },
             data.clone(),
         );
         assert_eq!(ours.sorted, expect);
+        if obs_flags.enabled() {
+            obs_flags.observe(obs);
+        }
         let hq = hyperquicksort_with_engine(cube, CostModel::default(), data, engine);
         assert_eq!(hq.sorted, expect);
         println!(
@@ -89,4 +97,5 @@ fn main() {
         spread(&ft_times),
         spread(&hq_times)
     );
+    obs_flags.write();
 }

@@ -8,12 +8,13 @@
 //!    normal node is isolated (paper §2.2's closing remark).
 //!
 //! ```text
-//! cargo run -p ft-bench --release --bin scaling [-- --m 64000 --seed 1992 --engine seq]
+//! cargo run -p ft-bench --release --bin scaling \
+//!     [-- --m 64000 --seed 1992 --engine seq --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use ftsort::mffs::mffs_sort_with_engine;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
@@ -24,6 +25,7 @@ fn main() {
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,8 +33,10 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--engine" => engine = parse_engine(args.next()),
             other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
+                if !obs_flags.parse(other, &mut args) {
+                    eprintln!("unknown argument {other}");
+                    std::process::exit(2);
+                }
             }
         }
     }
@@ -57,10 +61,14 @@ fn main() {
             let config = FtConfig {
                 protocol: Protocol::HalfExchange,
                 engine,
+                tracing: obs_flags.tracing(),
                 ..FtConfig::default()
             };
-            ours_ms +=
-                fault_tolerant_sort_configured(&plan, &config, data.clone()).time_us / 1000.0;
+            let (out, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
+            ours_ms += out.time_us / 1000.0;
+            if obs_flags.enabled() {
+                obs_flags.observe(obs);
+            }
             mffs_ms += mffs_sort_with_engine(
                 &faults,
                 CostModel::default(),
@@ -110,9 +118,13 @@ fn main() {
                 let config = FtConfig {
                     protocol: Protocol::HalfExchange,
                     engine,
+                    tracing: obs_flags.tracing(),
                     ..FtConfig::default()
                 };
-                let out = fault_tolerant_sort_configured(&p, &config, data);
+                let (out, _, obs) = fault_tolerant_sort_observed(&p, &config, data);
+                if obs_flags.enabled() {
+                    obs_flags.observe(obs);
+                }
                 println!(
                     "{:>2} {:>10} {:>4} {:>8} {:>9.1}% {:>12.1}",
                     r,
@@ -126,4 +138,5 @@ fn main() {
             None => println!("{r:>2} {:>10}", "none found"),
         }
     }
+    obs_flags.write();
 }

@@ -46,6 +46,88 @@ pub fn parse_engine(value: Option<String>) -> hypercube::sim::EngineKind {
     }
 }
 
+/// `--trace-out FILE` / `--metrics-out FILE` support shared by the report
+/// binaries: when either flag is given, the binary records the
+/// [`RunObservation`](hypercube::obs::RunObservation) of its **last**
+/// fault-tolerant sort and writes the Perfetto trace and/or
+/// [`RunReport`](hypercube::obs::RunReport) JSON on exit — the same
+/// artifacts `ftsort-cli sort` emits, so any report row can be drilled
+/// into with the observability tooling.
+#[derive(Default)]
+pub struct ObsFlags {
+    /// Perfetto trace destination (`--trace-out`).
+    pub trace_out: Option<String>,
+    /// `RunReport` JSON destination (`--metrics-out`).
+    pub metrics_out: Option<String>,
+    last: Option<hypercube::obs::RunObservation>,
+}
+
+impl ObsFlags {
+    /// No exports requested.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes `--trace-out`/`--metrics-out` (and their values) from the
+    /// argument stream; returns `false` for any other argument so callers
+    /// can fall through to their own error handling.
+    pub fn parse(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        let slot = match arg {
+            "--trace-out" => &mut self.trace_out,
+            "--metrics-out" => &mut self.metrics_out,
+            _ => return false,
+        };
+        match args.next() {
+            Some(path) => *slot = Some(path),
+            None => {
+                eprintln!("{arg} requires a file path");
+                std::process::exit(2);
+            }
+        }
+        true
+    }
+
+    /// Whether the engine should record the event trace
+    /// (`FtConfig::tracing`) — only needed when a trace export was asked
+    /// for; metrics come from the always-on spans.
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// Whether any export was requested; callers skip the observation
+    /// plumbing entirely otherwise.
+    pub fn enabled(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some()
+    }
+
+    /// Remembers `obs` as the run to export (last call wins).
+    pub fn observe(&mut self, obs: hypercube::obs::RunObservation) {
+        self.last = Some(obs);
+    }
+
+    /// Writes the requested artifacts from the last observed run. Call
+    /// once at the end of `main`.
+    pub fn write(&self) {
+        if !self.enabled() {
+            return;
+        }
+        let Some(obs) = &self.last else {
+            eprintln!("--trace-out/--metrics-out: no run was observed");
+            std::process::exit(2);
+        };
+        if let Some(path) = &self.trace_out {
+            let json = hypercube::obs::perfetto::perfetto_json(obs, &ftsort::ftsort::phase_name);
+            std::fs::write(path, json).expect("write trace");
+            println!("trace written  : {path} (load in ui.perfetto.dev)");
+        }
+        if let Some(path) = &self.metrics_out {
+            let report = obs.report(&ftsort::ftsort::phase_name);
+            std::fs::write(path, report.to_json()).expect("write metrics");
+            println!("metrics written: {path}");
+        }
+    }
+}
+
 /// Calls `f` for every `r`-subset of the `2^n` processor addresses —
 /// exhaustive enumeration of fault placements, for exact versions of the
 /// paper's sampled tables. Returns the number of placements visited.

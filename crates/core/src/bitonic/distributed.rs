@@ -67,6 +67,7 @@ where
     }
     debug_assert!(crate::seq::is_sorted(&run), "local run must be sorted");
 
+    ctx.span_enter(phase);
     let mut run = run;
     for i in 0..s {
         for j in (0..=i).rev() {
@@ -96,6 +97,7 @@ where
             .await;
         }
     }
+    ctx.span_exit();
     run
 }
 
@@ -146,6 +148,7 @@ where
     }
     debug_assert!(crate::seq::is_sorted(&run), "local run must be sorted");
 
+    ctx.span_enter(phase);
     let mut run = run;
     for j in (0..s).rev() {
         let partner_logical = my_logical ^ (1 << j);
@@ -173,6 +176,7 @@ where
         )
         .await;
     }
+    ctx.span_exit();
     run
 }
 
@@ -203,12 +207,16 @@ where
     if partner_logical == my_logical {
         return run; // middle window stays put
     }
-    ctx.exchange(
-        members[partner_logical],
-        Tag::phase(phase, u16::MAX, 0),
-        run,
-    )
-    .await
+    ctx.span_enter(phase);
+    let swapped = ctx
+        .exchange(
+            members[partner_logical],
+            Tag::phase(phase, u16::MAX, 0),
+            run,
+        )
+        .await;
+    ctx.span_exit();
+    swapped
 }
 
 #[cfg(test)]

@@ -46,10 +46,39 @@ use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::sim::{Comm, Engine, EngineKind, Tag};
 
-/// Tag namespaces; step-8 re-sorts get a distinct namespace per `(i, j)`.
-const PHASE_STEP3: u16 = 2;
-const PHASE_STEP7: u16 = 3;
-const PHASE_STEP8_BASE: u16 = 100;
+/// Phase id of step 3 (local sort + intra-subcube single-fault bitonic).
+///
+/// Phase ids double as tag namespaces ([`Tag::phase`]) and as span keys
+/// ([`Comm::span_enter`]); step-8 re-sorts get a distinct namespace per
+/// `(i, j)` so their messages never cross substages, while [`phase_name`]
+/// folds the whole step-8 range back into one reporting bucket.
+pub const PHASE_STEP3: u16 = 2;
+/// Phase id of step 7 (inter-subcube compare-splits).
+pub const PHASE_STEP7: u16 = 3;
+/// Base phase id of step 8; substage `(i, j)` uses `base + i·16 + j` and
+/// its window reversal (if any) `base + 512 + i·16 + j`.
+pub const PHASE_STEP8_BASE: u16 = 100;
+/// Phase id of the host scatter collective ([`FtConfig::include_host_io`]).
+pub const PHASE_SCATTER: u16 = 500;
+/// Phase id of the host gather collective ([`FtConfig::include_host_io`]).
+pub const PHASE_GATHER: u16 = 501;
+
+/// Names a phase id for reports and trace exports, or `None` for ids this
+/// algorithm does not emit. All step-8 substages (and their window
+/// reversals) map to `"step8"`, so per-phase attribution aggregates them
+/// the way [`PhaseBreakdown`] always has. `"bitonic"` (phase 1) appears
+/// only in standalone bitonic runs, never in the fault-tolerant sort.
+pub fn phase_name(phase: u16) -> Option<&'static str> {
+    match phase {
+        1 => Some("bitonic"),
+        PHASE_STEP3 => Some("step3"),
+        PHASE_STEP7 => Some("step7"),
+        PHASE_SCATTER => Some("scatter"),
+        PHASE_GATHER => Some("gather"),
+        PHASE_STEP8_BASE..=867 => Some("step8"),
+        _ => None,
+    }
+}
 
 /// How step 8 re-establishes sorted subcubes after each inter-subcube
 /// compare-split.
@@ -98,6 +127,12 @@ pub struct FtConfig {
     /// (default, matching the paper's Figure 7 which times the sort proper)
     /// data appears on / is read off the processors for free.
     pub include_host_io: bool,
+    /// When set, the engine records the full message/compute event trace
+    /// (needed for Perfetto export and critical-path analysis — see
+    /// `hypercube::obs`). Phase spans and per-node metrics are always
+    /// recorded; only the event trace is gated, because it is the one
+    /// observability channel that allocates on the message hot path.
+    pub tracing: bool,
 }
 
 /// Why a fault-tolerant sort cannot be planned.
@@ -271,6 +306,30 @@ pub struct PhaseBreakdown {
     pub host_gather_us: f64,
 }
 
+impl PhaseBreakdown {
+    /// Rebuilds the breakdown from recorded phase spans: per node the
+    /// unioned span time per phase name, then the maximum over nodes —
+    /// the same "work *and* waiting, max over processors" semantics the
+    /// inline clock subtraction used to compute, but derived from the
+    /// shared span log every algorithm now feeds.
+    pub fn from_observation(obs: &hypercube::obs::RunObservation) -> PhaseBreakdown {
+        let report = obs.report(&phase_name);
+        let mut breakdown = PhaseBreakdown::default();
+        for phase in &report.phases {
+            let slot = match phase.name.as_str() {
+                "scatter" => &mut breakdown.host_scatter_us,
+                "step3" => &mut breakdown.step3_us,
+                "step7" => &mut breakdown.step7_us,
+                "step8" => &mut breakdown.step8_us,
+                "gather" => &mut breakdown.host_gather_us,
+                _ => continue,
+            };
+            *slot = phase.max_node_us;
+        }
+        breakdown
+    }
+}
+
 /// [`fault_tolerant_sort_configured`] that also reports where the virtual
 /// time went.
 pub fn fault_tolerant_sort_profiled<K>(
@@ -278,6 +337,27 @@ pub fn fault_tolerant_sort_profiled<K>(
     config: &FtConfig,
     data: Vec<K>,
 ) -> (SortOutcome<K>, PhaseBreakdown)
+where
+    K: Ord + Clone + Send,
+{
+    let (outcome, breakdown, _) = fault_tolerant_sort_observed(plan, config, data);
+    (outcome, breakdown)
+}
+
+/// [`fault_tolerant_sort_profiled`] that additionally returns the full
+/// [`RunObservation`](hypercube::obs::RunObservation) — phase spans,
+/// per-node/per-link metrics and (with [`FtConfig::tracing`]) the event
+/// trace — for Perfetto export, report generation and critical-path
+/// analysis.
+pub fn fault_tolerant_sort_observed<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+) -> (
+    SortOutcome<K>,
+    PhaseBreakdown,
+    hypercube::obs::RunObservation,
+)
 where
     K: Ord + Clone + Send,
 {
@@ -321,20 +401,27 @@ where
     }
     let host_parts = &host_parts;
 
-    let engine = Engine::new(plan.faults().clone(), cost)
+    let mut engine = Engine::new(plan.faults().clone(), cost)
         .with_router(config.router)
         .with_engine(config.engine);
+    if config.tracing {
+        engine = engine.with_tracing();
+    }
     let out = engine.run(inputs, async |ctx, mut chunk| {
-        let mut phases = PhaseBreakdown::default();
         // One buffer pool per node for the whole run: compare-splits cycle
         // allocations through it instead of allocating per substage.
         let mut scratch = Scratch::new();
         if let Some(parts) = host_parts {
             let pieces = (ctx.me() == parts.root())
                 .then(|| chunk.chunks(k).map(|c| c.to_vec()).collect::<Vec<_>>());
-            chunk =
-                hypercube::collectives::scatter(ctx, parts, Tag::phase(500, 0, 0), pieces, k).await;
-            phases.host_scatter_us = ctx.clock();
+            chunk = hypercube::collectives::scatter(
+                ctx,
+                parts,
+                Tag::phase(PHASE_SCATTER, 0, 0),
+                pieces,
+                k,
+            )
+            .await;
         }
         let (v, w) = st.locate(ctx.me());
         let members = st.members(v);
@@ -342,7 +429,9 @@ where
 
         // Step 3: local sort (heapsort per the paper, configurable), then
         // the single-fault bitonic sort inside the subcube; subcube order
-        // follows the subcube-address parity.
+        // follows the subcube-address parity. The outer span also covers
+        // the local sort, which the bitonic's own span cannot see.
+        ctx.span_enter(PHASE_STEP3);
         let comparisons = config.local_sort.sort(&mut chunk, Direction::Ascending);
         ctx.charge_comparisons(comparisons as usize);
         let mut dir = Direction::from_parity(v);
@@ -358,7 +447,7 @@ where
             &mut scratch,
         )
         .await;
-        phases.step3_us = ctx.clock() - phases.host_scatter_us;
+        ctx.span_exit();
 
         // Steps 4–8: bitonic-like merge over subcubes.
         for i in 0..m {
@@ -393,7 +482,7 @@ where
                 } else {
                     KeepHalf::High
                 };
-                let before_step7 = ctx.clock();
+                ctx.span_enter(PHASE_STEP7);
                 run = compare_split_remote(
                     ctx,
                     partner,
@@ -404,12 +493,14 @@ where
                     &mut scratch,
                 )
                 .await;
-                phases.step7_us += ctx.clock() - before_step7;
-                let before_step8 = ctx.clock();
+                ctx.span_exit();
                 // Step 8: re-establish subcube order; the schedule demands
-                // ascending iff v_{j-1} == mask (v_{-1} ≡ 0).
+                // ascending iff v_{j-1} == mask (v_{-1} ≡ 0). The outer
+                // span spans merge + reversal so the substage reads as one
+                // contiguous interval even across the two inner spans.
                 dir = direction_for(v, j, mask);
                 let phase = PHASE_STEP8_BASE + (i * 16 + j) as u16;
+                ctx.span_enter(phase);
                 run = match step8 {
                     Step8Strategy::FullSort => {
                         distributed_bitonic_sort(
@@ -459,39 +550,36 @@ where
                         run
                     }
                 };
-                phases.step8_us += ctx.clock() - before_step8;
+                ctx.span_exit();
             }
         }
         assert_eq!(run.len(), k, "sort must preserve run length");
         match host_parts {
-            None => (run, None, phases),
+            None => (run, None),
             Some(parts) => {
-                let before_gather = ctx.clock();
-                let collected =
-                    hypercube::collectives::gather(ctx, parts, Tag::phase(501, 0, 0), run, k).await;
-                phases.host_gather_us = ctx.clock() - before_gather;
-                (Vec::new(), collected, phases)
+                let collected = hypercube::collectives::gather(
+                    ctx,
+                    parts,
+                    Tag::phase(PHASE_GATHER, 0, 0),
+                    run,
+                    k,
+                )
+                .await;
+                (Vec::new(), collected)
             }
         }
     });
 
     let time_us = out.turnaround();
     let stats = out.total_stats();
-    // Per-phase attribution: max over processors.
-    let mut breakdown = PhaseBreakdown::default();
-    for o in out.outcomes().iter().flatten() {
-        let p = o.result.2;
-        breakdown.host_scatter_us = breakdown.host_scatter_us.max(p.host_scatter_us);
-        breakdown.step3_us = breakdown.step3_us.max(p.step3_us);
-        breakdown.step7_us = breakdown.step7_us.max(p.step7_us);
-        breakdown.step8_us = breakdown.step8_us.max(p.step8_us);
-        breakdown.host_gather_us = breakdown.host_gather_us.max(p.host_gather_us);
-    }
+    let observation = out.observation();
+    // Per-phase attribution from the recorded spans: max over processors.
+    let breakdown = PhaseBreakdown::from_observation(&observation);
     // Gather in (v, w) order — the subcubes' address order of the paper.
     let sorted = match host_parts {
         None => {
             let mut by_node: Vec<Option<Vec<Padded<K>>>> = (0..cube.len()).map(|_| None).collect();
-            for (node, (run, _, _)) in out.into_results() {
+            for (node, (run, _)) in out.into_results() {
                 by_node[node.index()] = Some(run);
             }
             gather(
@@ -520,6 +608,7 @@ where
             processors_used: live.len(),
         },
         breakdown,
+        observation,
     )
 }
 

@@ -139,6 +139,7 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called broadcast");
+    ctx.span_enter((tag.0 >> 32) as u16);
     let payload = if rank == 0 {
         payload.expect("root must supply the broadcast payload")
     } else {
@@ -148,6 +149,7 @@ where
     for child in parts.children(rank) {
         ctx.send(parts.node(child), tag, payload.clone());
     }
+    ctx.span_exit();
     payload
 }
 
@@ -171,6 +173,7 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called scatter");
+    ctx.span_enter((tag.0 >> 32) as u16);
     let my_span = parts.subtree_span(rank);
     let mut bundle: Vec<K> = if rank == 0 {
         let pieces = pieces.expect("root must supply the scatter pieces");
@@ -193,6 +196,7 @@ where
         let sub = bundle.split_off(offset);
         ctx.send(parts.node(child), tag, sub);
     }
+    ctx.span_exit();
     bundle
 }
 
@@ -211,6 +215,7 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called gather");
+    ctx.span_enter((tag.0 >> 32) as u16);
     assert_eq!(
         piece.len(),
         piece_len,
@@ -226,7 +231,7 @@ where
         assert_eq!(sub.len(), (child_span.end - child_span.start) * piece_len);
         bundle.extend(sub);
     }
-    match parts.parent(rank) {
+    let result = match parts.parent(rank) {
         Some(parent) => {
             ctx.send(parts.node(parent), tag, bundle);
             None
@@ -237,7 +242,9 @@ where
                 .map(|c| c.to_vec())
                 .collect(),
         ),
-    }
+    };
+    ctx.span_exit();
+    result
 }
 
 /// Reduces every participant's value to the root with the associative
@@ -256,6 +263,7 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called reduce");
+    ctx.span_enter((tag.0 >> 32) as u16);
     let mut acc = value;
     for child in parts.children(rank) {
         let theirs = ctx.recv(parts.node(child), tag).await;
@@ -266,13 +274,15 @@ where
             .map(|(a, b)| op(a, b))
             .collect();
     }
-    match parts.parent(rank) {
+    let result = match parts.parent(rank) {
         Some(parent) => {
             ctx.send(parts.node(parent), tag, acc);
             None
         }
         None => Some(acc),
-    }
+    };
+    ctx.span_exit();
+    result
 }
 
 /// Tree-combine: folds every participant's payload up the binomial tree
@@ -295,18 +305,21 @@ where
 {
     let me = ctx.me();
     let rank = parts.rank(me).expect("non-participant called combine");
+    ctx.span_enter((tag.0 >> 32) as u16);
     let mut acc = value;
     for child in parts.children(rank) {
         let theirs = ctx.recv(parts.node(child), tag).await;
         acc = op(acc, theirs);
     }
-    match parts.parent(rank) {
+    let result = match parts.parent(rank) {
         Some(parent) => {
             ctx.send(parts.node(parent), tag, acc);
             None
         }
         None => Some(acc),
-    }
+    };
+    ctx.span_exit();
+    result
 }
 
 /// All-reduce: every participant returns the reduction of all values

@@ -57,6 +57,7 @@ pub mod cost;
 pub mod diagnosis;
 pub mod embedding;
 pub mod fault;
+pub mod obs;
 pub mod routing;
 pub mod sim;
 pub mod stats;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::collectives::Participants;
     pub use crate::cost::CostModel;
     pub use crate::fault::{FaultModel, FaultSet, Link};
+    pub use crate::obs::{RunObservation, RunReport};
     pub use crate::sim::{
         Comm, Engine, EngineKind, NodeCtx, RouterKind, RunOutcome, SeqEngine, Tag,
     };

@@ -1,0 +1,479 @@
+//! A minimal JSON value model, parser and writers for the observability
+//! exports.
+//!
+//! The build environment is offline, so the vendored `serde` is a no-op
+//! stand-in (derives expand to nothing) and every persisted format in this
+//! workspace is hand-written text. This module gives the observability
+//! layer the two halves it needs: exact writers for [`Trace`] and the
+//! metrics report, and a strict parser used by tests and the CLI's
+//! `trace-check` command to validate emitted files round-trip.
+//!
+//! `f64` values are written with Rust's `Display`, which produces the
+//! shortest decimal string that parses back to the identical bits — so
+//! virtual timestamps survive a write/parse cycle exactly.
+
+use crate::address::NodeId;
+use crate::sim::{Tag, Trace, TraceEvent, TraceKind};
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (all JSON numbers are read as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (rejects negatives and fractions).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            self.pos += 4;
+                            // surrogate pairs are not produced by our writers;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => {
+                    // multi-byte UTF-8: copy the whole scalar
+                    let start = self.pos - 1;
+                    let s = &self.bytes[start..];
+                    let ch_len = utf8_len(b);
+                    let chunk = s
+                        .get(..ch_len)
+                        .ok_or_else(|| "truncated UTF-8".to_string())?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number '{text}': {e}"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes a [`Trace`] to the workspace's own trace schema (distinct
+/// from the Perfetto export, which loses the raw tags): one object per
+/// event with the exact virtual timestamp.
+pub fn trace_to_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 * trace.len() + 32);
+    out.push_str("{\"events\":[");
+    for (i, e) in trace.events().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Tags use the full u64 range (protocol-round bits live at 60–63),
+        // which a JSON number (f64) cannot carry exactly — encode as a
+        // string, the standard interop-safe representation for u64.
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"node\":{},\"tag\":\"{}\",",
+            e.time,
+            e.node.raw(),
+            e.tag.0
+        );
+        match e.kind {
+            TraceKind::Send { to, elements, hops } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"send\",\"to\":{},\"elements\":{elements},\"hops\":{hops}}}",
+                    to.raw()
+                );
+            }
+            TraceKind::Recv { from, elements } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"recv\",\"from\":{},\"elements\":{elements}}}",
+                    from.raw()
+                );
+            }
+            TraceKind::Compute { comparisons } => {
+                let _ = write!(out, "\"kind\":\"compute\",\"comparisons\":{comparisons}}}");
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses a trace serialized by [`trace_to_json`]; the round-trip is exact
+/// (timestamps compare bit-equal).
+pub fn trace_from_json(text: &str) -> Result<Trace, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'events' array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, e) in events.iter().enumerate() {
+        let field = |k: &str| e.get(k).ok_or_else(|| format!("event {i}: missing '{k}'"));
+        let num = |k: &str| field(k)?.as_f64().ok_or(format!("event {i}: bad '{k}'"));
+        let int = |k: &str| field(k)?.as_u64().ok_or(format!("event {i}: bad '{k}'"));
+        let time = num("t")?;
+        let node = NodeId::new(int("node")? as u32);
+        let tag = Tag::new(
+            field("tag")?
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or(format!("event {i}: bad 'tag'"))?,
+        );
+        let kind = match field("kind")?.as_str() {
+            Some("send") => TraceKind::Send {
+                to: NodeId::new(int("to")? as u32),
+                elements: int("elements")? as usize,
+                hops: int("hops")? as u32,
+            },
+            Some("recv") => TraceKind::Recv {
+                from: NodeId::new(int("from")? as u32),
+                elements: int("elements")? as usize,
+            },
+            Some("compute") => TraceKind::Compute {
+                comparisons: int("comparisons")? as usize,
+            },
+            other => return Err(format!("event {i}: unknown kind {other:?}")),
+        };
+        out.push(TraceEvent {
+            time,
+            node,
+            tag,
+            kind,
+        });
+    }
+    Ok(Trace::from_events(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(
+            Json::parse(r#""a\nbA""#).unwrap(),
+            Json::Str("a\nbA".into())
+        );
+        let v = Json::parse(r#"{"a":[1,2,{"b":null}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "12 34",
+            "\"unterminated",
+            "tru",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn float_display_roundtrips_exactly() {
+        for x in [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            123456.789e-3,
+            f64::MIN_POSITIVE,
+            9007199254740993.0,
+        ] {
+            let text = format!("{x}");
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "tab\t quote\" back\\slash\nnewline é";
+        let mut buf = String::new();
+        write_str(&mut buf, original);
+        assert_eq!(Json::parse(&buf).unwrap().as_str(), Some(original));
+    }
+}

@@ -1,0 +1,764 @@
+//! Run observability: phase-scoped spans, per-node/per-link metrics, and
+//! aggregate reports.
+//!
+//! The paper's whole evaluation (§4, Tables 1–2, Fig. 7) is an attribution
+//! exercise — how much virtual time each *step* of the fault-tolerant sort
+//! costs — so the simulator records structured observations rather than a
+//! single scalar per run:
+//!
+//! * **Spans** ([`SpanLog`]) — virtual-time intervals a node spends inside
+//!   a named algorithm phase, entered/exited through
+//!   [`Comm::span_enter`](crate::sim::Comm::span_enter). Phases are keyed
+//!   by the same `u16` id the [`Tag::phase`](crate::sim::Tag::phase)
+//!   encoding carries in bits 32..48, so message tags and spans attribute
+//!   to the same phase for free.
+//! * **Node metrics** ([`NodeMetrics`]) — blocked-on-recv time,
+//!   per-dimension link traffic, message-size/hop histograms, and the
+//!   receive-queue high-water mark.
+//! * **[`RunObservation`]** — everything the engines captured for one run
+//!   (per-node clocks, stats, spans, metrics, plus the optional event
+//!   [`Trace`]); the input to the Perfetto exporter ([`perfetto`]) and the
+//!   critical-path analyzer ([`critical_path`]).
+//! * **[`RunReport`]** — the human/JSON-facing aggregate: per-phase busy
+//!   time (interval-union per node, then max/total over nodes), per-node
+//!   utilization, and per-dimension link load.
+//!
+//! Span aggregation unions intervals *by phase name* per node before
+//! summing, so nested or re-entrant spans of the same phase never
+//! double-count wall time.
+
+pub mod critical_path;
+pub mod json;
+pub mod perfetto;
+
+use crate::address::NodeId;
+use crate::cost::CostModel;
+use crate::sim::Trace;
+use crate::stats::RunStats;
+use std::fmt::Write as _;
+
+/// One closed span: a node was inside `phase` from `begin` to `end`
+/// (virtual µs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Phase id (the `Tag::phase` `u16` namespace).
+    pub phase: u16,
+    /// Virtual time the node entered the phase.
+    pub begin: f64,
+    /// Virtual time the node left it (`>= begin`).
+    pub end: f64,
+}
+
+impl SpanRecord {
+    /// Span length in virtual µs.
+    pub fn duration(&self) -> f64 {
+        self.end - self.begin
+    }
+
+    /// Whether `t` lies inside the span (half-open on neither side — the
+    /// critical-path attribution probes midpoints, so boundaries are
+    /// inclusive).
+    pub fn contains(&self, t: f64) -> bool {
+        self.begin <= t && t <= self.end
+    }
+}
+
+/// Per-node span recorder. Spans nest like a stack: `enter` pushes,
+/// `exit` closes the innermost open span at the current virtual time.
+#[derive(Clone, Debug, Default)]
+pub struct SpanLog {
+    open: Vec<(u16, f64)>,
+    closed: Vec<SpanRecord>,
+}
+
+impl SpanLog {
+    /// An empty log with room for a typical run (a handful of phases,
+    /// re-entered per substage).
+    pub fn new() -> Self {
+        SpanLog {
+            open: Vec::with_capacity(4),
+            closed: Vec::with_capacity(32),
+        }
+    }
+
+    /// Opens a span for `phase` at virtual time `now`.
+    pub fn enter(&mut self, phase: u16, now: f64) {
+        self.open.push((phase, now));
+    }
+
+    /// Closes the innermost open span at virtual time `now`. A stray exit
+    /// with nothing open is ignored (robustness over panics inside node
+    /// programs).
+    pub fn exit(&mut self, now: f64) {
+        if let Some((phase, begin)) = self.open.pop() {
+            self.closed.push(SpanRecord {
+                phase,
+                begin,
+                end: now,
+            });
+        }
+    }
+
+    /// Finishes the log at the node's final clock, force-closing any spans
+    /// a node program left open, and returns the records in close order.
+    pub fn finish(mut self, now: f64) -> Vec<SpanRecord> {
+        while !self.open.is_empty() {
+            self.exit(now);
+        }
+        self.closed
+    }
+}
+
+/// Per-node communication/utilization metrics beyond the flat
+/// [`RunStats`] counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeMetrics {
+    /// Virtual time spent blocked inside `recv` waiting for a message that
+    /// had not yet arrived (clock jumps across a receive).
+    pub blocked_us: f64,
+    /// Messages consumed by this node.
+    pub msgs_received: u64,
+    /// Element·hops this node *sent* across each hypercube dimension
+    /// (index = dimension). Routes are charged along the set bits of
+    /// `src ^ dst`, matching the e-cube route length.
+    pub dim_elements: Vec<u64>,
+    /// Element·hops charged beyond the `src ^ dst` Hamming distance —
+    /// fault-detour traffic the per-dimension split cannot localize.
+    pub detour_element_hops: u64,
+    /// Message-size histogram: bucket 0 counts empty messages, bucket
+    /// `i >= 1` counts sizes in `[2^(i-1), 2^i)`.
+    pub msg_size_hist: Vec<u64>,
+    /// Message-hop histogram: index = links crossed.
+    pub msg_hops_hist: Vec<u64>,
+    /// High-water mark of this node's receive queue, in messages. Exact
+    /// and deterministic on the sequential engine; on the threaded engine
+    /// it is sampled from live channel gauges and may vary with OS
+    /// scheduling, so it is excluded from engine-differential comparisons.
+    pub inbox_peak: u64,
+}
+
+impl NodeMetrics {
+    /// Zeroed metrics for a `dim`-cube node.
+    pub fn new(dim: usize) -> Self {
+        NodeMetrics {
+            blocked_us: 0.0,
+            msgs_received: 0,
+            dim_elements: vec![0; dim],
+            detour_element_hops: 0,
+            msg_size_hist: Vec::new(),
+            msg_hops_hist: Vec::new(),
+            inbox_peak: 0,
+        }
+    }
+
+    /// Records a send of `elements` keys from `src` to `dst` over `hops`
+    /// links, attributing traffic to dimensions and histograms.
+    pub fn on_send(&mut self, src: NodeId, dst: NodeId, elements: usize, hops: u32) {
+        let direct = src.raw() ^ dst.raw();
+        let mut crossed = 0u32;
+        for d in 0..self.dim_elements.len() {
+            if direct >> d & 1 == 1 {
+                self.dim_elements[d] += elements as u64;
+                crossed += 1;
+            }
+        }
+        if hops > crossed {
+            self.detour_element_hops += elements as u64 * (hops - crossed) as u64;
+        }
+        let size_bucket = if elements == 0 {
+            0
+        } else {
+            (usize::BITS - elements.leading_zeros()) as usize
+        };
+        bump(&mut self.msg_size_hist, size_bucket);
+        bump(&mut self.msg_hops_hist, hops as usize);
+    }
+}
+
+fn bump(hist: &mut Vec<u64>, index: usize) {
+    if hist.len() <= index {
+        hist.resize(index + 1, 0);
+    }
+    hist[index] += 1;
+}
+
+/// Everything observed about one node in a completed run.
+#[derive(Clone, Debug)]
+pub struct NodeObservation {
+    /// The node.
+    pub node: NodeId,
+    /// Final virtual clock, µs.
+    pub clock: f64,
+    /// Flat operation counters.
+    pub stats: RunStats,
+    /// Closed phase spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Utilization/communication metrics.
+    pub metrics: NodeMetrics,
+}
+
+/// Everything observed about a completed run — the input to reporting,
+/// Perfetto export, and critical-path analysis.
+#[derive(Clone, Debug)]
+pub struct RunObservation {
+    /// Hypercube dimension.
+    pub dim: usize,
+    /// The cost model the run was charged under.
+    pub cost: CostModel,
+    /// The event trace (empty unless tracing was enabled).
+    pub trace: Trace,
+    /// Per-node observations, indexed by node address (`None` for nodes
+    /// that did not participate, e.g. faulty ones).
+    pub nodes: Vec<Option<NodeObservation>>,
+}
+
+impl RunObservation {
+    /// The run's virtual makespan: the maximum final clock over nodes.
+    pub fn makespan(&self) -> f64 {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(|n| n.clock)
+            .fold(0.0, f64::max)
+    }
+
+    /// Participating nodes, in address order.
+    pub fn participants(&self) -> impl Iterator<Item = &NodeObservation> {
+        self.nodes.iter().flatten()
+    }
+
+    /// Aggregates into a [`RunReport`], naming phases through `namer`
+    /// (unknown ids fall back to `phase-<id>`).
+    pub fn report(&self, namer: &dyn Fn(u16) -> Option<&'static str>) -> RunReport {
+        RunReport::build(self, namer)
+    }
+}
+
+/// Total length of the union of a set of intervals, in µs. Overlapping or
+/// nested intervals count once — this is what makes re-entrant spans safe
+/// to sum.
+pub fn union_us(intervals: &mut [(f64, f64)]) -> f64 {
+    intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for &(begin, end) in intervals.iter() {
+        match current {
+            Some((_, ce)) if begin <= ce => {
+                let (cb, ce) = current.unwrap();
+                current = Some((cb, ce.max(end)));
+            }
+            Some((cb, ce)) => {
+                total += ce - cb;
+                current = Some((begin, end));
+            }
+            None => current = Some((begin, end)),
+        }
+    }
+    if let Some((cb, ce)) = current {
+        total += ce - cb;
+    }
+    total
+}
+
+/// Aggregate attribution for one named phase across all nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Phase name (from the namer, or `phase-<id>`).
+    pub name: String,
+    /// Maximum per-node unioned span time, µs — the phase's contribution
+    /// to the makespan under a barrier-per-phase reading (what the paper's
+    /// tables report).
+    pub max_node_us: f64,
+    /// Sum of per-node unioned span time, µs — total work inside the
+    /// phase.
+    pub total_node_us: f64,
+    /// Raw span records attributed to the phase.
+    pub spans: u64,
+}
+
+/// Aggregate utilization for one node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeReport {
+    /// Node address.
+    pub node: u32,
+    /// Final virtual clock, µs.
+    pub clock_us: f64,
+    /// Time inside any span (unioned), µs.
+    pub busy_us: f64,
+    /// Time blocked in `recv`, µs.
+    pub blocked_us: f64,
+    /// `clock - busy` (time outside any instrumented phase), µs; clamped
+    /// at zero against float dust.
+    pub idle_us: f64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Elements sent.
+    pub elements_sent: u64,
+    /// Comparisons charged.
+    pub comparisons: u64,
+    /// Receive-queue high-water mark (see [`NodeMetrics::inbox_peak`]).
+    pub inbox_peak: u64,
+}
+
+/// Traffic across one hypercube dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkReport {
+    /// Dimension index.
+    pub dim: usize,
+    /// Element·hops sent across this dimension, summed over nodes.
+    pub elements: u64,
+}
+
+/// The aggregate report for a run: embeds the summed [`RunStats`] and
+/// adds phase, node and link attribution. Serialized with
+/// [`RunReport::to_json`]; parsed back with [`RunReport::from_json`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Hypercube dimension.
+    pub dim: usize,
+    /// Virtual makespan, µs.
+    pub makespan_us: f64,
+    /// Operation counters summed over nodes.
+    pub stats: RunStats,
+    /// Per-phase attribution, ordered by earliest span begin.
+    pub phases: Vec<PhaseReport>,
+    /// Per-node utilization, address order.
+    pub nodes: Vec<NodeReport>,
+    /// Per-dimension link traffic.
+    pub links: Vec<LinkReport>,
+    /// Element·hops not attributable to a single dimension (fault
+    /// detours), summed over nodes.
+    pub detour_element_hops: u64,
+}
+
+impl RunReport {
+    fn build(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'static str>) -> RunReport {
+        let name_of = |phase: u16| -> String {
+            match namer(phase) {
+                Some(s) => s.to_string(),
+                None => format!("phase-{phase}"),
+            }
+        };
+
+        // Phase attribution: per (name, node) interval union, then reduce.
+        // `order` remembers each name's earliest span begin for stable,
+        // execution-ordered rows.
+        let mut names: Vec<String> = Vec::new();
+        let mut order: Vec<f64> = Vec::new();
+        let mut span_counts: Vec<u64> = Vec::new();
+        // per name: per-node unioned time
+        let mut per_node_us: Vec<Vec<f64>> = Vec::new();
+        for node in obs.participants() {
+            // group this node's spans by name
+            let mut by_name: Vec<(usize, Vec<(f64, f64)>)> = Vec::new();
+            for s in &node.spans {
+                let name = name_of(s.phase);
+                let idx = match names.iter().position(|n| *n == name) {
+                    Some(i) => i,
+                    None => {
+                        names.push(name);
+                        order.push(s.begin);
+                        span_counts.push(0);
+                        per_node_us.push(Vec::new());
+                        names.len() - 1
+                    }
+                };
+                order[idx] = order[idx].min(s.begin);
+                span_counts[idx] += 1;
+                match by_name.iter_mut().find(|(i, _)| *i == idx) {
+                    Some((_, v)) => v.push((s.begin, s.end)),
+                    None => by_name.push((idx, vec![(s.begin, s.end)])),
+                }
+            }
+            for (idx, mut intervals) in by_name {
+                per_node_us[idx].push(union_us(&mut intervals));
+            }
+        }
+        let mut phase_rows: Vec<(f64, PhaseReport)> = names
+            .into_iter()
+            .zip(order)
+            .zip(span_counts)
+            .zip(per_node_us)
+            .map(|(((name, first), spans), per_node)| {
+                let max_node_us = per_node.iter().copied().fold(0.0, f64::max);
+                let total_node_us = per_node.iter().sum();
+                (
+                    first,
+                    PhaseReport {
+                        name,
+                        max_node_us,
+                        total_node_us,
+                        spans,
+                    },
+                )
+            })
+            .collect();
+        phase_rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let phases = phase_rows.into_iter().map(|(_, p)| p).collect();
+
+        // Node utilization rows.
+        let nodes: Vec<NodeReport> = obs
+            .participants()
+            .map(|n| {
+                let mut intervals: Vec<(f64, f64)> =
+                    n.spans.iter().map(|s| (s.begin, s.end)).collect();
+                let busy_us = union_us(&mut intervals);
+                NodeReport {
+                    node: n.node.raw(),
+                    clock_us: n.clock,
+                    busy_us,
+                    blocked_us: n.metrics.blocked_us,
+                    idle_us: (n.clock - busy_us).max(0.0),
+                    messages: n.stats.messages,
+                    msgs_received: n.metrics.msgs_received,
+                    elements_sent: n.stats.elements_sent,
+                    comparisons: n.stats.comparisons,
+                    inbox_peak: n.metrics.inbox_peak,
+                }
+            })
+            .collect();
+
+        // Link traffic per dimension.
+        let mut links: Vec<LinkReport> = (0..obs.dim)
+            .map(|dim| LinkReport { dim, elements: 0 })
+            .collect();
+        let mut detour_element_hops = 0;
+        for n in obs.participants() {
+            for (d, link) in links.iter_mut().enumerate() {
+                link.elements += n.metrics.dim_elements.get(d).copied().unwrap_or(0);
+            }
+            detour_element_hops += n.metrics.detour_element_hops;
+        }
+
+        let stats: RunStats = obs.participants().map(|n| n.stats).sum();
+
+        RunReport {
+            dim: obs.dim,
+            makespan_us: obs.makespan(),
+            stats,
+            phases,
+            nodes,
+            links,
+            detour_element_hops,
+        }
+    }
+
+    /// Serializes to the report's JSON schema (documented in DESIGN.md §6).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"dim\":{},\"makespan_us\":{},\"stats\":{{\"messages\":{},\"elements_sent\":{},\"element_hops\":{},\"message_hops\":{},\"comparisons\":{},\"max_hops\":{},\"max_message_elements\":{}}},\"phases\":[",
+            self.dim,
+            self.makespan_us,
+            self.stats.messages,
+            self.stats.elements_sent,
+            self.stats.element_hops,
+            self.stats.message_hops,
+            self.stats.comparisons,
+            self.stats.max_hops,
+            self.stats.max_message_elements,
+        );
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &p.name);
+            let _ = write!(
+                out,
+                ",\"max_node_us\":{},\"total_node_us\":{},\"spans\":{}}}",
+                p.max_node_us, p.total_node_us, p.spans
+            );
+        }
+        out.push_str("],\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"node\":{},\"clock_us\":{},\"busy_us\":{},\"blocked_us\":{},\"idle_us\":{},\"messages\":{},\"msgs_received\":{},\"elements_sent\":{},\"comparisons\":{},\"inbox_peak\":{}}}",
+                n.node,
+                n.clock_us,
+                n.busy_us,
+                n.blocked_us,
+                n.idle_us,
+                n.messages,
+                n.msgs_received,
+                n.elements_sent,
+                n.comparisons,
+                n.inbox_peak
+            );
+        }
+        out.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"dim\":{},\"elements\":{}}}", l.dim, l.elements);
+        }
+        let _ = write!(
+            out,
+            "],\"detour_element_hops\":{}}}",
+            self.detour_element_hops
+        );
+        out
+    }
+
+    /// Parses a report serialized by [`to_json`](Self::to_json); the
+    /// round-trip is exact (`PartialEq` on all fields, float bits
+    /// included).
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let doc = json::Json::parse(text)?;
+        let num = |o: &json::Json, k: &str| {
+            o.get(k)
+                .and_then(json::Json::as_f64)
+                .ok_or_else(|| format!("missing number '{k}'"))
+        };
+        let int = |o: &json::Json, k: &str| {
+            o.get(k)
+                .and_then(json::Json::as_u64)
+                .ok_or_else(|| format!("missing integer '{k}'"))
+        };
+        let s = doc.get("stats").ok_or("missing 'stats'")?;
+        let stats = RunStats {
+            messages: int(s, "messages")?,
+            elements_sent: int(s, "elements_sent")?,
+            element_hops: int(s, "element_hops")?,
+            message_hops: int(s, "message_hops")?,
+            comparisons: int(s, "comparisons")?,
+            max_hops: int(s, "max_hops")? as u32,
+            max_message_elements: int(s, "max_message_elements")?,
+        };
+        let mut phases = Vec::new();
+        for p in doc
+            .get("phases")
+            .and_then(json::Json::as_arr)
+            .ok_or("missing 'phases'")?
+        {
+            phases.push(PhaseReport {
+                name: p
+                    .get("name")
+                    .and_then(json::Json::as_str)
+                    .ok_or("phase missing 'name'")?
+                    .to_string(),
+                max_node_us: num(p, "max_node_us")?,
+                total_node_us: num(p, "total_node_us")?,
+                spans: int(p, "spans")?,
+            });
+        }
+        let mut nodes = Vec::new();
+        for n in doc
+            .get("nodes")
+            .and_then(json::Json::as_arr)
+            .ok_or("missing 'nodes'")?
+        {
+            nodes.push(NodeReport {
+                node: int(n, "node")? as u32,
+                clock_us: num(n, "clock_us")?,
+                busy_us: num(n, "busy_us")?,
+                blocked_us: num(n, "blocked_us")?,
+                idle_us: num(n, "idle_us")?,
+                messages: int(n, "messages")?,
+                msgs_received: int(n, "msgs_received")?,
+                elements_sent: int(n, "elements_sent")?,
+                comparisons: int(n, "comparisons")?,
+                inbox_peak: int(n, "inbox_peak")?,
+            });
+        }
+        let mut links = Vec::new();
+        for l in doc
+            .get("links")
+            .and_then(json::Json::as_arr)
+            .ok_or("missing 'links'")?
+        {
+            links.push(LinkReport {
+                dim: int(l, "dim")? as usize,
+                elements: int(l, "elements")?,
+            });
+        }
+        Ok(RunReport {
+            dim: int(&doc, "dim")? as usize,
+            makespan_us: num(&doc, "makespan_us")?,
+            stats,
+            phases,
+            nodes,
+            links,
+            detour_element_hops: int(&doc, "detour_element_hops")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_log_nests_and_force_closes() {
+        let mut log = SpanLog::new();
+        log.enter(1, 0.0);
+        log.enter(2, 5.0);
+        log.exit(7.0); // closes phase 2
+        log.enter(3, 8.0); // left open
+        let spans = log.finish(10.0);
+        assert_eq!(
+            spans,
+            vec![
+                SpanRecord {
+                    phase: 2,
+                    begin: 5.0,
+                    end: 7.0
+                },
+                SpanRecord {
+                    phase: 3,
+                    begin: 8.0,
+                    end: 10.0
+                },
+                SpanRecord {
+                    phase: 1,
+                    begin: 0.0,
+                    end: 10.0
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn stray_exit_is_ignored() {
+        let mut log = SpanLog::new();
+        log.exit(1.0);
+        assert!(log.finish(2.0).is_empty());
+    }
+
+    #[test]
+    fn union_merges_overlaps_and_nesting() {
+        // disjoint
+        assert_eq!(union_us(&mut [(0.0, 1.0), (2.0, 3.0)]), 2.0);
+        // overlapping
+        assert_eq!(union_us(&mut [(0.0, 2.0), (1.0, 3.0)]), 3.0);
+        // nested (the re-entrant span case)
+        assert_eq!(union_us(&mut [(0.0, 10.0), (2.0, 4.0)]), 10.0);
+        // touching endpoints merge
+        assert_eq!(union_us(&mut [(0.0, 1.0), (1.0, 2.0)]), 2.0);
+        assert_eq!(union_us(&mut Vec::new()), 0.0);
+    }
+
+    #[test]
+    fn metrics_attribute_dimensions_and_detours() {
+        let mut m = NodeMetrics::new(3);
+        // direct route across dims 0 and 2
+        m.on_send(NodeId::new(0b000), NodeId::new(0b101), 10, 2);
+        assert_eq!(m.dim_elements, vec![10, 0, 10]);
+        assert_eq!(m.detour_element_hops, 0);
+        // fault detour: hamming distance 1 but 3 hops charged
+        m.on_send(NodeId::new(0b000), NodeId::new(0b010), 4, 3);
+        assert_eq!(m.dim_elements, vec![10, 4, 10]);
+        assert_eq!(m.detour_element_hops, 8);
+        // histograms: sizes 10 -> bucket 4 ([8,16)), 4 -> bucket 3 ([4,8))
+        assert_eq!(m.msg_size_hist[4], 1);
+        assert_eq!(m.msg_size_hist[3], 1);
+        assert_eq!(m.msg_hops_hist[2], 1);
+        assert_eq!(m.msg_hops_hist[3], 1);
+        // empty message lands in bucket 0
+        m.on_send(NodeId::new(0), NodeId::new(1), 0, 1);
+        assert_eq!(m.msg_size_hist[0], 1);
+    }
+
+    fn tiny_observation() -> RunObservation {
+        let mut m0 = NodeMetrics::new(2);
+        m0.on_send(NodeId::new(0), NodeId::new(1), 8, 1);
+        m0.blocked_us = 3.5;
+        m0.msgs_received = 1;
+        let mut s0 = RunStats::new();
+        s0.record_message(8, 1);
+        s0.record_comparisons(12);
+        let n0 = NodeObservation {
+            node: NodeId::new(0),
+            clock: 100.0,
+            stats: s0,
+            spans: vec![
+                SpanRecord {
+                    phase: 1,
+                    begin: 0.0,
+                    end: 40.0,
+                },
+                // re-entrant: nested span of the same phase must not
+                // double-count
+                SpanRecord {
+                    phase: 1,
+                    begin: 10.0,
+                    end: 30.0,
+                },
+                SpanRecord {
+                    phase: 2,
+                    begin: 50.0,
+                    end: 90.0,
+                },
+            ],
+            metrics: m0,
+        };
+        let n1 = NodeObservation {
+            node: NodeId::new(1),
+            clock: 80.0,
+            stats: RunStats::new(),
+            spans: vec![SpanRecord {
+                phase: 1,
+                begin: 0.0,
+                end: 60.0,
+            }],
+            metrics: NodeMetrics::new(2),
+        };
+        RunObservation {
+            dim: 2,
+            cost: CostModel::default(),
+            trace: Trace::default(),
+            nodes: vec![Some(n0), Some(n1), None, None],
+        }
+    }
+
+    #[test]
+    fn report_unions_spans_and_orders_phases() {
+        let obs = tiny_observation();
+        let namer = |p: u16| match p {
+            1 => Some("alpha"),
+            _ => None,
+        };
+        let report = obs.report(&namer);
+        assert_eq!(report.dim, 2);
+        assert_eq!(report.makespan_us, 100.0);
+        assert_eq!(report.phases.len(), 2);
+        // ordered by earliest begin: alpha (0.0) before phase-2 (50.0)
+        assert_eq!(report.phases[0].name, "alpha");
+        assert_eq!(report.phases[0].max_node_us, 60.0); // node 1's union
+        assert_eq!(report.phases[0].total_node_us, 100.0); // 40 + 60, not 60+60
+        assert_eq!(report.phases[0].spans, 3);
+        assert_eq!(report.phases[1].name, "phase-2");
+        assert_eq!(report.phases[1].max_node_us, 40.0);
+        // node rows
+        assert_eq!(report.nodes.len(), 2);
+        assert_eq!(report.nodes[0].busy_us, 80.0); // union(0..40, 50..90)
+        assert_eq!(report.nodes[0].idle_us, 20.0);
+        assert_eq!(report.nodes[0].blocked_us, 3.5);
+        // links
+        assert_eq!(report.links.len(), 2);
+        assert_eq!(report.links[0].elements, 8);
+        assert_eq!(report.links[1].elements, 0);
+        // embedded stats are the node sum
+        assert_eq!(report.stats.messages, 1);
+        assert_eq!(report.stats.comparisons, 12);
+    }
+
+    #[test]
+    fn report_json_roundtrip_is_exact() {
+        let obs = tiny_observation();
+        let report = obs.report(&|p| if p == 1 { Some("alpha") } else { None });
+        let text = report.to_json();
+        let back = RunReport::from_json(&text).expect("parse");
+        assert_eq!(back, report);
+        // and it is valid generic JSON
+        assert!(json::Json::parse(&text).is_ok());
+    }
+}

@@ -1,0 +1,274 @@
+//! Chrome-trace-event / Perfetto JSON export.
+//!
+//! Emits the classic `{"traceEvents":[...]}` schema that
+//! <https://ui.perfetto.dev> (and `chrome://tracing`) load directly:
+//!
+//! * one track per node (`pid` 0, `tid` = node address, named via `M`
+//!   metadata events),
+//! * phase spans as `X` complete events (`ts`/`dur` in µs — the virtual
+//!   clock's native unit),
+//! * messages as flow events: an `s` (flow start) on the sender at send
+//!   time and an `f` (flow finish) on the receiver at receive time,
+//!   sharing a numeric `id`, so the UI draws arrows along the
+//!   happens-before edges.
+//!
+//! Send↔receive matching is FIFO per `(src, dst, tag)` channel — exactly
+//! the engines' delivery discipline — computed over the whole trace before
+//! any pairing, because a global time sort can place a receive *before*
+//! its own send when both carry equal timestamps and the receiver has the
+//! smaller node address.
+
+use super::json::write_str;
+use super::RunObservation;
+use crate::sim::{Trace, TraceKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Pairs each receive event with its send. Returns `(send_index,
+/// recv_index)` pairs into `trace.events()`, in receive order. Receives
+/// with no matching send (malformed traces) are skipped.
+pub fn match_messages(trace: &Trace) -> Vec<(usize, usize)> {
+    // channel key: (src, dst, tag) -> FIFO of send event indices
+    let mut queues: HashMap<(u32, u32, u64), std::collections::VecDeque<usize>> = HashMap::new();
+    for (i, e) in trace.events().iter().enumerate() {
+        if let TraceKind::Send { to, .. } = e.kind {
+            queues
+                .entry((e.node.raw(), to.raw(), e.tag.0))
+                .or_default()
+                .push_back(i);
+        }
+    }
+    let mut pairs = Vec::new();
+    for (i, e) in trace.events().iter().enumerate() {
+        if let TraceKind::Recv { from, .. } = e.kind {
+            if let Some(queue) = queues.get_mut(&(from.raw(), e.node.raw(), e.tag.0)) {
+                if let Some(send_idx) = queue.pop_front() {
+                    pairs.push((send_idx, i));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// Renders a run observation as Chrome-trace-event JSON, naming span
+/// phases through `namer` (unknown ids become `phase-<id>`).
+pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'static str>) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let emit = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+
+    // Track naming metadata, one per participating node.
+    for node in obs.participants() {
+        emit(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{},\"name\":\"thread_name\",\"args\":{{\"name\":\"node {}\"}}}}",
+            node.node.raw(),
+            node.node.raw()
+        );
+    }
+
+    // Phase spans as complete (X) events.
+    for node in obs.participants() {
+        for span in &node.spans {
+            emit(&mut out, &mut first);
+            let name = match namer(span.phase) {
+                Some(s) => s.to_string(),
+                None => format!("phase-{}", span.phase),
+            };
+            out.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+            let _ = write!(out, "{}", node.node.raw());
+            out.push_str(",\"name\":");
+            write_str(&mut out, &name);
+            let _ = write!(
+                out,
+                ",\"cat\":\"phase\",\"ts\":{},\"dur\":{}}}",
+                span.begin,
+                span.duration()
+            );
+        }
+    }
+
+    // Messages as flow start/finish pairs along happens-before edges.
+    let events = obs.trace.events();
+    for (flow_id, (send_idx, recv_idx)) in match_messages(&obs.trace).into_iter().enumerate() {
+        let s = &events[send_idx];
+        let f = &events[recv_idx];
+        let elements = match s.kind {
+            TraceKind::Send { elements, .. } => elements,
+            _ => 0,
+        };
+        emit(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"id\":{},\"name\":\"msg\",\"cat\":\"msg\",\"ts\":{},\"args\":{{\"tag\":\"{}\",\"elements\":{}}}}}",
+            s.node.raw(),
+            flow_id,
+            s.time,
+            s.tag.0,
+            elements
+        );
+        emit(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":{},\"id\":{},\"name\":\"msg\",\"cat\":\"msg\",\"ts\":{}}}",
+            f.node.raw(),
+            flow_id,
+            f.time
+        );
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::NodeId;
+    use crate::cost::CostModel;
+    use crate::obs::json::Json;
+    use crate::sim::{Tag, TraceEvent};
+
+    fn two_node_trace() -> Trace {
+        let tag = Tag::phase(7, 0, 0);
+        Trace::from_events(vec![
+            TraceEvent {
+                time: 1.0,
+                node: NodeId::new(0),
+                tag,
+                kind: TraceKind::Send {
+                    to: NodeId::new(1),
+                    elements: 4,
+                    hops: 1,
+                },
+            },
+            TraceEvent {
+                time: 2.0,
+                node: NodeId::new(1),
+                tag,
+                kind: TraceKind::Recv {
+                    from: NodeId::new(0),
+                    elements: 4,
+                },
+            },
+            // reply on the same tag
+            TraceEvent {
+                time: 3.0,
+                node: NodeId::new(1),
+                tag,
+                kind: TraceKind::Send {
+                    to: NodeId::new(0),
+                    elements: 4,
+                    hops: 1,
+                },
+            },
+            TraceEvent {
+                time: 4.0,
+                node: NodeId::new(0),
+                tag,
+                kind: TraceKind::Recv {
+                    from: NodeId::new(1),
+                    elements: 4,
+                },
+            },
+        ])
+    }
+
+    #[test]
+    fn matches_sends_to_recvs_per_channel() {
+        let trace = two_node_trace();
+        let pairs = match_messages(&trace);
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn matches_equal_time_recv_before_send_in_sort_order() {
+        // With a zero-hop transfer the recv can carry the same timestamp
+        // as the send; the global sort then orders the *receiver* first if
+        // its address is smaller. Matching must still pair them.
+        let tag = Tag::new(9);
+        let trace = Trace::from_events(vec![
+            TraceEvent {
+                time: 5.0,
+                node: NodeId::new(0),
+                tag,
+                kind: TraceKind::Recv {
+                    from: NodeId::new(1),
+                    elements: 2,
+                },
+            },
+            TraceEvent {
+                time: 5.0,
+                node: NodeId::new(1),
+                tag,
+                kind: TraceKind::Send {
+                    to: NodeId::new(0),
+                    elements: 2,
+                    hops: 0,
+                },
+            },
+        ]);
+        // sorted order: recv (node 0) first, send (node 1) second
+        assert!(matches!(trace.events()[0].kind, TraceKind::Recv { .. }));
+        assert_eq!(match_messages(&trace), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn export_is_valid_json_with_paired_flows() {
+        let obs = RunObservation {
+            dim: 1,
+            cost: CostModel::default(),
+            trace: two_node_trace(),
+            nodes: vec![
+                Some(crate::obs::NodeObservation {
+                    node: NodeId::new(0),
+                    clock: 4.0,
+                    stats: crate::stats::RunStats::new(),
+                    spans: vec![crate::obs::SpanRecord {
+                        phase: 7,
+                        begin: 0.0,
+                        end: 4.0,
+                    }],
+                    metrics: crate::obs::NodeMetrics::new(1),
+                }),
+                Some(crate::obs::NodeObservation {
+                    node: NodeId::new(1),
+                    clock: 3.0,
+                    stats: crate::stats::RunStats::new(),
+                    spans: Vec::new(),
+                    metrics: crate::obs::NodeMetrics::new(1),
+                }),
+            ],
+        };
+        let text = perfetto_json(&obs, &|p| if p == 7 { Some("exchange") } else { None });
+        let doc = Json::parse(&text).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        // 2 metadata + 1 span + 2 flows × 2 events
+        assert_eq!(events.len(), 2 + 1 + 4);
+        // every f has a matching earlier s with the same id
+        let mut starts = Vec::new();
+        for e in events {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("s") => starts.push(e.get("id").and_then(Json::as_u64).unwrap()),
+                Some("f") => {
+                    let id = e.get("id").and_then(Json::as_u64).unwrap();
+                    assert!(starts.contains(&id), "flow finish {id} before its start");
+                }
+                _ => {}
+            }
+        }
+        // the span got its name from the namer
+        assert!(text.contains("\"exchange\""));
+    }
+}

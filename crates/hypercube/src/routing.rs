@@ -218,6 +218,17 @@ pub fn adaptive_route(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<Rou
 /// step 7(a) corresponding reindexed processors of neighboring subcubes are
 /// up to `s + 1` hops apart.
 pub fn hop_count(faults: &FaultSet, src: NodeId, dst: NodeId) -> Option<u32> {
+    if matches!(faults.model(), FaultModel::Partial) && faults.link_fault_count() == 0 {
+        // The e-cube route visits exactly the Hamming distance in hops; skip
+        // materializing the path so per-message hop charging stays
+        // allocation-free.
+        let cube = faults.cube();
+        assert!(
+            cube.contains(src) && cube.contains(dst),
+            "endpoint outside cube"
+        );
+        return Some((src.raw() ^ dst.raw()).count_ones());
+    }
     route(faults, src, dst).map(|r| r.hops())
 }
 

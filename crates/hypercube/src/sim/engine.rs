@@ -22,11 +22,13 @@ use super::{Comm, EngineKind, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::{NodeMetrics, NodeObservation, RunObservation, SpanLog, SpanRecord};
 use crate::routing;
 use crate::stats::RunStats;
 use crate::topology::Hypercube;
 use std::collections::HashMap;
 use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 use std::task::{Context, Poll, Waker};
@@ -65,6 +67,23 @@ pub struct NodeOutcome<T> {
     pub clock: f64,
     /// Operation counters for this node.
     pub stats: RunStats,
+    /// Closed observability spans ([`crate::sim::Comm::span_enter`]), in
+    /// close order.
+    pub spans: Vec<SpanRecord>,
+    /// Per-node utilization/communication metrics.
+    pub metrics: NodeMetrics,
+}
+
+/// Capacity preallocated for a node's trace buffer when tracing is on.
+///
+/// One step-8 pass of the fault-tolerant sort runs at most `dim` merge
+/// stages of up to `dim` substages each, and every substage produces at
+/// most 6 traced events per node (two protocol rounds of send + recv,
+/// plus compute charges). `16·dim² + 64` therefore covers the heaviest
+/// algorithm in the workspace with ≥2× slack — a buffer that overflows it
+/// simply reallocates, so this is a fast path, not a correctness bound.
+pub(super) fn trace_capacity(dim: usize) -> usize {
+    16 * dim * dim + 64
 }
 
 /// The result of running a program on the machine.
@@ -72,11 +91,48 @@ pub struct NodeOutcome<T> {
 pub struct RunOutcome<T> {
     outcomes: Vec<Option<NodeOutcome<T>>>,
     trace: Trace,
+    dim: usize,
+    cost: CostModel,
 }
 
 impl<T> RunOutcome<T> {
-    pub(super) fn new(outcomes: Vec<Option<NodeOutcome<T>>>, trace: Trace) -> Self {
-        RunOutcome { outcomes, trace }
+    pub(super) fn new(
+        outcomes: Vec<Option<NodeOutcome<T>>>,
+        trace: Trace,
+        dim: usize,
+        cost: CostModel,
+    ) -> Self {
+        RunOutcome {
+            outcomes,
+            trace,
+            dim,
+            cost,
+        }
+    }
+
+    /// The run's observability view — spans, metrics and trace detached
+    /// from the node results — for reporting ([`RunObservation::report`]),
+    /// Perfetto export and critical-path analysis.
+    pub fn observation(&self) -> RunObservation {
+        RunObservation {
+            dim: self.dim,
+            cost: self.cost,
+            trace: self.trace.clone(),
+            nodes: self
+                .outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    o.as_ref().map(|o| NodeObservation {
+                        node: NodeId::from(i),
+                        clock: o.clock,
+                        stats: o.stats,
+                        spans: o.spans.clone(),
+                        metrics: o.metrics.clone(),
+                    })
+                })
+                .collect(),
+        }
     }
 
     /// Per-node outcomes indexed by physical address (`None` where no
@@ -147,6 +203,32 @@ pub(super) fn validate_inputs<K>(faults: &FaultSet, inputs: &[Option<Vec<K>>]) {
     }
 }
 
+/// Live occupancy gauge for one node's receive channel. Senders bump the
+/// destination's count, the receiver decrements as it drains — the peak is
+/// the channel's high-water mark. Unlike every other observation this is
+/// executor-dependent (it reflects real thread interleaving), so it is
+/// reported but excluded from engine-differential comparisons.
+#[derive(Default)]
+pub(super) struct InboxGauge {
+    count: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl InboxGauge {
+    fn on_enqueue(&self) {
+        let now = self.count.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn on_dequeue(&self) {
+        self.count.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-node state of the threaded engine: real channels, local clock.
 struct ThreadedCtx<K> {
     clock: VirtualClock,
@@ -158,6 +240,12 @@ struct ThreadedCtx<K> {
     recv_timeout: Duration,
     /// Event log (Some only when tracing is enabled).
     trace: Option<Vec<TraceEvent>>,
+    /// Observability spans ([`Comm::span_enter`]).
+    spans: SpanLog,
+    /// Per-node utilization/communication metrics.
+    metrics: NodeMetrics,
+    /// Channel occupancy gauges, shared by all nodes of the run.
+    gauges: Arc<Vec<InboxGauge>>,
 }
 
 impl<K> ThreadedCtx<K> {
@@ -180,6 +268,7 @@ impl<K> ThreadedCtx<K> {
         // The sender's port is busy pushing the elements onto its first link.
         self.clock.advance(cost.transfer(data.len(), hops.min(1)));
         self.stats.record_message(data.len(), hops);
+        self.metrics.on_send(me, dst, data.len(), hops);
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {
                 time: self.clock.now(),
@@ -202,6 +291,7 @@ impl<K> ThreadedCtx<K> {
         let tx = self.txs[dst.index()]
             .as_ref()
             .unwrap_or_else(|| panic!("send to non-participating node {dst:?}"));
+        self.gauges[dst.index()].on_enqueue();
         tx.send(msg).expect("receiver hung up");
     }
 
@@ -213,14 +303,19 @@ impl<K> ThreadedCtx<K> {
                 let m = self.rx.recv_timeout(self.recv_timeout).unwrap_or_else(|_| {
                     panic!("{me:?}: timed out waiting for message ({src:?}, {tag:?}) — deadlock?")
                 });
+                self.gauges[me.index()].on_dequeue();
                 if m.src == src && m.tag == tag {
                     break m;
                 }
                 self.pending.entry((m.src, m.tag)).or_default().push(m);
             }
         };
+        let before = self.clock.now();
         self.clock
             .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+        // Any forward jump is time this node spent waiting on the wire.
+        self.metrics.blocked_us += self.clock.now() - before;
+        self.metrics.msgs_received += 1;
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEvent {
                 time: self.clock.now(),
@@ -306,6 +401,26 @@ impl<K> Comm<K> for NodeCtx<K> {
         match &mut self.inner {
             CtxInner::Threaded(t) => t.recv(self.me, src, tag, self.cost),
             CtxInner::Seq(s) => s.recv(self.me, src, tag, self.cost).await,
+        }
+    }
+
+    fn span_enter(&mut self, phase: u16) {
+        match &mut self.inner {
+            CtxInner::Threaded(t) => {
+                let now = t.clock.now();
+                t.spans.enter(phase, now);
+            }
+            CtxInner::Seq(s) => s.span_enter(self.me, phase),
+        }
+    }
+
+    fn span_exit(&mut self) {
+        match &mut self.inner {
+            CtxInner::Threaded(t) => {
+                let now = t.clock.now();
+                t.spans.exit(now);
+            }
+            CtxInner::Seq(s) => s.span_exit(self.me),
         }
     }
 
@@ -501,6 +616,8 @@ impl Engine {
             }
         }
         let txs = Arc::new(txs);
+        let gauges: Arc<Vec<InboxGauge>> =
+            Arc::new((0..cube.len()).map(|_| InboxGauge::default()).collect());
 
         let mut outcomes: Vec<Option<NodeOutcome<T>>> = (0..cube.len()).map(|_| None).collect();
         let program = &program;
@@ -512,6 +629,7 @@ impl Engine {
                     continue;
                 };
                 let txs = Arc::clone(&txs);
+                let gauges = Arc::clone(&gauges);
                 let faults = Arc::clone(&self.faults);
                 let cost = self.cost;
                 let recv_timeout = self.recv_timeout;
@@ -531,19 +649,25 @@ impl Engine {
                             txs,
                             pending: HashMap::new(),
                             recv_timeout,
-                            trace: tracing.then(Vec::new),
+                            trace: tracing.then(|| Vec::with_capacity(trace_capacity(cube.dim()))),
+                            spans: SpanLog::new(),
+                            metrics: NodeMetrics::new(cube.dim()),
+                            gauges,
                         })),
                     };
                     let result = run_to_completion(program(&mut ctx, input));
                     let CtxInner::Threaded(t) = ctx.inner else {
                         unreachable!()
                     };
+                    let clock = t.clock.now();
                     (
                         i,
                         NodeOutcome {
                             result,
-                            clock: t.clock.now(),
+                            clock,
                             stats: t.stats,
+                            spans: t.spans.finish(clock),
+                            metrics: t.metrics,
                         },
                         t.trace.unwrap_or_default(),
                     )
@@ -559,9 +683,18 @@ impl Engine {
             traces
         });
 
+        // Channel high-water marks are only known once every thread is done.
+        for (i, outcome) in outcomes.iter_mut().enumerate() {
+            if let Some(o) = outcome {
+                o.metrics.inbox_peak = gauges[i].peak();
+            }
+        }
+
         RunOutcome {
             outcomes,
             trace: Trace::assemble(traces),
+            dim: cube.dim(),
+            cost: self.cost,
         }
     }
 }

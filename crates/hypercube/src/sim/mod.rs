@@ -131,6 +131,15 @@ pub trait Comm<K> {
         self.recv(partner, tag).await
     }
 
+    /// Opens an observability span for `phase` (the [`Tag::phase`] `u16`
+    /// namespace) at the current virtual clock. Spans nest; close with
+    /// [`span_exit`](Comm::span_exit). Free when the engine records no
+    /// observations; see [`crate::obs`].
+    fn span_enter(&mut self, phase: u16);
+
+    /// Closes the innermost open span at the current virtual clock.
+    fn span_exit(&mut self);
+
     /// Charges `count` key comparisons to the local clock and statistics.
     fn charge_comparisons(&mut self, count: usize);
 

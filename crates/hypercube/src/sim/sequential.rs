@@ -22,12 +22,15 @@
 //!
 //! [`Comm::recv`]: super::Comm::recv
 
-use super::engine::{validate_inputs, Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
+use super::engine::{
+    trace_capacity, validate_inputs, Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome,
+};
 use super::trace::{Trace, TraceEvent, TraceKind};
 use super::Tag;
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::{NodeMetrics, SpanLog};
 use crate::stats::RunStats;
 use crate::topology::Hypercube;
 use std::cell::RefCell;
@@ -53,6 +56,11 @@ struct SeqNode {
     clock: VirtualClock,
     stats: RunStats,
     trace: Option<Vec<TraceEvent>>,
+    /// Observability spans ([`super::Comm::span_enter`]).
+    spans: SpanLog,
+    /// Per-node utilization/communication metrics. `inbox_peak` here is
+    /// exact and deterministic: the inbox length right after each enqueue.
+    metrics: NodeMetrics,
     /// `Some((src, tag))` while the node is parked in a blocked `recv`.
     waiting: Option<(NodeId, Tag)>,
     participating: bool,
@@ -104,6 +112,7 @@ impl<K> SeqCtx<K> {
         // The sender's port is busy pushing the elements onto its first link.
         node.clock.advance(cost.transfer(data.len(), hops.min(1)));
         node.stats.record_message(data.len(), hops);
+        node.metrics.on_send(me, dst, data.len(), hops);
         if let Some(trace) = &mut node.trace {
             trace.push(TraceEvent {
                 time: node.clock.now(),
@@ -124,6 +133,9 @@ impl<K> SeqCtx<K> {
             hops,
         };
         sh.inboxes[dst.index()].push(msg);
+        let backlog = sh.inboxes[dst.index()].len() as u64;
+        let dst_node = &mut sh.nodes[dst.index()];
+        dst_node.metrics.inbox_peak = dst_node.metrics.inbox_peak.max(backlog);
         if sh.nodes[dst.index()].waiting == Some((me, tag)) {
             sh.nodes[dst.index()].waiting = None;
             sh.woken.push(dst.index());
@@ -142,8 +154,12 @@ impl<K> SeqCtx<K> {
                 let mut sh = self.shared.borrow_mut();
                 if let Some(msg) = sh.take(me, src, tag) {
                     let node = &mut sh.nodes[me.index()];
+                    let before = node.clock.now();
                     node.clock
                         .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+                    // Any forward jump is time spent waiting on the wire.
+                    node.metrics.blocked_us += node.clock.now() - before;
+                    node.metrics.msgs_received += 1;
                     if let Some(trace) = &mut node.trace {
                         trace.push(TraceEvent {
                             time: node.clock.now(),
@@ -177,6 +193,20 @@ impl<K> SeqCtx<K> {
                 kind: TraceKind::Compute { comparisons: count },
             });
         }
+    }
+
+    pub(super) fn span_enter(&mut self, me: NodeId, phase: u16) {
+        let mut sh = self.shared.borrow_mut();
+        let node = &mut sh.nodes[me.index()];
+        let now = node.clock.now();
+        node.spans.enter(phase, now);
+    }
+
+    pub(super) fn span_exit(&mut self, me: NodeId) {
+        let mut sh = self.shared.borrow_mut();
+        let node = &mut sh.nodes[me.index()];
+        let now = node.clock.now();
+        node.spans.exit(now);
     }
 
     pub(super) fn charge_compute(&mut self, me: NodeId, cost: f64) {
@@ -315,7 +345,10 @@ impl SeqEngine {
                 .map(|slot| SeqNode {
                     clock: VirtualClock::new(),
                     stats: RunStats::new(),
-                    trace: (self.tracing && slot.is_some()).then(Vec::new),
+                    trace: (self.tracing && slot.is_some())
+                        .then(|| Vec::with_capacity(trace_capacity(cube.dim()))),
+                    spans: SpanLog::new(),
+                    metrics: NodeMetrics::new(cube.dim()),
                     waiting: None,
                     participating: slot.is_some(),
                 })
@@ -406,10 +439,13 @@ impl SeqEngine {
         for (i, (result, node)) in results.into_iter().zip(shared.nodes).enumerate() {
             match result {
                 Some(result) => {
+                    let clock = node.clock.now();
                     outcomes.push(Some(NodeOutcome {
                         result,
-                        clock: node.clock.now(),
+                        clock,
                         stats: node.stats,
+                        spans: node.spans.finish(clock),
+                        metrics: node.metrics,
                     }));
                     traces.push(node.trace.unwrap_or_default());
                 }
@@ -419,7 +455,7 @@ impl SeqEngine {
                 }
             }
         }
-        RunOutcome::new(outcomes, Trace::assemble(traces))
+        RunOutcome::new(outcomes, Trace::assemble(traces), cube.dim(), self.cost)
     }
 }
 

@@ -66,6 +66,19 @@ impl Trace {
         Trace { events }
     }
 
+    /// Builds a trace from an already time-ordered event list — the entry
+    /// point for deserializers (see `obs::json::trace_from_json`). Events
+    /// are re-sorted defensively so downstream invariants hold even if the
+    /// input was shuffled.
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then(a.node.raw().cmp(&b.node.raw()))
+        });
+        Trace { events }
+    }
+
     /// All events, time-ordered.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

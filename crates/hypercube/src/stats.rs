@@ -18,6 +18,9 @@ pub struct RunStats {
     pub elements_sent: u64,
     /// Elements × links crossed (the unit the paper charges `t_{s/r}` for).
     pub element_hops: u64,
+    /// Links crossed, summed over messages (one message crossing 3 links
+    /// counts 3 regardless of its size).
+    pub message_hops: u64,
     /// Key comparisons performed.
     pub comparisons: u64,
     /// Maximum hops of any single message (turnaround-relevant).
@@ -37,6 +40,7 @@ impl RunStats {
         self.messages += 1;
         self.elements_sent += elements as u64;
         self.element_hops += elements as u64 * hops as u64;
+        self.message_hops += hops as u64;
         self.max_hops = self.max_hops.max(hops);
         self.max_message_elements = self.max_message_elements.max(elements as u64);
     }
@@ -46,12 +50,23 @@ impl RunStats {
         self.comparisons += count as u64;
     }
 
-    /// Mean hops per message (0 if no messages).
-    pub fn mean_hops(&self) -> f64 {
-        if self.messages == 0 || self.elements_sent == 0 {
+    /// Mean hops per *element*, `element_hops / elements_sent` — how far the
+    /// average key travels (0 if nothing was sent).
+    pub fn mean_hops_per_element(&self) -> f64 {
+        if self.elements_sent == 0 {
             0.0
         } else {
             self.element_hops as f64 / self.elements_sent as f64
+        }
+    }
+
+    /// Mean hops per *message*, `message_hops / messages` — the average
+    /// route length irrespective of payload size (0 if no messages).
+    pub fn mean_hops_per_message(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.message_hops as f64 / self.messages as f64
         }
     }
 }
@@ -63,6 +78,7 @@ impl Add for RunStats {
             messages: self.messages + rhs.messages,
             elements_sent: self.elements_sent + rhs.elements_sent,
             element_hops: self.element_hops + rhs.element_hops,
+            message_hops: self.message_hops + rhs.message_hops,
             comparisons: self.comparisons + rhs.comparisons,
             max_hops: self.max_hops.max(rhs.max_hops),
             max_message_elements: self.max_message_elements.max(rhs.max_message_elements),
@@ -95,6 +111,7 @@ mod tests {
         assert_eq!(s.messages, 2);
         assert_eq!(s.elements_sent, 15);
         assert_eq!(s.element_hops, 25);
+        assert_eq!(s.message_hops, 3);
         assert_eq!(s.comparisons, 7);
         assert_eq!(s.max_hops, 2);
     }
@@ -110,19 +127,25 @@ mod tests {
         assert_eq!(c.messages, 2);
         assert_eq!(c.elements_sent, 5);
         assert_eq!(c.element_hops, 14);
+        assert_eq!(c.message_hops, 5);
         assert_eq!(c.comparisons, 5);
         assert_eq!(c.max_hops, 4);
         a += b;
         assert_eq!(a, c);
     }
 
+    /// Pins the two hop means apart: a big 3-hop message plus a small 1-hop
+    /// message give a *per-element* mean dominated by the big message but a
+    /// *per-message* mean that weights both equally.
     #[test]
-    fn mean_hops_handles_empty() {
-        assert_eq!(RunStats::new().mean_hops(), 0.0);
+    fn mean_hops_per_element_and_per_message_differ() {
+        assert_eq!(RunStats::new().mean_hops_per_element(), 0.0);
+        assert_eq!(RunStats::new().mean_hops_per_message(), 0.0);
         let mut s = RunStats::new();
-        s.record_message(4, 3);
-        s.record_message(4, 1);
-        assert_eq!(s.mean_hops(), 2.0);
+        s.record_message(6, 3); // 18 element·hops
+        s.record_message(2, 1); //  2 element·hops
+        assert_eq!(s.mean_hops_per_element(), 20.0 / 8.0);
+        assert_eq!(s.mean_hops_per_message(), 4.0 / 2.0);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Asserts the sequential engine's message path is allocation-free once
+//! warm when tracing is off — the property the zero-alloc hot path (and
+//! the preallocated observability buffers riding on it) is built around.
+//!
+//! The counting `#[global_allocator]` sees every allocation in the
+//! process; the node program snapshots the counter after a few warm-up
+//! exchanges (which size the inboxes, wait maps, metric histograms and
+//! span buffers) and asserts the next 64 exchanges allocate nothing:
+//! sends are pointer handoffs into already-sized inboxes, receives reuse
+//! parked wait-map entries, and metrics/span recording only touches
+//! preallocated storage.
+
+use hypercube::cost::CostModel;
+use hypercube::fault::FaultSet;
+use hypercube::sim::{Comm, Engine, EngineKind, Tag};
+use hypercube::topology::Hypercube;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn seq_engine_message_path_is_allocation_free_when_warm() {
+    // Q2 ping-pong across dimension 0, payload ownership bouncing back and
+    // forth — the compare-split communication skeleton.
+    let cube = Hypercube::new(2);
+    let engine =
+        Engine::new(FaultSet::none(cube), CostModel::default()).with_engine(EngineKind::Seq);
+    let inputs: Vec<Option<Vec<u64>>> = (0..cube.len())
+        .map(|i| Some((0..256).map(|x| (i as u64) << 32 | x).collect()))
+        .collect();
+    let out = engine.run(inputs, async |ctx, data| {
+        let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
+        let tag = Tag::phase(9, 0, 0);
+        let mut buf = data;
+        // Warm-up: sizes the inbox, the wait map and the metric histograms
+        // (and exercises a span within the span log's initial capacity).
+        ctx.span_enter(9);
+        for _ in 0..4 {
+            buf = ctx.exchange(partner, tag, buf).await;
+        }
+        ctx.span_exit();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            ctx.charge_comparisons(buf.len());
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        (buf.len(), after - before)
+    });
+    for (i, outcome) in out.outcomes().iter().enumerate() {
+        let Some(outcome) = outcome else { continue };
+        let (len, allocs) = outcome.result;
+        assert_eq!(len, 256, "payload must survive the ping-pong");
+        assert_eq!(
+            allocs, 0,
+            "warm seq message path allocated {allocs} times on node {i}"
+        );
+    }
+}

@@ -1,6 +1,8 @@
 //! Space-time trace of a small fault-tolerant sort: every message and
 //! computation, with virtual timestamps — the view a logic analyzer would
-//! give you on the real machine.
+//! give you on the real machine — followed by the run's critical path
+//! (the happens-before chain that gated the makespan) drawn on an ASCII
+//! gantt chart.
 //!
 //! ```text
 //! cargo run --release --example message_trace [n] [r] [M]
@@ -10,6 +12,7 @@ use ftsort::bitonic::distributed_bitonic_sort;
 use ftsort::distribute::{chunk_len, scatter, Padded};
 use ftsort::prelude::*;
 use ftsort::seq::{heapsort, Scratch};
+use hypercube::obs::critical_path::{gantt, CriticalPath, SegmentKind};
 use hypercube::sim::TraceKind;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -94,4 +97,29 @@ fn main() {
         out.turnaround(),
         k
     );
+
+    // Walk the happens-before graph backward from the last-finishing node
+    // and show which stretches were local work vs message transfers.
+    let obs = out.observation();
+    let path = CriticalPath::compute(&obs).expect("traced run has a path");
+    println!("\ncritical path ({} segments):", path.segments.len());
+    for seg in &path.segments {
+        match seg.kind {
+            SegmentKind::Local => println!(
+                "  {:>8.1} – {:>8.1} µs  P{:<3} local",
+                seg.begin,
+                seg.end,
+                seg.node.raw()
+            ),
+            SegmentKind::Transfer => println!(
+                "  {:>8.1} – {:>8.1} µs  P{} → P{} transfer",
+                seg.begin,
+                seg.end,
+                seg.from.expect("transfer has a sender").raw(),
+                seg.node.raw()
+            ),
+        }
+    }
+    println!();
+    print!("{}", gantt(&obs, &path, &ftsort::ftsort::phase_name, 64));
 }

@@ -3,12 +3,20 @@
 //! routes.
 //!
 //! ```text
-//! ftsort-cli partition --n 5 --faults 3,5,16,24
-//! ftsort-cli sort      --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq]
-//! ftsort-cli mffs      --n 6 --faults 9,22 --m 100000
-//! ftsort-cli route     --n 4 --faults 1,2 --model total --from 0 --to 3
-//! ftsort-cli diagnose  --n 5 --faults 3,5,16 [--seed 7]
+//! ftsort-cli partition   --n 5 --faults 3,5,16,24
+//! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq]
+//!                        [--trace-out trace.json] [--metrics-out report.json]
+//! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
+//! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
+//! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
+//! ftsort-cli trace-check --trace trace.json --metrics report.json
 //! ```
+//!
+//! `--trace-out` writes Chrome-trace-event JSON loadable in
+//! <https://ui.perfetto.dev>; `--metrics-out` writes the aggregate
+//! [`RunReport`](hypercube::obs::RunReport). `trace-check` re-parses both
+//! and validates trace invariants (used by CI as an end-to-end check of
+//! the observability pipeline).
 
 use ftsort::prelude::*;
 use hypercube::diagnosis::Syndrome;
@@ -20,7 +28,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: ftsort-cli <partition|sort|mffs|route|diagnose> [--flags]");
+        eprintln!("usage: ftsort-cli <partition|sort|mffs|route|diagnose|trace-check> [--flags]");
         return ExitCode::from(2);
     };
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -52,6 +60,9 @@ fn main() -> ExitCode {
 }
 
 fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    if cmd == "trace-check" {
+        return trace_check_cmd(flags);
+    }
     let n: usize = flag(flags, "n", "6")?;
     let cube = Hypercube::new(n);
     let fault_list: Vec<u32> = match flags.get("faults") {
@@ -164,14 +175,17 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
+    let trace_out = flags.get("trace-out");
+    let metrics_out = flags.get("metrics-out");
     let config = FtConfig {
         protocol,
         step8,
         engine,
         include_host_io: flags.contains_key("host-io"),
+        tracing: trace_out.is_some(),
         ..FtConfig::default()
     };
-    let (out, phases) = fault_tolerant_sort_profiled(&plan, &config, data);
+    let (out, phases, obs) = fault_tolerant_sort_observed(&plan, &config, data);
     if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
         return Err("output not sorted — this is a bug".into());
     }
@@ -197,6 +211,99 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     println!("messages       : {:>12}", out.stats.messages);
     println!("element·hops   : {:>12}", out.stats.element_hops);
     println!("comparisons    : {:>12}", out.stats.comparisons);
+    if let Some(path) = trace_out {
+        let json = hypercube::obs::perfetto::perfetto_json(&obs, &phase_name);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written  : {path} (load in ui.perfetto.dev)");
+    }
+    if let Some(path) = metrics_out {
+        let report = obs.report(&phase_name);
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics written: {path}");
+    }
+    Ok(())
+}
+
+/// Validates a `--trace-out` / `--metrics-out` pair written by `sort`:
+/// the trace must be valid Chrome-trace JSON whose flow events pair up
+/// (every `f` preceded by its `s`, no dangling ids), and the report must
+/// round-trip through [`RunReport::from_json`](hypercube::obs::RunReport).
+fn trace_check_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hypercube::obs::json::Json;
+    let mut checked = 0;
+    if let Some(path) = flags.get("trace") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
+        let mut open = std::collections::HashMap::new();
+        let (mut spans, mut flows) = (0u64, 0u64);
+        for e in events {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
+            let id = e.get("id").and_then(Json::as_u64);
+            match ph {
+                "X" => spans += 1,
+                "s" => {
+                    let id = id.ok_or_else(|| format!("{path}: flow start without id"))?;
+                    let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                    if open.insert(id, ts).is_some() {
+                        return Err(format!("{path}: duplicate flow id {id}"));
+                    }
+                }
+                "f" => {
+                    let id = id.ok_or_else(|| format!("{path}: flow finish without id"))?;
+                    let sent = open
+                        .remove(&id)
+                        .ok_or_else(|| format!("{path}: flow finish {id} before its start"))?;
+                    let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(f64::NAN);
+                    // NaN timestamps must fail too, so compare via partial_cmp
+                    let ok = matches!(
+                        ts.partial_cmp(&sent),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    );
+                    if !ok {
+                        return Err(format!(
+                            "{path}: flow {id} violates happens-before ({sent} → {ts})"
+                        ));
+                    }
+                    flows += 1;
+                }
+                _ => {}
+            }
+        }
+        if !open.is_empty() {
+            return Err(format!("{path}: {} unfinished flows", open.len()));
+        }
+        println!(
+            "{path}: ok ({} events, {spans} spans, {flows} flows)",
+            events.len()
+        );
+        checked += 1;
+    }
+    if let Some(path) = flags.get("metrics") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let report =
+            hypercube::obs::RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        let phase_sum: f64 = report.phases.iter().map(|p| p.max_node_us).sum();
+        if report.makespan_us > 0.0 && phase_sum < report.makespan_us * 0.99 {
+            return Err(format!(
+                "{path}: phases ({phase_sum} µs) do not account for the makespan ({} µs)",
+                report.makespan_us
+            ));
+        }
+        println!(
+            "{path}: ok ({} phases, {} nodes, makespan {:.1} µs)",
+            report.phases.len(),
+            report.nodes.len(),
+            report.makespan_us
+        );
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err("trace-check needs --trace FILE and/or --metrics FILE".into());
+    }
     Ok(())
 }
 

@@ -1,0 +1,160 @@
+//! Invariants of the observability stack end to end: trace/report JSON
+//! round-trips, Perfetto flow-event validity, engine-differential span
+//! attribution, and agreement between the span-derived `PhaseBreakdown`
+//! and the aggregate `RunReport`.
+
+use ftsort::ftsort::{fault_tolerant_sort_observed, phase_name, FtConfig, FtPlan, PhaseBreakdown};
+use hypercube::fault::FaultSet;
+use hypercube::obs::critical_path::CriticalPath;
+use hypercube::obs::json::{trace_from_json, trace_to_json, Json};
+use hypercube::obs::perfetto::perfetto_json;
+use hypercube::obs::{RunObservation, RunReport};
+use hypercube::sim::EngineKind;
+use hypercube::topology::Hypercube;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn observed(engine: EngineKind, host_io: bool) -> (PhaseBreakdown, RunObservation) {
+    let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
+    let plan = FtPlan::new(&faults).expect("tolerable");
+    let mut rng = StdRng::seed_from_u64(0x0b5e_11e5);
+    let data: Vec<u32> = (0..2_000).map(|_| rng.random()).collect();
+    let config = FtConfig {
+        engine,
+        include_host_io: host_io,
+        tracing: true,
+        ..FtConfig::default()
+    };
+    let (out, breakdown, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
+    let mut expect = data;
+    expect.sort_unstable();
+    assert_eq!(out.sorted, expect, "run must actually sort");
+    (breakdown, obs)
+}
+
+#[test]
+fn trace_json_roundtrip_is_bitexact() {
+    let (_, obs) = observed(EngineKind::Seq, false);
+    assert!(!obs.trace.is_empty(), "tracing was on");
+    let text = trace_to_json(&obs.trace);
+    let back = trace_from_json(&text).expect("parses");
+    assert_eq!(back.len(), obs.trace.len());
+    for (a, b) in obs.trace.events().iter().zip(back.events()) {
+        assert_eq!(a.time.to_bits(), b.time.to_bits(), "timestamp drifted");
+        assert_eq!(a.node, b.node);
+        assert_eq!(a.tag, b.tag);
+        assert_eq!(a.kind, b.kind);
+    }
+}
+
+#[test]
+fn run_report_roundtrips_and_matches_breakdown() {
+    let (breakdown, obs) = observed(EngineKind::Seq, true);
+    let report = obs.report(&phase_name);
+    let back = RunReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(report, back, "report JSON round-trip must be exact");
+
+    // the span-derived PhaseBreakdown is the same aggregation the report
+    // performs — the two views may not drift apart
+    let us_of = |name: &str| {
+        report
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.max_node_us)
+            .unwrap_or(0.0)
+    };
+    let tol = 1e-9 * report.makespan_us.max(1.0);
+    assert!((breakdown.host_scatter_us - us_of("scatter")).abs() <= tol);
+    assert!((breakdown.step3_us - us_of("step3")).abs() <= tol);
+    assert!((breakdown.step7_us - us_of("step7")).abs() <= tol);
+    assert!((breakdown.step8_us - us_of("step8")).abs() <= tol);
+    assert!((breakdown.host_gather_us - us_of("gather")).abs() <= tol);
+    // and the phases account for (at least) the makespan, as the old
+    // inline subtraction guaranteed
+    let sum: f64 = report.phases.iter().map(|p| p.max_node_us).sum();
+    assert!(
+        sum >= report.makespan_us * 0.99,
+        "phases {sum} vs makespan {}",
+        report.makespan_us
+    );
+}
+
+#[test]
+fn perfetto_flows_respect_happens_before() {
+    let (_, obs) = observed(EngineKind::Seq, false);
+    let text = perfetto_json(&obs, &phase_name);
+    let doc = Json::parse(&text).expect("valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let mut open = std::collections::HashMap::new();
+    let mut flows = 0;
+    for e in events {
+        match e.get("ph").and_then(Json::as_str) {
+            Some("s") => {
+                let id = e.get("id").and_then(Json::as_u64).expect("flow id");
+                let ts = e.get("ts").and_then(Json::as_f64).expect("flow ts");
+                assert!(open.insert(id, ts).is_none(), "duplicate flow id {id}");
+            }
+            Some("f") => {
+                let id = e.get("id").and_then(Json::as_u64).expect("flow id");
+                let ts = e.get("ts").and_then(Json::as_f64).expect("flow ts");
+                let sent = open.remove(&id).expect("finish after start");
+                assert!(ts >= sent, "flow {id} finishes before it starts");
+                flows += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "{} flows never finished", open.len());
+    assert!(flows > 0, "a sort produces message flows");
+}
+
+#[test]
+fn engines_agree_on_observations() {
+    let (bd_seq, seq) = observed(EngineKind::Seq, false);
+    let (bd_thr, thr) = observed(EngineKind::Threaded, false);
+
+    // identical span attribution, node by node
+    for (a, b) in seq.nodes.iter().zip(&thr.nodes) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_eq!(a.node, b.node);
+                assert_eq!(a.clock.to_bits(), b.clock.to_bits(), "node {}", a.node);
+                assert_eq!(a.spans, b.spans, "span log differs on node {}", a.node);
+                // metrics agree except inbox_peak, which is
+                // executor-dependent in the threaded engine (documented on
+                // NodeMetrics::inbox_peak)
+                let mut bm = b.metrics.clone();
+                bm.inbox_peak = a.metrics.inbox_peak;
+                assert_eq!(a.metrics, bm, "metrics differ on node {}", a.node);
+            }
+            _ => panic!("participation differs"),
+        }
+    }
+    assert_eq!(bd_seq, bd_thr, "phase breakdowns differ");
+
+    // identical traces, hence identical critical paths
+    assert_eq!(seq.trace.events(), thr.trace.events(), "traces differ");
+    let cp_seq = CriticalPath::compute(&seq).expect("path");
+    let cp_thr = CriticalPath::compute(&thr).expect("path");
+    assert_eq!(cp_seq, cp_thr, "critical paths differ");
+    assert_eq!(
+        cp_seq.makespan.to_bits(),
+        seq.makespan().to_bits(),
+        "path extent is the makespan"
+    );
+    let sum: f64 = cp_seq
+        .attribute(&seq, &phase_name)
+        .iter()
+        .map(|(_, us)| us)
+        .sum();
+    assert!(
+        (sum - cp_seq.makespan).abs() <= 1e-6 * cp_seq.makespan.max(1.0),
+        "attribution {sum} must sum to the makespan {}",
+        cp_seq.makespan
+    );
+}
