@@ -16,7 +16,7 @@
 use ft_bench::{parse_engine, random_keys, DEFAULT_SEED};
 use ftsort::ftsort::{fault_tolerant_sort_observed, phase_name, FtConfig, FtPlan};
 use hypercube::fault::FaultSet;
-use hypercube::obs::critical_path::{gantt, CriticalPath, SegmentKind};
+use hypercube::obs::critical_path::{render_report, CriticalPath};
 use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 
@@ -73,37 +73,5 @@ fn main() {
         "Critical path of the FT sort: Q{n} faults {:?}, M = {m_total}, seed = {seed}",
         faults.to_vec()
     );
-    println!(
-        "makespan {:.1} us, path of {} segments ending at node {}",
-        path.makespan,
-        path.segments.len(),
-        path.end_node.raw()
-    );
-    let transfer_us: f64 = path
-        .segments
-        .iter()
-        .filter(|s| s.kind == SegmentKind::Transfer)
-        .map(|s| s.duration())
-        .sum();
-    println!(
-        "gated by message transfers for {:.1} us ({:.1}% of the path)\n",
-        transfer_us,
-        100.0 * transfer_us / path.makespan
-    );
-    println!("{:<16} {:>12} {:>7}", "phase", "on-path us", "share");
-    println!("{}", "-".repeat(37));
-    let rows = path.attribute(&obs, &phase_name);
-    let mut sum = 0.0;
-    for (name, us) in &rows {
-        sum += us;
-        println!("{name:<16} {us:>12.1} {:>6.1}%", 100.0 * us / path.makespan);
-    }
-    println!("{}", "-".repeat(37));
-    println!(
-        "{:<16} {sum:>12.1} {:>6.1}%\n",
-        "total",
-        100.0 * sum / path.makespan
-    );
-    debug_assert!((sum - path.makespan).abs() <= 1e-6 * path.makespan.max(1.0));
-    print!("{}", gantt(&obs, &path, &phase_name, width));
+    print!("{}", render_report(&obs, &path, &phase_name, width));
 }

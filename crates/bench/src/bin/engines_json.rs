@@ -29,6 +29,9 @@ struct Row {
     virtual_us: f64,
     threaded_s: f64,
     seq_s: f64,
+    /// Per-phase virtual time, `(name, max-over-nodes µs)`, from the
+    /// run's [`RunReport`](hypercube::obs::RunReport).
+    phases: Vec<(String, f64)>,
 }
 
 fn main() {
@@ -114,6 +117,18 @@ fn main() {
             seq_s,
             threaded_s / seq_s
         );
+        // One extra (untimed) observed run per row: its RunReport supplies
+        // the per-phase virtual-time split, and the observability exports
+        // reuse it — so trace-recording overhead never contaminates the
+        // wall clocks.
+        let config = FtConfig {
+            protocol: Protocol::HalfExchange,
+            engine: EngineKind::Seq,
+            tracing: obs_flags.tracing(),
+            ..FtConfig::default()
+        };
+        let (_, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
+        let report = obs.report(&ftsort::ftsort::phase_name);
         rows.push(Row {
             n,
             r,
@@ -121,17 +136,13 @@ fn main() {
             virtual_us: seq.time_us,
             threaded_s,
             seq_s,
+            phases: report
+                .phases
+                .iter()
+                .map(|p| (p.name.clone(), p.max_node_us))
+                .collect(),
         });
-        // Observability exports come from one extra (untimed) run so the
-        // trace-recording overhead never contaminates the wall clocks.
         if obs_flags.enabled() {
-            let config = FtConfig {
-                protocol: Protocol::HalfExchange,
-                engine: EngineKind::Seq,
-                tracing: obs_flags.tracing(),
-                ..FtConfig::default()
-            };
-            let (_, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
             obs_flags.observe(obs);
         }
     }
@@ -155,7 +166,8 @@ fn render_json(seed: u64, trials: usize, rows: &[Row]) -> String {
         let _ = write!(
             s,
             "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"virtual_us\": {:.3}, \
-             \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"speedup\": {:.2}}}",
+             \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"speedup\": {:.2}, \
+             \"phases\": {{",
             row.n,
             row.r,
             row.m_total,
@@ -164,6 +176,11 @@ fn render_json(seed: u64, trials: usize, rows: &[Row]) -> String {
             row.seq_s,
             row.threaded_s / row.seq_s
         );
+        for (j, (name, us)) in row.phases.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}\"{name}\": {us:.3}");
+        }
+        s.push_str("}}");
         s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
     s.push_str("  ]\n}\n");

@@ -46,8 +46,8 @@ pub fn parse_engine(value: Option<String>) -> hypercube::sim::EngineKind {
     }
 }
 
-/// `--trace-out FILE` / `--metrics-out FILE` support shared by the report
-/// binaries: when either flag is given, the binary records the
+/// `--trace-out FILE` / `--metrics-out FILE` / `--run-out FILE` support
+/// shared by the report binaries: when any flag is given, the binary records the
 /// [`RunObservation`](hypercube::obs::RunObservation) of its **last**
 /// fault-tolerant sort and writes the Perfetto trace and/or
 /// [`RunReport`](hypercube::obs::RunReport) JSON on exit — the same
@@ -59,6 +59,9 @@ pub struct ObsFlags {
     pub trace_out: Option<String>,
     /// `RunReport` JSON destination (`--metrics-out`).
     pub metrics_out: Option<String>,
+    /// Replayable run-file destination (`--run-out`) — the schema
+    /// [`ftsort-cli replay`](../ftsort-cli) and `trace-diff` consume.
+    pub run_out: Option<String>,
     last: Option<hypercube::obs::RunObservation>,
 }
 
@@ -75,6 +78,7 @@ impl ObsFlags {
         let slot = match arg {
             "--trace-out" => &mut self.trace_out,
             "--metrics-out" => &mut self.metrics_out,
+            "--run-out" => &mut self.run_out,
             _ => return false,
         };
         match args.next() {
@@ -88,16 +92,16 @@ impl ObsFlags {
     }
 
     /// Whether the engine should record the event trace
-    /// (`FtConfig::tracing`) — only needed when a trace export was asked
-    /// for; metrics come from the always-on spans.
+    /// (`FtConfig::tracing`) — needed when a trace or run-file export was
+    /// asked for; metrics come from the always-on spans.
     pub fn tracing(&self) -> bool {
-        self.trace_out.is_some()
+        self.trace_out.is_some() || self.run_out.is_some()
     }
 
     /// Whether any export was requested; callers skip the observation
     /// plumbing entirely otherwise.
     pub fn enabled(&self) -> bool {
-        self.trace_out.is_some() || self.metrics_out.is_some()
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.run_out.is_some()
     }
 
     /// Remembers `obs` as the run to export (last call wins).
@@ -124,6 +128,11 @@ impl ObsFlags {
             let report = obs.report(&ftsort::ftsort::phase_name);
             std::fs::write(path, report.to_json()).expect("write metrics");
             println!("metrics written: {path}");
+        }
+        if let Some(path) = &self.run_out {
+            let json = hypercube::obs::replay::run_to_json(obs);
+            std::fs::write(path, json).expect("write run file");
+            println!("run written    : {path} (ftsort-cli replay --trace {path})");
         }
     }
 }

@@ -44,7 +44,9 @@ use crate::select::{build_structure, select_cutting_sequence, Selection};
 use crate::seq::{Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
+use hypercube::obs::sink::TraceSink;
 use hypercube::sim::{Comm, Engine, EngineKind, Tag};
+use std::sync::{Arc, Mutex};
 
 /// Phase id of step 3 (local sort + intra-subcube single-fault bitonic).
 ///
@@ -361,6 +363,44 @@ pub fn fault_tolerant_sort_observed<K>(
 where
     K: Ord + Clone + Send,
 {
+    fault_tolerant_sort_sunk(plan, config, data, None)
+}
+
+/// [`fault_tolerant_sort_observed`] that additionally streams every trace
+/// record into `sink` as the engine emits it — the O(1)-memory path for
+/// writing run files to disk (see
+/// [`StreamingSink`](hypercube::obs::sink::StreamingSink)). The sink
+/// receives events even when [`FtConfig::tracing`] is off; the in-memory
+/// trace of the returned observation is still gated on `tracing`.
+pub fn fault_tolerant_sort_streamed<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+    sink: Arc<Mutex<dyn TraceSink>>,
+) -> (
+    SortOutcome<K>,
+    PhaseBreakdown,
+    hypercube::obs::RunObservation,
+)
+where
+    K: Ord + Clone + Send,
+{
+    fault_tolerant_sort_sunk(plan, config, data, Some(sink))
+}
+
+fn fault_tolerant_sort_sunk<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+) -> (
+    SortOutcome<K>,
+    PhaseBreakdown,
+    hypercube::obs::RunObservation,
+)
+where
+    K: Ord + Clone + Send,
+{
     let cost = config.cost;
     let protocol = config.protocol;
     let step8 = config.step8;
@@ -406,6 +446,9 @@ where
         .with_engine(config.engine);
     if config.tracing {
         engine = engine.with_tracing();
+    }
+    if let Some(sink) = sink {
+        engine = engine.with_trace_sink(sink);
     }
     let out = engine.run(inputs, async |ctx, mut chunk| {
         // One buffer pool per node for the whole run: compare-splits cycle

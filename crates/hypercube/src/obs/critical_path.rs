@@ -203,7 +203,7 @@ impl CriticalPath {
 }
 
 /// The innermost span on `node` covering virtual time `t`.
-fn covering_span(obs: &RunObservation, node: NodeId, t: f64) -> Option<SpanRecord> {
+pub(crate) fn covering_span(obs: &RunObservation, node: NodeId, t: f64) -> Option<SpanRecord> {
     let spans = &obs.nodes.get(node.index())?.as_ref()?.spans;
     spans
         .iter()
@@ -214,6 +214,61 @@ fn covering_span(obs: &RunObservation, node: NodeId, t: f64) -> Option<SpanRecor
                 .then(b.begin.total_cmp(&a.begin))
         })
         .copied()
+}
+
+/// Renders the standard critical-path report body: makespan and transfer
+/// share, the per-phase on-path attribution table, and the gantt chart.
+/// This is the shared renderer behind the `critical_path` bench binary
+/// and `ftsort-cli replay --critical-path`, so a live run and its replay
+/// can be compared byte for byte.
+pub fn render_report(
+    obs: &RunObservation,
+    path: &CriticalPath,
+    namer: &dyn Fn(u16) -> Option<&'static str>,
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "makespan {:.1} us, path of {} segments ending at node {}",
+        path.makespan,
+        path.segments.len(),
+        path.end_node.raw()
+    );
+    let transfer_us: f64 = path
+        .segments
+        .iter()
+        .filter(|s| s.kind == SegmentKind::Transfer)
+        .map(|s| s.duration())
+        .sum();
+    let _ = writeln!(
+        out,
+        "gated by message transfers for {:.1} us ({:.1}% of the path)\n",
+        transfer_us,
+        100.0 * transfer_us / path.makespan
+    );
+    let _ = writeln!(out, "{:<16} {:>12} {:>7}", "phase", "on-path us", "share");
+    let _ = writeln!(out, "{}", "-".repeat(37));
+    let rows = path.attribute(obs, namer);
+    let mut sum = 0.0;
+    for (name, us) in &rows {
+        sum += us;
+        let _ = writeln!(
+            out,
+            "{name:<16} {us:>12.1} {:>6.1}%",
+            100.0 * us / path.makespan
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(37));
+    let _ = writeln!(
+        out,
+        "{:<16} {sum:>12.1} {:>6.1}%\n",
+        "total",
+        100.0 * sum / path.makespan
+    );
+    debug_assert!((sum - path.makespan).abs() <= 1e-6 * path.makespan.max(1.0));
+    out.push_str(&gantt(obs, path, namer, width));
+    out
 }
 
 /// Renders an ASCII gantt chart of the run: one row per node, one column

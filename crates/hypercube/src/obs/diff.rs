@@ -1,0 +1,224 @@
+//! Critical-path diffing: align two runs' critical paths segment by
+//! segment and attribute the makespan delta to named (phase, link)
+//! classes.
+//!
+//! The paper's Tables 1/2 report *total* sorting-time overhead as faults
+//! grow; the interesting follow-up question is *where* the extra time
+//! lands — which phase, and which hypercube dimension's links. A
+//! [`SegmentProfile`] buckets every critical-path segment by the phase
+//! covering it and by its link class (`local` work, a single-dimension
+//! transfer `dim j`, or a multi-hop `multi` transfer), summing virtual
+//! µs per bucket. Because the path's segments are contiguous over
+//! `[0, makespan]`, each profile sums to its run's makespan — so the
+//! per-bucket deltas of two profiles account for 100% of the makespan
+//! delta, with no unexplained remainder.
+
+use super::critical_path::{covering_span, CriticalPath, SegmentKind};
+use super::RunObservation;
+use std::fmt::Write as _;
+
+/// Attribution bucket of one critical-path segment.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SegmentKey {
+    /// Covering phase name (or `(unattributed)`).
+    pub phase: String,
+    /// Link class: `local`, `dim <j>`, or `multi` (a transfer crossing
+    /// more than one dimension — fault detours).
+    pub link: String,
+}
+
+/// Per-bucket virtual time of one run's critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SegmentProfile {
+    /// The run's makespan, µs.
+    pub makespan: f64,
+    /// `(bucket, on-path µs)` rows in first-occurrence order along the
+    /// path; their sum equals `makespan` up to float dust.
+    pub rows: Vec<(SegmentKey, f64)>,
+}
+
+impl SegmentProfile {
+    /// Buckets `path`'s segments. Each segment is charged to the innermost
+    /// span covering its midpoint (same rule as
+    /// [`CriticalPath::attribute`]) and to its link class.
+    pub fn collect(
+        obs: &RunObservation,
+        path: &CriticalPath,
+        namer: &dyn Fn(u16) -> Option<&'static str>,
+    ) -> SegmentProfile {
+        let mut rows: Vec<(SegmentKey, f64)> = Vec::new();
+        for seg in &path.segments {
+            let phase = match covering_span(obs, seg.node, (seg.begin + seg.end) / 2.0) {
+                Some(span) => match namer(span.phase) {
+                    Some(s) => s.to_string(),
+                    None => format!("phase-{}", span.phase),
+                },
+                None => "(unattributed)".to_string(),
+            };
+            let link = match (seg.kind, seg.from) {
+                (SegmentKind::Local, _) | (SegmentKind::Transfer, None) => "local".to_string(),
+                (SegmentKind::Transfer, Some(from)) => {
+                    let crossed = seg.node.raw() ^ from.raw();
+                    if crossed.count_ones() == 1 {
+                        format!("dim {}", crossed.trailing_zeros())
+                    } else {
+                        "multi".to_string()
+                    }
+                }
+            };
+            let key = SegmentKey { phase, link };
+            match rows.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, us)) => *us += seg.duration(),
+                None => rows.push((key, seg.duration())),
+            }
+        }
+        SegmentProfile {
+            makespan: path.makespan,
+            rows,
+        }
+    }
+
+    fn us_of(&self, key: &SegmentKey) -> f64 {
+        self.rows
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, us)| *us)
+            .unwrap_or(0.0)
+    }
+}
+
+/// One bucket's contribution to the makespan delta between two runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// The bucket.
+    pub key: SegmentKey,
+    /// On-path µs in run A.
+    pub a_us: f64,
+    /// On-path µs in run B.
+    pub b_us: f64,
+}
+
+impl DiffRow {
+    /// `b_us - a_us`: positive means the bucket grew from A to B.
+    pub fn delta(&self) -> f64 {
+        self.b_us - self.a_us
+    }
+}
+
+/// Aligns two profiles over the union of their buckets. Rows come back
+/// largest delta first (shrunk buckets last), ties broken by bucket name
+/// for determinism; summing [`DiffRow::delta`] over all rows gives
+/// exactly `b.makespan - a.makespan` (up to float dust), i.e. the diff
+/// attributes 100% of the makespan delta.
+pub fn diff_profiles(a: &SegmentProfile, b: &SegmentProfile) -> Vec<DiffRow> {
+    let mut keys: Vec<&SegmentKey> = a.rows.iter().map(|(k, _)| k).collect();
+    for (k, _) in &b.rows {
+        if !keys.contains(&k) {
+            keys.push(k);
+        }
+    }
+    let mut rows: Vec<DiffRow> = keys
+        .into_iter()
+        .map(|k| DiffRow {
+            key: k.clone(),
+            a_us: a.us_of(k),
+            b_us: b.us_of(k),
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta()
+            .total_cmp(&x.delta())
+            .then_with(|| x.key.cmp(&y.key))
+    });
+    rows
+}
+
+/// Renders the aligned diff as a fixed-width table, one row per bucket,
+/// with a total row tying the per-bucket deltas back to the makespan
+/// delta.
+pub fn render_diff(a: &SegmentProfile, b: &SegmentProfile, label_a: &str, label_b: &str) -> String {
+    let rows = diff_profiles(a, b);
+    let mut out = String::new();
+    let _ = writeln!(out, "critical-path diff: B - A ({label_b} - {label_a})");
+    let _ = writeln!(
+        out,
+        "makespan: A {:.1} us, B {:.1} us, delta {:+.1} us\n",
+        a.makespan,
+        b.makespan,
+        b.makespan - a.makespan
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:<8} {:>12} {:>12} {:>12}",
+        "phase", "segment", "A us", "B us", "delta us"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    let (mut sum_a, mut sum_b) = (0.0, 0.0);
+    for r in &rows {
+        sum_a += r.a_us;
+        sum_b += r.b_us;
+        let _ = writeln!(
+            out,
+            "{:<16} {:<8} {:>12.1} {:>12.1} {:>+12.1}",
+            r.key.phase,
+            r.key.link,
+            r.a_us,
+            r.b_us,
+            r.delta()
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    let _ = writeln!(
+        out,
+        "{:<16} {:<8} {:>12.1} {:>12.1} {:>+12.1}",
+        "total",
+        "",
+        sum_a,
+        sum_b,
+        sum_b - sum_a
+    );
+    debug_assert!((sum_a - a.makespan).abs() <= 1e-6 * a.makespan.max(1.0));
+    debug_assert!((sum_b - b.makespan).abs() <= 1e-6 * b.makespan.max(1.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(phase: &str, link: &str) -> SegmentKey {
+        SegmentKey {
+            phase: phase.into(),
+            link: link.into(),
+        }
+    }
+
+    #[test]
+    fn diff_covers_the_union_and_sums_to_makespan_delta() {
+        let a = SegmentProfile {
+            makespan: 10.0,
+            rows: vec![(key("step7", "dim 0"), 6.0), (key("step8", "local"), 4.0)],
+        };
+        let b = SegmentProfile {
+            makespan: 13.0,
+            rows: vec![(key("step7", "dim 0"), 5.0), (key("step8", "multi"), 8.0)],
+        };
+        let rows = diff_profiles(&a, &b);
+        assert_eq!(rows.len(), 3);
+        // largest growth first
+        assert_eq!(rows[0].key, key("step8", "multi"));
+        assert_eq!(rows[0].delta(), 8.0);
+        let total: f64 = rows.iter().map(DiffRow::delta).sum();
+        assert_eq!(total, b.makespan - a.makespan);
+    }
+
+    #[test]
+    fn self_diff_is_all_zeros() {
+        let a = SegmentProfile {
+            makespan: 10.0,
+            rows: vec![(key("step7", "dim 2"), 6.0), (key("bitonic", "local"), 4.0)],
+        };
+        let rows = diff_profiles(&a, &a);
+        assert!(rows.iter().all(|r| r.delta() == 0.0));
+    }
+}

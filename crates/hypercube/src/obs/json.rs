@@ -329,6 +329,77 @@ pub fn write_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Serializes one [`TraceEvent`] as an object of the workspace trace
+/// schema (also embedded in the streaming run files — see
+/// [`crate::obs::sink`]). Tags use the full u64 range (protocol-round
+/// bits live at 60–63), which a JSON number (f64) cannot carry exactly —
+/// encoded as a string, the standard interop-safe representation for u64.
+pub fn write_trace_event(out: &mut String, e: &TraceEvent) {
+    let _ = write!(
+        out,
+        "{{\"t\":{},\"node\":{},\"tag\":\"{}\",",
+        e.time,
+        e.node.raw(),
+        e.tag.0
+    );
+    match e.kind {
+        TraceKind::Send { to, elements, hops } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"send\",\"to\":{},\"elements\":{elements},\"hops\":{hops}}}",
+                to.raw()
+            );
+        }
+        TraceKind::Recv { from, elements } => {
+            let _ = write!(
+                out,
+                "\"kind\":\"recv\",\"from\":{},\"elements\":{elements}}}",
+                from.raw()
+            );
+        }
+        TraceKind::Compute { comparisons } => {
+            let _ = write!(out, "\"kind\":\"compute\",\"comparisons\":{comparisons}}}");
+        }
+    }
+}
+
+/// Parses one object written by [`write_trace_event`]; `i` is the event's
+/// index in its array, used in error messages.
+pub fn parse_trace_event(i: usize, e: &Json) -> Result<TraceEvent, String> {
+    let field = |k: &str| e.get(k).ok_or_else(|| format!("event {i}: missing '{k}'"));
+    let num = |k: &str| field(k)?.as_f64().ok_or(format!("event {i}: bad '{k}'"));
+    let int = |k: &str| field(k)?.as_u64().ok_or(format!("event {i}: bad '{k}'"));
+    let time = num("t")?;
+    let node = NodeId::new(int("node")? as u32);
+    let tag = Tag::new(
+        field("tag")?
+            .as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or(format!("event {i}: bad 'tag'"))?,
+    );
+    let kind = match field("kind")?.as_str() {
+        Some("send") => TraceKind::Send {
+            to: NodeId::new(int("to")? as u32),
+            elements: int("elements")? as usize,
+            hops: int("hops")? as u32,
+        },
+        Some("recv") => TraceKind::Recv {
+            from: NodeId::new(int("from")? as u32),
+            elements: int("elements")? as usize,
+        },
+        Some("compute") => TraceKind::Compute {
+            comparisons: int("comparisons")? as usize,
+        },
+        other => return Err(format!("event {i}: unknown kind {other:?}")),
+    };
+    Ok(TraceEvent {
+        time,
+        node,
+        tag,
+        kind,
+    })
+}
+
 /// Serializes a [`Trace`] to the workspace's own trace schema (distinct
 /// from the Perfetto export, which loses the raw tags): one object per
 /// event with the exact virtual timestamp.
@@ -339,35 +410,7 @@ pub fn trace_to_json(trace: &Trace) -> String {
         if i > 0 {
             out.push(',');
         }
-        // Tags use the full u64 range (protocol-round bits live at 60–63),
-        // which a JSON number (f64) cannot carry exactly — encode as a
-        // string, the standard interop-safe representation for u64.
-        let _ = write!(
-            out,
-            "{{\"t\":{},\"node\":{},\"tag\":\"{}\",",
-            e.time,
-            e.node.raw(),
-            e.tag.0
-        );
-        match e.kind {
-            TraceKind::Send { to, elements, hops } => {
-                let _ = write!(
-                    out,
-                    "\"kind\":\"send\",\"to\":{},\"elements\":{elements},\"hops\":{hops}}}",
-                    to.raw()
-                );
-            }
-            TraceKind::Recv { from, elements } => {
-                let _ = write!(
-                    out,
-                    "\"kind\":\"recv\",\"from\":{},\"elements\":{elements}}}",
-                    from.raw()
-                );
-            }
-            TraceKind::Compute { comparisons } => {
-                let _ = write!(out, "\"kind\":\"compute\",\"comparisons\":{comparisons}}}");
-            }
-        }
+        write_trace_event(&mut out, e);
     }
     out.push_str("]}");
     out
@@ -383,38 +426,7 @@ pub fn trace_from_json(text: &str) -> Result<Trace, String> {
         .ok_or("missing 'events' array")?;
     let mut out = Vec::with_capacity(events.len());
     for (i, e) in events.iter().enumerate() {
-        let field = |k: &str| e.get(k).ok_or_else(|| format!("event {i}: missing '{k}'"));
-        let num = |k: &str| field(k)?.as_f64().ok_or(format!("event {i}: bad '{k}'"));
-        let int = |k: &str| field(k)?.as_u64().ok_or(format!("event {i}: bad '{k}'"));
-        let time = num("t")?;
-        let node = NodeId::new(int("node")? as u32);
-        let tag = Tag::new(
-            field("tag")?
-                .as_str()
-                .and_then(|s| s.parse().ok())
-                .ok_or(format!("event {i}: bad 'tag'"))?,
-        );
-        let kind = match field("kind")?.as_str() {
-            Some("send") => TraceKind::Send {
-                to: NodeId::new(int("to")? as u32),
-                elements: int("elements")? as usize,
-                hops: int("hops")? as u32,
-            },
-            Some("recv") => TraceKind::Recv {
-                from: NodeId::new(int("from")? as u32),
-                elements: int("elements")? as usize,
-            },
-            Some("compute") => TraceKind::Compute {
-                comparisons: int("comparisons")? as usize,
-            },
-            other => return Err(format!("event {i}: unknown kind {other:?}")),
-        };
-        out.push(TraceEvent {
-            time,
-            node,
-            tag,
-            kind,
-        });
+        out.push(parse_trace_event(i, e)?);
     }
     Ok(Trace::from_events(out))
 }

@@ -23,13 +23,23 @@
 //!   time (interval-union per node, then max/total over nodes), per-node
 //!   utilization, and per-dimension link load.
 //!
+//! * **Streaming & replay** ([`sink`], [`replay`]) — a [`sink::TraceSink`]
+//!   receives the run's record stream as the engines emit it (optionally
+//!   straight to disk, so large runs trace in O(1) memory), and
+//!   [`replay::observation_from_json`] rebuilds a full [`RunObservation`]
+//!   from the saved file so every analyzer also runs offline; [`diff`]
+//!   aligns two runs' critical paths segment by segment.
+//!
 //! Span aggregation unions intervals *by phase name* per node before
 //! summing, so nested or re-entrant spans of the same phase never
 //! double-count wall time.
 
 pub mod critical_path;
+pub mod diff;
 pub mod json;
 pub mod perfetto;
+pub mod replay;
+pub mod sink;
 
 use crate::address::NodeId;
 use crate::cost::CostModel;

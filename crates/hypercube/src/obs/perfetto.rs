@@ -10,7 +10,11 @@
 //! * messages as flow events: an `s` (flow start) on the sender at send
 //!   time and an `f` (flow finish) on the receiver at receive time,
 //!   sharing a numeric `id`, so the UI draws arrows along the
-//!   happens-before edges.
+//!   happens-before edges,
+//! * counter (`C`) tracks per node: instantaneous inbox depth (messages
+//!   sent but not yet received) and cumulative element·hops sent, so
+//!   queue buildup and traffic skew render as time series next to the
+//!   span tracks.
 //!
 //! Send↔receive matching is FIFO per `(src, dst, tag)` channel — exactly
 //! the engines' delivery discipline — computed over the whole trace before
@@ -18,7 +22,7 @@
 //! its own send when both carry equal timestamps and the receiver has the
 //! smaller node address.
 
-use super::json::write_str;
+use super::json::{write_str, Json};
 use super::RunObservation;
 use crate::sim::{Trace, TraceKind};
 use std::collections::HashMap;
@@ -98,7 +102,8 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
 
     // Messages as flow start/finish pairs along happens-before edges.
     let events = obs.trace.events();
-    for (flow_id, (send_idx, recv_idx)) in match_messages(&obs.trace).into_iter().enumerate() {
+    let pairs = match_messages(&obs.trace);
+    for (flow_id, &(send_idx, recv_idx)) in pairs.iter().enumerate() {
         let s = &events[send_idx];
         let f = &events[recv_idx];
         let elements = match s.kind {
@@ -125,8 +130,168 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
         );
     }
 
+    // Inbox-depth counters, one track per destination node: +1 at each
+    // matched send, -1 at its receive. All deltas sharing a timestamp
+    // collapse into one sample, with enqueues ordered before dequeues at
+    // ties, so the running depth never dips negative.
+    let mut inbox: Vec<Vec<(f64, i64)>> = vec![Vec::new(); obs.nodes.len()];
+    for &(s, r) in &pairs {
+        let dst = events[r].node.index();
+        inbox[dst].push((events[s].time, 1));
+        inbox[dst].push((events[r].time, -1));
+    }
+    for (node, deltas) in inbox.iter_mut().enumerate() {
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut depth = 0i64;
+        let mut k = 0;
+        while k < deltas.len() {
+            let t = deltas[k].0;
+            while k < deltas.len() && deltas[k].0.to_bits() == t.to_bits() {
+                depth += deltas[k].1;
+                k += 1;
+            }
+            emit(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"inbox P{node}\",\"ts\":{t},\"args\":{{\"messages\":{depth}}}}}"
+            );
+        }
+    }
+
+    // Cumulative element·hops counters, one track per sender, sampled at
+    // each send. Monotone by construction — `trace-check` verifies it.
+    let mut cum_hops: Vec<u64> = vec![0; obs.nodes.len()];
+    for e in events {
+        if let TraceKind::Send { elements, hops, .. } = e.kind {
+            let cum = &mut cum_hops[e.node.index()];
+            *cum += elements as u64 * hops as u64;
+            emit(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"pid\":0,\"name\":\"element-hops P{}\",\"ts\":{},\"args\":{{\"element_hops\":{}}}}}",
+                e.node.raw(),
+                e.time,
+                cum
+            );
+        }
+    }
+
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Summary counts from a validated Chrome-trace document.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total `traceEvents` entries.
+    pub events: usize,
+    /// `X` complete (span) events.
+    pub spans: u64,
+    /// Completed flow start/finish pairs.
+    pub flows: u64,
+    /// Counter (`C`) samples.
+    pub counters: u64,
+}
+
+/// Structurally validates a Chrome-trace export: every flow start carries
+/// an integer `id` and a `ts`, every finish pairs with an earlier start
+/// and respects happens-before, counter samples carry exactly one
+/// non-negative numeric series with per-track non-decreasing timestamps,
+/// and cumulative `element-hops` tracks never decrease. Malformed input
+/// returns an error naming the offending event index — it never panics —
+/// so the CLI's `trace-check` can report *which* event is broken.
+pub fn validate_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'traceEvents' array")?;
+    let mut open: HashMap<u64, f64> = HashMap::new();
+    let mut last_sample: HashMap<String, (f64, f64)> = HashMap::new();
+    let (mut spans, mut flows, mut counters) = (0u64, 0u64, 0u64);
+    for (i, e) in events.iter().enumerate() {
+        let ts_of = |what: &str| {
+            e.get("ts")
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: {what} without 'ts'"))
+        };
+        match e.get("ph").and_then(Json::as_str) {
+            Some("X") => spans += 1,
+            Some("s") => {
+                let id = e
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("event {i}: flow start without integer 'id'"))?;
+                let ts = ts_of("flow start")?;
+                if open.insert(id, ts).is_some() {
+                    return Err(format!("event {i}: duplicate flow id {id}"));
+                }
+            }
+            Some("f") => {
+                let id = e
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("event {i}: flow finish without integer 'id'"))?;
+                let ts = ts_of("flow finish")?;
+                let sent = open
+                    .remove(&id)
+                    .ok_or(format!("event {i}: flow {id} finishes before it starts"))?;
+                if ts < sent {
+                    return Err(format!(
+                        "event {i}: flow {id} violates happens-before ({ts} < {sent})"
+                    ));
+                }
+                flows += 1;
+            }
+            Some("C") => {
+                let name = e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: counter without 'name'"))?;
+                let ts = ts_of("counter")?;
+                let value = match e.get("args") {
+                    Some(Json::Obj(fields)) if fields.len() == 1 => fields[0].1.as_f64(),
+                    _ => None,
+                }
+                .ok_or(format!(
+                    "event {i}: counter '{name}' needs exactly one numeric series in 'args'"
+                ))?;
+                if value < 0.0 {
+                    return Err(format!(
+                        "event {i}: counter '{name}' went negative ({value})"
+                    ));
+                }
+                if let Some(&(prev_ts, prev_val)) = last_sample.get(name) {
+                    if ts < prev_ts {
+                        return Err(format!(
+                            "event {i}: counter '{name}' timestamps go backward ({ts} < {prev_ts})"
+                        ));
+                    }
+                    if name.starts_with("element-hops") && value < prev_val {
+                        return Err(format!(
+                            "event {i}: cumulative counter '{name}' decreased ({value} < {prev_val})"
+                        ));
+                    }
+                }
+                last_sample.insert(name.to_string(), (ts, value));
+                counters += 1;
+            }
+            _ => {}
+        }
+    }
+    if !open.is_empty() {
+        let mut ids: Vec<u64> = open.keys().copied().collect();
+        ids.sort_unstable();
+        return Err(format!(
+            "{} flow(s) never finished (ids {ids:?})",
+            ids.len()
+        ));
+    }
+    Ok(TraceCheck {
+        events: events.len(),
+        spans,
+        flows,
+        counters,
+    })
 }
 
 #[cfg(test)]
@@ -250,25 +415,91 @@ mod tests {
         };
         let text = perfetto_json(&obs, &|p| if p == 7 { Some("exchange") } else { None });
         let doc = Json::parse(&text).expect("valid JSON");
-        let events = doc
-            .get("traceEvents")
-            .and_then(Json::as_arr)
-            .expect("traceEvents");
-        // 2 metadata + 1 span + 2 flows × 2 events
-        assert_eq!(events.len(), 2 + 1 + 4);
-        // every f has a matching earlier s with the same id
-        let mut starts = Vec::new();
-        for e in events {
-            match e.get("ph").and_then(Json::as_str) {
-                Some("s") => starts.push(e.get("id").and_then(Json::as_u64).unwrap()),
-                Some("f") => {
-                    let id = e.get("id").and_then(Json::as_u64).unwrap();
-                    assert!(starts.contains(&id), "flow finish {id} before its start");
-                }
-                _ => {}
-            }
-        }
+        let check = validate_chrome_trace(&doc).expect("structurally valid");
+        // 2 metadata + 1 span + 2 flows × 2 events + 6 counter samples
+        // (2 inbox samples per node, 1 element-hops sample per send)
+        assert_eq!(check.events, 2 + 1 + 4 + 6);
+        assert_eq!(check.spans, 1);
+        assert_eq!(check.flows, 2);
+        assert_eq!(check.counters, 6);
         // the span got its name from the namer
         assert!(text.contains("\"exchange\""));
+    }
+
+    #[test]
+    fn counters_track_inbox_depth_and_cumulative_hops() {
+        let obs = RunObservation {
+            dim: 1,
+            cost: CostModel::default(),
+            trace: two_node_trace(),
+            nodes: vec![
+                Some(crate::obs::NodeObservation {
+                    node: NodeId::new(0),
+                    clock: 4.0,
+                    stats: crate::stats::RunStats::new(),
+                    spans: Vec::new(),
+                    metrics: crate::obs::NodeMetrics::new(1),
+                }),
+                Some(crate::obs::NodeObservation {
+                    node: NodeId::new(1),
+                    clock: 3.0,
+                    stats: crate::stats::RunStats::new(),
+                    spans: Vec::new(),
+                    metrics: crate::obs::NodeMetrics::new(1),
+                }),
+            ],
+        };
+        let text = perfetto_json(&obs, &|_| None);
+        // node 1's inbox holds the first message over [1.0, 2.0)
+        assert!(text.contains("\"name\":\"inbox P1\",\"ts\":1,\"args\":{\"messages\":1}"));
+        assert!(text.contains("\"name\":\"inbox P1\",\"ts\":2,\"args\":{\"messages\":0}"));
+        // each node sent 4 elements over 1 hop once
+        assert!(
+            text.contains("\"name\":\"element-hops P0\",\"ts\":1,\"args\":{\"element_hops\":4}")
+        );
+        assert!(
+            text.contains("\"name\":\"element-hops P1\",\"ts\":3,\"args\":{\"element_hops\":4}")
+        );
+    }
+
+    #[test]
+    fn validator_names_the_offending_event() {
+        // flow start without an id at index 1
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"ph":"X","ts":0,"dur":1},{"ph":"s","ts":0,"id":"nope"}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("missing id");
+        assert!(err.contains("event 1"), "{err}");
+        assert!(err.contains("id"), "{err}");
+
+        // finish before start
+        let doc = Json::parse(r#"{"traceEvents":[{"ph":"f","ts":0,"id":3}]}"#).unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("unmatched finish");
+        assert!(err.contains("event 0") && err.contains("flow 3"), "{err}");
+
+        // dangling start
+        let doc = Json::parse(r#"{"traceEvents":[{"ph":"s","ts":0,"id":7}]}"#).unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("dangling start");
+        assert!(err.contains("never finished"), "{err}");
+
+        // negative counter
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"ph":"C","name":"inbox P0","ts":0,"args":{"messages":-1}}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("negative counter");
+        assert!(err.contains("event 0") && err.contains("negative"), "{err}");
+
+        // cumulative counter decreasing
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"ph":"C","name":"element-hops P0","ts":0,"args":{"element_hops":5}},{"ph":"C","name":"element-hops P0","ts":1,"args":{"element_hops":4}}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("non-monotone cumulative");
+        assert!(
+            err.contains("event 1") && err.contains("decreased"),
+            "{err}"
+        );
     }
 }

@@ -1,0 +1,228 @@
+//! Trace-driven replay: rebuild a [`RunObservation`] from a saved run
+//! file, so the report, Perfetto export and critical-path analyzers run
+//! offline on files instead of live engine state.
+//!
+//! Replay feeds the file's records through the *same* accumulation code
+//! the engines use — [`RunStats::record_message`] /
+//! [`RunStats::record_comparisons`] for counters, [`NodeMetrics::on_send`]
+//! for link attribution, [`SpanLog`] for spans, and
+//! [`Trace::from_events`] for the global event order — so a replayed
+//! observation is equal to the live one field for field (float bits
+//! included), and every downstream analyzer is byte-identical on live
+//! and replayed inputs. The only quantities not recomputed are the ones
+//! the event stream cannot express: final clocks, blocked time and inbox
+//! peaks, which come from the file's footer.
+
+use super::json::{parse_trace_event, Json};
+use super::sink::{BufferedSink, NodeSummary, TraceSink};
+use super::{NodeMetrics, NodeObservation, RunObservation, SpanLog};
+use crate::address::NodeId;
+use crate::cost::CostModel;
+use crate::sim::{Trace, TraceKind};
+use crate::stats::RunStats;
+
+/// Serializes a buffered [`RunObservation`] into the run-file schema (the
+/// exact document a live [`super::sink::StreamingSink`] would have
+/// written, modulo record interleaving). The observation must carry a
+/// trace (tracing enabled) for the file to replay with full counters.
+pub fn run_to_json(obs: &RunObservation) -> String {
+    let mut sink = BufferedSink::new();
+    sink.begin(obs.dim, &obs.cost);
+    for e in obs.trace.events() {
+        sink.event(e);
+    }
+    for n in obs.participants() {
+        for s in &n.spans {
+            sink.span(n.node, Some(s.phase), s.begin);
+            sink.span(n.node, None, s.end);
+        }
+    }
+    let summaries: Vec<NodeSummary> = obs
+        .participants()
+        .map(|n| NodeSummary {
+            node: n.node,
+            clock: n.clock,
+            blocked_us: n.metrics.blocked_us,
+            inbox_peak: n.metrics.inbox_peak,
+        })
+        .collect();
+    sink.finish(&summaries);
+    sink.to_json()
+}
+
+/// Parses a run file (schema version 1, written by the sinks in
+/// [`super::sink`]) back into a full [`RunObservation`]. Errors name the
+/// offending record.
+pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
+    let doc = Json::parse(text)?;
+    let version = doc
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'version'")?;
+    if version != 1 {
+        return Err(format!("unsupported run-file version {version}"));
+    }
+    let dim = doc
+        .get("dim")
+        .and_then(Json::as_u64)
+        .ok_or("missing 'dim'")? as usize;
+    if dim > 24 {
+        return Err(format!("implausible dimension {dim}"));
+    }
+    let cost_json = doc.get("cost").ok_or("missing 'cost'")?;
+    let costf = |k: &str| {
+        cost_json
+            .get(k)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cost: missing '{k}'"))
+    };
+    let cost = CostModel {
+        t_sr: costf("t_sr")?,
+        t_c: costf("t_c")?,
+        t_startup: costf("t_startup")?,
+    };
+
+    // Footer first: it defines the participants every event must belong to.
+    struct Acc {
+        clock: f64,
+        blocked_us: f64,
+        inbox_peak: u64,
+        stats: RunStats,
+        metrics: NodeMetrics,
+        spans: SpanLog,
+    }
+    let len = 1usize << dim;
+    let mut accs: Vec<Option<Acc>> = (0..len).map(|_| None).collect();
+    let footer = doc
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'nodes'")?;
+    for (i, n) in footer.iter().enumerate() {
+        let idx = n
+            .get("node")
+            .and_then(Json::as_u64)
+            .ok_or(format!("node record {i}: missing 'node'"))? as usize;
+        if idx >= len {
+            return Err(format!(
+                "node record {i}: address {idx} outside the {dim}-cube"
+            ));
+        }
+        if accs[idx].is_some() {
+            return Err(format!("node record {i}: duplicate address {idx}"));
+        }
+        let num = |k: &str| {
+            n.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("node record {i}: missing '{k}'"))
+        };
+        accs[idx] = Some(Acc {
+            clock: num("clock")?,
+            blocked_us: num("blocked_us")?,
+            inbox_peak: n
+                .get("inbox_peak")
+                .and_then(Json::as_u64)
+                .ok_or(format!("node record {i}: missing 'inbox_peak'"))?,
+            stats: RunStats::new(),
+            metrics: NodeMetrics::new(dim),
+            spans: SpanLog::new(),
+        });
+    }
+
+    // Records, in file order — which preserves each node's emission order,
+    // the invariant the span stack and the stable trace sort rely on.
+    let mut events = Vec::new();
+    for (i, e) in doc
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or("missing 'events'")?
+        .iter()
+        .enumerate()
+    {
+        let node = e
+            .get("node")
+            .and_then(Json::as_u64)
+            .ok_or(format!("event {i}: missing 'node'"))? as usize;
+        let acc = accs
+            .get_mut(node)
+            .and_then(Option::as_mut)
+            .ok_or(format!("event {i}: node {node} not in the footer"))?;
+        let time = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_f64)
+                .ok_or(format!("event {i}: bad '{k}'"))
+        };
+        match e.get("kind").and_then(Json::as_str) {
+            Some("enter") => {
+                let phase = e
+                    .get("phase")
+                    .and_then(Json::as_u64)
+                    .filter(|p| *p <= u16::MAX as u64)
+                    .ok_or(format!("event {i}: bad 'phase'"))? as u16;
+                acc.spans.enter(phase, time("t")?);
+            }
+            Some("exit") => acc.spans.exit(time("t")?),
+            _ => {
+                let ev = parse_trace_event(i, e)?;
+                match ev.kind {
+                    TraceKind::Send { to, elements, hops } => {
+                        acc.stats.record_message(elements, hops);
+                        acc.metrics.on_send(ev.node, to, elements, hops);
+                    }
+                    TraceKind::Recv { .. } => acc.metrics.msgs_received += 1,
+                    TraceKind::Compute { comparisons } => acc.stats.record_comparisons(comparisons),
+                }
+                events.push(ev);
+            }
+        }
+    }
+
+    let nodes = accs
+        .into_iter()
+        .enumerate()
+        .map(|(idx, acc)| {
+            acc.map(|acc| {
+                let mut metrics = acc.metrics;
+                metrics.blocked_us = acc.blocked_us;
+                metrics.inbox_peak = acc.inbox_peak;
+                NodeObservation {
+                    node: NodeId::new(idx as u32),
+                    clock: acc.clock,
+                    stats: acc.stats,
+                    spans: acc.spans.finish(acc.clock),
+                    metrics,
+                }
+            })
+        })
+        .collect();
+
+    Ok(RunObservation {
+        dim,
+        cost,
+        trace: Trace::from_events(events),
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed_run_files() {
+        for (text, needle) in [
+            ("{}", "version"),
+            ("{\"version\":2}", "version 2"),
+            (
+                "{\"version\":1,\"dim\":1,\"cost\":{\"t_sr\":1,\"t_c\":1,\"t_startup\":0},\"events\":[],\"nodes\":[{\"node\":5,\"clock\":0,\"blocked_us\":0,\"inbox_peak\":0}]}",
+                "outside",
+            ),
+            (
+                "{\"version\":1,\"dim\":1,\"cost\":{\"t_sr\":1,\"t_c\":1,\"t_startup\":0},\"events\":[{\"t\":0,\"node\":0,\"kind\":\"exit\"}],\"nodes\":[]}",
+                "not in the footer",
+            ),
+        ] {
+            let err = observation_from_json(text).expect_err(text);
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Streaming trace sinks: incremental capture of a run's record stream.
+//!
+//! The buffered observability pipeline holds every trace event in memory
+//! until the run completes, which caps tracing at small cubes and
+//! moderate message counts. A [`TraceSink`] instead receives the run's
+//! records *as the engines emit them*: a header with the geometry and
+//! cost model, the trace events (send/recv/compute), span boundaries,
+//! and a per-node footer carrying the two quantities no event stream can
+//! reconstruct — final blocked time (`charge_compute` advances the clock
+//! without emitting an event) and the receive-queue high-water mark
+//! (enqueue-time state). Two implementations ship:
+//!
+//! * [`BufferedSink`] accumulates records in memory and serializes on
+//!   demand — the pre-existing buffered behavior, now behind the trait;
+//! * [`StreamingSink`] serializes each record straight into any
+//!   `io::Write` (a buffered file via [`StreamingSink::create`]), so
+//!   heap usage stays O(1) in the trace length.
+//!
+//! Both funnel through the same record serializer, so for one record
+//! stream their outputs are byte-identical — the equivalence pinned by
+//! `tests/obs_invariants.rs`. The run file is a single JSON document
+//! (schema in DESIGN.md §6) parsed back by [`super::replay`]. Records
+//! appear in emission order: on the sequential engine that order is
+//! deterministic; on the threaded engine nodes interleave arbitrarily,
+//! but each node's own records stay in program order (the sink lock
+//! serializes writers), which is all replay needs.
+
+use super::json::write_trace_event;
+use crate::address::NodeId;
+use crate::cost::CostModel;
+use crate::sim::TraceEvent;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Per-node closing record of a run file: the state a replay cannot
+/// rebuild from the event stream alone. One entry per participating
+/// node, in ascending address order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeSummary {
+    /// The node's address.
+    pub node: NodeId,
+    /// Final virtual clock, µs.
+    pub clock: f64,
+    /// Virtual µs spent waiting in `recv` (see `NodeMetrics::blocked_us`).
+    pub blocked_us: f64,
+    /// Receive-queue high-water mark (see `NodeMetrics::inbox_peak`).
+    pub inbox_peak: u64,
+}
+
+/// Receiver of a run's record stream. Engines call the methods in strict
+/// order — `begin`, then any number of `event`/`span`, then `finish`
+/// exactly once — holding a lock, so implementations see records in
+/// emission order. A sink instance captures one run; reuse is an error.
+pub trait TraceSink: Send {
+    /// Starts a run over a `dim`-cube under `cost`.
+    fn begin(&mut self, dim: usize, cost: &CostModel);
+    /// One trace event (send/recv/compute), as the engine stamps it.
+    fn event(&mut self, event: &TraceEvent);
+    /// A span boundary on `node` at virtual time `time`: `Some(phase)`
+    /// enters a span, `None` exits the innermost open one.
+    fn span(&mut self, node: NodeId, phase: Option<u16>, time: f64);
+    /// Ends the run with the per-node summaries.
+    fn finish(&mut self, nodes: &[NodeSummary]);
+}
+
+fn render_header(out: &mut String, dim: usize, cost: &CostModel) {
+    let _ = write!(
+        out,
+        "{{\"version\":1,\"dim\":{dim},\"cost\":{{\"t_sr\":{},\"t_c\":{},\"t_startup\":{}}},\"events\":[",
+        cost.t_sr, cost.t_c, cost.t_startup
+    );
+}
+
+fn render_span(out: &mut String, node: NodeId, phase: Option<u16>, time: f64) {
+    match phase {
+        Some(p) => {
+            let _ = write!(
+                out,
+                "{{\"t\":{time},\"node\":{},\"kind\":\"enter\",\"phase\":{p}}}",
+                node.raw()
+            );
+        }
+        None => {
+            let _ = write!(
+                out,
+                "{{\"t\":{time},\"node\":{},\"kind\":\"exit\"}}",
+                node.raw()
+            );
+        }
+    }
+}
+
+/// Separator before a record: records live one per line, comma-joined.
+fn render_separator(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+}
+
+fn render_footer(out: &mut String, nodes: &[NodeSummary]) {
+    out.push_str("\n],\"nodes\":[");
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n{{\"node\":{},\"clock\":{},\"blocked_us\":{},\"inbox_peak\":{}}}",
+            n.node.raw(),
+            n.clock,
+            n.blocked_us,
+            n.inbox_peak
+        );
+    }
+    out.push_str("\n]}\n");
+}
+
+enum Record {
+    Event(TraceEvent),
+    Span {
+        node: NodeId,
+        phase: Option<u16>,
+        time: f64,
+    },
+}
+
+/// In-memory sink: keeps the record stream and serializes it whole on
+/// [`BufferedSink::to_json`]. Memory grows with the trace — use
+/// [`StreamingSink`] for large runs.
+#[derive(Default)]
+pub struct BufferedSink {
+    header: Option<(usize, CostModel)>,
+    records: Vec<Record>,
+    nodes: Vec<NodeSummary>,
+    finished: bool,
+}
+
+impl BufferedSink {
+    /// An empty sink, ready to capture one run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes the captured run; byte-identical to what a
+    /// [`StreamingSink`] fed the same record stream writes out.
+    pub fn to_json(&self) -> String {
+        let (dim, cost) = self.header.expect("BufferedSink::to_json before begin");
+        let mut out = String::with_capacity(96 * self.records.len() + 256);
+        render_header(&mut out, dim, &cost);
+        let mut first = true;
+        for rec in &self.records {
+            render_separator(&mut out, &mut first);
+            match rec {
+                Record::Event(e) => write_trace_event(&mut out, e),
+                Record::Span { node, phase, time } => render_span(&mut out, *node, *phase, *time),
+            }
+        }
+        render_footer(&mut out, &self.nodes);
+        out
+    }
+}
+
+impl TraceSink for BufferedSink {
+    fn begin(&mut self, dim: usize, cost: &CostModel) {
+        assert!(self.header.is_none(), "TraceSink reused across runs");
+        self.header = Some((dim, *cost));
+    }
+
+    fn event(&mut self, event: &TraceEvent) {
+        self.records.push(Record::Event(*event));
+    }
+
+    fn span(&mut self, node: NodeId, phase: Option<u16>, time: f64) {
+        self.records.push(Record::Span { node, phase, time });
+    }
+
+    fn finish(&mut self, nodes: &[NodeSummary]) {
+        assert!(!self.finished, "TraceSink finished twice");
+        self.finished = true;
+        self.nodes = nodes.to_vec();
+    }
+}
+
+/// Incremental sink: each record is serialized and handed to the writer
+/// immediately, so memory stays O(1) in the trace length. I/O errors
+/// panic (engines have no error channel mid-run); the writer is flushed
+/// on `finish`.
+pub struct StreamingSink<W: Write + Send> {
+    writer: W,
+    buf: String,
+    first: bool,
+    began: bool,
+}
+
+impl<W: Write + Send> StreamingSink<W> {
+    /// Wraps a writer. Callers streaming to disk should hand in a
+    /// buffered writer (or use [`StreamingSink::create`]).
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            buf: String::with_capacity(256),
+            first: true,
+            began: false,
+        }
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn emit(&mut self) {
+        self.writer
+            .write_all(self.buf.as_bytes())
+            .expect("trace sink write failed");
+        self.buf.clear();
+    }
+}
+
+impl StreamingSink<BufWriter<File>> {
+    /// Streams to a freshly created file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write + Send> TraceSink for StreamingSink<W> {
+    fn begin(&mut self, dim: usize, cost: &CostModel) {
+        assert!(!self.began, "TraceSink reused across runs");
+        self.began = true;
+        render_header(&mut self.buf, dim, cost);
+        self.emit();
+    }
+
+    fn event(&mut self, event: &TraceEvent) {
+        render_separator(&mut self.buf, &mut self.first);
+        write_trace_event(&mut self.buf, event);
+        self.emit();
+    }
+
+    fn span(&mut self, node: NodeId, phase: Option<u16>, time: f64) {
+        render_separator(&mut self.buf, &mut self.first);
+        render_span(&mut self.buf, node, phase, time);
+        self.emit();
+    }
+
+    fn finish(&mut self, nodes: &[NodeSummary]) {
+        assert!(self.began, "TraceSink finished before begin");
+        render_footer(&mut self.buf, nodes);
+        self.emit();
+        self.writer.flush().expect("trace sink flush failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Tag, TraceKind};
+
+    fn sample_stream(sink: &mut dyn TraceSink) {
+        sink.begin(2, &CostModel::default());
+        sink.span(NodeId::new(0), Some(1), 0.0);
+        sink.event(&TraceEvent {
+            time: 1.5,
+            node: NodeId::new(0),
+            tag: Tag::new(u64::MAX),
+            kind: TraceKind::Send {
+                to: NodeId::new(1),
+                elements: 4,
+                hops: 1,
+            },
+        });
+        sink.event(&TraceEvent {
+            time: 2.5,
+            node: NodeId::new(1),
+            tag: Tag::new(u64::MAX),
+            kind: TraceKind::Recv {
+                from: NodeId::new(0),
+                elements: 4,
+            },
+        });
+        sink.span(NodeId::new(0), None, 3.0);
+        sink.finish(&[
+            NodeSummary {
+                node: NodeId::new(0),
+                clock: 3.0,
+                blocked_us: 0.0,
+                inbox_peak: 0,
+            },
+            NodeSummary {
+                node: NodeId::new(1),
+                clock: 2.5,
+                blocked_us: 1.0,
+                inbox_peak: 1,
+            },
+        ]);
+    }
+
+    #[test]
+    fn buffered_and_streaming_agree_bytewise() {
+        let mut buffered = BufferedSink::new();
+        sample_stream(&mut buffered);
+        let mut streaming = StreamingSink::new(Vec::new());
+        sample_stream(&mut streaming);
+        let streamed = String::from_utf8(streaming.into_inner().unwrap()).unwrap();
+        assert_eq!(buffered.to_json(), streamed);
+        // and the result is one well-formed JSON document
+        super::super::json::Json::parse(&streamed).expect("valid JSON");
+    }
+
+    #[test]
+    fn empty_run_serializes_cleanly() {
+        let mut sink = BufferedSink::new();
+        sink.begin(0, &CostModel::paper_form());
+        sink.finish(&[]);
+        let doc = super::super::json::Json::parse(&sink.to_json()).expect("valid JSON");
+        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            doc.get("events").and_then(|v| v.as_arr()).map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

@@ -22,6 +22,7 @@ use super::{Comm, EngineKind, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, NodeObservation, RunObservation, SpanLog, SpanRecord};
 use crate::routing;
 use crate::stats::RunStats;
@@ -30,7 +31,7 @@ use std::collections::HashMap;
 use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
@@ -246,9 +247,29 @@ struct ThreadedCtx<K> {
     metrics: NodeMetrics,
     /// Channel occupancy gauges, shared by all nodes of the run.
     gauges: Arc<Vec<InboxGauge>>,
+    /// Streaming record sink (Some only when one is attached). The lock
+    /// serializes records across node threads while keeping each node's
+    /// own records in program order — the invariant replay relies on.
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
 }
 
 impl<K> ThreadedCtx<K> {
+    /// Whether trace events need to be materialized at all (buffered
+    /// trace, attached sink, or both).
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.sink.is_some()
+    }
+
+    /// Routes one trace event to the in-memory buffer and/or the sink.
+    fn emit_event(&mut self, ev: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(ev);
+        }
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("trace sink lock poisoned").event(&ev);
+        }
+    }
+
     fn take_pending(&mut self, src: NodeId, tag: Tag) -> Option<Message<K>> {
         match self.pending.get_mut(&(src, tag)) {
             Some(list) if !list.is_empty() => Some(list.remove(0)),
@@ -269,8 +290,8 @@ impl<K> ThreadedCtx<K> {
         self.clock.advance(cost.transfer(data.len(), hops.min(1)));
         self.stats.record_message(data.len(), hops);
         self.metrics.on_send(me, dst, data.len(), hops);
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
+        if self.observing() {
+            self.emit_event(TraceEvent {
                 time: self.clock.now(),
                 node: me,
                 tag,
@@ -316,8 +337,8 @@ impl<K> ThreadedCtx<K> {
         // Any forward jump is time this node spent waiting on the wire.
         self.metrics.blocked_us += self.clock.now() - before;
         self.metrics.msgs_received += 1;
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
+        if self.observing() {
+            self.emit_event(TraceEvent {
                 time: self.clock.now(),
                 node: me,
                 tag,
@@ -409,6 +430,11 @@ impl<K> Comm<K> for NodeCtx<K> {
             CtxInner::Threaded(t) => {
                 let now = t.clock.now();
                 t.spans.enter(phase, now);
+                if let Some(sink) = &t.sink {
+                    sink.lock()
+                        .expect("trace sink lock poisoned")
+                        .span(self.me, Some(phase), now);
+                }
             }
             CtxInner::Seq(s) => s.span_enter(self.me, phase),
         }
@@ -419,6 +445,11 @@ impl<K> Comm<K> for NodeCtx<K> {
             CtxInner::Threaded(t) => {
                 let now = t.clock.now();
                 t.spans.exit(now);
+                if let Some(sink) = &t.sink {
+                    sink.lock()
+                        .expect("trace sink lock poisoned")
+                        .span(self.me, None, now);
+                }
             }
             CtxInner::Seq(s) => s.span_exit(self.me),
         }
@@ -429,8 +460,8 @@ impl<K> Comm<K> for NodeCtx<K> {
             CtxInner::Threaded(t) => {
                 t.clock.advance(self.cost.compare(count));
                 t.stats.record_comparisons(count);
-                if let Some(trace) = &mut t.trace {
-                    trace.push(TraceEvent {
+                if t.observing() {
+                    t.emit_event(TraceEvent {
                         time: t.clock.now(),
                         node: self.me,
                         tag: Tag::new(0),
@@ -481,6 +512,7 @@ pub struct Engine {
     router: RouterKind,
     tracing: bool,
     kind: EngineKind,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
 }
 
 impl Engine {
@@ -494,6 +526,7 @@ impl Engine {
             router: RouterKind::default(),
             tracing: false,
             kind: EngineKind::default(),
+            sink: None,
         }
     }
 
@@ -514,6 +547,17 @@ impl Engine {
     /// then available from [`RunOutcome::trace`].
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Attaches a streaming [`TraceSink`] (builder style): the run's
+    /// records — trace events, span boundaries and a per-node footer —
+    /// are handed to the sink as they are emitted, independently of
+    /// [`Engine::with_tracing`] (which controls only the in-memory
+    /// buffered [`Trace`]). Streaming without tracing is the O(1)-memory
+    /// path for large runs.
+    pub fn with_trace_sink(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -560,6 +604,10 @@ impl Engine {
 
     pub(super) fn tracing(&self) -> bool {
         self.tracing
+    }
+
+    pub(super) fn sink(&self) -> Option<Arc<Mutex<dyn TraceSink>>> {
+        self.sink.clone()
     }
 
     /// Runs `program` SPMD on every node for which `inputs` supplies data.
@@ -619,6 +667,12 @@ impl Engine {
         let gauges: Arc<Vec<InboxGauge>> =
             Arc::new((0..cube.len()).map(|_| InboxGauge::default()).collect());
 
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .begin(cube.dim(), &self.cost);
+        }
+
         let mut outcomes: Vec<Option<NodeOutcome<T>>> = (0..cube.len()).map(|_| None).collect();
         let program = &program;
 
@@ -635,6 +689,7 @@ impl Engine {
                 let recv_timeout = self.recv_timeout;
                 let router = self.router;
                 let tracing = self.tracing;
+                let sink = self.sink.clone();
                 let handle = scope.spawn(move || {
                     let mut ctx = NodeCtx {
                         me: NodeId::from(i),
@@ -653,6 +708,7 @@ impl Engine {
                             spans: SpanLog::new(),
                             metrics: NodeMetrics::new(cube.dim()),
                             gauges,
+                            sink,
                         })),
                     };
                     let result = run_to_completion(program(&mut ctx, input));
@@ -688,6 +744,24 @@ impl Engine {
             if let Some(o) = outcome {
                 o.metrics.inbox_peak = gauges[i].peak();
             }
+        }
+
+        if let Some(sink) = &self.sink {
+            let summaries: Vec<NodeSummary> = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| {
+                    o.as_ref().map(|o| NodeSummary {
+                        node: NodeId::from(i),
+                        clock: o.clock,
+                        blocked_us: o.metrics.blocked_us,
+                        inbox_peak: o.metrics.inbox_peak,
+                    })
+                })
+                .collect();
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .finish(&summaries);
         }
 
         RunOutcome {

@@ -30,6 +30,7 @@ use super::Tag;
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, SpanLog};
 use crate::stats::RunStats;
 use crate::topology::Hypercube;
@@ -39,7 +40,7 @@ use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
 /// A message parked in the destination's inbox.
@@ -91,9 +92,21 @@ impl<K> SeqShared<K> {
 /// The sequential engine's half of a [`NodeCtx`].
 pub(super) struct SeqCtx<K> {
     shared: Rc<RefCell<SeqShared<K>>>,
+    /// Streaming trace sink, if one is attached. Kept outside the
+    /// `RefCell` so it can be reached while `shared` is borrowed.
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
 }
 
 impl<K> SeqCtx<K> {
+    fn emit_event(&self, node: &mut SeqNode, ev: TraceEvent) {
+        if let Some(trace) = &mut node.trace {
+            trace.push(ev);
+        }
+        if let Some(sink) = &self.sink {
+            sink.lock().expect("trace sink lock poisoned").event(&ev);
+        }
+    }
+
     pub(super) fn send(
         &mut self,
         me: NodeId,
@@ -113,8 +126,8 @@ impl<K> SeqCtx<K> {
         node.clock.advance(cost.transfer(data.len(), hops.min(1)));
         node.stats.record_message(data.len(), hops);
         node.metrics.on_send(me, dst, data.len(), hops);
-        if let Some(trace) = &mut node.trace {
-            trace.push(TraceEvent {
+        if node.trace.is_some() || self.sink.is_some() {
+            let ev = TraceEvent {
                 time: node.clock.now(),
                 node: me,
                 tag,
@@ -123,7 +136,8 @@ impl<K> SeqCtx<K> {
                     elements: data.len(),
                     hops,
                 },
-            });
+            };
+            self.emit_event(node, ev);
         }
         let msg = SeqMessage {
             src: me,
@@ -160,8 +174,8 @@ impl<K> SeqCtx<K> {
                     // Any forward jump is time spent waiting on the wire.
                     node.metrics.blocked_us += node.clock.now() - before;
                     node.metrics.msgs_received += 1;
-                    if let Some(trace) = &mut node.trace {
-                        trace.push(TraceEvent {
+                    if node.trace.is_some() || self.sink.is_some() {
+                        let ev = TraceEvent {
                             time: node.clock.now(),
                             node: me,
                             tag,
@@ -169,7 +183,8 @@ impl<K> SeqCtx<K> {
                                 from: src,
                                 elements: msg.data.len(),
                             },
-                        });
+                        };
+                        self.emit_event(node, ev);
                     }
                     return msg.data;
                 }
@@ -185,13 +200,14 @@ impl<K> SeqCtx<K> {
         let node = &mut sh.nodes[me.index()];
         node.clock.advance(cost.compare(count));
         node.stats.record_comparisons(count);
-        if let Some(trace) = &mut node.trace {
-            trace.push(TraceEvent {
+        if node.trace.is_some() || self.sink.is_some() {
+            let ev = TraceEvent {
                 time: node.clock.now(),
                 node: me,
                 tag: Tag::new(0),
                 kind: TraceKind::Compute { comparisons: count },
-            });
+            };
+            self.emit_event(node, ev);
         }
     }
 
@@ -200,6 +216,11 @@ impl<K> SeqCtx<K> {
         let node = &mut sh.nodes[me.index()];
         let now = node.clock.now();
         node.spans.enter(phase, now);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .span(me, Some(phase), now);
+        }
     }
 
     pub(super) fn span_exit(&mut self, me: NodeId) {
@@ -207,6 +228,11 @@ impl<K> SeqCtx<K> {
         let node = &mut sh.nodes[me.index()];
         let now = node.clock.now();
         node.spans.exit(now);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .span(me, None, now);
+        }
     }
 
     pub(super) fn charge_compute(&mut self, me: NodeId, cost: f64) {
@@ -269,6 +295,7 @@ pub struct SeqEngine {
     cost: CostModel,
     router: RouterKind,
     tracing: bool,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
 }
 
 impl SeqEngine {
@@ -280,6 +307,7 @@ impl SeqEngine {
             cost,
             router: RouterKind::default(),
             tracing: false,
+            sink: None,
         }
     }
 
@@ -300,12 +328,21 @@ impl SeqEngine {
         self
     }
 
+    /// Attaches a streaming trace sink (builder style). The sink receives
+    /// every trace event and span transition as it is emitted, plus the
+    /// run header/footer — see [`TraceSink`].
+    pub fn with_trace_sink(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     pub(super) fn from_engine(engine: &Engine) -> Self {
         SeqEngine {
             faults: engine.faults_arc(),
             cost: engine.cost_model(),
             router: engine.router(),
             tracing: engine.tracing(),
+            sink: engine.sink(),
         }
     }
 
@@ -337,6 +374,12 @@ impl SeqEngine {
     {
         let cube = self.cube();
         validate_inputs(&self.faults, &inputs);
+
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .begin(cube.dim(), &self.cost);
+        }
 
         let shared = Rc::new(RefCell::new(SeqShared {
             inboxes: (0..inputs.len()).map(|_| Vec::new()).collect(),
@@ -376,6 +419,7 @@ impl SeqEngine {
                 self.router,
                 SeqCtx {
                     shared: Rc::clone(&shared),
+                    sink: self.sink.clone(),
                 },
             );
             tasks.push(Some(Box::pin(async move {
@@ -454,6 +498,23 @@ impl SeqEngine {
                     outcomes.push(None);
                 }
             }
+        }
+        if let Some(sink) = &self.sink {
+            let summaries: Vec<NodeSummary> = outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| {
+                    o.as_ref().map(|o| NodeSummary {
+                        node: NodeId::from(i),
+                        clock: o.clock,
+                        blocked_us: o.metrics.blocked_us,
+                        inbox_peak: o.metrics.inbox_peak,
+                    })
+                })
+                .collect();
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .finish(&summaries);
         }
         RunOutcome::new(outcomes, Trace::assemble(traces), cube.dim(), self.cost)
     }

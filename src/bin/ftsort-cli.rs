@@ -5,18 +5,27 @@
 //! ```text
 //! ftsort-cli partition   --n 5 --faults 3,5,16,24
 //! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq]
-//!                        [--trace-out trace.json] [--metrics-out report.json]
+//!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
 //! ftsort-cli trace-check --trace trace.json --metrics report.json
+//! ftsort-cli replay      --trace run.json [--metrics-out report.json] [--trace-out trace.json]
+//!                        [--critical-path] [--width 72]
+//! ftsort-cli trace-diff  --a run_a.json --b run_b.json
 //! ```
 //!
 //! `--trace-out` writes Chrome-trace-event JSON loadable in
 //! <https://ui.perfetto.dev>; `--metrics-out` writes the aggregate
-//! [`RunReport`](hypercube::obs::RunReport). `trace-check` re-parses both
-//! and validates trace invariants (used by CI as an end-to-end check of
-//! the observability pipeline).
+//! [`RunReport`](hypercube::obs::RunReport); `--run-out` streams a
+//! replayable run file to disk as the engine emits events (O(1) memory).
+//! `trace-check` re-parses the exports and validates trace invariants
+//! (used by CI as an end-to-end check of the observability pipeline).
+//! `replay` rebuilds the full observation from a run file offline — the
+//! report, Perfetto export and critical-path analysis it produces are
+//! byte-identical to the live run's. `trace-diff` aligns two runs'
+//! critical paths and attributes the makespan delta to (phase, link)
+//! segments.
 
 use ftsort::prelude::*;
 use hypercube::diagnosis::Syndrome;
@@ -28,7 +37,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: ftsort-cli <partition|sort|mffs|route|diagnose|trace-check> [--flags]");
+        eprintln!(
+            "usage: ftsort-cli <partition|sort|mffs|route|diagnose|trace-check|replay|trace-diff> [--flags]"
+        );
         return ExitCode::from(2);
     };
     let mut flags: HashMap<String, String> = HashMap::new();
@@ -62,6 +73,12 @@ fn main() -> ExitCode {
 fn run(cmd: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     if cmd == "trace-check" {
         return trace_check_cmd(flags);
+    }
+    if cmd == "replay" {
+        return replay_cmd(flags);
+    }
+    if cmd == "trace-diff" {
+        return trace_diff_cmd(flags);
     }
     let n: usize = flag(flags, "n", "6")?;
     let cube = Hypercube::new(n);
@@ -177,6 +194,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
     let trace_out = flags.get("trace-out");
     let metrics_out = flags.get("metrics-out");
+    let run_out = flags.get("run-out");
     let config = FtConfig {
         protocol,
         step8,
@@ -185,7 +203,16 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         tracing: trace_out.is_some(),
         ..FtConfig::default()
     };
-    let (out, phases, obs) = fault_tolerant_sort_observed(&plan, &config, data);
+    let (out, phases, obs) = match run_out {
+        None => fault_tolerant_sort_observed(&plan, &config, data),
+        Some(path) => {
+            use hypercube::obs::sink::{StreamingSink, TraceSink};
+            use std::sync::{Arc, Mutex};
+            let sink = StreamingSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let sink: Arc<Mutex<dyn TraceSink>> = Arc::new(Mutex::new(sink));
+            fault_tolerant_sort_streamed(&plan, &config, data, sink)
+        }
+    };
     if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
         return Err("output not sorted — this is a bug".into());
     }
@@ -221,64 +248,98 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics written: {path}");
     }
+    if let Some(path) = run_out {
+        println!("run written    : {path} (ftsort-cli replay --trace {path})");
+    }
+    Ok(())
+}
+
+/// Rebuilds a [`RunObservation`](hypercube::obs::RunObservation) from a
+/// run file written by `sort --run-out` and reruns the offline analyzers
+/// on it: `--metrics-out` the [`RunReport`](hypercube::obs::RunReport),
+/// `--trace-out` the Perfetto export, `--critical-path` the same report
+/// the `critical_path` bench binary prints — all byte-identical to what
+/// the live run produces.
+fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("trace")
+        .ok_or("replay needs --trace FILE (a run file from sort --run-out)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let obs =
+        hypercube::obs::replay::observation_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "replayed {path}: Q{} run, {} participants, {} trace events, makespan {:.1} us",
+        obs.dim,
+        obs.participants().count(),
+        obs.trace.events().len(),
+        obs.makespan()
+    );
+    if let Some(out) = flags.get("metrics-out") {
+        let report = obs.report(&phase_name);
+        std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("metrics written: {out}");
+    }
+    if let Some(out) = flags.get("trace-out") {
+        let json = hypercube::obs::perfetto::perfetto_json(&obs, &phase_name);
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("trace written  : {out} (load in ui.perfetto.dev)");
+    }
+    if flags.contains_key("critical-path") {
+        let width: usize = flag(flags, "width", "72")?;
+        let cp = hypercube::obs::critical_path::CriticalPath::compute(&obs)
+            .ok_or("no trace events in the run file — was the sort traced?")?;
+        print!(
+            "{}",
+            hypercube::obs::critical_path::render_report(&obs, &cp, &phase_name, width)
+        );
+    }
+    Ok(())
+}
+
+/// Replays two run files and aligns their critical paths segment by
+/// segment (bucketed by covering phase and link class), attributing 100%
+/// of the makespan delta to named segments.
+fn trace_diff_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hypercube::obs::critical_path::CriticalPath;
+    use hypercube::obs::diff::{render_diff, SegmentProfile};
+    let profile = |key: &str| -> Result<(String, SegmentProfile), String> {
+        let path = flags
+            .get(key)
+            .ok_or(format!("trace-diff needs --{key} FILE"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let obs = hypercube::obs::replay::observation_from_json(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let cp = CriticalPath::compute(&obs)
+            .ok_or(format!("{path}: no trace events — was the sort traced?"))?;
+        Ok((
+            path.clone(),
+            SegmentProfile::collect(&obs, &cp, &phase_name),
+        ))
+    };
+    let (label_a, a) = profile("a")?;
+    let (label_b, b) = profile("b")?;
+    print!("{}", render_diff(&a, &b, &label_a, &label_b));
     Ok(())
 }
 
 /// Validates a `--trace-out` / `--metrics-out` pair written by `sort`:
 /// the trace must be valid Chrome-trace JSON whose flow events pair up
-/// (every `f` preceded by its `s`, no dangling ids), and the report must
-/// round-trip through [`RunReport::from_json`](hypercube::obs::RunReport).
+/// (every `f` preceded by its `s`, no dangling ids) and whose counter
+/// tracks stay sane (see
+/// [`validate_chrome_trace`](hypercube::obs::perfetto::validate_chrome_trace)),
+/// and the report must round-trip through
+/// [`RunReport::from_json`](hypercube::obs::RunReport).
 fn trace_check_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     use hypercube::obs::json::Json;
     let mut checked = 0;
     if let Some(path) = flags.get("trace") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let doc = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
-        let events = doc
-            .get("traceEvents")
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
-        let mut open = std::collections::HashMap::new();
-        let (mut spans, mut flows) = (0u64, 0u64);
-        for e in events {
-            let ph = e.get("ph").and_then(Json::as_str).unwrap_or("");
-            let id = e.get("id").and_then(Json::as_u64);
-            match ph {
-                "X" => spans += 1,
-                "s" => {
-                    let id = id.ok_or_else(|| format!("{path}: flow start without id"))?;
-                    let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(f64::NAN);
-                    if open.insert(id, ts).is_some() {
-                        return Err(format!("{path}: duplicate flow id {id}"));
-                    }
-                }
-                "f" => {
-                    let id = id.ok_or_else(|| format!("{path}: flow finish without id"))?;
-                    let sent = open
-                        .remove(&id)
-                        .ok_or_else(|| format!("{path}: flow finish {id} before its start"))?;
-                    let ts = e.get("ts").and_then(Json::as_f64).unwrap_or(f64::NAN);
-                    // NaN timestamps must fail too, so compare via partial_cmp
-                    let ok = matches!(
-                        ts.partial_cmp(&sent),
-                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
-                    );
-                    if !ok {
-                        return Err(format!(
-                            "{path}: flow {id} violates happens-before ({sent} → {ts})"
-                        ));
-                    }
-                    flows += 1;
-                }
-                _ => {}
-            }
-        }
-        if !open.is_empty() {
-            return Err(format!("{path}: {} unfinished flows", open.len()));
-        }
+        let check = hypercube::obs::perfetto::validate_chrome_trace(&doc)
+            .map_err(|e| format!("{path}: {e}"))?;
         println!(
-            "{path}: ok ({} events, {spans} spans, {flows} flows)",
-            events.len()
+            "{path}: ok ({} events, {} spans, {} flows, {} counters)",
+            check.events, check.spans, check.flows, check.counters
         );
         checked += 1;
     }

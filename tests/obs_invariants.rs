@@ -1,18 +1,26 @@
 //! Invariants of the observability stack end to end: trace/report JSON
 //! round-trips, Perfetto flow-event validity, engine-differential span
-//! attribution, and agreement between the span-derived `PhaseBreakdown`
-//! and the aggregate `RunReport`.
+//! attribution, agreement between the span-derived `PhaseBreakdown` and
+//! the aggregate `RunReport`, streaming-vs-buffered sink byte
+//! equivalence, replay exactness, and critical-path diff invariants.
 
-use ftsort::ftsort::{fault_tolerant_sort_observed, phase_name, FtConfig, FtPlan, PhaseBreakdown};
+use ftsort::ftsort::{
+    fault_tolerant_sort_observed, fault_tolerant_sort_streamed, phase_name, FtConfig, FtPlan,
+    PhaseBreakdown,
+};
 use hypercube::fault::FaultSet;
-use hypercube::obs::critical_path::CriticalPath;
+use hypercube::obs::critical_path::{render_report, CriticalPath};
+use hypercube::obs::diff::{diff_profiles, SegmentProfile};
 use hypercube::obs::json::{trace_from_json, trace_to_json, Json};
 use hypercube::obs::perfetto::perfetto_json;
+use hypercube::obs::replay::{observation_from_json, run_to_json};
+use hypercube::obs::sink::{BufferedSink, StreamingSink, TraceSink};
 use hypercube::obs::{RunObservation, RunReport};
 use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 
 fn observed(engine: EngineKind, host_io: bool) -> (PhaseBreakdown, RunObservation) {
     let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
@@ -157,4 +165,130 @@ fn engines_agree_on_observations() {
         "attribution {sum} must sum to the makespan {}",
         cp_seq.makespan
     );
+}
+
+/// The deterministic run of [`observed`], but streamed through a caller-
+/// supplied sink instead of (only) buffered in engine memory.
+fn streamed(engine: EngineKind, sink: Arc<Mutex<dyn TraceSink>>) -> RunObservation {
+    let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
+    let plan = FtPlan::new(&faults).expect("tolerable");
+    let mut rng = StdRng::seed_from_u64(0x0b5e_11e5);
+    let data: Vec<u32> = (0..2_000).map(|_| rng.random()).collect();
+    let config = FtConfig {
+        engine,
+        tracing: true,
+        ..FtConfig::default()
+    };
+    let (_, _, obs) = fault_tolerant_sort_streamed(&plan, &config, data, sink);
+    obs
+}
+
+#[test]
+fn streaming_and_buffered_sinks_write_identical_bytes() {
+    // Two identical deterministic seq runs, one per sink flavor: the
+    // sinks see the same record stream, so the streamed file must be
+    // byte-for-byte the buffered render.
+    let buffered = Arc::new(Mutex::new(BufferedSink::new()));
+    streamed(EngineKind::Seq, buffered.clone());
+    let buffered_json = buffered.lock().unwrap().to_json();
+
+    let streaming = Arc::new(Mutex::new(StreamingSink::new(Vec::<u8>::new())));
+    streamed(EngineKind::Seq, streaming.clone());
+    let bytes = Arc::try_unwrap(streaming)
+        .ok()
+        .expect("the engine dropped its sink handle")
+        .into_inner()
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    assert_eq!(
+        String::from_utf8(bytes).expect("UTF-8"),
+        buffered_json,
+        "streaming and buffered sinks diverged"
+    );
+    // and both replay (the acceptance path behind sort --run-out)
+    let replayed = observation_from_json(&buffered_json).expect("replays");
+    assert!(!replayed.trace.is_empty());
+}
+
+#[test]
+fn run_file_replay_is_byte_identical_for_both_engines() {
+    for engine in [EngineKind::Seq, EngineKind::Threaded] {
+        let (_, live) = observed(engine, false);
+        let file = run_to_json(&live);
+        let replayed = observation_from_json(&file).expect("run file replays");
+
+        // field-for-field equality, float bits included
+        assert_eq!(replayed.dim, live.dim);
+        assert_eq!(replayed.trace.events(), live.trace.events(), "{engine:?}");
+        for (a, b) in live.nodes.iter().zip(&replayed.nodes) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.clock.to_bits(), b.clock.to_bits());
+                    assert_eq!(a.stats, b.stats, "stats differ on node {}", a.node);
+                    assert_eq!(a.spans, b.spans, "spans differ on node {}", a.node);
+                    assert_eq!(a.metrics, b.metrics, "metrics differ on node {}", a.node);
+                }
+                _ => panic!("participation differs after replay"),
+            }
+        }
+
+        // hence every analyzer is byte-identical on live vs replayed input
+        assert_eq!(
+            replayed.report(&phase_name).to_json(),
+            live.report(&phase_name).to_json(),
+            "{engine:?}: replayed report drifted"
+        );
+        assert_eq!(
+            perfetto_json(&replayed, &phase_name),
+            perfetto_json(&live, &phase_name),
+            "{engine:?}: replayed Perfetto export drifted"
+        );
+        let cp_live = CriticalPath::compute(&live).expect("path");
+        let cp_replayed = CriticalPath::compute(&replayed).expect("path");
+        assert_eq!(cp_live, cp_replayed, "{engine:?}: critical path drifted");
+        assert_eq!(
+            render_report(&replayed, &cp_replayed, &phase_name, 72),
+            render_report(&live, &cp_live, &phase_name, 72),
+            "{engine:?}: critical-path report drifted"
+        );
+
+        // and a second serialize round-trips to the same file
+        assert_eq!(run_to_json(&replayed), file, "{engine:?}: run file drifted");
+    }
+}
+
+#[test]
+fn critical_path_diff_attributes_the_full_makespan() {
+    let (_, seq) = observed(EngineKind::Seq, false);
+    let (_, thr) = observed(EngineKind::Threaded, false);
+    let cp = CriticalPath::compute(&seq).expect("path");
+    let profile = SegmentProfile::collect(&seq, &cp, &phase_name);
+
+    // the profile tiles [0, makespan]
+    let sum: f64 = profile.rows.iter().map(|(_, us)| us).sum();
+    assert!(
+        (sum - profile.makespan).abs() <= 1e-6 * profile.makespan.max(1.0),
+        "profile rows {sum} must sum to the makespan {}",
+        profile.makespan
+    );
+    assert!(!profile.rows.is_empty());
+
+    // self-diff: every bucket's delta is exactly zero
+    let self_diff = diff_profiles(&profile, &profile);
+    assert!(
+        self_diff.iter().all(|r| r.delta() == 0.0),
+        "self-diff must be all zeros"
+    );
+
+    // engine-diff: identical traces give identical profiles, so the
+    // cross-engine diff is all zeros too
+    let cp_thr = CriticalPath::compute(&thr).expect("path");
+    let profile_thr = SegmentProfile::collect(&thr, &cp_thr, &phase_name);
+    assert_eq!(profile, profile_thr, "engines disagree on the profile");
+    assert!(diff_profiles(&profile, &profile_thr)
+        .iter()
+        .all(|r| r.delta() == 0.0));
 }
