@@ -1,0 +1,192 @@
+//! Per-phase regression localization between two `BENCH_engines.json`
+//! files (written by the `engines_json` binary).
+//!
+//! Rows are matched by `(n, r, m)`. For each matched row, every phase's
+//! virtual time in B is compared against A, and any phase that regressed
+//! by more than the tolerance (default 10%) is flagged; the overall
+//! `virtual_us` makespan gets the same treatment. Wall-clock columns are
+//! printed for context but never flagged — they measure the host, not the
+//! algorithm, so CI noise would make them useless as a gate.
+//!
+//! Exits 0 when no phase regressed, 1 when at least one did, 2 on usage
+//! or parse errors — so it can gate CI:
+//!
+//! ```text
+//! cargo run -p ft-bench --release --bin bench_diff -- \
+//!     --a BENCH_engines.json --b /tmp/new.json [--tolerance 10]
+//! ```
+
+use hypercube::obs::json::Json;
+
+/// One `results[]` row, keyed by `(n, r, m)`.
+struct Row {
+    n: u64,
+    r: u64,
+    m: u64,
+    virtual_us: f64,
+    walls: Vec<(String, f64)>,
+    phases: Vec<(String, f64)>,
+}
+
+fn main() {
+    let mut a_path = None;
+    let mut b_path = None;
+    let mut tolerance = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--a" => a_path = args.next(),
+            "--b" => b_path = args.next(),
+            "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => usage("--tolerance needs a percentage, e.g. 10"),
+            },
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+    let (Some(a_path), Some(b_path)) = (a_path, b_path) else {
+        usage("bench_diff needs --a OLD.json --b NEW.json");
+    };
+    let a = load(&a_path);
+    let b = load(&b_path);
+
+    println!("bench_diff: {a_path} (A) vs {b_path} (B), tolerance {tolerance}%\n");
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    for rb in &b {
+        let Some(ra) = a.iter().find(|r| (r.n, r.r, r.m) == (rb.n, rb.r, rb.m)) else {
+            println!(
+                "n={} r={} m={}: only in B (no baseline row)",
+                rb.n, rb.r, rb.m
+            );
+            continue;
+        };
+        matched += 1;
+        println!("n={} r={} m={}:", rb.n, rb.r, rb.m);
+        regressions += diff_metric("virtual_us", ra.virtual_us, rb.virtual_us, tolerance);
+        for (name, old) in &ra.phases {
+            match rb.phases.iter().find(|(k, _)| k == name) {
+                Some((_, new)) => {
+                    regressions += diff_metric(&format!("phase {name}"), *old, *new, tolerance)
+                }
+                None => println!("  phase {name:<28} dropped in B"),
+            }
+        }
+        for (name, old) in &ra.walls {
+            if let Some((_, new)) = rb.walls.iter().find(|(k, _)| k == name) {
+                let pct = if *old > 0.0 {
+                    (new - old) / old * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "  {name:<34} {old:>12.4} s -> {new:>12.4} s  {pct:>+7.1}%  (informational)"
+                );
+            }
+        }
+    }
+    for ra in &a {
+        if !b.iter().any(|r| (r.n, r.r, r.m) == (ra.n, ra.r, ra.m)) {
+            println!(
+                "n={} r={} m={}: only in A (row dropped in B)",
+                ra.n, ra.r, ra.m
+            );
+        }
+    }
+    if matched == 0 {
+        eprintln!("\nno rows matched between the two files");
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        println!("\nFAIL: {regressions} phase metric(s) regressed by more than {tolerance}%");
+        std::process::exit(1);
+    }
+    println!("\nOK: no phase regressed by more than {tolerance}% across {matched} matched row(s)");
+}
+
+/// Prints one virtual-time metric comparison; returns 1 if it regressed
+/// past the tolerance, 0 otherwise.
+fn diff_metric(name: &str, old: f64, new: f64, tolerance: f64) -> usize {
+    let pct = if old > 0.0 {
+        (new - old) / old * 100.0
+    } else {
+        0.0
+    };
+    let flag = pct > tolerance;
+    println!(
+        "  {:<34} {:>12.1} us -> {:>12.1} us  {:>+7.1}%{}",
+        name,
+        old,
+        new,
+        pct,
+        if flag { "  REGRESSION" } else { "" }
+    );
+    flag as usize
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_diff --a OLD.json --b NEW.json [--tolerance PCT]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("reading {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_rows(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Pulls the `results[]` rows out of a `BENCH_engines.json` document.
+/// Tolerates both the current schema (`*_wall_s` columns) and the older
+/// two-engine one, so a new binary can diff against an old baseline.
+fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+    let doc = Json::parse(text)?;
+    let Some(Json::Arr(results)) = doc.get("results") else {
+        return Err("missing 'results' array — not a BENCH_engines.json file?".into());
+    };
+    let mut rows = Vec::new();
+    for (i, row) in results.iter().enumerate() {
+        let int = |k: &str| -> Result<u64, String> {
+            row.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("results[{i}]: missing integer '{k}'"))
+        };
+        let virtual_us = row
+            .get("virtual_us")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("results[{i}]: missing 'virtual_us'"))?;
+        let mut walls = Vec::new();
+        if let Json::Obj(fields) = row {
+            for (k, v) in fields {
+                if k.ends_with("_wall_s") {
+                    if let Some(v) = v.as_f64() {
+                        walls.push((k.clone(), v));
+                    }
+                }
+            }
+        }
+        let mut phases = Vec::new();
+        if let Some(Json::Obj(fields)) = row.get("phases") {
+            for (k, v) in fields {
+                let v = v
+                    .as_f64()
+                    .ok_or_else(|| format!("results[{i}]: phase '{k}' is not a number"))?;
+                phases.push((k.clone(), v));
+            }
+        }
+        rows.push(Row {
+            n: int("n")?,
+            r: int("r")?,
+            m: int("m")?,
+            virtual_us,
+            walls,
+            phases,
+        });
+    }
+    Ok(rows)
+}

@@ -1,17 +1,26 @@
-//! Engine shoot-out: wall-clock time of the **threaded** MIMD engine versus
-//! the **sequential** event-driven engine running the identical full
-//! fault-tolerant sort, emitted as machine-readable `BENCH_engines.json`.
+//! Engine shoot-out: wall-clock time of the **threaded** MIMD engine, the
+//! **sequential** event-driven engine, and the **parallel** frontier engine
+//! running the identical full fault-tolerant sort, emitted as
+//! machine-readable `BENCH_engines.json`.
 //!
-//! Both engines produce byte-identical simulated results (sorted output,
-//! virtual time, operation counts — asserted here per run); the only thing
-//! that differs is how long the host takes to compute them. The sequential
-//! engine wins because it replaces `2^n` OS threads + channel handoffs with
-//! one lowest-virtual-clock scheduler loop and zero-allocation buffer reuse.
+//! All three engines produce byte-identical simulated results (sorted
+//! output, virtual time, operation counts — asserted here per run); the
+//! only thing that differs is how long the host takes to compute them. The
+//! sequential engine beats the threaded one because it replaces `2^n` OS
+//! threads + channel handoffs with one lowest-virtual-clock scheduler loop
+//! and zero-allocation buffer reuse; the parallel engine additionally
+//! shares each virtual timestep's ready frontier across a fixed worker
+//! pool, so its advantage over `seq` scales with `host_cores` (reported in
+//! the JSON — on a single-core host it degenerates to the seq loop plus
+//! barrier overhead).
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin engines_json \
 //!     [-- --sizes 6,8,10 --m 16000 --trials 3 --seed 1992 --out BENCH_engines.json]
 //! ```
+//!
+//! Compare two outputs (e.g. before/after a scheduler change) with the
+//! `bench_diff` binary, which flags per-engine and per-phase regressions.
 
 use ft_bench::{random_faults, random_keys, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
@@ -29,6 +38,7 @@ struct Row {
     virtual_us: f64,
     threaded_s: f64,
     seq_s: f64,
+    par_s: f64,
     /// Per-phase virtual time, `(name, max-over-nodes µs)`, from the
     /// run's [`RunReport`](hypercube::obs::RunReport).
     phases: Vec<(String, f64)>,
@@ -69,16 +79,17 @@ fn main() {
         }
     }
     let mut rng = ft_bench::rng(seed);
+    let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
 
     println!(
         "Engine wall-clock comparison, full FT sort, M = {m_total}, r = n − 1, \
-         best of {trials} runs; seed = {seed}\n"
+         best of {trials} runs; seed = {seed}, host cores = {host_cores}\n"
     );
     println!(
-        "{:>3} {:>3} {:>10} {:>12} {:>12} {:>9}",
-        "n", "r", "virtual ms", "threaded s", "seq s", "speedup"
+        "{:>3} {:>3} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "n", "r", "virtual ms", "threaded s", "seq s", "par s", "seq/thr", "par/seq"
     );
-    println!("{}", "-".repeat(54));
+    println!("{}", "-".repeat(78));
 
     let mut rows = Vec::new();
     for &n in &sizes {
@@ -104,18 +115,32 @@ fn main() {
         };
         let (threaded_s, threaded) = time(EngineKind::Threaded);
         let (seq_s, seq) = time(EngineKind::Seq);
+        let (par_s, par) = time(EngineKind::Par);
         // the engines must be indistinguishable in simulated results
-        assert_eq!(threaded.sorted, seq.sorted, "n={n}: sorted output differs");
-        assert_eq!(threaded.time_us, seq.time_us, "n={n}: virtual time differs");
-        assert_eq!(threaded.stats, seq.stats, "n={n}: operation counts differ");
+        for (label, run) in [("threaded", &threaded), ("par", &par)] {
+            assert_eq!(
+                run.sorted, seq.sorted,
+                "n={n}: {label} sorted output differs"
+            );
+            assert_eq!(
+                run.time_us, seq.time_us,
+                "n={n}: {label} virtual time differs"
+            );
+            assert_eq!(
+                run.stats, seq.stats,
+                "n={n}: {label} operation counts differ"
+            );
+        }
         println!(
-            "{:>3} {:>3} {:>10.1} {:>12.3} {:>12.3} {:>8.1}×",
+            "{:>3} {:>3} {:>10.1} {:>12.3} {:>12.3} {:>12.3} {:>8.1}× {:>8.2}×",
             n,
             r,
             seq.time_us / 1000.0,
             threaded_s,
             seq_s,
-            threaded_s / seq_s
+            par_s,
+            threaded_s / seq_s,
+            seq_s / par_s
         );
         // One extra (untimed) observed run per row: its RunReport supplies
         // the per-phase virtual-time split, and the observability exports
@@ -136,6 +161,7 @@ fn main() {
             virtual_us: seq.time_us,
             threaded_s,
             seq_s,
+            par_s,
             phases: report
                 .phases
                 .iter()
@@ -147,34 +173,39 @@ fn main() {
         }
     }
 
-    let json = render_json(seed, trials, &rows);
+    let json = render_json(seed, trials, host_cores, &rows);
     std::fs::write(&out, &json).expect("write BENCH_engines.json");
     println!("\nwrote {out}");
     obs_flags.write();
 }
 
 /// Hand-rolled JSON so the report stays dependency-free.
-fn render_json(seed: u64, trials: usize, rows: &[Row]) -> String {
+fn render_json(seed: u64, trials: usize, host_cores: usize, rows: &[Row]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"engines\",");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"trials\": {trials},");
+    let _ = writeln!(s, "  \"host_cores\": {host_cores},");
     let _ = writeln!(s, "  \"identical_simulated_results\": true,");
     s.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"virtual_us\": {:.3}, \
-             \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"speedup\": {:.2}, \
-             \"phases\": {{",
+             \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"par_wall_s\": {:.6}, \
+             \"speedups\": {{\"seq_over_threaded\": {:.2}, \"par_over_threaded\": {:.2}, \
+             \"par_over_seq\": {:.2}}}, \"phases\": {{",
             row.n,
             row.r,
             row.m_total,
             row.virtual_us,
             row.threaded_s,
             row.seq_s,
-            row.threaded_s / row.seq_s
+            row.par_s,
+            row.threaded_s / row.seq_s,
+            row.threaded_s / row.par_s,
+            row.seq_s / row.par_s
         );
         for (j, (name, us)) in row.phases.iter().enumerate() {
             let sep = if j == 0 { "" } else { ", " };

@@ -30,17 +30,17 @@ pub fn rng(seed: u64) -> StdRng {
 }
 
 /// Parses a `--engine` value for the report binaries, exiting with a usage
-/// error on unknown spellings. Both engines produce identical simulated
+/// error on unknown spellings. All engines produce identical simulated
 /// results; the flag only changes how fast the reports regenerate.
 pub fn parse_engine(value: Option<String>) -> hypercube::sim::EngineKind {
     let Some(v) = value else {
-        eprintln!("--engine requires a value (threaded|seq)");
+        eprintln!("--engine requires a value (threaded|seq|par)");
         std::process::exit(2);
     };
     match hypercube::sim::EngineKind::parse(&v) {
         Some(kind) => kind,
         None => {
-            eprintln!("unknown engine '{v}' (threaded|seq)");
+            eprintln!("unknown engine '{v}' (threaded|seq|par)");
             std::process::exit(2);
         }
     }

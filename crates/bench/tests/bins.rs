@@ -31,6 +31,7 @@ bin_runner!(breakdown, "CARGO_BIN_EXE_breakdown");
 bin_runner!(obliviousness, "CARGO_BIN_EXE_obliviousness");
 bin_runner!(scaling, "CARGO_BIN_EXE_scaling");
 bin_runner!(engines_json, "CARGO_BIN_EXE_engines_json");
+bin_runner!(bench_diff, "CARGO_BIN_EXE_bench_diff");
 
 #[test]
 fn table1_smoke() {
@@ -91,12 +92,14 @@ fn scaling_smoke() {
 
 #[test]
 fn breakdown_engine_flag_smoke() {
-    // both engines must produce identical simulated output text
+    // every engine must produce identical simulated output text
     let seq = breakdown(&["--n", "3", "--m", "500", "--seed", "1", "--engine", "seq"]);
     let thr = breakdown(&[
         "--n", "3", "--m", "500", "--seed", "1", "--engine", "threaded",
     ]);
+    let par = breakdown(&["--n", "3", "--m", "500", "--seed", "1", "--engine", "par"]);
     assert_eq!(seq, thr);
+    assert_eq!(seq, par);
 }
 
 #[test]
@@ -110,6 +113,33 @@ fn engines_json_smoke() {
     let json = std::fs::read_to_string(&out).expect("json written");
     let _ = std::fs::remove_file(&out);
     assert!(json.contains("\"bench\": \"engines\""), "{json}");
+    assert!(json.contains("\"host_cores\""), "{json}");
     assert!(json.contains("\"n\": 3"), "{json}");
-    assert!(json.contains("\"speedup\""), "{json}");
+    assert!(json.contains("\"threaded_wall_s\""), "{json}");
+    assert!(json.contains("\"seq_wall_s\""), "{json}");
+    assert!(json.contains("\"par_wall_s\""), "{json}");
+    assert!(json.contains("\"par_over_seq\""), "{json}");
+}
+
+#[test]
+fn bench_diff_smoke() {
+    let out = std::env::temp_dir().join("ft_bench_diff_smoke.json");
+    let out_str = out.to_str().unwrap();
+    engines_json(&[
+        "--sizes", "3", "--m", "500", "--trials", "1", "--seed", "1", "--out", out_str,
+    ]);
+    // a file diffed against itself has no regressions: exit 0
+    let text = bench_diff(&["--a", out_str, "--b", out_str]);
+    assert!(text.contains("OK: no phase regressed"), "{text}");
+    assert!(text.contains("virtual_us"), "{text}");
+    // a negative tolerance flags even the +0.0% self-diff: exit 1
+    let fail = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(["--a", out_str, "--b", out_str, "--tolerance", "-1"])
+        .output()
+        .expect("bench_diff runs");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(fail.status.code(), Some(1), "regression must exit 1");
+    let text = String::from_utf8(fail.stdout).unwrap();
+    assert!(text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("FAIL"), "{text}");
 }

@@ -45,7 +45,7 @@ use crate::seq::{Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::obs::sink::TraceSink;
-use hypercube::sim::{Comm, Engine, EngineKind, Tag};
+use hypercube::sim::{BufferPool, Comm, Engine, EngineKind, Tag};
 use std::sync::{Arc, Mutex};
 
 /// Phase id of step 3 (local sort + intra-subcube single-fault bitonic).
@@ -450,10 +450,15 @@ where
     if let Some(sink) = sink {
         engine = engine.with_trace_sink(sink);
     }
+    // One slab store for the whole run, shared across nodes and engines:
+    // compare-splits cycle allocations through per-node handles instead of
+    // allocating per substage, and slabs warmed by finished nodes are
+    // reused by the rest. Slab identity is unobservable to the simulation,
+    // so results stay byte-identical whichever engine runs.
+    let pool: BufferPool<Padded<K>> = BufferPool::new();
+    let pool = &pool;
     let out = engine.run(inputs, async |ctx, mut chunk| {
-        // One buffer pool per node for the whole run: compare-splits cycle
-        // allocations through it instead of allocating per substage.
-        let mut scratch = Scratch::new();
+        let mut scratch = Scratch::pooled(pool.handle());
         if let Some(parts) = host_parts {
             let pieces = (ctx.me() == parts.root())
                 .then(|| chunk.chunks(k).map(|c| c.to_vec()).collect::<Vec<_>>());

@@ -11,12 +11,14 @@
 //! model ([`crate::routing::hop_count`]), so a detour under the total-fault
 //! model costs more virtual time than the same message under partial faults.
 //!
-//! [`Engine`] is a front door over both executors: [`Engine::run`] dispatches
+//! [`Engine`] is a front door over all executors: [`Engine::run`] dispatches
 //! on [`EngineKind`] (default [`EngineKind::Seq`]), so callers pick an
 //! executor with [`Engine::with_engine`] and are guaranteed identical
 //! simulated results either way.
 
-use super::sequential::{SeqCtx, SeqEngine};
+use super::frontier::CellCtx;
+use super::par::ParEngine;
+use super::sequential::SeqEngine;
 use super::trace::{Trace, TraceEvent, TraceKind};
 use super::{Comm, EngineKind, Tag};
 use crate::address::NodeId;
@@ -355,7 +357,9 @@ impl<K> ThreadedCtx<K> {
 /// Executor-specific half of a [`NodeCtx`].
 enum CtxInner<K> {
     Threaded(Box<ThreadedCtx<K>>),
-    Seq(SeqCtx<K>),
+    /// The frontier engines' cell-backed context (sequential and parallel
+    /// executors share it — one code path, byte-identical behavior).
+    Cell(CellCtx<K>),
 }
 
 /// The per-node communication handle handed to node programs.
@@ -373,13 +377,13 @@ pub struct NodeCtx<K> {
 }
 
 impl<K> NodeCtx<K> {
-    pub(super) fn new_seq(
+    pub(super) fn new_cell(
         me: NodeId,
         cube: Hypercube,
         faults: Arc<FaultSet>,
         cost: CostModel,
         router: RouterKind,
-        seq: SeqCtx<K>,
+        cell: CellCtx<K>,
     ) -> Self {
         NodeCtx {
             me,
@@ -387,7 +391,7 @@ impl<K> NodeCtx<K> {
             faults,
             cost,
             router,
-            inner: CtxInner::Seq(seq),
+            inner: CtxInner::Cell(cell),
         }
     }
 }
@@ -414,14 +418,14 @@ impl<K> Comm<K> for NodeCtx<K> {
         let hops = route_hops(&self.faults, self.router, self.me, dst);
         match &mut self.inner {
             CtxInner::Threaded(t) => t.send(self.me, dst, tag, data, hops, self.cost),
-            CtxInner::Seq(s) => s.send(self.me, dst, tag, data, hops, self.cost),
+            CtxInner::Cell(c) => c.send(self.me, dst, tag, data, hops, self.cost),
         }
     }
 
     async fn recv(&mut self, src: NodeId, tag: Tag) -> Vec<K> {
         match &mut self.inner {
             CtxInner::Threaded(t) => t.recv(self.me, src, tag, self.cost),
-            CtxInner::Seq(s) => s.recv(self.me, src, tag, self.cost).await,
+            CtxInner::Cell(c) => c.recv(self.me, src, tag, self.cost).await,
         }
     }
 
@@ -436,7 +440,7 @@ impl<K> Comm<K> for NodeCtx<K> {
                         .span(self.me, Some(phase), now);
                 }
             }
-            CtxInner::Seq(s) => s.span_enter(self.me, phase),
+            CtxInner::Cell(c) => c.span_enter(self.me, phase),
         }
     }
 
@@ -451,7 +455,7 @@ impl<K> Comm<K> for NodeCtx<K> {
                         .span(self.me, None, now);
                 }
             }
-            CtxInner::Seq(s) => s.span_exit(self.me),
+            CtxInner::Cell(c) => c.span_exit(self.me),
         }
     }
 
@@ -469,21 +473,21 @@ impl<K> Comm<K> for NodeCtx<K> {
                     });
                 }
             }
-            CtxInner::Seq(s) => s.charge_comparisons(self.me, count, self.cost),
+            CtxInner::Cell(c) => c.charge_comparisons(self.me, count, self.cost),
         }
     }
 
     fn charge_compute(&mut self, cost: f64) {
         match &mut self.inner {
             CtxInner::Threaded(t) => t.clock.advance(cost),
-            CtxInner::Seq(s) => s.charge_compute(self.me, cost),
+            CtxInner::Cell(c) => c.charge_compute(cost),
         }
     }
 
     fn clock(&self) -> f64 {
         match &self.inner {
             CtxInner::Threaded(t) => t.clock.now(),
-            CtxInner::Seq(s) => s.clock(self.me),
+            CtxInner::Cell(c) => c.clock(),
         }
     }
 }
@@ -513,6 +517,7 @@ pub struct Engine {
     tracing: bool,
     kind: EngineKind,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    workers: Option<usize>,
 }
 
 impl Engine {
@@ -527,6 +532,7 @@ impl Engine {
             tracing: false,
             kind: EngineKind::default(),
             sink: None,
+            workers: None,
         }
     }
 
@@ -567,10 +573,19 @@ impl Engine {
     }
 
     /// Overrides the receive timeout the threaded executor uses to detect
-    /// deadlocked programs (the sequential executor detects deadlock
-    /// immediately and ignores this).
+    /// deadlocked programs (the frontier executors detect deadlock
+    /// immediately and ignore this).
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
+        self
+    }
+
+    /// Sets the parallel executor's worker-pool size (builder style); only
+    /// [`EngineKind::Par`] reads it. Defaults to the host's available
+    /// parallelism. Worker count affects wall-clock only, never simulated
+    /// results.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -610,6 +625,10 @@ impl Engine {
         self.sink.clone()
     }
 
+    pub(super) fn workers(&self) -> Option<usize> {
+        self.workers
+    }
+
     /// Runs `program` SPMD on every node for which `inputs` supplies data.
     ///
     /// `inputs[i]` is the initial local data of node `i`; nodes with `None`
@@ -629,6 +648,7 @@ impl Engine {
         match self.kind {
             EngineKind::Threaded => self.run_threaded(inputs, program),
             EngineKind::Seq => SeqEngine::from_engine(self).run(inputs, program),
+            EngineKind::Par => ParEngine::from_engine(self).run(inputs, program),
         }
     }
 
@@ -782,10 +802,12 @@ mod tests {
         Engine::fault_free(Hypercube::new(n), CostModel::paper_form())
     }
 
-    fn both(n: usize) -> [Engine; 2] {
+    fn all_engines(n: usize) -> [Engine; 3] {
         [
             engine(n).with_engine(EngineKind::Seq),
             engine(n).with_engine(EngineKind::Threaded),
+            // 2 workers so the pool protocol is exercised even on 1-core CI
+            engine(n).with_engine(EngineKind::Par).with_workers(2),
         ]
     }
 
@@ -796,7 +818,7 @@ mod tests {
 
     #[test]
     fn ping_pong_between_neighbors() {
-        for eng in both(1) {
+        for eng in all_engines(1) {
             let out = eng.run(identity_inputs(1), async |ctx, data| {
                 let partner = ctx.me().neighbor(0);
                 let theirs = ctx.exchange(partner, Tag::new(0), data).await;
@@ -812,7 +834,7 @@ mod tests {
         // All-to-all reduction by sweeping dimensions: every node ends up
         // with the sum over the whole cube.
         let n = 4;
-        for eng in both(n) {
+        for eng in all_engines(n) {
             let out = eng.run(identity_inputs(n), async |ctx, data| {
                 let mut acc = data[0];
                 for d in 0..ctx.cube().dim() {
@@ -867,7 +889,7 @@ mod tests {
         // receiver's clock must be ≥ k * n * t_sr.
         let n = 3;
         let k = 100usize;
-        for eng in both(n) {
+        for eng in all_engines(n) {
             let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 8];
             inputs[0] = Some((0..k as u32).collect());
             inputs[7] = Some(vec![]);
@@ -941,7 +963,7 @@ mod tests {
 
     #[test]
     fn out_of_order_tags_are_buffered() {
-        for eng in both(1) {
+        for eng in all_engines(1) {
             let out = eng.run(identity_inputs(1), async |ctx, _| {
                 let partner = ctx.me().neighbor(0);
                 if ctx.me() == NodeId::new(0) {
@@ -962,7 +984,7 @@ mod tests {
 
     #[test]
     fn comparisons_charge_clock_and_stats() {
-        for eng in both(0) {
+        for eng in all_engines(0) {
             let out = eng.run(vec![Some(Vec::<u32>::new())], async |ctx, _| {
                 ctx.charge_comparisons(17);
                 ctx.charge_compute(5.0);
@@ -991,7 +1013,7 @@ mod tests {
     #[test]
     fn tracing_records_sends_recvs_and_compute() {
         use super::super::trace::TraceKind;
-        for eng in both(1) {
+        for eng in all_engines(1) {
             let eng = eng.with_tracing();
             let out = eng.run(identity_inputs(1), async |ctx, data| {
                 ctx.charge_comparisons(3);
@@ -1032,7 +1054,7 @@ mod tests {
     fn recv_timeout_detects_deadlock() {
         // Threaded: the channel read times out. Seq: the scheduler sees no
         // runnable node and panics immediately.
-        for eng in both(0) {
+        for eng in all_engines(0) {
             let eng = eng.with_recv_timeout(Duration::from_millis(100));
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 eng.run(vec![Some(vec![0u32])], async |ctx, _| {
@@ -1046,7 +1068,7 @@ mod tests {
 
     #[test]
     fn idle_nodes_do_not_run() {
-        for eng in both(2) {
+        for eng in all_engines(2) {
             let mut inputs: Vec<Option<Vec<u32>>> = vec![None; 4];
             inputs[2] = Some(vec![]);
             let out = eng.run(inputs, async |ctx, _| ctx.me().raw());

@@ -1,0 +1,450 @@
+//! The round/frontier scheduling core shared by the deterministic engines
+//! ([`SeqEngine`] and [`ParEngine`]).
+//!
+//! Both engines execute node programs in *rounds*. A round polls every node
+//! on the ready frontier once — the node runs until it parks in a blocked
+//! [`Comm::recv`] or finishes — with sends buffered in the sender's outbox
+//! and observability records in a per-node record buffer. A barrier then
+//! *commits* the round ([`RoundCommitter::commit`]): outboxes are delivered
+//! to inboxes in ascending node-id order (which makes the receive-queue
+//! high-water mark deterministic), buffered records are flushed to the
+//! attached [`TraceSink`] in the same order, and the parked nodes whose
+//! awaited `(src, tag)` message has now arrived form the next frontier.
+//!
+//! Because a round's sends stay invisible until its barrier, the members of
+//! one frontier are mutually independent: polling them in any order — or on
+//! any number of threads — produces the same clocks, statistics, traces,
+//! record stream and inbox peaks. That is the determinism argument for the
+//! parallel engine: it inherits byte-identical output from this core by
+//! construction, and `tests/engine_diff.rs` / `tests/obs_invariants.rs`
+//! assert it end to end.
+//!
+//! [`SeqEngine`]: super::sequential::SeqEngine
+//! [`ParEngine`]: super::par::ParEngine
+//! [`Comm::recv`]: super::Comm::recv
+
+use super::engine::{trace_capacity, NodeOutcome, RunOutcome};
+use super::trace::{Trace, TraceEvent, TraceKind};
+use super::Tag;
+use crate::address::NodeId;
+use crate::cost::{CostModel, VirtualClock};
+use crate::obs::sink::{NodeSummary, TraceSink};
+use crate::obs::{NodeMetrics, SpanLog};
+use crate::stats::RunStats;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// A node cell as shared between its program's task and the committer.
+pub(super) type SharedCell<K> = Arc<Mutex<NodeCell<K>>>;
+
+/// A message buffered in the sender's outbox until the round's barrier,
+/// then parked in the destination's inbox until received.
+pub(super) struct SimMessage<K> {
+    pub(super) src: NodeId,
+    pub(super) dst: NodeId,
+    pub(super) tag: Tag,
+    pub(super) data: Vec<K>,
+    pub(super) sent_at: f64,
+    pub(super) hops: u32,
+}
+
+/// An observability record buffered in its node's cell until the barrier
+/// flushes it to the sink — per-node program order is preserved, and the
+/// barrier's node-id-ordered flush makes the global stream deterministic.
+pub(super) enum CellRecord {
+    Event(TraceEvent),
+    Span { phase: Option<u16>, time: f64 },
+}
+
+/// Per-node state of a frontier-scheduled run. During a round only the
+/// node's own task touches its cell; at the barrier only the committer
+/// does — so every lock acquisition is uncontended.
+pub(super) struct NodeCell<K> {
+    pub(super) clock: VirtualClock,
+    pub(super) stats: RunStats,
+    pub(super) trace: Option<Vec<TraceEvent>>,
+    /// Observability spans ([`super::Comm::span_enter`]).
+    pub(super) spans: SpanLog,
+    /// Per-node utilization/communication metrics. `inbox_peak` here is
+    /// exact and deterministic: the inbox length right after each
+    /// barrier-ordered enqueue.
+    pub(super) metrics: NodeMetrics,
+    /// `Some((src, tag))` while the node is parked in a blocked `recv`.
+    pub(super) waiting: Option<(NodeId, Tag)>,
+    pub(super) participating: bool,
+    /// Set (under the cell lock) when the node program returns.
+    pub(super) done: bool,
+    /// Messages delivered to this node, scanned front-to-back on `recv` so
+    /// delivery stays FIFO per `(src, tag)` — the same order a channel
+    /// gives.
+    pub(super) inbox: Vec<SimMessage<K>>,
+    /// Messages this node sent in the current round, awaiting the barrier.
+    pub(super) outbox: Vec<SimMessage<K>>,
+    /// Records awaiting the barrier flush (filled only when `sinking`).
+    pub(super) records: Vec<CellRecord>,
+    /// Whether a [`TraceSink`] is attached to the run.
+    pub(super) sinking: bool,
+}
+
+impl<K> NodeCell<K> {
+    fn new(dim: usize, tracing: bool, sinking: bool, participating: bool) -> Self {
+        NodeCell {
+            clock: VirtualClock::new(),
+            stats: RunStats::new(),
+            trace: (tracing && participating).then(|| Vec::with_capacity(trace_capacity(dim))),
+            spans: SpanLog::new(),
+            metrics: NodeMetrics::new(dim),
+            waiting: None,
+            participating,
+            done: false,
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+            records: Vec::new(),
+            sinking: sinking && participating,
+        }
+    }
+
+    fn observing(&self) -> bool {
+        self.trace.is_some() || self.sinking
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(ev);
+        }
+        if self.sinking {
+            self.records.push(CellRecord::Event(ev));
+        }
+    }
+}
+
+/// Builds one cell per processor address plus the static participation map
+/// the send-side assert checks against.
+pub(super) fn build_cells<K, I>(
+    inputs: &[Option<I>],
+    dim: usize,
+    tracing: bool,
+    sinking: bool,
+) -> (Vec<SharedCell<K>>, Arc<Vec<bool>>) {
+    let participation: Arc<Vec<bool>> = Arc::new(inputs.iter().map(Option::is_some).collect());
+    let cells = participation
+        .iter()
+        .map(|&p| Arc::new(Mutex::new(NodeCell::new(dim, tracing, sinking, p))))
+        .collect();
+    (cells, participation)
+}
+
+/// The frontier engines' half of a [`super::NodeCtx`]: all operations act
+/// on the node's own cell, so node programs of one round never contend.
+pub(super) struct CellCtx<K> {
+    cell: Arc<Mutex<NodeCell<K>>>,
+    participation: Arc<Vec<bool>>,
+}
+
+impl<K> CellCtx<K> {
+    pub(super) fn new(cell: Arc<Mutex<NodeCell<K>>>, participation: Arc<Vec<bool>>) -> Self {
+        CellCtx {
+            cell,
+            participation,
+        }
+    }
+
+    fn cell(&self) -> std::sync::MutexGuard<'_, NodeCell<K>> {
+        self.cell.lock().expect("node cell lock poisoned")
+    }
+
+    pub(super) fn send(
+        &mut self,
+        me: NodeId,
+        dst: NodeId,
+        tag: Tag,
+        data: Vec<K>,
+        hops: u32,
+        cost: CostModel,
+    ) {
+        assert!(
+            self.participation[dst.index()],
+            "send to non-participating node {dst:?}"
+        );
+        let mut cell = self.cell();
+        // The sender's port is busy pushing the elements onto its first link.
+        cell.clock.advance(cost.transfer(data.len(), hops.min(1)));
+        cell.stats.record_message(data.len(), hops);
+        cell.metrics.on_send(me, dst, data.len(), hops);
+        if cell.observing() {
+            let ev = TraceEvent {
+                time: cell.clock.now(),
+                node: me,
+                tag,
+                kind: TraceKind::Send {
+                    to: dst,
+                    elements: data.len(),
+                    hops,
+                },
+            };
+            cell.emit(ev);
+        }
+        let sent_at = cell.clock.now();
+        cell.outbox.push(SimMessage {
+            src: me,
+            dst,
+            tag,
+            data,
+            sent_at,
+            hops,
+        });
+    }
+
+    pub(super) async fn recv(
+        &mut self,
+        me: NodeId,
+        src: NodeId,
+        tag: Tag,
+        cost: CostModel,
+    ) -> Vec<K> {
+        loop {
+            {
+                let mut cell = self.cell();
+                if let Some(i) = cell.inbox.iter().position(|m| m.src == src && m.tag == tag) {
+                    let msg = cell.inbox.remove(i);
+                    cell.waiting = None;
+                    let before = cell.clock.now();
+                    cell.clock
+                        .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+                    // Any forward jump is time spent waiting on the wire.
+                    cell.metrics.blocked_us += cell.clock.now() - before;
+                    cell.metrics.msgs_received += 1;
+                    if cell.observing() {
+                        let ev = TraceEvent {
+                            time: cell.clock.now(),
+                            node: me,
+                            tag,
+                            kind: TraceKind::Recv {
+                                from: src,
+                                elements: msg.data.len(),
+                            },
+                        };
+                        cell.emit(ev);
+                    }
+                    return msg.data;
+                }
+                // Park: the barrier wakes us once the message is delivered.
+                cell.waiting = Some((src, tag));
+            }
+            PendOnce(false).await;
+        }
+    }
+
+    pub(super) fn charge_comparisons(&mut self, me: NodeId, count: usize, cost: CostModel) {
+        let mut cell = self.cell();
+        cell.clock.advance(cost.compare(count));
+        cell.stats.record_comparisons(count);
+        if cell.observing() {
+            let ev = TraceEvent {
+                time: cell.clock.now(),
+                node: me,
+                tag: Tag::new(0),
+                kind: TraceKind::Compute { comparisons: count },
+            };
+            cell.emit(ev);
+        }
+    }
+
+    pub(super) fn span_enter(&mut self, me: NodeId, phase: u16) {
+        let _ = me;
+        let mut cell = self.cell();
+        let now = cell.clock.now();
+        cell.spans.enter(phase, now);
+        if cell.sinking {
+            cell.records.push(CellRecord::Span {
+                phase: Some(phase),
+                time: now,
+            });
+        }
+    }
+
+    pub(super) fn span_exit(&mut self, me: NodeId) {
+        let _ = me;
+        let mut cell = self.cell();
+        let now = cell.clock.now();
+        cell.spans.exit(now);
+        if cell.sinking {
+            cell.records.push(CellRecord::Span {
+                phase: None,
+                time: now,
+            });
+        }
+    }
+
+    pub(super) fn charge_compute(&mut self, cost: f64) {
+        self.cell().clock.advance(cost);
+    }
+
+    pub(super) fn clock(&self) -> f64 {
+        self.cell().clock.now()
+    }
+}
+
+/// Yields exactly once, returning control to the scheduler.
+pub(super) struct PendOnce(pub(super) bool);
+
+impl Future for PendOnce {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+        if self.0 {
+            Poll::Ready(())
+        } else {
+            self.0 = true;
+            Poll::Pending
+        }
+    }
+}
+
+/// The barrier between rounds: delivers outboxes, flushes records, prunes
+/// finished nodes and computes the next frontier. Owns reusable scratch so
+/// warm rounds allocate nothing.
+pub(super) struct RoundCommitter<K> {
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    msgs: Vec<SimMessage<K>>,
+    recs: Vec<CellRecord>,
+}
+
+impl<K> RoundCommitter<K> {
+    pub(super) fn new(sink: Option<Arc<Mutex<dyn TraceSink>>>) -> Self {
+        RoundCommitter {
+            sink,
+            msgs: Vec::new(),
+            recs: Vec::new(),
+        }
+    }
+
+    /// Commits one round: for each node that ran (`ran`, ascending id),
+    /// flushes its buffered records to the sink and delivers its outbox;
+    /// then drops finished nodes from `alive` and fills `next` with the
+    /// woken frontier (ascending id). Everything here is single-threaded
+    /// and id-ordered — the source of cross-engine determinism.
+    pub(super) fn commit(
+        &mut self,
+        cells: &[Arc<Mutex<NodeCell<K>>>],
+        ran: &[usize],
+        alive: &mut Vec<usize>,
+        next: &mut Vec<usize>,
+    ) {
+        for &i in ran {
+            {
+                let mut cell = cells[i].lock().expect("node cell lock poisoned");
+                std::mem::swap(&mut cell.outbox, &mut self.msgs);
+                if cell.sinking {
+                    std::mem::swap(&mut cell.records, &mut self.recs);
+                }
+            }
+            if !self.recs.is_empty() {
+                let sink = self.sink.as_ref().expect("records buffered without a sink");
+                let mut sink = sink.lock().expect("trace sink lock poisoned");
+                for rec in self.recs.drain(..) {
+                    match rec {
+                        CellRecord::Event(ev) => sink.event(&ev),
+                        CellRecord::Span { phase, time } => sink.span(NodeId::from(i), phase, time),
+                    }
+                }
+            }
+            for msg in self.msgs.drain(..) {
+                let mut dst = cells[msg.dst.index()]
+                    .lock()
+                    .expect("node cell lock poisoned");
+                dst.inbox.push(msg);
+                let backlog = dst.inbox.len() as u64;
+                dst.metrics.inbox_peak = dst.metrics.inbox_peak.max(backlog);
+            }
+        }
+        next.clear();
+        alive.retain(|&i| {
+            let mut cell = cells[i].lock().expect("node cell lock poisoned");
+            if cell.done {
+                return false;
+            }
+            if let Some((src, tag)) = cell.waiting {
+                if cell.inbox.iter().any(|m| m.src == src && m.tag == tag) {
+                    cell.waiting = None;
+                    next.push(i);
+                }
+            }
+            true
+        });
+    }
+}
+
+/// Panics with the full wait map — called when unfinished nodes remain but
+/// the next frontier is empty.
+pub(super) fn deadlock_panic<K>(cells: &[Arc<Mutex<NodeCell<K>>>], remaining: usize) -> ! {
+    let parked: Vec<String> = cells
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let cell = c.lock().expect("node cell lock poisoned");
+            cell.waiting
+                .map(|(src, tag)| format!("P{i} waits for ({src:?}, {tag:?})"))
+        })
+        .collect();
+    panic!(
+        "deadlock: no runnable node, {remaining} unfinished [{}]",
+        parked.join("; ")
+    );
+}
+
+/// Unwraps the cells into per-node outcomes, emits the sink footer and
+/// assembles the [`RunOutcome`] — the shared tail of both frontier engines.
+pub(super) fn collect_run<K, T>(
+    cells: Vec<Arc<Mutex<NodeCell<K>>>>,
+    results: Vec<Option<T>>,
+    sink: &Option<Arc<Mutex<dyn TraceSink>>>,
+    dim: usize,
+    cost: CostModel,
+) -> RunOutcome<T> {
+    let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(cells.len());
+    let mut traces = Vec::new();
+    for (i, (result, cell)) in results.into_iter().zip(cells).enumerate() {
+        let cell = Arc::into_inner(cell)
+            .expect("all node contexts dropped with their tasks")
+            .into_inner()
+            .expect("node cell lock poisoned");
+        match result {
+            Some(result) => {
+                let clock = cell.clock.now();
+                outcomes.push(Some(NodeOutcome {
+                    result,
+                    clock,
+                    stats: cell.stats,
+                    spans: cell.spans.finish(clock),
+                    metrics: cell.metrics,
+                }));
+                traces.push(cell.trace.unwrap_or_default());
+            }
+            None => {
+                debug_assert!(!cell.participating, "participant P{i} lost its result");
+                outcomes.push(None);
+            }
+        }
+    }
+    if let Some(sink) = sink {
+        let summaries: Vec<NodeSummary> = outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                o.as_ref().map(|o| NodeSummary {
+                    node: NodeId::from(i),
+                    clock: o.clock,
+                    blocked_us: o.metrics.blocked_us,
+                    inbox_peak: o.metrics.inbox_peak,
+                })
+            })
+            .collect();
+        sink.lock()
+            .expect("trace sink lock poisoned")
+            .finish(&summaries);
+    }
+    RunOutcome::new(outcomes, Trace::assemble(traces), dim, cost)
+}

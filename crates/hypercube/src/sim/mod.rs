@@ -4,9 +4,10 @@
 //! normal processor, communicating through the [`Comm`] handle. Node
 //! programs are `async`: a blocked receive suspends the node, which lets
 //! one executor run nodes on OS threads ([`engine::Engine`] with
-//! [`EngineKind::Threaded`]) and another schedule all of them cooperatively
-//! on a single thread ([`sequential::SeqEngine`], the default) — same
-//! program, identical simulated results.
+//! [`EngineKind::Threaded`]), another schedule all of them cooperatively
+//! on a single thread ([`sequential::SeqEngine`], the default), and a
+//! third share the ready frontier across a fixed worker pool
+//! ([`par::ParEngine`]) — same program, identical simulated results.
 //!
 //! ## Deterministic virtual time
 //!
@@ -16,15 +17,20 @@
 //! Because the algorithms' communication patterns are data-independent, the
 //! resulting virtual times are a deterministic function of the inputs — they
 //! do not depend on OS scheduling *or on the executor* — so simulated
-//! "execution times" (Figure 7) are exactly reproducible, and both engines
-//! produce byte-identical outputs, clocks, statistics and traces (asserted
+//! "execution times" (Figure 7) are exactly reproducible, and every engine
+//! produces byte-identical outputs, clocks, statistics and traces (asserted
 //! by `tests/engine_diff.rs` in the workspace root).
 
 pub mod engine;
+mod frontier;
+pub mod par;
+pub mod pool;
 pub mod sequential;
 pub mod trace;
 
 pub use engine::{Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
+pub use par::ParEngine;
+pub use pool::{BufferPool, PoolHandle};
 pub use sequential::SeqEngine;
 pub use trace::{Trace, TraceEvent, TraceKind};
 
@@ -43,20 +49,27 @@ pub enum EngineKind {
     /// machine size (a `Q_10` run schedules 1024 kernel threads).
     Threaded,
     /// Single-threaded run-to-completion cooperative scheduler
-    /// ([`sequential::SeqEngine`]): blocked receives park the node on a
-    /// `(src, tag)` wait map and the runnable node with the lowest virtual
-    /// clock executes next. No OS threads, no synchronization on the hot
-    /// path — the default.
+    /// ([`sequential::SeqEngine`]): the ready frontier of node programs is
+    /// polled round by round, with sends delivered at a deterministic
+    /// barrier between rounds. No OS threads, no contended synchronization
+    /// on the hot path — the default.
     #[default]
     Seq,
+    /// Fixed worker pool ([`par::ParEngine`]): the same frontier/barrier
+    /// schedule as [`EngineKind::Seq`], with each round's runnable nodes
+    /// polled in parallel on `available_parallelism` workers (override
+    /// with [`engine::Engine::with_workers`]). Byte-identical to `Seq` —
+    /// results, reports, run files and critical paths — by construction.
+    Par,
 }
 
 impl EngineKind {
-    /// Parses the CLI spelling (`threaded` | `seq`).
+    /// Parses the CLI spelling (`threaded` | `seq` | `par`).
     pub fn parse(s: &str) -> Option<EngineKind> {
         match s {
             "threaded" => Some(EngineKind::Threaded),
             "seq" | "sequential" => Some(EngineKind::Seq),
+            "par" | "parallel" => Some(EngineKind::Par),
             _ => None,
         }
     }
@@ -67,6 +80,7 @@ impl std::fmt::Display for EngineKind {
         match self {
             EngineKind::Threaded => write!(f, "threaded"),
             EngineKind::Seq => write!(f, "seq"),
+            EngineKind::Par => write!(f, "par"),
         }
     }
 }
@@ -205,9 +219,12 @@ mod tests {
         assert_eq!(EngineKind::parse("threaded"), Some(EngineKind::Threaded));
         assert_eq!(EngineKind::parse("seq"), Some(EngineKind::Seq));
         assert_eq!(EngineKind::parse("sequential"), Some(EngineKind::Seq));
+        assert_eq!(EngineKind::parse("par"), Some(EngineKind::Par));
+        assert_eq!(EngineKind::parse("parallel"), Some(EngineKind::Par));
         assert_eq!(EngineKind::parse("fast"), None);
         assert_eq!(EngineKind::Threaded.to_string(), "threaded");
         assert_eq!(EngineKind::Seq.to_string(), "seq");
+        assert_eq!(EngineKind::Par.to_string(), "par");
         assert_eq!(EngineKind::default(), EngineKind::Seq);
     }
 }

@@ -1,0 +1,413 @@
+//! The parallel frontier engine: a fixed worker pool executes each round's
+//! ready frontier concurrently, with the shared barrier/commit discipline
+//! from [`super::frontier`] keeping every observable byte-identical to the
+//! sequential engine.
+//!
+//! ## Execution model
+//!
+//! Node programs are pinned to workers (live rank modulo pool size), and
+//! each worker *creates and polls its nodes' futures locally* — futures
+//! never cross threads, so node programs need no `Send` future bound. A
+//! coordinator thread (the caller) stages each round's runnable node ids
+//! into per-worker slots, wakes the pool, waits for all workers to finish
+//! the round, and then commits the barrier single-threaded: outbox delivery,
+//! record flush and frontier wake-up all happen in ascending node-id order,
+//! exactly as on [`SeqEngine`]. During a round a node's cell is touched only
+//! by its own worker; at the barrier only by the coordinator — every lock is
+//! uncontended, and warm rounds allocate nothing (the round handshake is a
+//! generation-counted mutex/condvar pair, not a channel, precisely so the
+//! steady state stays allocation-free; see
+//! `crates/hypercube/tests/alloc_free.rs`).
+//!
+//! ## Why this is deterministic
+//!
+//! A round's sends are invisible until its barrier, so the members of one
+//! frontier are mutually independent: polling them on any number of threads
+//! in any order yields the same per-node clocks, stats, spans, trace events
+//! and — because delivery and record flushing are coordinator-side and
+//! id-ordered — the same global record stream and inbox peaks. The three-way
+//! differential tests (`tests/engine_diff.rs`, `tests/obs_invariants.rs`)
+//! pin this: results, `RunReport` JSON, run files, Perfetto exports and
+//! critical paths match `SeqEngine` byte for byte.
+//!
+//! [`SeqEngine`]: super::sequential::SeqEngine
+
+use super::engine::{validate_inputs, Engine, NodeCtx, RunOutcome};
+use super::frontier::{
+    build_cells, collect_run, deadlock_panic, CellCtx, NodeCell, RoundCommitter,
+};
+use crate::address::NodeId;
+use crate::cost::CostModel;
+use crate::fault::FaultSet;
+use crate::obs::sink::TraceSink;
+use crate::sim::RouterKind;
+use crate::topology::Hypercube;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// Round handshake between the coordinator and the worker pool.
+///
+/// The coordinator bumps `generation` after staging `runnable`; workers wait
+/// for the bump, drain their slot, poll, and decrement `pending`. No heap
+/// traffic per round — the slot vectors are recycled by `mem::swap`.
+struct RoundSync {
+    state: Mutex<RoundState>,
+    /// Coordinator → workers: a new round is staged (or `stop` is set).
+    work: Condvar,
+    /// Workers → coordinator: the last worker of a round finished.
+    done: Condvar,
+}
+
+struct RoundState {
+    generation: u64,
+    stop: bool,
+    /// Set by a worker's unwind guard when a node program panics, so the
+    /// coordinator stops waiting and lets the scope propagate the panic.
+    panicked: bool,
+    /// Per-worker runnable node ids for the staged round.
+    runnable: Vec<Vec<usize>>,
+    /// Workers that have not yet finished the staged round.
+    pending: usize,
+}
+
+impl RoundSync {
+    fn new(workers: usize) -> Self {
+        RoundSync {
+            state: Mutex::new(RoundState {
+                generation: 0,
+                stop: false,
+                panicked: false,
+                runnable: (0..workers).map(|_| Vec::new()).collect(),
+                pending: 0,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RoundState> {
+        // A worker can only poison this lock between rounds (node programs
+        // run outside it); recover the state to reach the panicked flag.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Tells the pool to shut down when the coordinator leaves the scope —
+/// normally or by panicking (e.g. the deadlock panic) — so `thread::scope`
+/// can join the workers instead of hanging.
+struct StopGuard<'a> {
+    sync: &'a RoundSync,
+}
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.sync.lock().stop = true;
+        self.sync.work.notify_all();
+    }
+}
+
+/// Unblocks the coordinator when a worker unwinds out of a node program.
+struct PanicGuard<'a> {
+    sync: &'a RoundSync,
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.sync.lock().panicked = true;
+            self.sync.done.notify_all();
+        }
+    }
+}
+
+/// The parallel frontier engine.
+///
+/// Usually reached through [`Engine::run`] with [`EngineKind::Par`];
+/// constructing a `ParEngine` directly additionally exposes
+/// [`ParEngine::with_workers`]. Requires `K`/`T`: [`Send`] and a [`Sync`]
+/// program (workers share `&program`), like the threaded engine.
+///
+/// [`EngineKind::Par`]: super::EngineKind::Par
+#[derive(Clone)]
+pub struct ParEngine {
+    faults: Arc<FaultSet>,
+    cost: CostModel,
+    router: RouterKind,
+    tracing: bool,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    workers: usize,
+}
+
+impl ParEngine {
+    /// Creates a machine over the fault set's topology with the given cost
+    /// model, sized to the host (`std::thread::available_parallelism`).
+    pub fn new(faults: FaultSet, cost: CostModel) -> Self {
+        ParEngine {
+            faults: Arc::new(faults),
+            cost,
+            router: RouterKind::default(),
+            tracing: false,
+            sink: None,
+            workers: default_workers(),
+        }
+    }
+
+    /// A fault-free machine.
+    pub fn fault_free(cube: Hypercube, cost: CostModel) -> Self {
+        ParEngine::new(FaultSet::none(cube), cost)
+    }
+
+    /// Selects the routing algorithm used to charge hops (builder style).
+    pub fn with_router(mut self, router: RouterKind) -> Self {
+        self.router = router;
+        self
+    }
+
+    /// Enables per-event tracing (builder style).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Attaches a streaming trace sink (builder style); see [`TraceSink`].
+    pub fn with_trace_sink(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Sets the worker-pool size (builder style). Clamped to at least 1 and
+    /// at most the number of participating nodes at run time; the pool size
+    /// affects wall-clock only, never simulated results.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    pub(super) fn from_engine(engine: &Engine) -> Self {
+        ParEngine {
+            faults: engine.faults_arc(),
+            cost: engine.cost_model(),
+            router: engine.router(),
+            tracing: engine.tracing(),
+            sink: engine.sink(),
+            workers: engine.workers().unwrap_or_else(default_workers).max(1),
+        }
+    }
+
+    /// The topology.
+    pub fn cube(&self) -> Hypercube {
+        self.faults.cube()
+    }
+
+    /// The fault set.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The configured worker-pool size (before the run-time clamp).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `program` SPMD on every node for which `inputs` supplies data —
+    /// same contract and byte-identical results as [`SeqEngine::run`], with
+    /// each round's frontier executed on the worker pool.
+    ///
+    /// # Panics
+    /// Propagates node-program panics, rejects inputs assigned to faulty
+    /// processors, and panics immediately (with the wait map) if the
+    /// programs deadlock.
+    ///
+    /// [`SeqEngine::run`]: super::sequential::SeqEngine::run
+    pub fn run<K, T, F>(&self, inputs: Vec<Option<Vec<K>>>, program: F) -> RunOutcome<T>
+    where
+        K: Send,
+        T: Send,
+        F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+    {
+        let cube = self.cube();
+        validate_inputs(&self.faults, &inputs);
+
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("trace sink lock poisoned")
+                .begin(cube.dim(), &self.cost);
+        }
+
+        let (cells, participation) =
+            build_cells(&inputs, cube.dim(), self.tracing, self.sink.is_some());
+
+        // Pin each participating node to a worker by live rank. The worker
+        // creates and polls the node's future locally, so futures (which
+        // cannot be named, let alone bounded `Send`) stay thread-local.
+        let mut participants: Vec<usize> = Vec::new();
+        let mut worker_of: Vec<usize> = vec![usize::MAX; cells.len()];
+        for (i, slot) in inputs.iter().enumerate() {
+            if slot.is_some() {
+                worker_of[i] = participants.len(); // provisional: live rank
+                participants.push(i);
+            }
+        }
+        let workers = self.workers.max(1).min(participants.len().max(1));
+        for w in worker_of.iter_mut().filter(|w| **w != usize::MAX) {
+            *w %= workers;
+        }
+
+        let mut batches: Vec<Vec<(usize, Vec<K>)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in inputs.into_iter().enumerate() {
+            if let Some(input) = slot {
+                batches[worker_of[i]].push((i, input));
+            }
+        }
+
+        let sync = RoundSync::new(workers);
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+        let program = &program;
+
+        std::thread::scope(|scope| {
+            for (w, batch) in batches.drain(..).enumerate() {
+                let (cells, participation, sync, results) =
+                    (&cells, &participation, &sync, &results);
+                let (faults, cost, router) = (&self.faults, self.cost, self.router);
+                scope.spawn(move || {
+                    worker_main(
+                        w,
+                        batch,
+                        cells,
+                        participation,
+                        sync,
+                        results,
+                        program,
+                        cube,
+                        faults,
+                        cost,
+                        router,
+                    )
+                });
+            }
+            let _stop = StopGuard { sync: &sync };
+
+            let mut round = participants.clone();
+            let mut alive = participants;
+            let mut next: Vec<usize> = Vec::new();
+            let mut committer = RoundCommitter::new(self.sink.clone());
+            while !round.is_empty() {
+                {
+                    let mut st = sync.lock();
+                    for &i in &round {
+                        st.runnable[worker_of[i]].push(i);
+                    }
+                    st.pending = workers;
+                    st.generation += 1;
+                    sync.work.notify_all();
+                    while st.pending > 0 && !st.panicked {
+                        st = sync.done.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if st.panicked {
+                        // StopGuard shuts the pool down; the scope join
+                        // re-raises the worker's original panic payload.
+                        drop(st);
+                        return;
+                    }
+                }
+                committer.commit(&cells, &round, &mut alive, &mut next);
+                std::mem::swap(&mut round, &mut next);
+            }
+
+            if !alive.is_empty() {
+                deadlock_panic(&cells, alive.len());
+            }
+        });
+
+        let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
+        collect_run(cells, results, &self.sink, cube.dim(), self.cost)
+    }
+}
+
+/// The host's available parallelism (at least 1).
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
+#[allow(clippy::too_many_arguments)] // internal plumbing, called once
+fn worker_main<K, T, F>(
+    w: usize,
+    batch: Vec<(usize, Vec<K>)>,
+    cells: &[Arc<Mutex<NodeCell<K>>>],
+    participation: &Arc<Vec<bool>>,
+    sync: &RoundSync,
+    results: &Mutex<Vec<Option<T>>>,
+    program: &F,
+    cube: Hypercube,
+    faults: &Arc<FaultSet>,
+    cost: CostModel,
+    router: RouterKind,
+) where
+    K: Send,
+    T: Send,
+    F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+{
+    let mut futures: Vec<Option<Pin<Box<dyn Future<Output = T> + '_>>>> =
+        (0..cells.len()).map(|_| None).collect();
+    for (i, input) in batch {
+        let ctx = NodeCtx::new_cell(
+            NodeId::from(i),
+            cube,
+            Arc::clone(faults),
+            cost,
+            router,
+            CellCtx::new(Arc::clone(&cells[i]), Arc::clone(participation)),
+        );
+        futures[i] = Some(Box::pin(async move {
+            let mut ctx = ctx;
+            program(&mut ctx, input).await
+        }));
+    }
+
+    let guard = PanicGuard { sync };
+    let mut poll_cx = Context::from_waker(Waker::noop());
+    let mut mine: Vec<usize> = Vec::new();
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut st = sync.lock();
+            while st.generation == seen && !st.stop {
+                st = sync.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            if st.stop {
+                break;
+            }
+            seen = st.generation;
+            std::mem::swap(&mut st.runnable[w], &mut mine);
+        }
+        for &i in &mine {
+            let fut = futures[i].as_mut().expect("scheduled node has a task");
+            match fut.as_mut().poll(&mut poll_cx) {
+                Poll::Ready(value) => {
+                    futures[i] = None;
+                    cells[i].lock().expect("node cell lock poisoned").done = true;
+                    results.lock().expect("results lock poisoned")[i] = Some(value);
+                }
+                Poll::Pending => {}
+            }
+        }
+        mine.clear();
+        {
+            let mut st = sync.lock();
+            st.pending -= 1;
+            if st.pending == 0 {
+                sync.done.notify_all();
+            }
+        }
+    }
+    std::mem::forget(guard);
+}

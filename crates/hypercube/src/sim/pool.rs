@@ -1,0 +1,178 @@
+//! A lock-cheap pool of recycled `Vec<K>` payload slabs shared across an
+//! entire run.
+//!
+//! The compare-split hot path cycles merge buffers at a high rate. A
+//! per-node free list (`ftsort::Scratch`) already makes the warm path
+//! allocation-free on one thread, but each node then warms its own slabs —
+//! on the threaded and parallel engines that is `N` cold starts, and slabs
+//! idled by finished nodes are stranded. A [`BufferPool`] fixes both: one
+//! global slab store shared by every node of a run, accessed through
+//! per-worker [`PoolHandle`]s that keep a small local free list, so the
+//! warm path never touches the shared lock — it only pops and pushes a
+//! thread-local `Vec`. The global mutex is hit on local misses and local
+//! overflow only.
+//!
+//! Slab identity and capacity are deliberately unobservable to the
+//! simulation: whichever engine runs, and however slabs migrate between
+//! workers, simulated results stay byte-identical (the differential tests
+//! pin this).
+
+use std::sync::{Arc, Mutex};
+
+/// Slabs a handle keeps locally before spilling to the shared store. Sized
+/// for the compare-split working set (merge output + loser half + two
+/// in-flight payloads) with slack; larger values just delay sharing.
+const LOCAL_SLABS: usize = 8;
+
+/// The shared slab store of one run. Cheap to clone (an [`Arc`]); create
+/// one per run and hand each node (or worker) a [`BufferPool::handle`].
+pub struct BufferPool<K> {
+    shared: Arc<Mutex<Vec<Vec<K>>>>,
+}
+
+impl<K> Clone for BufferPool<K> {
+    fn clone(&self) -> Self {
+        BufferPool {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<K> Default for BufferPool<K> {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+impl<K> BufferPool<K> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufferPool {
+            shared: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A per-worker handle drawing on this pool.
+    pub fn handle(&self) -> PoolHandle<K> {
+        PoolHandle {
+            local: Vec::new(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Slabs currently parked in the shared store (diagnostics/tests);
+    /// slabs held by live handles are not counted.
+    pub fn shared_slabs(&self) -> usize {
+        self.shared.lock().expect("buffer pool lock poisoned").len()
+    }
+}
+
+/// A per-worker view of a [`BufferPool`]: a small local free list backed by
+/// the shared store. `take`/`put` are lock-free in the warm path.
+pub struct PoolHandle<K> {
+    local: Vec<Vec<K>>,
+    shared: Arc<Mutex<Vec<Vec<K>>>>,
+}
+
+impl<K> PoolHandle<K> {
+    /// Takes an empty slab with capacity ≥ `capacity`: most recently
+    /// returned local slab first (cache warmth), then the shared store,
+    /// then a fresh allocation.
+    pub fn take(&mut self, capacity: usize) -> Vec<K> {
+        let mut buf = self
+            .local
+            .pop()
+            .or_else(|| self.shared.lock().expect("buffer pool lock poisoned").pop())
+            .unwrap_or_default();
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// Returns a spent slab. Contents are dropped; the allocation parks in
+    /// the local list, spilling to the shared store past [`LOCAL_SLABS`].
+    pub fn put(&mut self, mut buf: Vec<K>) {
+        buf.clear();
+        if self.local.len() < LOCAL_SLABS {
+            self.local.push(buf);
+        } else {
+            self.shared
+                .lock()
+                .expect("buffer pool lock poisoned")
+                .push(buf);
+        }
+    }
+
+    /// Slabs parked locally in this handle (diagnostics/tests).
+    pub fn local_slabs(&self) -> usize {
+        self.local.len()
+    }
+}
+
+impl<K> Drop for PoolHandle<K> {
+    /// Returns local slabs to the shared store so other workers can reuse
+    /// allocations warmed by finished nodes.
+    fn drop(&mut self) {
+        if self.local.is_empty() {
+            return;
+        }
+        if let Ok(mut shared) = self.shared.lock() {
+            shared.append(&mut self.local);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returned_slab_keeps_its_capacity_on_reacquire() {
+        let pool: BufferPool<u64> = BufferPool::new();
+        let mut handle = pool.handle();
+        let mut slab = handle.take(100);
+        slab.extend(0..100);
+        let ptr = slab.as_ptr();
+        let cap = slab.capacity();
+        handle.put(slab);
+        let again = handle.take(10);
+        assert_eq!(again.as_ptr(), ptr, "pooled allocation is reused");
+        assert_eq!(again.capacity(), cap, "capacity survives the round trip");
+        assert!(again.is_empty(), "contents are dropped on put");
+    }
+
+    #[test]
+    fn slabs_flow_between_handles_through_the_shared_store() {
+        let pool: BufferPool<u32> = BufferPool::new();
+        let mut a = pool.handle();
+        // Overflow a's local list so slabs spill to the shared store…
+        for _ in 0..LOCAL_SLABS + 3 {
+            let slab = a.take(64);
+            a.put(slab);
+        }
+        // take/put cycles one slab; fill the local list for real:
+        let slabs: Vec<_> = (0..LOCAL_SLABS + 3).map(|_| a.take(64)).collect();
+        for s in slabs {
+            a.put(s);
+        }
+        assert_eq!(a.local_slabs(), LOCAL_SLABS);
+        assert_eq!(pool.shared_slabs(), 3);
+        // …and another handle picks them up without allocating.
+        let mut b = pool.handle();
+        let got = b.take(1);
+        assert!(got.capacity() >= 64, "b reuses a's spilled slab");
+        assert_eq!(pool.shared_slabs(), 2);
+    }
+
+    #[test]
+    fn dropping_a_handle_returns_its_local_slabs() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        let mut handle = pool.handle();
+        let s1 = handle.take(16);
+        let s2 = handle.take(16);
+        handle.put(s1);
+        handle.put(s2);
+        assert_eq!(pool.shared_slabs(), 0);
+        drop(handle);
+        assert_eq!(pool.shared_slabs(), 2);
+    }
+}

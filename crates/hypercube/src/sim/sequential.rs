@@ -3,11 +3,12 @@
 //!
 //! Node programs are async state machines; a blocked [`Comm::recv`] parks
 //! the node on a per-`(src, tag)` wait entry and returns `Pending`. The
-//! scheduler keeps runnable nodes in a min-heap ordered by virtual clock and
-//! always resumes the runnable node with the *lowest* virtual time — the
-//! classic event-driven simulation discipline. A send checks the wait map
-//! and, if the destination is parked on exactly that `(src, tag)`, makes it
-//! runnable again.
+//! scheduler runs the shared round/frontier discipline from
+//! [`super::frontier`]: every runnable node is polled once per round in
+//! ascending node-id order, sends buffer in per-node outboxes, and the
+//! barrier between rounds delivers them — so the schedule (and every
+//! observable derived from it) is a deterministic function of the inputs,
+//! shared bit for bit with the parallel engine ([`super::par::ParEngine`]).
 //!
 //! Compared to the threaded engine this removes all OS threads, channels,
 //! context switches and payload copies (a message send hands over the
@@ -21,265 +22,21 @@
 //! waiting for a timeout.
 //!
 //! [`Comm::recv`]: super::Comm::recv
+//! [`CostModel`]: crate::cost::CostModel
+//! [`VirtualClock`]: crate::cost::VirtualClock
 
-use super::engine::{
-    trace_capacity, validate_inputs, Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome,
-};
-use super::trace::{Trace, TraceEvent, TraceKind};
-use super::Tag;
+use super::engine::{validate_inputs, Engine, NodeCtx, RunOutcome};
+use super::frontier::{build_cells, collect_run, deadlock_panic, CellCtx, RoundCommitter};
 use crate::address::NodeId;
-use crate::cost::{CostModel, VirtualClock};
+use crate::cost::CostModel;
 use crate::fault::FaultSet;
-use crate::obs::sink::{NodeSummary, TraceSink};
-use crate::obs::{NodeMetrics, SpanLog};
-use crate::stats::RunStats;
+use crate::obs::sink::TraceSink;
+use crate::sim::RouterKind;
 use crate::topology::Hypercube;
-use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::future::Future;
 use std::pin::Pin;
-use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
-
-/// A message parked in the destination's inbox.
-struct SeqMessage<K> {
-    src: NodeId,
-    tag: Tag,
-    data: Vec<K>,
-    sent_at: f64,
-    hops: u32,
-}
-
-/// Per-node bookkeeping inside the shared scheduler state.
-struct SeqNode {
-    clock: VirtualClock,
-    stats: RunStats,
-    trace: Option<Vec<TraceEvent>>,
-    /// Observability spans ([`super::Comm::span_enter`]).
-    spans: SpanLog,
-    /// Per-node utilization/communication metrics. `inbox_peak` here is
-    /// exact and deterministic: the inbox length right after each enqueue.
-    metrics: NodeMetrics,
-    /// `Some((src, tag))` while the node is parked in a blocked `recv`.
-    waiting: Option<(NodeId, Tag)>,
-    participating: bool,
-}
-
-/// Scheduler state shared by all node contexts of one run.
-struct SeqShared<K> {
-    /// Per-destination inboxes, scanned front-to-back on `recv` so delivery
-    /// stays FIFO per `(src, tag)` — the same order a channel gives. The
-    /// algorithms keep each node's outstanding-message count small (cf. the
-    /// threaded engine's `2·dim + 4` channel bound), so a linear scan of a
-    /// short `Vec` beats hashing `(dst, src, tag)` triples — and unlike a
-    /// map keyed by tag, consumed messages leave nothing behind.
-    inboxes: Vec<Vec<SeqMessage<K>>>,
-    nodes: Vec<SeqNode>,
-    /// Nodes unparked by sends since the last scheduling step.
-    woken: Vec<usize>,
-}
-
-impl<K> SeqShared<K> {
-    fn take(&mut self, dst: NodeId, src: NodeId, tag: Tag) -> Option<SeqMessage<K>> {
-        let inbox = &mut self.inboxes[dst.index()];
-        let i = inbox.iter().position(|m| m.src == src && m.tag == tag)?;
-        Some(inbox.remove(i))
-    }
-}
-
-/// The sequential engine's half of a [`NodeCtx`].
-pub(super) struct SeqCtx<K> {
-    shared: Rc<RefCell<SeqShared<K>>>,
-    /// Streaming trace sink, if one is attached. Kept outside the
-    /// `RefCell` so it can be reached while `shared` is borrowed.
-    sink: Option<Arc<Mutex<dyn TraceSink>>>,
-}
-
-impl<K> SeqCtx<K> {
-    fn emit_event(&self, node: &mut SeqNode, ev: TraceEvent) {
-        if let Some(trace) = &mut node.trace {
-            trace.push(ev);
-        }
-        if let Some(sink) = &self.sink {
-            sink.lock().expect("trace sink lock poisoned").event(&ev);
-        }
-    }
-
-    pub(super) fn send(
-        &mut self,
-        me: NodeId,
-        dst: NodeId,
-        tag: Tag,
-        data: Vec<K>,
-        hops: u32,
-        cost: CostModel,
-    ) {
-        let mut sh = self.shared.borrow_mut();
-        assert!(
-            sh.nodes[dst.index()].participating,
-            "send to non-participating node {dst:?}"
-        );
-        let node = &mut sh.nodes[me.index()];
-        // The sender's port is busy pushing the elements onto its first link.
-        node.clock.advance(cost.transfer(data.len(), hops.min(1)));
-        node.stats.record_message(data.len(), hops);
-        node.metrics.on_send(me, dst, data.len(), hops);
-        if node.trace.is_some() || self.sink.is_some() {
-            let ev = TraceEvent {
-                time: node.clock.now(),
-                node: me,
-                tag,
-                kind: TraceKind::Send {
-                    to: dst,
-                    elements: data.len(),
-                    hops,
-                },
-            };
-            self.emit_event(node, ev);
-        }
-        let msg = SeqMessage {
-            src: me,
-            tag,
-            data,
-            sent_at: node.clock.now(),
-            hops,
-        };
-        sh.inboxes[dst.index()].push(msg);
-        let backlog = sh.inboxes[dst.index()].len() as u64;
-        let dst_node = &mut sh.nodes[dst.index()];
-        dst_node.metrics.inbox_peak = dst_node.metrics.inbox_peak.max(backlog);
-        if sh.nodes[dst.index()].waiting == Some((me, tag)) {
-            sh.nodes[dst.index()].waiting = None;
-            sh.woken.push(dst.index());
-        }
-    }
-
-    pub(super) async fn recv(
-        &mut self,
-        me: NodeId,
-        src: NodeId,
-        tag: Tag,
-        cost: CostModel,
-    ) -> Vec<K> {
-        loop {
-            {
-                let mut sh = self.shared.borrow_mut();
-                if let Some(msg) = sh.take(me, src, tag) {
-                    let node = &mut sh.nodes[me.index()];
-                    let before = node.clock.now();
-                    node.clock
-                        .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
-                    // Any forward jump is time spent waiting on the wire.
-                    node.metrics.blocked_us += node.clock.now() - before;
-                    node.metrics.msgs_received += 1;
-                    if node.trace.is_some() || self.sink.is_some() {
-                        let ev = TraceEvent {
-                            time: node.clock.now(),
-                            node: me,
-                            tag,
-                            kind: TraceKind::Recv {
-                                from: src,
-                                elements: msg.data.len(),
-                            },
-                        };
-                        self.emit_event(node, ev);
-                    }
-                    return msg.data;
-                }
-                // Park: the matching send will clear this and requeue us.
-                sh.nodes[me.index()].waiting = Some((src, tag));
-            }
-            PendOnce(false).await;
-        }
-    }
-
-    pub(super) fn charge_comparisons(&mut self, me: NodeId, count: usize, cost: CostModel) {
-        let mut sh = self.shared.borrow_mut();
-        let node = &mut sh.nodes[me.index()];
-        node.clock.advance(cost.compare(count));
-        node.stats.record_comparisons(count);
-        if node.trace.is_some() || self.sink.is_some() {
-            let ev = TraceEvent {
-                time: node.clock.now(),
-                node: me,
-                tag: Tag::new(0),
-                kind: TraceKind::Compute { comparisons: count },
-            };
-            self.emit_event(node, ev);
-        }
-    }
-
-    pub(super) fn span_enter(&mut self, me: NodeId, phase: u16) {
-        let mut sh = self.shared.borrow_mut();
-        let node = &mut sh.nodes[me.index()];
-        let now = node.clock.now();
-        node.spans.enter(phase, now);
-        if let Some(sink) = &self.sink {
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .span(me, Some(phase), now);
-        }
-    }
-
-    pub(super) fn span_exit(&mut self, me: NodeId) {
-        let mut sh = self.shared.borrow_mut();
-        let node = &mut sh.nodes[me.index()];
-        let now = node.clock.now();
-        node.spans.exit(now);
-        if let Some(sink) = &self.sink {
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .span(me, None, now);
-        }
-    }
-
-    pub(super) fn charge_compute(&mut self, me: NodeId, cost: f64) {
-        self.shared.borrow_mut().nodes[me.index()]
-            .clock
-            .advance(cost);
-    }
-
-    pub(super) fn clock(&self, me: NodeId) -> f64 {
-        self.shared.borrow().nodes[me.index()].clock.now()
-    }
-}
-
-/// Yields exactly once, returning control to the scheduler.
-struct PendOnce(bool);
-
-impl Future for PendOnce {
-    type Output = ();
-
-    fn poll(mut self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
-        if self.0 {
-            Poll::Ready(())
-        } else {
-            self.0 = true;
-            Poll::Pending
-        }
-    }
-}
-
-/// Min-heap key: virtual clock with a total order, ties broken by node index
-/// (the `Ord` on the tuple) for determinism.
-#[derive(PartialEq)]
-struct ClockKey(f64);
-
-impl Eq for ClockKey {}
-
-impl PartialOrd for ClockKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for ClockKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 /// The sequential run-to-completion engine.
 ///
@@ -329,8 +86,8 @@ impl SeqEngine {
     }
 
     /// Attaches a streaming trace sink (builder style). The sink receives
-    /// every trace event and span transition as it is emitted, plus the
-    /// run header/footer — see [`TraceSink`].
+    /// every trace event and span transition as the barrier flushes it,
+    /// plus the run header/footer — see [`TraceSink`].
     pub fn with_trace_sink(mut self, sink: Arc<Mutex<dyn TraceSink>>) -> Self {
         self.sink = Some(sink);
         self
@@ -381,149 +138,80 @@ impl SeqEngine {
                 .begin(cube.dim(), &self.cost);
         }
 
-        let shared = Rc::new(RefCell::new(SeqShared {
-            inboxes: (0..inputs.len()).map(|_| Vec::new()).collect(),
-            nodes: inputs
-                .iter()
-                .map(|slot| SeqNode {
-                    clock: VirtualClock::new(),
-                    stats: RunStats::new(),
-                    trace: (self.tracing && slot.is_some())
-                        .then(|| Vec::with_capacity(trace_capacity(cube.dim()))),
-                    spans: SpanLog::new(),
-                    metrics: NodeMetrics::new(cube.dim()),
-                    waiting: None,
-                    participating: slot.is_some(),
-                })
-                .collect(),
-            woken: Vec::new(),
-        }));
+        let (cells, participation) =
+            build_cells(&inputs, cube.dim(), self.tracing, self.sink.is_some());
 
         let program = &program;
         // One resumable state machine per participating node, indexed by
         // address. The future owns its NodeCtx (moved into the async block),
         // so it is self-contained and type-erasable.
         let mut tasks: Vec<Option<Pin<Box<dyn Future<Output = T> + '_>>>> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<(ClockKey, usize)>> = BinaryHeap::new();
-        let mut remaining = 0usize;
+        let mut round: Vec<usize> = Vec::new();
         for (i, slot) in inputs.into_iter().enumerate() {
             let Some(input) = slot else {
                 tasks.push(None);
                 continue;
             };
-            let ctx = NodeCtx::new_seq(
+            let ctx = NodeCtx::new_cell(
                 NodeId::from(i),
                 cube,
                 Arc::clone(&self.faults),
                 self.cost,
                 self.router,
-                SeqCtx {
-                    shared: Rc::clone(&shared),
-                    sink: self.sink.clone(),
-                },
+                CellCtx::new(Arc::clone(&cells[i]), Arc::clone(&participation)),
             );
             tasks.push(Some(Box::pin(async move {
                 let mut ctx = ctx;
                 program(&mut ctx, input).await
             })));
-            heap.push(Reverse((ClockKey(0.0), i)));
-            remaining += 1;
+            round.push(i);
         }
 
         let mut results: Vec<Option<T>> = (0..cube.len()).map(|_| None).collect();
+        let mut alive = round.clone();
+        let mut next: Vec<usize> = Vec::new();
+        let mut committer = RoundCommitter::new(self.sink.clone());
         let mut poll_cx = Context::from_waker(Waker::noop());
-        while let Some(Reverse((_, i))) = heap.pop() {
-            let task = tasks[i].as_mut().expect("scheduled node has a task");
-            match task.as_mut().poll(&mut poll_cx) {
-                Poll::Ready(value) => {
-                    results[i] = Some(value);
-                    tasks[i] = None;
-                    remaining -= 1;
-                }
-                Poll::Pending => {
-                    debug_assert!(
-                        shared.borrow().nodes[i].waiting.is_some(),
-                        "a pending node must be parked on a recv"
-                    );
+        while !round.is_empty() {
+            for &i in &round {
+                let task = tasks[i].as_mut().expect("scheduled node has a task");
+                match task.as_mut().poll(&mut poll_cx) {
+                    Poll::Ready(value) => {
+                        results[i] = Some(value);
+                        tasks[i] = None;
+                        cells[i].lock().expect("node cell lock poisoned").done = true;
+                    }
+                    Poll::Pending => {
+                        debug_assert!(
+                            cells[i]
+                                .lock()
+                                .expect("node cell lock poisoned")
+                                .waiting
+                                .is_some(),
+                            "a pending node must be parked on a recv"
+                        );
+                    }
                 }
             }
-            // Requeue nodes this step's sends made runnable, at their
-            // current virtual time. (Take the buffer out to keep its
-            // capacity without holding the borrow across the heap pushes.)
-            let mut sh = shared.borrow_mut();
-            let mut woken = std::mem::take(&mut sh.woken);
-            for w in woken.drain(..) {
-                heap.push(Reverse((ClockKey(sh.nodes[w].clock.now()), w)));
-            }
-            sh.woken = woken;
+            committer.commit(&cells, &round, &mut alive, &mut next);
+            std::mem::swap(&mut round, &mut next);
         }
 
-        if remaining > 0 {
-            let sh = shared.borrow();
-            let parked: Vec<String> = sh
-                .nodes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, n)| {
-                    n.waiting
-                        .map(|(src, tag)| format!("P{i} waits for ({src:?}, {tag:?})"))
-                })
-                .collect();
-            panic!(
-                "deadlock: no runnable node, {remaining} unfinished [{}]",
-                parked.join("; ")
-            );
+        if !alive.is_empty() {
+            deadlock_panic(&cells, alive.len());
         }
 
-        let shared = Rc::into_inner(shared)
-            .expect("all node contexts dropped with their tasks")
-            .into_inner();
-        let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(cube.len());
-        let mut traces = Vec::new();
-        for (i, (result, node)) in results.into_iter().zip(shared.nodes).enumerate() {
-            match result {
-                Some(result) => {
-                    let clock = node.clock.now();
-                    outcomes.push(Some(NodeOutcome {
-                        result,
-                        clock,
-                        stats: node.stats,
-                        spans: node.spans.finish(clock),
-                        metrics: node.metrics,
-                    }));
-                    traces.push(node.trace.unwrap_or_default());
-                }
-                None => {
-                    debug_assert!(!node.participating, "participant P{i} lost its result");
-                    outcomes.push(None);
-                }
-            }
-        }
-        if let Some(sink) = &self.sink {
-            let summaries: Vec<NodeSummary> = outcomes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, o)| {
-                    o.as_ref().map(|o| NodeSummary {
-                        node: NodeId::from(i),
-                        clock: o.clock,
-                        blocked_us: o.metrics.blocked_us,
-                        inbox_peak: o.metrics.inbox_peak,
-                    })
-                })
-                .collect();
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .finish(&summaries);
-        }
-        RunOutcome::new(outcomes, Trace::assemble(traces), cube.dim(), self.cost)
+        // Release the contexts' Arc references so the cells unwrap cleanly.
+        drop(tasks);
+        collect_run(cells, results, &self.sink, cube.dim(), self.cost)
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::super::{Comm, EngineKind};
+    use super::super::{Comm, EngineKind, Tag};
     use super::*;
+    use std::rc::Rc;
 
     fn engine(n: usize) -> SeqEngine {
         SeqEngine::fault_free(Hypercube::new(n), CostModel::paper_form())
@@ -548,7 +236,7 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_resumes_lowest_clock_first() {
+    fn virtual_times_reflect_sender_clocks() {
         // Node 1 does heavy local compute before its send; node 2 sends
         // immediately. Node 0 receives from both — the virtual times must
         // reflect each sender's own clock regardless of scheduling order.

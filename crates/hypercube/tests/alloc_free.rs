@@ -1,18 +1,27 @@
-//! Asserts the sequential engine's message path is allocation-free once
+//! Asserts the frontier engines' message path is allocation-free once
 //! warm when tracing is off — the property the zero-alloc hot path (and
 //! the preallocated observability buffers riding on it) is built around.
 //!
 //! The counting `#[global_allocator]` sees every allocation in the
 //! process; the node program snapshots the counter after a few warm-up
-//! exchanges (which size the inboxes, wait maps, metric histograms and
+//! exchanges (which size the inboxes, outboxes, metric histograms and
 //! span buffers) and asserts the next 64 exchanges allocate nothing:
 //! sends are pointer handoffs into already-sized inboxes, receives reuse
-//! parked wait-map entries, and metrics/span recording only touches
+//! parked wait entries, and metrics/span recording only touches
 //! preallocated storage.
+//!
+//! The same property is pinned for the parallel engine, whose round
+//! handshake (condvars + recycled frontier vectors, not channels) was
+//! chosen precisely so concurrency adds no per-round allocations — the
+//! counter is process-wide, so any allocation on any worker or on the
+//! coordinator inside the measurement window fails the test (rounds are
+//! barrier-aligned across nodes, so every node's window covers the same
+//! rounds). The run-wide [`BufferPool`] rides the same window: slab
+//! take/put cycles on every node stay allocation-free once warm.
 
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
-use hypercube::sim::{Comm, Engine, EngineKind, Tag};
+use hypercube::sim::{BufferPool, Comm, Engine, EngineKind, Tag};
 use hypercube::topology::Hypercube;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -45,8 +54,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// The counter is process-wide, so the measuring tests must not overlap —
+/// the harness runs `#[test]`s on concurrent threads by default.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn seq_engine_message_path_is_allocation_free_when_warm() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     // Q2 ping-pong across dimension 0, payload ownership bouncing back and
     // forth — the compare-split communication skeleton.
     let cube = Hypercube::new(2);
@@ -59,7 +73,7 @@ fn seq_engine_message_path_is_allocation_free_when_warm() {
         let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
         let tag = Tag::phase(9, 0, 0);
         let mut buf = data;
-        // Warm-up: sizes the inbox, the wait map and the metric histograms
+        // Warm-up: sizes the inbox, the outbox and the metric histograms
         // (and exercises a span within the span log's initial capacity).
         ctx.span_enter(9);
         for _ in 0..4 {
@@ -81,6 +95,63 @@ fn seq_engine_message_path_is_allocation_free_when_warm() {
         assert_eq!(
             allocs, 0,
             "warm seq message path allocated {allocs} times on node {i}"
+        );
+    }
+}
+
+#[test]
+fn par_engine_message_path_and_buffer_pool_are_allocation_free_when_warm() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Same Q2 ping-pong on the worker-pool engine, two nodes per worker,
+    // with a shared BufferPool slab cycled inside the hot loop. The window
+    // spans the full round protocol: worker wake-up, polling, the barrier
+    // commit and the next staging all happen between the two counter reads.
+    let cube = Hypercube::new(2);
+    let engine = Engine::new(FaultSet::none(cube), CostModel::default())
+        .with_engine(EngineKind::Par)
+        .with_workers(2);
+    let pool: BufferPool<u64> = BufferPool::new();
+    let pool = &pool;
+    let inputs: Vec<Option<Vec<u64>>> = (0..cube.len())
+        .map(|i| Some((0..256).map(|x| (i as u64) << 32 | x).collect()))
+        .collect();
+    let out = engine.run(inputs, async |ctx, data| {
+        let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
+        let tag = Tag::phase(9, 0, 0);
+        let mut handle = pool.handle();
+        let mut buf = data;
+        ctx.span_enter(9);
+        for _ in 0..4 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            let slab = handle.take(256);
+            handle.put(slab);
+        }
+        ctx.span_exit();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            ctx.charge_comparisons(buf.len());
+            // the compare-split slab cycle: grab a scratch slab, use it,
+            // hand the allocation back
+            let mut slab = handle.take(256);
+            slab.push(buf.len() as u64);
+            handle.put(slab);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        // One more exchange after the counter read: a barrier that keeps
+        // every node's window clear of the teardown rounds (a finishing
+        // node drops its PoolHandle, whose first spill into the shared
+        // store allocates — real, but not part of the warm path).
+        buf = ctx.exchange(partner, tag, buf).await;
+        (buf.len(), after - before)
+    });
+    for (i, outcome) in out.outcomes().iter().enumerate() {
+        let Some(outcome) = outcome else { continue };
+        let (len, allocs) = outcome.result;
+        assert_eq!(len, 256, "payload must survive the ping-pong");
+        assert_eq!(
+            allocs, 0,
+            "warm par message path allocated {allocs} times on node {i}"
         );
     }
 }

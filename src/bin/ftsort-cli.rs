@@ -4,14 +4,15 @@
 //!
 //! ```text
 //! ftsort-cli partition   --n 5 --faults 3,5,16,24
-//! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq]
+//! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq|par]
 //!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
 //! ftsort-cli trace-check --trace trace.json --metrics report.json
-//! ftsort-cli replay      --trace run.json [--metrics-out report.json] [--trace-out trace.json]
-//!                        [--critical-path] [--width 72]
+//! ftsort-cli replay      --trace run.json [--recost default|paper|t_sr=..,t_c=..,t_startup=..]
+//!                        [--metrics-out report.json] [--trace-out trace.json]
+//!                        [--run-out run.json] [--critical-path] [--width 72]
 //! ftsort-cli trace-diff  --a run_a.json --b run_b.json
 //! ```
 //!
@@ -185,9 +186,8 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     };
     let engine = match flags.get("engine") {
         None => EngineKind::default(),
-        Some(s) => {
-            EngineKind::parse(s).ok_or_else(|| format!("unknown engine '{s}' (threaded|seq)"))?
-        }
+        Some(s) => EngineKind::parse(s)
+            .ok_or_else(|| format!("unknown engine '{s}' (threaded|seq|par)"))?,
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
@@ -259,7 +259,11 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
 /// on it: `--metrics-out` the [`RunReport`](hypercube::obs::RunReport),
 /// `--trace-out` the Perfetto export, `--critical-path` the same report
 /// the `critical_path` bench binary prints — all byte-identical to what
-/// the live run produces.
+/// the live run produces. `--recost MODEL` first re-prices every event
+/// under a different [`CostModel`](hypercube::cost::CostModel) (see
+/// [`recost`](hypercube::obs::replay::recost)); the analyzers then run on
+/// the re-priced observation, and `--run-out` writes it back as a run
+/// file.
 fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags
         .get("trace")
@@ -274,6 +278,31 @@ fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         obs.trace.events().len(),
         obs.makespan()
     );
+    let obs = match flags.get("recost") {
+        None => obs,
+        Some(spec) => {
+            let target = parse_cost_spec(spec, obs.cost)?;
+            let repriced =
+                hypercube::obs::replay::recost(&obs, target).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "recosted       : (t_sr {}, t_c {}, t_startup {}) -> (t_sr {}, t_c {}, t_startup {}), makespan {:.1} -> {:.1} us",
+                obs.cost.t_sr,
+                obs.cost.t_c,
+                obs.cost.t_startup,
+                target.t_sr,
+                target.t_c,
+                target.t_startup,
+                obs.makespan(),
+                repriced.makespan()
+            );
+            repriced
+        }
+    };
+    if let Some(out) = flags.get("run-out") {
+        let json = hypercube::obs::replay::run_to_json(&obs);
+        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("run written    : {out} (ftsort-cli replay --trace {out})");
+    }
     if let Some(out) = flags.get("metrics-out") {
         let report = obs.report(&phase_name);
         std::fs::write(out, report.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
@@ -294,6 +323,43 @@ fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Parses a `--recost` model spec: `default` (the simulator's calibrated
+/// iPSC/2-style constants), `paper` (the paper's analytic form, zero
+/// startup), or comma-separated `t_sr=..`/`t_c=..`/`t_startup=..`
+/// overrides applied on top of the run file's own cost model.
+fn parse_cost_spec(
+    spec: &str,
+    base: hypercube::cost::CostModel,
+) -> Result<hypercube::cost::CostModel, String> {
+    match spec {
+        "default" => Ok(hypercube::cost::CostModel::default()),
+        "paper" => Ok(hypercube::cost::CostModel::paper_form()),
+        _ => {
+            let mut cost = base;
+            for part in spec.split(',') {
+                let (key, value) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("bad --recost component '{part}' (want key=value)"))?;
+                let parsed: f64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad --recost value '{value}' for {key}: {e}"))?;
+                match key.trim() {
+                    "t_sr" => cost.t_sr = parsed,
+                    "t_c" => cost.t_c = parsed,
+                    "t_startup" => cost.t_startup = parsed,
+                    other => {
+                        return Err(format!(
+                            "unknown --recost field '{other}' (t_sr|t_c|t_startup)"
+                        ))
+                    }
+                }
+            }
+            Ok(cost)
+        }
+    }
 }
 
 /// Replays two run files and aligns their critical paths segment by

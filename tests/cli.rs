@@ -67,7 +67,7 @@ fn diagnose_matches_injection() {
 
 #[test]
 fn sort_engine_flag_is_result_invariant() {
-    // both engines simulate the same machine: the printed summary
+    // all three engines simulate the same machine: the printed summary
     // (keys, live processors, simulated time, stats) must be identical
     let run = |engine: &str| {
         let out = cli()
@@ -83,7 +83,117 @@ fn sort_engine_flag_is_result_invariant() {
         );
         String::from_utf8(out.stdout).unwrap()
     };
-    assert_eq!(run("seq"), run("threaded"));
+    let seq = run("seq");
+    assert_eq!(seq, run("threaded"));
+    assert_eq!(seq, run("par"));
+}
+
+#[test]
+fn replay_recost_reprices_a_run_file() {
+    let dir = std::env::temp_dir();
+    let run = dir.join("ftsort_cli_recost_run.json");
+    let repriced = dir.join("ftsort_cli_recost_out.json");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "3",
+            "--faults",
+            "1",
+            "--m",
+            "1000",
+            "--engine",
+            "par",
+            "--run-out",
+            run.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args([
+            "replay",
+            "--trace",
+            run.to_str().unwrap(),
+            "--recost",
+            "paper",
+            "--run-out",
+            repriced.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recosted"), "{text}");
+    assert!(text.contains("t_startup 0"), "{text}");
+    // the re-priced run file must itself replay cleanly, and re-costing
+    // it with explicit overrides equal to its own model is the identity
+    let again = cli()
+        .args([
+            "replay",
+            "--trace",
+            repriced.to_str().unwrap(),
+            "--recost",
+            "t_startup=0",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        again.status.success(),
+        "{}",
+        String::from_utf8_lossy(&again.stderr)
+    );
+    let text = String::from_utf8(again.stdout).unwrap();
+    let makespans: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split("makespan ").nth(1))
+        .collect();
+    assert!(makespans.len() >= 2, "{text}");
+    let _ = std::fs::remove_file(&run);
+    let _ = std::fs::remove_file(&repriced);
+}
+
+#[test]
+fn replay_rejects_bad_recost_spec() {
+    let dir = std::env::temp_dir();
+    let run = dir.join("ftsort_cli_recost_bad.json");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "2",
+            "--faults",
+            "1",
+            "--m",
+            "200",
+            "--run-out",
+            run.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = cli()
+        .args([
+            "replay",
+            "--trace",
+            run.to_str().unwrap(),
+            "--recost",
+            "t_bogus=1",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown --recost field"), "{err}");
+    let _ = std::fs::remove_file(&run);
 }
 
 #[test]

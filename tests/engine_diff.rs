@@ -1,18 +1,43 @@
-//! Differential test between the two simulation engines: across ≥ 64
-//! random `(n, r, M)` instances, the threaded MIMD engine and the
-//! sequential event-driven engine must produce **byte-identical** results —
-//! the same sorted output, the same virtual completion time, and the same
-//! operation counters. The algorithms are data-oblivious and the engines
-//! share the cost model and hop charging, so any divergence is an engine
-//! bug, not noise.
+//! Differential test between the three simulation engines: across ≥ 64
+//! random `(n, r, M)` instances, the threaded MIMD engine, the sequential
+//! event-driven engine and the parallel frontier engine must produce
+//! **byte-identical** results — the same sorted output, the same virtual
+//! completion time, and the same operation counters. The algorithms are
+//! data-oblivious and the engines share the cost model and hop charging,
+//! so any divergence is an engine bug, not noise.
+//!
+//! The sequential and parallel engines additionally share the
+//! round/frontier schedule, so their streamed [`TraceSink`] output is
+//! compared byte for byte too (the threaded engine streams records live
+//! from concurrent node threads, so its interleaving — and only its
+//! interleaving — is executor-dependent).
 
 use ftsort::bitonic::Protocol;
-use ftsort::ftsort::{fault_tolerant_sort_configured, FtConfig, FtPlan};
+use ftsort::ftsort::{
+    fault_tolerant_sort_configured, fault_tolerant_sort_streamed, FtConfig, FtPlan,
+};
 use hypercube::fault::FaultSet;
+use hypercube::obs::sink::{StreamingSink, TraceSink};
 use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Runs the sort streaming into an in-memory [`StreamingSink`] and returns
+/// the exact bytes the sink wrote.
+fn streamed_bytes(plan: &FtPlan, config: &FtConfig, data: Vec<u64>) -> Vec<u8> {
+    let sink = Arc::new(Mutex::new(StreamingSink::new(Vec::<u8>::new())));
+    let dyn_sink: Arc<Mutex<dyn TraceSink>> = sink.clone();
+    fault_tolerant_sort_streamed(plan, config, data, dyn_sink);
+    Arc::try_unwrap(sink)
+        .ok()
+        .expect("the engine dropped its sink handle")
+        .into_inner()
+        .unwrap()
+        .into_inner()
+        .unwrap()
+}
 
 #[test]
 fn engines_agree_on_64_random_instances() {
@@ -30,40 +55,57 @@ fn engines_agree_on_64_random_instances() {
             Protocol::FullExchange
         };
         let host_io = case % 3 == 0;
+        let config = |engine: EngineKind| FtConfig {
+            protocol,
+            include_host_io: host_io,
+            engine,
+            ..FtConfig::default()
+        };
         let run = |engine: EngineKind| {
-            fault_tolerant_sort_configured(
-                &plan,
-                &FtConfig {
-                    protocol,
-                    include_host_io: host_io,
-                    engine,
-                    ..FtConfig::default()
-                },
-                data.clone(),
-            )
+            fault_tolerant_sort_configured(&plan, &config(engine), data.clone())
         };
         let seq = run(EngineKind::Seq);
-        let thr = run(EngineKind::Threaded);
         let tag = format!(
             "case {case}: n={n} r={r} m={m} {protocol:?} host_io={host_io} \
              faults={:?}",
             faults.to_vec()
         );
-        assert_eq!(seq.sorted, thr.sorted, "sorted output differs — {tag}");
-        assert_eq!(
-            seq.time_us.to_bits(),
-            thr.time_us.to_bits(),
-            "virtual time differs ({} vs {}) — {tag}",
-            seq.time_us,
-            thr.time_us
-        );
-        assert_eq!(seq.stats, thr.stats, "operation counters differ — {tag}");
-        assert_eq!(
-            seq.processors_used, thr.processors_used,
-            "processor count differs — {tag}"
-        );
+        for kind in [EngineKind::Threaded, EngineKind::Par] {
+            let other = run(kind);
+            assert_eq!(
+                seq.sorted, other.sorted,
+                "sorted output differs seq vs {kind} — {tag}"
+            );
+            assert_eq!(
+                seq.time_us.to_bits(),
+                other.time_us.to_bits(),
+                "virtual time differs seq vs {kind} ({} vs {}) — {tag}",
+                seq.time_us,
+                other.time_us
+            );
+            assert_eq!(
+                seq.stats, other.stats,
+                "operation counters differ seq vs {kind} — {tag}"
+            );
+            assert_eq!(
+                seq.processors_used, other.processors_used,
+                "processor count differs seq vs {kind} — {tag}"
+            );
+        }
         let mut expect = data.clone();
         expect.sort_unstable();
         assert_eq!(seq.sorted, expect, "not actually sorted — {tag}");
+
+        // Every 8th instance: the frontier engines' streamed run files are
+        // the same bytes (header, every record line, node footer).
+        if case % 8 == 0 {
+            let seq_bytes = streamed_bytes(&plan, &config(EngineKind::Seq), data.clone());
+            let par_bytes = streamed_bytes(&plan, &config(EngineKind::Par), data.clone());
+            assert!(
+                seq_bytes == par_bytes,
+                "streamed TraceSink output differs seq vs par — {tag}"
+            );
+            assert!(!seq_bytes.is_empty(), "sink saw no records — {tag}");
+        }
     }
 }

@@ -8,12 +8,13 @@ use ftsort::ftsort::{
     fault_tolerant_sort_observed, fault_tolerant_sort_streamed, phase_name, FtConfig, FtPlan,
     PhaseBreakdown,
 };
+use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::obs::critical_path::{render_report, CriticalPath};
 use hypercube::obs::diff::{diff_profiles, SegmentProfile};
 use hypercube::obs::json::{trace_from_json, trace_to_json, Json};
 use hypercube::obs::perfetto::perfetto_json;
-use hypercube::obs::replay::{observation_from_json, run_to_json};
+use hypercube::obs::replay::{observation_from_json, recost, run_to_json};
 use hypercube::obs::sink::{BufferedSink, StreamingSink, TraceSink};
 use hypercube::obs::{RunObservation, RunReport};
 use hypercube::sim::EngineKind;
@@ -123,47 +124,66 @@ fn perfetto_flows_respect_happens_before() {
 #[test]
 fn engines_agree_on_observations() {
     let (bd_seq, seq) = observed(EngineKind::Seq, false);
-    let (bd_thr, thr) = observed(EngineKind::Threaded, false);
 
-    // identical span attribution, node by node
-    for (a, b) in seq.nodes.iter().zip(&thr.nodes) {
-        match (a, b) {
-            (None, None) => {}
-            (Some(a), Some(b)) => {
-                assert_eq!(a.node, b.node);
-                assert_eq!(a.clock.to_bits(), b.clock.to_bits(), "node {}", a.node);
-                assert_eq!(a.spans, b.spans, "span log differs on node {}", a.node);
-                // metrics agree except inbox_peak, which is
-                // executor-dependent in the threaded engine (documented on
-                // NodeMetrics::inbox_peak)
-                let mut bm = b.metrics.clone();
-                bm.inbox_peak = a.metrics.inbox_peak;
-                assert_eq!(a.metrics, bm, "metrics differ on node {}", a.node);
+    for kind in [EngineKind::Threaded, EngineKind::Par] {
+        let (bd_other, other) = observed(kind, false);
+
+        // identical span attribution, node by node
+        for (a, b) in seq.nodes.iter().zip(&other.nodes) {
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.clock.to_bits(), b.clock.to_bits(), "node {}", a.node);
+                    assert_eq!(a.spans, b.spans, "span log differs on node {}", a.node);
+                    // metrics agree except inbox_peak, which is
+                    // executor-dependent in the threaded engine (documented
+                    // on NodeMetrics::inbox_peak); the frontier engines
+                    // must agree on it exactly.
+                    let mut bm = b.metrics.clone();
+                    if kind == EngineKind::Threaded {
+                        bm.inbox_peak = a.metrics.inbox_peak;
+                    }
+                    assert_eq!(a.metrics, bm, "metrics differ on node {} ({kind})", a.node);
+                }
+                _ => panic!("participation differs ({kind})"),
             }
-            _ => panic!("participation differs"),
         }
-    }
-    assert_eq!(bd_seq, bd_thr, "phase breakdowns differ");
+        assert_eq!(bd_seq, bd_other, "phase breakdowns differ ({kind})");
 
-    // identical traces, hence identical critical paths
-    assert_eq!(seq.trace.events(), thr.trace.events(), "traces differ");
-    let cp_seq = CriticalPath::compute(&seq).expect("path");
-    let cp_thr = CriticalPath::compute(&thr).expect("path");
-    assert_eq!(cp_seq, cp_thr, "critical paths differ");
+        // identical traces, hence identical critical paths
+        assert_eq!(
+            seq.trace.events(),
+            other.trace.events(),
+            "traces differ ({kind})"
+        );
+        let cp_seq = CriticalPath::compute(&seq).expect("path");
+        let cp_other = CriticalPath::compute(&other).expect("path");
+        assert_eq!(cp_seq, cp_other, "critical paths differ ({kind})");
+        assert_eq!(
+            cp_seq.makespan.to_bits(),
+            seq.makespan().to_bits(),
+            "path extent is the makespan"
+        );
+        let sum: f64 = cp_seq
+            .attribute(&seq, &phase_name)
+            .iter()
+            .map(|(_, us)| us)
+            .sum();
+        assert!(
+            (sum - cp_seq.makespan).abs() <= 1e-6 * cp_seq.makespan.max(1.0),
+            "attribution {sum} must sum to the makespan {}",
+            cp_seq.makespan
+        );
+    }
+
+    // The frontier engines' observations are fully byte-identical — the
+    // RunReport JSON is one serialization of everything above.
+    let (_, par) = observed(EngineKind::Par, false);
     assert_eq!(
-        cp_seq.makespan.to_bits(),
-        seq.makespan().to_bits(),
-        "path extent is the makespan"
-    );
-    let sum: f64 = cp_seq
-        .attribute(&seq, &phase_name)
-        .iter()
-        .map(|(_, us)| us)
-        .sum();
-    assert!(
-        (sum - cp_seq.makespan).abs() <= 1e-6 * cp_seq.makespan.max(1.0),
-        "attribution {sum} must sum to the makespan {}",
-        cp_seq.makespan
+        seq.report(&phase_name).to_json(),
+        par.report(&phase_name).to_json(),
+        "seq and par reports must be the same bytes"
     );
 }
 
@@ -192,19 +212,29 @@ fn streaming_and_buffered_sinks_write_identical_bytes() {
     streamed(EngineKind::Seq, buffered.clone());
     let buffered_json = buffered.lock().unwrap().to_json();
 
-    let streaming = Arc::new(Mutex::new(StreamingSink::new(Vec::<u8>::new())));
-    streamed(EngineKind::Seq, streaming.clone());
-    let bytes = Arc::try_unwrap(streaming)
-        .ok()
-        .expect("the engine dropped its sink handle")
-        .into_inner()
-        .unwrap()
-        .into_inner()
-        .unwrap();
+    let stream_of = |engine: EngineKind| {
+        let streaming = Arc::new(Mutex::new(StreamingSink::new(Vec::<u8>::new())));
+        streamed(engine, streaming.clone());
+        let bytes = Arc::try_unwrap(streaming)
+            .ok()
+            .expect("the engine dropped its sink handle")
+            .into_inner()
+            .unwrap()
+            .into_inner()
+            .unwrap();
+        String::from_utf8(bytes).expect("UTF-8")
+    };
     assert_eq!(
-        String::from_utf8(bytes).expect("UTF-8"),
+        stream_of(EngineKind::Seq),
         buffered_json,
         "streaming and buffered sinks diverged"
+    );
+    // the parallel engine's barrier flush reproduces the same stream —
+    // same record order, same bytes
+    assert_eq!(
+        stream_of(EngineKind::Par),
+        buffered_json,
+        "par streamed different bytes than seq"
     );
     // and both replay (the acceptance path behind sort --run-out)
     let replayed = observation_from_json(&buffered_json).expect("replays");
@@ -212,8 +242,8 @@ fn streaming_and_buffered_sinks_write_identical_bytes() {
 }
 
 #[test]
-fn run_file_replay_is_byte_identical_for_both_engines() {
-    for engine in [EngineKind::Seq, EngineKind::Threaded] {
+fn run_file_replay_is_byte_identical_for_every_engine() {
+    for engine in [EngineKind::Seq, EngineKind::Threaded, EngineKind::Par] {
         let (_, live) = observed(engine, false);
         let file = run_to_json(&live);
         let replayed = observation_from_json(&file).expect("run file replays");
@@ -261,6 +291,52 @@ fn run_file_replay_is_byte_identical_for_both_engines() {
 }
 
 #[test]
+fn recost_matches_a_live_run_under_the_target_model() {
+    // A traced run under the default (NCUBE-calibrated) model, re-priced
+    // to the paper's zero-startup form, must equal a live run under that
+    // form byte for byte: the schedule is data-oblivious, so recost and
+    // the engine charge the same clock algebra in the same order.
+    let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
+    let plan = FtPlan::new(&faults).expect("tolerable");
+    let mut rng = StdRng::seed_from_u64(0x0b5e_11e5);
+    let data: Vec<u32> = (0..2_000).map(|_| rng.random()).collect();
+    let run_under = |cost: CostModel| {
+        let config = FtConfig {
+            cost,
+            tracing: true,
+            ..FtConfig::default()
+        };
+        let (_, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
+        obs
+    };
+    let base = run_under(CostModel::default());
+    let target = CostModel::paper_form();
+    let live = run_under(target);
+    let repriced = recost(&base, target).expect("run was traced");
+
+    // the whole run file — every event timestamp, clock, blocked time and
+    // inbox peak — is the same bytes
+    assert_eq!(
+        run_to_json(&repriced),
+        run_to_json(&live),
+        "recost diverged from the live run"
+    );
+    assert_eq!(
+        repriced.report(&phase_name).to_json(),
+        live.report(&phase_name).to_json(),
+        "recosted report diverged"
+    );
+
+    // recosting to the run's own model is the identity
+    let same = recost(&base, base.cost).expect("run was traced");
+    assert_eq!(
+        run_to_json(&same),
+        run_to_json(&base),
+        "identity recost drifted"
+    );
+}
+
+#[test]
 fn critical_path_diff_attributes_the_full_makespan() {
     let (_, seq) = observed(EngineKind::Seq, false);
     let (_, thr) = observed(EngineKind::Threaded, false);
@@ -291,4 +367,9 @@ fn critical_path_diff_attributes_the_full_makespan() {
     assert!(diff_profiles(&profile, &profile_thr)
         .iter()
         .all(|r| r.delta() == 0.0));
+
+    let (_, par) = observed(EngineKind::Par, false);
+    let cp_par = CriticalPath::compute(&par).expect("path");
+    let profile_par = SegmentProfile::collect(&par, &cp_par, &phase_name);
+    assert_eq!(profile, profile_par, "par disagrees on the profile");
 }

@@ -20,7 +20,7 @@ use hypercube::topology::Hypercube;
 
 #[test]
 fn engine_kind_display_parse_roundtrip() {
-    for kind in [EngineKind::Threaded, EngineKind::Seq] {
+    for kind in [EngineKind::Threaded, EngineKind::Seq, EngineKind::Par] {
         let spelled = kind.to_string();
         assert_eq!(
             EngineKind::parse(&spelled),
@@ -35,6 +35,8 @@ fn engine_kind_accepts_documented_aliases() {
     assert_eq!(EngineKind::parse("seq"), Some(EngineKind::Seq));
     assert_eq!(EngineKind::parse("sequential"), Some(EngineKind::Seq));
     assert_eq!(EngineKind::parse("threaded"), Some(EngineKind::Threaded));
+    assert_eq!(EngineKind::parse("par"), Some(EngineKind::Par));
+    assert_eq!(EngineKind::parse("parallel"), Some(EngineKind::Par));
     assert_eq!(EngineKind::parse("mpi"), None);
     assert_eq!(EngineKind::parse(""), None);
 }
