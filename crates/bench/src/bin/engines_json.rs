@@ -211,6 +211,22 @@ fn render_json(seed: u64, trials: usize, host_cores: usize, rows: &[Row]) -> Str
             let sep = if j == 0 { "" } else { ", " };
             let _ = write!(s, "{sep}\"{name}\": {us:.3}");
         }
+        // Per-phase wall attribution: the seq engine's wall clock split
+        // across phases in proportion to their virtual time (the engines
+        // interleave phases across nodes, so the virtual profile is the
+        // attribution base). Informational, like the wall columns —
+        // bench_diff never gates on it.
+        s.push_str("}, \"phase_walls\": {");
+        let virtual_total: f64 = row.phases.iter().map(|(_, us)| us).sum();
+        for (j, (name, us)) in row.phases.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let wall = if virtual_total > 0.0 {
+                row.seq_s * us / virtual_total
+            } else {
+                0.0
+            };
+            let _ = write!(s, "{sep}\"{name}\": {wall:.6}");
+        }
         s.push_str("}}");
         s.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }

@@ -130,8 +130,7 @@ impl ObsFlags {
             println!("metrics written: {path}");
         }
         if let Some(path) = &self.run_out {
-            let json = hypercube::obs::replay::run_to_json(obs);
-            std::fs::write(path, json).expect("write run file");
+            hypercube::obs::replay::write_run_file(obs, path).expect("write run file");
             println!("run written    : {path} (ftsort-cli replay --trace {path})");
         }
     }

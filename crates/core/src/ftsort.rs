@@ -45,7 +45,7 @@ use crate::seq::{Direction, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::obs::sink::TraceSink;
-use hypercube::sim::{BufferPool, Comm, Engine, EngineKind, Tag};
+use hypercube::sim::{BufferPool, Comm, Engine, EngineKind, LinkModel, Tag};
 use std::sync::{Arc, Mutex};
 
 /// Phase id of step 3 (local sort + intra-subcube single-fault bitonic).
@@ -122,6 +122,11 @@ pub struct FtConfig {
     /// scheduler by default; the threaded MIMD engine as a cross-check).
     /// Both produce identical sorted output, virtual times and statistics.
     pub engine: EngineKind,
+    /// The link pricing model (uncontended paper model by default; the
+    /// contended model serializes messages per directed link and records
+    /// each message's queueing wait). The sorted output and communication
+    /// schedule are identical under either — only clocks and waits differ.
+    pub link_model: LinkModel,
     /// When set, the host distribution (step 2) and final collection are
     /// simulated as real binomial-tree scatter/gather collectives rooted at
     /// the lowest-addressed live processor (the node the NCUBE host board
@@ -443,7 +448,8 @@ where
 
     let mut engine = Engine::new(plan.faults().clone(), cost)
         .with_router(config.router)
-        .with_engine(config.engine);
+        .with_engine(config.engine)
+        .with_link_model(config.link_model);
     if config.tracing {
         engine = engine.with_tracing();
     }

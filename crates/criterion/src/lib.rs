@@ -3,7 +3,10 @@
 //! wall-clock harness behind the subset of the criterion 0.7 API the
 //! workspace's benches use: `Criterion::benchmark_group`, `sample_size`,
 //! `throughput`, `bench_function`, `Bencher::{iter, iter_batched}`, and the
-//! `criterion_group!` / `criterion_main!` macros.
+//! `criterion_group!` / `criterion_main!` macros. One extension the real
+//! criterion lacks: [`Bencher::iter_spanned`] lets the routine report
+//! labeled sub-span durations per iteration (e.g. per-phase wall time),
+//! and the report breaks the wall clock down per label.
 //!
 //! Each benchmark runs one untimed warm-up iteration, then `sample_size`
 //! timed samples; min / median / mean are printed per benchmark. There is no
@@ -34,9 +37,28 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Labeled sub-durations one [`Bencher::iter_spanned`] iteration reports —
+/// e.g. per-phase wall time carved out of a single run.
+#[derive(Default)]
+pub struct SpanRecorder {
+    spans: Vec<(String, Duration)>,
+}
+
+impl SpanRecorder {
+    /// Charges `duration` to `label` within the current sample.
+    pub fn record(&mut self, label: impl Into<String>, duration: Duration) {
+        let label = label.into();
+        match self.spans.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, d)) => *d += duration,
+            None => self.spans.push((label, duration)),
+        }
+    }
+}
+
 /// Per-benchmark driver handed to the closure of `bench_function`.
 pub struct Bencher {
     samples: Vec<Duration>,
+    span_samples: Vec<Vec<(String, Duration)>>,
     sample_size: usize,
 }
 
@@ -48,6 +70,21 @@ impl Bencher {
             let start = Instant::now();
             std::hint::black_box(routine());
             self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` like [`Self::iter`], additionally collecting the
+    /// labeled sub-spans each iteration reports through its recorder; the
+    /// benchmark report then carries a per-label median breakdown of the
+    /// wall clock, not just the total.
+    pub fn iter_spanned<O, F: FnMut(&mut SpanRecorder) -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine(&mut SpanRecorder::default())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let mut recorder = SpanRecorder::default();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut recorder));
+            self.samples.push(start.elapsed());
+            self.span_samples.push(recorder.spans);
         }
     }
 
@@ -88,6 +125,49 @@ fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>) 
     println!("{name:<50} min {min:>10.3?}  median {median:>10.3?}  mean {mean:>10.3?}{rate}");
 }
 
+/// Prints the per-label median breakdown collected by
+/// [`Bencher::iter_spanned`], one indented line per label in
+/// first-occurrence order, with each label's share of the summed medians.
+fn report_spans(samples: &[Vec<(String, Duration)>]) {
+    if samples.is_empty() {
+        return;
+    }
+    let mut labels: Vec<&str> = Vec::new();
+    for sample in samples {
+        for (label, _) in sample {
+            if !labels.iter().any(|l| l == label) {
+                labels.push(label);
+            }
+        }
+    }
+    let medians: Vec<(&str, Duration)> = labels
+        .iter()
+        .map(|&label| {
+            let mut per: Vec<Duration> = samples
+                .iter()
+                .map(|sample| {
+                    sample
+                        .iter()
+                        .find(|(l, _)| l == label)
+                        .map(|(_, d)| *d)
+                        .unwrap_or_default()
+                })
+                .collect();
+            per.sort_unstable();
+            (label, per[per.len() / 2])
+        })
+        .collect();
+    let total: Duration = medians.iter().map(|(_, d)| *d).sum();
+    for (label, median) in medians {
+        let share = if total.is_zero() {
+            0.0
+        } else {
+            median.as_secs_f64() / total.as_secs_f64() * 100.0
+        };
+        println!("    {label:<46} median {median:>10.3?}  {share:>5.1}%");
+    }
+}
+
 /// A named group of related benchmarks sharing configuration.
 pub struct BenchmarkGroup<'c> {
     name: String,
@@ -116,11 +196,13 @@ impl BenchmarkGroup<'_> {
     {
         let mut bencher = Bencher {
             samples: Vec::with_capacity(self.sample_size),
+            span_samples: Vec::new(),
             sample_size: self.sample_size,
         };
         f(&mut bencher);
         let label = format!("{}/{}", self.name, id);
         report(&label, &mut bencher.samples, self.throughput);
+        report_spans(&bencher.span_samples);
         self
     }
 
@@ -162,10 +244,12 @@ impl Criterion {
         };
         let mut bencher = Bencher {
             samples: Vec::with_capacity(sample_size),
+            span_samples: Vec::new(),
             sample_size,
         };
         f(&mut bencher);
         report(&id.to_string(), &mut bencher.samples, None);
+        report_spans(&bencher.span_samples);
         self
     }
 }
@@ -204,6 +288,39 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| runs += 1));
         group.finish();
         assert_eq!(runs, 6, "warm-up + 5 samples");
+    }
+
+    #[test]
+    fn iter_spanned_collects_spans_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut runs = 0usize;
+        group.bench_function("spanned", |b| {
+            b.iter_spanned(|rec| {
+                runs += 1;
+                rec.record("setup", Duration::from_micros(2));
+                rec.record("work", Duration::from_micros(5));
+                rec.record("work", Duration::from_micros(5)); // accumulates
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 5, "warm-up + 4 samples");
+    }
+
+    #[test]
+    fn span_recorder_accumulates_per_label() {
+        let mut rec = SpanRecorder::default();
+        rec.record("a", Duration::from_micros(3));
+        rec.record("b", Duration::from_micros(1));
+        rec.record("a", Duration::from_micros(4));
+        assert_eq!(
+            rec.spans,
+            vec![
+                ("a".to_string(), Duration::from_micros(7)),
+                ("b".to_string(), Duration::from_micros(1)),
+            ]
+        );
     }
 
     #[test]

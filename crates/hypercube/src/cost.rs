@@ -131,6 +131,14 @@ impl VirtualClock {
         self.now = self.now.max(sent_at + transfer);
     }
 
+    /// Synchronizes on a message with a precomputed arrival time — used when
+    /// the link scheduler (not `sent_at + transfer`) decides when a message
+    /// lands, as under [`crate::sim::LinkModel::Contended`].
+    #[inline]
+    pub fn receive_at(&mut self, arrival: f64) {
+        self.now = self.now.max(arrival);
+    }
+
     /// Resets to zero.
     pub fn reset(&mut self) {
         self.now = 0.0;

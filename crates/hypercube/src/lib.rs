@@ -72,7 +72,7 @@ pub mod prelude {
     pub use crate::fault::{FaultModel, FaultSet, Link};
     pub use crate::obs::{RunObservation, RunReport};
     pub use crate::sim::{
-        Comm, Engine, EngineKind, NodeCtx, RouterKind, RunOutcome, SeqEngine, Tag,
+        Comm, Engine, EngineKind, LinkModel, NodeCtx, RouterKind, RunOutcome, SeqEngine, Tag,
     };
     pub use crate::stats::RunStats;
     pub use crate::subcube::Subcube;

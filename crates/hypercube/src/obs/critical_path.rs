@@ -27,7 +27,7 @@
 
 use super::{RunObservation, SpanRecord};
 use crate::address::NodeId;
-use crate::sim::TraceKind;
+use crate::sim::{LinkModel, TraceKind};
 use std::fmt::Write as _;
 
 /// Why a stretch of the critical path took the time it did.
@@ -37,6 +37,9 @@ pub enum SegmentKind {
     Local,
     /// A message transfer gated progress: the receiver sat waiting.
     Transfer,
+    /// The binding message sat queued behind busy links before its
+    /// transfer began — only produced under [`LinkModel::Contended`].
+    Wait,
 }
 
 /// One contiguous stretch of the critical path.
@@ -99,6 +102,12 @@ impl CriticalPath {
         for (s, r) in super::perfetto::match_messages(&obs.trace) {
             send_of[r] = s;
         }
+        // Under contention, arrivals come from replaying the schedule
+        // through the shared link ledger — bit-identical to the live
+        // engine's values. The uncontended closed form stays inline so
+        // that path's floats are untouched.
+        let contended =
+            (obs.link_model == LinkModel::Contended).then(|| super::schedule::contended_times(obs));
 
         let mut segments: Vec<PathSegment> = Vec::new();
         let mut node = end.node;
@@ -120,11 +129,15 @@ impl CriticalPath {
                             TraceKind::Send { elements, hops, .. } => (elements, hops),
                             _ => unreachable!("matched send is a Send event"),
                         };
-                        let arrival = s.time + obs.cost.transfer(elements, hops);
+                        let (arrival, wait) = match &contended {
+                            Some(ct) => (ct.arrival[idx], ct.wait[idx]),
+                            None => (s.time + obs.cost.transfer(elements, hops), 0.0),
+                        };
                         if arrival == e.time {
                             // The transfer edge was binding: close the
                             // local stretch after the receive, record the
-                            // transfer, jump to the sender.
+                            // transfer (split off the link-queue wait,
+                            // front-aligned, if any), jump to the sender.
                             if cursor > e.time {
                                 segments.push(PathSegment {
                                     node,
@@ -137,10 +150,19 @@ impl CriticalPath {
                             segments.push(PathSegment {
                                 node,
                                 from: Some(s.node),
-                                begin: s.time,
+                                begin: if wait > 0.0 { s.time + wait } else { s.time },
                                 end: e.time,
                                 kind: SegmentKind::Transfer,
                             });
+                            if wait > 0.0 {
+                                segments.push(PathSegment {
+                                    node,
+                                    from: Some(s.node),
+                                    begin: s.time,
+                                    end: s.time + wait,
+                                    kind: SegmentKind::Wait,
+                                });
+                            }
                             cursor = s.time;
                             node = s.node;
                             // resume on the sender strictly before its send
@@ -241,12 +263,33 @@ pub fn render_report(
         .filter(|s| s.kind == SegmentKind::Transfer)
         .map(|s| s.duration())
         .sum();
-    let _ = writeln!(
-        out,
-        "gated by message transfers for {:.1} us ({:.1}% of the path)\n",
-        transfer_us,
-        100.0 * transfer_us / path.makespan
-    );
+    let wait_us: f64 = path
+        .segments
+        .iter()
+        .filter(|s| s.kind == SegmentKind::Wait)
+        .map(|s| s.duration())
+        .sum();
+    if wait_us > 0.0 {
+        let _ = writeln!(
+            out,
+            "gated by message transfers for {:.1} us ({:.1}% of the path)",
+            transfer_us,
+            100.0 * transfer_us / path.makespan
+        );
+        let _ = writeln!(
+            out,
+            "queued behind busy links for {:.1} us ({:.1}% of the path)\n",
+            wait_us,
+            100.0 * wait_us / path.makespan
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "gated by message transfers for {:.1} us ({:.1}% of the path)\n",
+            transfer_us,
+            100.0 * transfer_us / path.makespan
+        );
+    }
     let _ = writeln!(out, "{:<16} {:>12} {:>7}", "phase", "on-path us", "share");
     let _ = writeln!(out, "{}", "-".repeat(37));
     let rows = path.attribute(obs, namer);
@@ -404,6 +447,7 @@ mod tests {
                 kind: TraceKind::Recv {
                     from: NodeId::new(1),
                     elements: 4,
+                    wait: 0.0,
                 },
             },
         ]);
@@ -419,6 +463,7 @@ mod tests {
         RunObservation {
             dim: 1,
             cost,
+            link_model: LinkModel::Uncontended,
             trace,
             nodes: vec![
                 node(

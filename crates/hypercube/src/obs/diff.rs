@@ -56,14 +56,14 @@ impl SegmentProfile {
                 None => "(unattributed)".to_string(),
             };
             let link = match (seg.kind, seg.from) {
-                (SegmentKind::Local, _) | (SegmentKind::Transfer, None) => "local".to_string(),
-                (SegmentKind::Transfer, Some(from)) => {
-                    let crossed = seg.node.raw() ^ from.raw();
-                    if crossed.count_ones() == 1 {
-                        format!("dim {}", crossed.trailing_zeros())
-                    } else {
-                        "multi".to_string()
-                    }
+                (SegmentKind::Local, _)
+                | (SegmentKind::Transfer, None)
+                | (SegmentKind::Wait, None) => "local".to_string(),
+                (SegmentKind::Transfer, Some(from)) => Self::link_class(seg.node, from),
+                // Queueing behind busy links gets its own buckets so the
+                // diff still tiles 100% of a contended makespan delta.
+                (SegmentKind::Wait, Some(from)) => {
+                    format!("wait {}", Self::link_class(seg.node, from))
                 }
             };
             let key = SegmentKey { phase, link };
@@ -75,6 +75,17 @@ impl SegmentProfile {
         SegmentProfile {
             makespan: path.makespan,
             rows,
+        }
+    }
+
+    /// `dim <j>` for a single-dimension hop, `multi` for a transfer
+    /// crossing more than one dimension (fault detours).
+    fn link_class(node: crate::address::NodeId, from: crate::address::NodeId) -> String {
+        let crossed = node.raw() ^ from.raw();
+        if crossed.count_ones() == 1 {
+            format!("dim {}", crossed.trailing_zeros())
+        } else {
+            "multi".to_string()
         }
     }
 

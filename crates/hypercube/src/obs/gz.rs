@@ -1,0 +1,786 @@
+//! Minimal gzip (RFC 1952) + DEFLATE (RFC 1951) — enough to stream run
+//! files through `.gz` compression and read them back, with no external
+//! crates (the container builds offline; see CHANGES.md PR 1).
+//!
+//! The compressor emits a single fixed-Huffman DEFLATE block: greedy LZ77
+//! over a 32 KiB sliding history with hash-chain match search, compressing
+//! incrementally in ~64 KiB batches so [`GzEncoder`] adds O(window) memory
+//! to a streamed run, not O(file). Run files are line-oriented JSON with
+//! heavily repeated key names, so even this modest scheme compresses them
+//! roughly 10×. The decompressor is complete — stored, fixed and dynamic
+//! blocks — so externally-gzipped run files replay too.
+
+use std::io::{self, Write};
+
+/// The gzip magic bytes.
+pub fn is_gzip(data: &[u8]) -> bool {
+    data.len() >= 2 && data[0] == 0x1f && data[1] == 0x8b
+}
+
+// ---------------------------------------------------------------- CRC32
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 == 1 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+struct Crc32 {
+    table: [u32; 256],
+    state: u32,
+}
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32 {
+            table: crc32_table(),
+            state: 0xFFFF_FFFF,
+        }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.state = self.table[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    fn value(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+// ------------------------------------------------------- DEFLATE tables
+
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+/// RFC 1951 §3.2.7: the order code-length code lengths are transmitted in.
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+const WINDOW: usize = 32 * 1024;
+const BATCH: usize = 64 * 1024;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const HASH_BITS: u32 = 15;
+const CHAIN_LIMIT: usize = 64;
+
+/// Reverses the low `n` bits of `code` — Huffman codes are packed into the
+/// LSB-first bitstream starting from their most significant bit.
+fn reverse_bits(code: u32, n: u32) -> u32 {
+    code.reverse_bits() >> (32 - n)
+}
+
+/// The fixed litlen code (RFC 1951 §3.2.6): `(code, bits)` per symbol.
+fn fixed_litlen(sym: usize) -> (u32, u32) {
+    match sym {
+        0..=143 => (0x30 + sym as u32, 8),
+        144..=255 => (0x190 + (sym - 144) as u32, 9),
+        256..=279 => ((sym - 256) as u32, 7),
+        _ => (0xC0 + (sym - 280) as u32, 8),
+    }
+}
+
+fn length_code(len: usize) -> usize {
+    debug_assert!((MIN_MATCH..=MAX_MATCH).contains(&len));
+    let mut c = 28;
+    while LEN_BASE[c] as usize > len {
+        c -= 1;
+    }
+    // code 284 covers 227..=257 but 258 has its own zero-extra code
+    if len == 258 {
+        28
+    } else if c == 28 {
+        27
+    } else {
+        c
+    }
+}
+
+fn dist_code(dist: usize) -> usize {
+    let mut c = 29;
+    while DIST_BASE[c] as usize > dist {
+        c -= 1;
+    }
+    c
+}
+
+// ------------------------------------------------------------ GzEncoder
+
+/// A gzip compressor over any writer. Bytes written are compressed in
+/// batches; the stream is completed (end-of-block symbol, CRC32 + ISIZE
+/// trailer) by [`finish`](GzEncoder::finish), or on drop if never finished
+/// explicitly — `TraceSink::finish` only flushes its writer, so the sink
+/// drop path must still produce a valid file.
+pub struct GzEncoder<W: Write> {
+    out: Option<W>,
+    crc: Crc32,
+    total_in: u32,
+    hist: Vec<u8>,
+    pending: Vec<u8>,
+    bitbuf: u64,
+    nbits: u32,
+    finished: bool,
+}
+
+impl<W: Write> GzEncoder<W> {
+    /// Writes the gzip header and the (single) fixed-block header.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        // magic, CM=deflate, no flags, no mtime, no XFL, OS=unknown
+        out.write_all(&[0x1f, 0x8b, 0x08, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xff])?;
+        let mut enc = GzEncoder {
+            out: Some(out),
+            crc: Crc32::new(),
+            total_in: 0,
+            hist: Vec::with_capacity(WINDOW),
+            pending: Vec::with_capacity(BATCH + MAX_MATCH),
+            bitbuf: 0,
+            nbits: 0,
+            finished: false,
+        };
+        enc.put_bits(1, 1)?; // BFINAL: one block for the whole stream
+        enc.put_bits(0b01, 2)?; // BTYPE: fixed Huffman
+        Ok(enc)
+    }
+
+    fn put_bits(&mut self, value: u32, n: u32) -> io::Result<()> {
+        self.bitbuf |= (value as u64) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = [(self.bitbuf & 0xFF) as u8];
+            self.out.as_mut().expect("writer taken").write_all(&byte)?;
+            self.bitbuf >>= 8;
+            self.nbits -= 8;
+        }
+        Ok(())
+    }
+
+    fn put_symbol(&mut self, sym: usize) -> io::Result<()> {
+        let (code, bits) = fixed_litlen(sym);
+        self.put_bits(reverse_bits(code, bits), bits)
+    }
+
+    /// Compresses everything in `pending` and slides the history window.
+    fn compress_pending(&mut self) -> io::Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let base = self.hist.len();
+        let mut window = std::mem::take(&mut self.hist);
+        window.append(&mut self.pending);
+
+        let hash_size = 1usize << HASH_BITS;
+        let hash_of = |w: &[u8], i: usize| -> usize {
+            let h = (w[i] as u32)
+                .wrapping_mul(0x9E37)
+                .wrapping_add((w[i + 1] as u32).wrapping_mul(0x85EB))
+                .wrapping_add(w[i + 2] as u32);
+            (h.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize & (hash_size - 1)
+        };
+        let mut head = vec![usize::MAX; hash_size];
+        let mut prev = vec![usize::MAX; window.len()];
+        let insert = |head: &mut Vec<usize>, prev: &mut Vec<usize>, w: &[u8], i: usize| {
+            if i + MIN_MATCH <= w.len() {
+                let h = hash_of(w, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+        };
+        for i in 0..base {
+            insert(&mut head, &mut prev, &window, i);
+        }
+
+        let mut i = base;
+        while i < window.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if i + MIN_MATCH <= window.len() {
+                let limit = (window.len() - i).min(MAX_MATCH);
+                let mut cand = head[hash_of(&window, i)];
+                let mut chain = 0;
+                while cand != usize::MAX && chain < CHAIN_LIMIT {
+                    let dist = i - cand;
+                    if dist > WINDOW {
+                        break;
+                    }
+                    let mut l = 0usize;
+                    while l < limit && window[cand + l] == window[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l == limit {
+                            break;
+                        }
+                    }
+                    cand = prev[cand];
+                    chain += 1;
+                }
+            }
+            if best_len >= MIN_MATCH {
+                let lc = length_code(best_len);
+                self.put_symbol(257 + lc)?;
+                let extra = LEN_EXTRA[lc] as u32;
+                if extra > 0 {
+                    self.put_bits((best_len - LEN_BASE[lc] as usize) as u32, extra)?;
+                }
+                let dc = dist_code(best_dist);
+                self.put_bits(reverse_bits(dc as u32, 5), 5)?;
+                let dextra = DIST_EXTRA[dc] as u32;
+                if dextra > 0 {
+                    self.put_bits((best_dist - DIST_BASE[dc] as usize) as u32, dextra)?;
+                }
+                for k in i..i + best_len {
+                    insert(&mut head, &mut prev, &window, k);
+                }
+                i += best_len;
+            } else {
+                self.put_symbol(window[i] as usize)?;
+                insert(&mut head, &mut prev, &window, i);
+                i += 1;
+            }
+        }
+
+        let keep = window.len().min(WINDOW);
+        self.hist.clear();
+        self.hist.extend_from_slice(&window[window.len() - keep..]);
+        Ok(())
+    }
+
+    fn finish_stream(&mut self) -> io::Result<()> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.compress_pending()?;
+        self.put_symbol(256)?; // end of block
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put_bits(0, pad)?;
+        }
+        let crc = self.crc.value();
+        let isize = self.total_in;
+        let out = self.out.as_mut().expect("writer taken");
+        out.write_all(&crc.to_le_bytes())?;
+        out.write_all(&isize.to_le_bytes())?;
+        out.flush()
+    }
+
+    /// Completes the stream and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.finish_stream()?;
+        Ok(self.out.take().expect("writer taken"))
+    }
+}
+
+impl<W: Write> Write for GzEncoder<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.finished {
+            return Err(io::Error::other("write after gzip stream was finished"));
+        }
+        self.crc.update(buf);
+        self.total_in = self.total_in.wrapping_add(buf.len() as u32);
+        self.pending.extend_from_slice(buf);
+        if self.pending.len() >= BATCH {
+            self.compress_pending()?;
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        // Push pending bytes into the bitstream (whole bytes reach the
+        // writer; up to 7 bits stay buffered — a gzip stream is only
+        // decodable once finished anyway) and flush the writer.
+        if !self.finished {
+            self.compress_pending()?;
+        }
+        self.out.as_mut().expect("writer taken").flush()
+    }
+}
+
+impl<W: Write> Drop for GzEncoder<W> {
+    fn drop(&mut self) {
+        if self.out.is_some() {
+            let _ = self.finish_stream();
+        }
+    }
+}
+
+// -------------------------------------------------------------- inflate
+
+struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    bitbuf: u64,
+    nbits: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader {
+            data,
+            pos: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
+    }
+
+    fn take_bits(&mut self, n: u32) -> Result<u32, String> {
+        while self.nbits < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or("gzip: unexpected end of compressed data")?;
+            self.bitbuf |= (byte as u64) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        let v = (self.bitbuf & ((1u64 << n) - 1)) as u32;
+        self.bitbuf >>= n;
+        self.nbits -= n;
+        Ok(v)
+    }
+
+    fn align_byte(&mut self) {
+        self.bitbuf = 0;
+        self.nbits = 0;
+    }
+}
+
+/// Canonical Huffman decoder: per-length first-code/first-symbol tables
+/// (bit-by-bit decode — simple and fast enough for replay).
+struct Huffman {
+    /// Per code length 1..=15: (first code, first symbol index, count).
+    levels: Vec<(u32, u32, u32)>,
+    symbols: Vec<u16>,
+}
+
+impl Huffman {
+    fn new(lengths: &[u8]) -> Result<Huffman, String> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        if max_len == 0 {
+            // A legal alphabet with no codes (e.g. the distance table of a
+            // match-free dynamic block): decoding any symbol is an error,
+            // but building the table is not.
+            return Ok(Huffman {
+                levels: Vec::new(),
+                symbols: Vec::new(),
+            });
+        }
+        let mut count = vec![0u32; max_len + 1];
+        for &l in lengths {
+            count[l as usize] += 1;
+        }
+        count[0] = 0;
+        let mut symbols = Vec::with_capacity(lengths.len());
+        let mut levels = Vec::with_capacity(max_len);
+        let mut code = 0u32;
+        #[allow(clippy::needless_range_loop)] // `bits` is the code length, not just an index
+        for bits in 1..=max_len {
+            code <<= 1;
+            levels.push((code, symbols.len() as u32, count[bits]));
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l as usize == bits {
+                    symbols.push(sym as u16);
+                }
+            }
+            code += count[bits];
+            if code as u64 > 1u64 << bits {
+                return Err("gzip: over-subscribed Huffman code".into());
+            }
+        }
+        Ok(Huffman { levels, symbols })
+    }
+
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, String> {
+        let mut code = 0u32;
+        for &(first, sym_base, count) in &self.levels {
+            code = (code << 1) | r.take_bits(1)?;
+            if code < first + count {
+                let idx = sym_base + (code - first);
+                return Ok(self.symbols[idx as usize]);
+            }
+        }
+        Err("gzip: invalid Huffman code".into())
+    }
+}
+
+fn fixed_tables() -> (Huffman, Huffman) {
+    let mut litlen = vec![0u8; 288];
+    for (sym, len) in litlen.iter_mut().enumerate() {
+        *len = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    let dist = vec![5u8; 30];
+    (
+        Huffman::new(&litlen).expect("fixed litlen table"),
+        Huffman::new(&dist).expect("fixed dist table"),
+    )
+}
+
+fn inflate(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 4);
+    loop {
+        let bfinal = r.take_bits(1)?;
+        let btype = r.take_bits(2)?;
+        match btype {
+            0b00 => {
+                r.align_byte();
+                let mut hdr = [0u8; 4];
+                for b in &mut hdr {
+                    *b = *r
+                        .data
+                        .get(r.pos)
+                        .ok_or("gzip: truncated stored block header")?;
+                    r.pos += 1;
+                }
+                let len = u16::from_le_bytes([hdr[0], hdr[1]]) as usize;
+                let nlen = u16::from_le_bytes([hdr[2], hdr[3]]);
+                if nlen != !u16::from_le_bytes([hdr[0], hdr[1]]) {
+                    return Err("gzip: stored block LEN/NLEN mismatch".into());
+                }
+                let end = r.pos + len;
+                if end > r.data.len() {
+                    return Err("gzip: truncated stored block".into());
+                }
+                out.extend_from_slice(&r.data[r.pos..end]);
+                r.pos = end;
+            }
+            0b01 | 0b10 => {
+                let (litlen, dist) = if btype == 0b01 {
+                    fixed_tables()
+                } else {
+                    read_dynamic_tables(&mut r)?
+                };
+                loop {
+                    let sym = litlen.decode(&mut r)? as usize;
+                    match sym {
+                        0..=255 => out.push(sym as u8),
+                        256 => break,
+                        257..=285 => {
+                            let lc = sym - 257;
+                            let len =
+                                LEN_BASE[lc] as usize + r.take_bits(LEN_EXTRA[lc] as u32)? as usize;
+                            let dc = dist.decode(&mut r)? as usize;
+                            if dc >= 30 {
+                                return Err("gzip: invalid distance code".into());
+                            }
+                            let d = DIST_BASE[dc] as usize
+                                + r.take_bits(DIST_EXTRA[dc] as u32)? as usize;
+                            if d > out.len() {
+                                return Err("gzip: distance beyond output".into());
+                            }
+                            let from = out.len() - d;
+                            for k in 0..len {
+                                let b = out[from + k];
+                                out.push(b);
+                            }
+                        }
+                        _ => return Err("gzip: invalid litlen symbol".into()),
+                    }
+                }
+            }
+            _ => return Err("gzip: reserved block type".into()),
+        }
+        if bfinal == 1 {
+            return Ok(out);
+        }
+    }
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), String> {
+    let hlit = r.take_bits(5)? as usize + 257;
+    let hdist = r.take_bits(5)? as usize + 1;
+    let hclen = r.take_bits(4)? as usize + 4;
+    let mut clen_lengths = [0u8; 19];
+    for &pos in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[pos] = r.take_bits(3)? as u8;
+    }
+    let clen = Huffman::new(&clen_lengths)?;
+    let mut lengths = Vec::with_capacity(hlit + hdist);
+    while lengths.len() < hlit + hdist {
+        match clen.decode(r)? {
+            sym @ 0..=15 => lengths.push(sym as u8),
+            16 => {
+                let last = *lengths
+                    .last()
+                    .ok_or("gzip: repeat with no previous length")?;
+                let n = r.take_bits(2)? + 3;
+                for _ in 0..n {
+                    lengths.push(last);
+                }
+            }
+            17 => {
+                let n = r.take_bits(3)? + 3;
+                lengths.resize(lengths.len() + n as usize, 0);
+            }
+            18 => {
+                let n = r.take_bits(7)? + 11;
+                lengths.resize(lengths.len() + n as usize, 0);
+            }
+            _ => return Err("gzip: invalid code-length symbol".into()),
+        }
+    }
+    if lengths.len() != hlit + hdist {
+        return Err("gzip: code lengths overflow the alphabets".into());
+    }
+    let litlen = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+/// Decompresses a gzip member, verifying the CRC32 and ISIZE trailer.
+pub fn gunzip(data: &[u8]) -> Result<Vec<u8>, String> {
+    if !is_gzip(data) {
+        return Err("not a gzip stream (bad magic)".into());
+    }
+    if data.len() < 18 {
+        return Err("gzip: truncated stream".into());
+    }
+    if data[2] != 0x08 {
+        return Err(format!("gzip: unsupported compression method {}", data[2]));
+    }
+    let flg = data[3];
+    let mut pos = 10;
+    if flg & 0x04 != 0 {
+        // FEXTRA
+        if pos + 2 > data.len() {
+            return Err("gzip: truncated FEXTRA".into());
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings
+        if flg & flag != 0 {
+            while *data.get(pos).ok_or("gzip: truncated header string")? != 0 {
+                pos += 1;
+            }
+            pos += 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        pos += 2; // FHCRC
+    }
+    if pos + 8 > data.len() {
+        return Err("gzip: truncated stream".into());
+    }
+    let body = &data[pos..data.len() - 8];
+    let out = inflate(body)?;
+    let trailer = &data[data.len() - 8..];
+    let want_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let want_isize = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    let mut crc = Crc32::new();
+    crc.update(&out);
+    if crc.value() != want_crc {
+        return Err("gzip: CRC32 mismatch".into());
+    }
+    if out.len() as u32 != want_isize {
+        return Err("gzip: ISIZE mismatch".into());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut enc = GzEncoder::new(Vec::new()).expect("header");
+        enc.write_all(data).expect("write");
+        let packed = enc.finish().expect("finish");
+        assert!(is_gzip(&packed));
+        gunzip(&packed).expect("gunzip")
+    }
+
+    #[test]
+    fn roundtrips_empty_and_tiny_inputs() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"abcabcabcabc"), b"abcabcabcabc");
+    }
+
+    #[test]
+    fn roundtrips_repetitive_json_and_compresses_it() {
+        let mut line = String::new();
+        for i in 0..5000 {
+            line.push_str(&format!(
+                "{{\"t\":{}.5,\"node\":{},\"kind\":\"send\",\"elements\":128}}\n",
+                i * 37,
+                i % 16
+            ));
+        }
+        let mut enc = GzEncoder::new(Vec::new()).expect("header");
+        enc.write_all(line.as_bytes()).expect("write");
+        let packed = enc.finish().expect("finish");
+        assert_eq!(gunzip(&packed).expect("gunzip"), line.as_bytes());
+        assert!(
+            packed.len() * 5 < line.len(),
+            "repetitive input should compress >5x, got {} -> {}",
+            line.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn roundtrips_incompressible_bytes_across_batches() {
+        // xorshift noise, long enough to cross several compress batches
+        let mut x = 0x2545F491_4F6CDD1Du64;
+        let data: Vec<u8> = (0..300_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn chunked_writes_match_one_shot() {
+        let data: Vec<u8> = (0..100_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut enc = GzEncoder::new(Vec::new()).expect("header");
+        for chunk in data.chunks(7) {
+            enc.write_all(chunk).expect("write");
+        }
+        let packed = enc.finish().expect("finish");
+        assert_eq!(gunzip(&packed).expect("gunzip"), data);
+    }
+
+    #[test]
+    fn drop_finishes_the_stream() {
+        let mut out = Vec::new();
+        {
+            let mut enc = GzEncoder::new(&mut out).expect("header");
+            enc.write_all(b"dropped, not finished").expect("write");
+        }
+        assert_eq!(gunzip(&out).expect("gunzip"), b"dropped, not finished");
+    }
+
+    #[test]
+    fn inflates_a_stored_block() {
+        // hand-built gzip member with one stored block: "hi"
+        let mut data = vec![0x1f, 0x8b, 0x08, 0, 0, 0, 0, 0, 0, 0xff];
+        data.push(0b001); // BFINAL=1, BTYPE=00
+        data.extend_from_slice(&2u16.to_le_bytes());
+        data.extend_from_slice(&(!2u16).to_le_bytes());
+        data.extend_from_slice(b"hi");
+        let mut crc = Crc32::new();
+        crc.update(b"hi");
+        data.extend_from_slice(&crc.value().to_le_bytes());
+        data.extend_from_slice(&2u32.to_le_bytes());
+        assert_eq!(gunzip(&data).expect("gunzip"), b"hi");
+    }
+
+    #[test]
+    fn inflates_a_dynamic_block() {
+        // Hand-built dynamic block encoding "A": litlen lengths give only
+        // 'A' (65) and EOB (256) one-bit codes; one unused distance code.
+        struct W {
+            bytes: Vec<u8>,
+            buf: u64,
+            n: u32,
+        }
+        impl W {
+            fn put(&mut self, v: u32, n: u32) {
+                self.buf |= (v as u64) << self.n;
+                self.n += n;
+                while self.n >= 8 {
+                    self.bytes.push((self.buf & 0xFF) as u8);
+                    self.buf >>= 8;
+                    self.n -= 8;
+                }
+            }
+            fn done(mut self) -> Vec<u8> {
+                if self.n > 0 {
+                    self.bytes.push((self.buf & 0xFF) as u8);
+                }
+                self.bytes
+            }
+        }
+        let mut w = W {
+            bytes: Vec::new(),
+            buf: 0,
+            n: 0,
+        };
+        w.put(1, 1); // BFINAL
+        w.put(0b10, 2); // dynamic
+        w.put(0, 5); // HLIT = 257
+        w.put(0, 5); // HDIST = 1
+        w.put(15, 4); // HCLEN = 19
+                      // code-length code lengths in CLEN_ORDER; syms 18 (pos 2) and 1
+                      // (pos 17) get length 1 -> canonical codes: sym1=0, sym18=1
+        for pos in 0..19 {
+            w.put(if pos == 2 || pos == 17 { 1 } else { 0 }, 3);
+        }
+        // litlen lengths: 65 zeros, len-1, 190 zeros (138 + 52), len-1
+        w.put(1, 1); // sym18
+        w.put(65 - 11, 7);
+        w.put(0, 1); // sym1 -> 'A' has length 1
+        w.put(1, 1); // sym18
+        w.put(138 - 11, 7);
+        w.put(1, 1); // sym18
+        w.put(52 - 11, 7);
+        w.put(0, 1); // sym1 -> EOB has length 1
+                     // one distance code of length 1 (never used)
+        w.put(0, 1); // sym1
+                     // data: 'A' (code 0), EOB (code 1)
+        w.put(0, 1);
+        w.put(1, 1);
+        let body = w.done();
+
+        let mut data = vec![0x1f, 0x8b, 0x08, 0, 0, 0, 0, 0, 0, 0xff];
+        data.extend_from_slice(&body);
+        let mut crc = Crc32::new();
+        crc.update(b"A");
+        data.extend_from_slice(&crc.value().to_le_bytes());
+        data.extend_from_slice(&1u32.to_le_bytes());
+        assert_eq!(gunzip(&data).expect("gunzip"), b"A");
+    }
+
+    #[test]
+    fn rejects_corrupt_streams() {
+        let mut enc = GzEncoder::new(Vec::new()).expect("header");
+        enc.write_all(b"payload bytes here").expect("write");
+        let mut packed = enc.finish().expect("finish");
+        assert!(gunzip(b"no").is_err());
+        assert!(gunzip(&packed[..12]).is_err());
+        let last = packed.len() - 1;
+        packed[last] ^= 0xFF; // corrupt ISIZE
+        assert!(gunzip(&packed).is_err());
+    }
+}

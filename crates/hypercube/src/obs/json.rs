@@ -350,12 +350,23 @@ pub fn write_trace_event(out: &mut String, e: &TraceEvent) {
                 to.raw()
             );
         }
-        TraceKind::Recv { from, elements } => {
+        TraceKind::Recv {
+            from,
+            elements,
+            wait,
+        } => {
             let _ = write!(
                 out,
-                "\"kind\":\"recv\",\"from\":{},\"elements\":{elements}}}",
+                "\"kind\":\"recv\",\"from\":{},\"elements\":{elements}",
                 from.raw()
             );
+            // `wait` is exactly 0.0 for every uncontended receive; omitting
+            // it keeps those lines identical to schema v1 and costs nothing
+            // on parse (missing means zero).
+            if wait != 0.0 {
+                let _ = write!(out, ",\"wait\":{wait}");
+            }
+            out.push('}');
         }
         TraceKind::Compute { comparisons } => {
             let _ = write!(out, "\"kind\":\"compute\",\"comparisons\":{comparisons}}}");
@@ -386,6 +397,10 @@ pub fn parse_trace_event(i: usize, e: &Json) -> Result<TraceEvent, String> {
         Some("recv") => TraceKind::Recv {
             from: NodeId::new(int("from")? as u32),
             elements: int("elements")? as usize,
+            wait: match e.get("wait") {
+                Some(w) => w.as_f64().ok_or(format!("event {i}: bad 'wait'"))?,
+                None => 0.0,
+            },
         },
         Some("compute") => TraceKind::Compute {
             comparisons: int("comparisons")? as usize,

@@ -36,14 +36,16 @@
 
 pub mod critical_path;
 pub mod diff;
+pub mod gz;
 pub mod json;
 pub mod perfetto;
 pub mod replay;
+pub mod schedule;
 pub mod sink;
 
 use crate::address::NodeId;
 use crate::cost::CostModel;
-use crate::sim::Trace;
+use crate::sim::{LinkModel, Trace};
 use crate::stats::RunStats;
 use std::fmt::Write as _;
 
@@ -126,12 +128,24 @@ pub struct NodeMetrics {
     /// Virtual time spent blocked inside `recv` waiting for a message that
     /// had not yet arrived (clock jumps across a receive).
     pub blocked_us: f64,
+    /// Virtual time this node's *incoming* messages spent queued behind
+    /// busy links, summed at the receives that consumed them — always zero
+    /// under [`LinkModel::Uncontended`]. A subset of [`blocked_us`]
+    /// whenever the wait was on the receive's critical path.
+    ///
+    /// [`blocked_us`]: NodeMetrics::blocked_us
+    pub link_wait_us: f64,
     /// Messages consumed by this node.
     pub msgs_received: u64,
     /// Element·hops this node *sent* across each hypercube dimension
     /// (index = dimension). Routes are charged along the set bits of
     /// `src ^ dst`, matching the e-cube route length.
     pub dim_elements: Vec<u64>,
+    /// Virtual transfer time this node's sends occupied links of each
+    /// dimension (index = dimension), µs: `transfer(elements, 1)` per
+    /// crossed dimension. Link-model-independent — under contention the
+    /// same transfers happen, only later.
+    pub dim_busy_us: Vec<f64>,
     /// Element·hops charged beyond the `src ^ dst` Hamming distance —
     /// fault-detour traffic the per-dimension split cannot localize.
     pub detour_element_hops: u64,
@@ -152,8 +166,10 @@ impl NodeMetrics {
     pub fn new(dim: usize) -> Self {
         NodeMetrics {
             blocked_us: 0.0,
+            link_wait_us: 0.0,
             msgs_received: 0,
             dim_elements: vec![0; dim],
+            dim_busy_us: vec![0.0; dim],
             detour_element_hops: 0,
             msg_size_hist: Vec::new(),
             msg_hops_hist: Vec::new(),
@@ -162,13 +178,22 @@ impl NodeMetrics {
     }
 
     /// Records a send of `elements` keys from `src` to `dst` over `hops`
-    /// links, attributing traffic to dimensions and histograms.
-    pub fn on_send(&mut self, src: NodeId, dst: NodeId, elements: usize, hops: u32) {
+    /// links, attributing traffic (element counts and `cost`-priced
+    /// transfer time) to dimensions and histograms.
+    pub fn on_send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        elements: usize,
+        hops: u32,
+        cost: &CostModel,
+    ) {
         let direct = src.raw() ^ dst.raw();
         let mut crossed = 0u32;
         for d in 0..self.dim_elements.len() {
             if direct >> d & 1 == 1 {
                 self.dim_elements[d] += elements as u64;
+                self.dim_busy_us[d] += cost.transfer(elements, 1);
                 crossed += 1;
             }
         }
@@ -215,6 +240,8 @@ pub struct RunObservation {
     pub dim: usize,
     /// The cost model the run was charged under.
     pub cost: CostModel,
+    /// The link model the run was priced under.
+    pub link_model: LinkModel,
     /// The event trace (empty unless tracing was enabled).
     pub trace: Trace,
     /// Per-node observations, indexed by node address (`None` for nodes
@@ -297,6 +324,9 @@ pub struct NodeReport {
     pub busy_us: f64,
     /// Time blocked in `recv`, µs.
     pub blocked_us: f64,
+    /// Link-queueing wait absorbed by this node's receives, µs (see
+    /// [`NodeMetrics::link_wait_us`]).
+    pub link_wait_us: f64,
     /// `clock - busy` (time outside any instrumented phase), µs; clamped
     /// at zero against float dust.
     pub idle_us: f64,
@@ -319,6 +349,9 @@ pub struct LinkReport {
     pub dim: usize,
     /// Element·hops sent across this dimension, summed over nodes.
     pub elements: u64,
+    /// Total transfer time occupying this dimension's links, µs, summed
+    /// over nodes (see [`NodeMetrics::dim_busy_us`]).
+    pub busy_us: f64,
 }
 
 /// The aggregate report for a run: embeds the summed [`RunStats`] and
@@ -328,6 +361,8 @@ pub struct LinkReport {
 pub struct RunReport {
     /// Hypercube dimension.
     pub dim: usize,
+    /// The link model the run was priced under.
+    pub link_model: LinkModel,
     /// Virtual makespan, µs.
     pub makespan_us: f64,
     /// Operation counters summed over nodes.
@@ -420,6 +455,7 @@ impl RunReport {
                     clock_us: n.clock,
                     busy_us,
                     blocked_us: n.metrics.blocked_us,
+                    link_wait_us: n.metrics.link_wait_us,
                     idle_us: (n.clock - busy_us).max(0.0),
                     messages: n.stats.messages,
                     msgs_received: n.metrics.msgs_received,
@@ -432,12 +468,17 @@ impl RunReport {
 
         // Link traffic per dimension.
         let mut links: Vec<LinkReport> = (0..obs.dim)
-            .map(|dim| LinkReport { dim, elements: 0 })
+            .map(|dim| LinkReport {
+                dim,
+                elements: 0,
+                busy_us: 0.0,
+            })
             .collect();
         let mut detour_element_hops = 0;
         for n in obs.participants() {
             for (d, link) in links.iter_mut().enumerate() {
                 link.elements += n.metrics.dim_elements.get(d).copied().unwrap_or(0);
+                link.busy_us += n.metrics.dim_busy_us.get(d).copied().unwrap_or(0.0);
             }
             detour_element_hops += n.metrics.detour_element_hops;
         }
@@ -446,6 +487,7 @@ impl RunReport {
 
         RunReport {
             dim: obs.dim,
+            link_model: obs.link_model,
             makespan_us: obs.makespan(),
             stats,
             phases,
@@ -460,8 +502,9 @@ impl RunReport {
         let mut out = String::with_capacity(1024);
         let _ = write!(
             out,
-            "{{\"dim\":{},\"makespan_us\":{},\"stats\":{{\"messages\":{},\"elements_sent\":{},\"element_hops\":{},\"message_hops\":{},\"comparisons\":{},\"max_hops\":{},\"max_message_elements\":{}}},\"phases\":[",
+            "{{\"dim\":{},\"link_model\":\"{}\",\"makespan_us\":{},\"stats\":{{\"messages\":{},\"elements_sent\":{},\"element_hops\":{},\"message_hops\":{},\"comparisons\":{},\"max_hops\":{},\"max_message_elements\":{}}},\"phases\":[",
             self.dim,
+            self.link_model,
             self.makespan_us,
             self.stats.messages,
             self.stats.elements_sent,
@@ -490,11 +533,12 @@ impl RunReport {
             }
             let _ = write!(
                 out,
-                "{{\"node\":{},\"clock_us\":{},\"busy_us\":{},\"blocked_us\":{},\"idle_us\":{},\"messages\":{},\"msgs_received\":{},\"elements_sent\":{},\"comparisons\":{},\"inbox_peak\":{}}}",
+                "{{\"node\":{},\"clock_us\":{},\"busy_us\":{},\"blocked_us\":{},\"link_wait_us\":{},\"idle_us\":{},\"messages\":{},\"msgs_received\":{},\"elements_sent\":{},\"comparisons\":{},\"inbox_peak\":{}}}",
                 n.node,
                 n.clock_us,
                 n.busy_us,
                 n.blocked_us,
+                n.link_wait_us,
                 n.idle_us,
                 n.messages,
                 n.msgs_received,
@@ -508,7 +552,11 @@ impl RunReport {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"dim\":{},\"elements\":{}}}", l.dim, l.elements);
+            let _ = write!(
+                out,
+                "{{\"dim\":{},\"elements\":{},\"busy_us\":{}}}",
+                l.dim, l.elements, l.busy_us
+            );
         }
         let _ = write!(
             out,
@@ -571,6 +619,7 @@ impl RunReport {
                 clock_us: num(n, "clock_us")?,
                 busy_us: num(n, "busy_us")?,
                 blocked_us: num(n, "blocked_us")?,
+                link_wait_us: num(n, "link_wait_us")?,
                 idle_us: num(n, "idle_us")?,
                 messages: int(n, "messages")?,
                 msgs_received: int(n, "msgs_received")?,
@@ -588,10 +637,17 @@ impl RunReport {
             links.push(LinkReport {
                 dim: int(l, "dim")? as usize,
                 elements: int(l, "elements")?,
+                busy_us: num(l, "busy_us")?,
             });
         }
+        let link_model = doc
+            .get("link_model")
+            .and_then(json::Json::as_str)
+            .and_then(LinkModel::parse)
+            .ok_or("missing or invalid 'link_model'")?;
         Ok(RunReport {
             dim: int(&doc, "dim")? as usize,
+            link_model,
             makespan_us: num(&doc, "makespan_us")?,
             stats,
             phases,
@@ -658,14 +714,20 @@ mod tests {
 
     #[test]
     fn metrics_attribute_dimensions_and_detours() {
+        let cost = CostModel::default();
         let mut m = NodeMetrics::new(3);
         // direct route across dims 0 and 2
-        m.on_send(NodeId::new(0b000), NodeId::new(0b101), 10, 2);
+        m.on_send(NodeId::new(0b000), NodeId::new(0b101), 10, 2, &cost);
         assert_eq!(m.dim_elements, vec![10, 0, 10]);
+        assert_eq!(
+            m.dim_busy_us,
+            vec![cost.transfer(10, 1), 0.0, cost.transfer(10, 1)]
+        );
         assert_eq!(m.detour_element_hops, 0);
         // fault detour: hamming distance 1 but 3 hops charged
-        m.on_send(NodeId::new(0b000), NodeId::new(0b010), 4, 3);
+        m.on_send(NodeId::new(0b000), NodeId::new(0b010), 4, 3, &cost);
         assert_eq!(m.dim_elements, vec![10, 4, 10]);
+        assert_eq!(m.dim_busy_us[1], cost.transfer(4, 1));
         assert_eq!(m.detour_element_hops, 8);
         // histograms: sizes 10 -> bucket 4 ([8,16)), 4 -> bucket 3 ([4,8))
         assert_eq!(m.msg_size_hist[4], 1);
@@ -673,14 +735,15 @@ mod tests {
         assert_eq!(m.msg_hops_hist[2], 1);
         assert_eq!(m.msg_hops_hist[3], 1);
         // empty message lands in bucket 0
-        m.on_send(NodeId::new(0), NodeId::new(1), 0, 1);
+        m.on_send(NodeId::new(0), NodeId::new(1), 0, 1, &cost);
         assert_eq!(m.msg_size_hist[0], 1);
     }
 
     fn tiny_observation() -> RunObservation {
         let mut m0 = NodeMetrics::new(2);
-        m0.on_send(NodeId::new(0), NodeId::new(1), 8, 1);
+        m0.on_send(NodeId::new(0), NodeId::new(1), 8, 1, &CostModel::default());
         m0.blocked_us = 3.5;
+        m0.link_wait_us = 1.25;
         m0.msgs_received = 1;
         let mut s0 = RunStats::new();
         s0.record_message(8, 1);
@@ -724,6 +787,7 @@ mod tests {
         RunObservation {
             dim: 2,
             cost: CostModel::default(),
+            link_model: LinkModel::Contended,
             trace: Trace::default(),
             nodes: vec![Some(n0), Some(n1), None, None],
         }
@@ -752,10 +816,14 @@ mod tests {
         assert_eq!(report.nodes[0].busy_us, 80.0); // union(0..40, 50..90)
         assert_eq!(report.nodes[0].idle_us, 20.0);
         assert_eq!(report.nodes[0].blocked_us, 3.5);
+        assert_eq!(report.nodes[0].link_wait_us, 1.25);
         // links
+        assert_eq!(report.link_model, LinkModel::Contended);
         assert_eq!(report.links.len(), 2);
         assert_eq!(report.links[0].elements, 8);
+        assert_eq!(report.links[0].busy_us, CostModel::default().transfer(8, 1));
         assert_eq!(report.links[1].elements, 0);
+        assert_eq!(report.links[1].busy_us, 0.0);
         // embedded stats are the node sum
         assert_eq!(report.stats.messages, 1);
         assert_eq!(report.stats.comparisons, 12);

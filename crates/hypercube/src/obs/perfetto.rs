@@ -14,7 +14,11 @@
 //! * counter (`C`) tracks per node: instantaneous inbox depth (messages
 //!   sent but not yet received) and cumulative element·hops sent, so
 //!   queue buildup and traffic skew render as time series next to the
-//!   span tracks.
+//!   span tracks,
+//! * under [`LinkModel::Contended`] only: per-dimension link occupancy
+//!   and queue-depth counter tracks recovered from the ledger replay,
+//!   and each flow start carries the message's link `wait` in its args.
+//!   Uncontended exports are byte-identical to pre-contention builds.
 //!
 //! Send↔receive matching is FIFO per `(src, dst, tag)` channel — exactly
 //! the engines' delivery discipline — computed over the whole trace before
@@ -24,7 +28,7 @@
 
 use super::json::{write_str, Json};
 use super::RunObservation;
-use crate::sim::{Trace, TraceKind};
+use crate::sim::{LinkModel, Trace, TraceKind};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -101,6 +105,7 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
     }
 
     // Messages as flow start/finish pairs along happens-before edges.
+    let contended = obs.link_model == LinkModel::Contended;
     let events = obs.trace.events();
     let pairs = match_messages(&obs.trace);
     for (flow_id, &(send_idx, recv_idx)) in pairs.iter().enumerate() {
@@ -113,13 +118,21 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
         emit(&mut out, &mut first);
         let _ = write!(
             out,
-            "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"id\":{},\"name\":\"msg\",\"cat\":\"msg\",\"ts\":{},\"args\":{{\"tag\":\"{}\",\"elements\":{}}}}}",
+            "{{\"ph\":\"s\",\"pid\":0,\"tid\":{},\"id\":{},\"name\":\"msg\",\"cat\":\"msg\",\"ts\":{},\"args\":{{\"tag\":\"{}\",\"elements\":{}",
             s.node.raw(),
             flow_id,
             s.time,
             s.tag.0,
             elements
         );
+        if contended {
+            let wait = match f.kind {
+                TraceKind::Recv { wait, .. } => wait,
+                _ => 0.0,
+            };
+            let _ = write!(out, ",\"wait\":{wait}");
+        }
+        out.push_str("}}");
         emit(&mut out, &mut first);
         let _ = write!(
             out,
@@ -176,8 +189,73 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
         }
     }
 
+    // Link occupancy and queue depth, one counter pair per hypercube
+    // dimension, recovered by replaying the recorded schedule through
+    // the link ledger: a dim-d link is held over [start, end) and a
+    // message queues for it over [queued_at, start).
+    if contended {
+        let ct = super::schedule::contended_times(obs);
+        let mut busy: Vec<Vec<(f64, i64)>> = vec![Vec::new(); obs.dim];
+        let mut queue: Vec<Vec<(f64, i64)>> = vec![Vec::new(); obs.dim];
+        for l in &ct.links {
+            busy[l.dim].push((l.start, 1));
+            busy[l.dim].push((l.end, -1));
+            queue[l.dim].push((l.queued_at, 1));
+            queue[l.dim].push((l.start, -1));
+        }
+        for (d, deltas) in busy.iter_mut().enumerate() {
+            counter_track(
+                &mut out,
+                &mut first,
+                &format!("link dim {d} busy"),
+                "links",
+                deltas,
+            );
+        }
+        for (d, deltas) in queue.iter_mut().enumerate() {
+            counter_track(
+                &mut out,
+                &mut first,
+                &format!("link dim {d} queue"),
+                "messages",
+                deltas,
+            );
+        }
+    }
+
     out.push_str("],\"displayTimeUnit\":\"ms\"}");
     out
+}
+
+/// Emits one counter track from `(timestamp, delta)` pairs: sorts by
+/// timestamp, collapses all deltas sharing a timestamp into one sample
+/// (so zero-duration acquisitions never dip the series negative), and
+/// writes the running sum — per-track timestamps come out non-decreasing
+/// by construction.
+fn counter_track(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    series: &str,
+    deltas: &mut [(f64, i64)],
+) {
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+    let (mut depth, mut k) = (0i64, 0);
+    while k < deltas.len() {
+        let t = deltas[k].0;
+        while k < deltas.len() && deltas[k].0.to_bits() == t.to_bits() {
+            depth += deltas[k].1;
+            k += 1;
+        }
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        let _ = write!(
+            out,
+            "{{\"ph\":\"C\",\"pid\":0,\"name\":\"{name}\",\"ts\":{t},\"args\":{{\"{series}\":{depth}}}}}"
+        );
+    }
 }
 
 /// Summary counts from a validated Chrome-trace document.
@@ -322,6 +400,7 @@ mod tests {
                 kind: TraceKind::Recv {
                     from: NodeId::new(0),
                     elements: 4,
+                    wait: 0.0,
                 },
             },
             // reply on the same tag
@@ -342,6 +421,7 @@ mod tests {
                 kind: TraceKind::Recv {
                     from: NodeId::new(1),
                     elements: 4,
+                    wait: 0.0,
                 },
             },
         ])
@@ -368,6 +448,7 @@ mod tests {
                 kind: TraceKind::Recv {
                     from: NodeId::new(1),
                     elements: 2,
+                    wait: 0.0,
                 },
             },
             TraceEvent {
@@ -391,6 +472,7 @@ mod tests {
         let obs = RunObservation {
             dim: 1,
             cost: CostModel::default(),
+            link_model: LinkModel::Uncontended,
             trace: two_node_trace(),
             nodes: vec![
                 Some(crate::obs::NodeObservation {
@@ -431,6 +513,7 @@ mod tests {
         let obs = RunObservation {
             dim: 1,
             cost: CostModel::default(),
+            link_model: LinkModel::Uncontended,
             trace: two_node_trace(),
             nodes: vec![
                 Some(crate::obs::NodeObservation {

@@ -18,7 +18,7 @@ use super::sink::{BufferedSink, NodeSummary, TraceSink};
 use super::{NodeMetrics, NodeObservation, RunObservation, SpanLog, SpanRecord};
 use crate::address::NodeId;
 use crate::cost::CostModel;
-use crate::sim::{Trace, TraceKind};
+use crate::sim::{LinkModel, Trace, TraceKind};
 use crate::stats::RunStats;
 
 /// Serializes a buffered [`RunObservation`] into the run-file schema (the
@@ -27,7 +27,7 @@ use crate::stats::RunStats;
 /// trace (tracing enabled) for the file to replay with full counters.
 pub fn run_to_json(obs: &RunObservation) -> String {
     let mut sink = BufferedSink::new();
-    sink.begin(obs.dim, &obs.cost);
+    sink.begin(obs.dim, &obs.cost, obs.link_model);
     for e in obs.trace.events() {
         sink.event(e);
     }
@@ -50,18 +50,58 @@ pub fn run_to_json(obs: &RunObservation) -> String {
     sink.to_json()
 }
 
-/// Parses a run file (schema version 1, written by the sinks in
-/// [`super::sink`]) back into a full [`RunObservation`]. Errors name the
-/// offending record.
+/// Writes `obs` as a run file at `path` — gzip-compressed when the path
+/// ends in `.gz`, plain otherwise. The write-side counterpart of
+/// [`observation_from_file`].
+pub fn write_run_file(obs: &RunObservation, path: &str) -> std::io::Result<()> {
+    let json = run_to_json(obs);
+    if path.ends_with(".gz") {
+        let file = std::fs::File::create(path)?;
+        let mut enc = super::gz::GzEncoder::new(file)?;
+        std::io::Write::write_all(&mut enc, json.as_bytes())?;
+        enc.finish().map(|_| ())
+    } else {
+        std::fs::write(path, json)
+    }
+}
+
+/// Reads a run file from disk — gzip-compressed (written by
+/// `sort --run-out foo.jsonl.gz`) or plain text, sniffed by magic bytes —
+/// and rebuilds the observation via [`observation_from_json`].
+pub fn observation_from_file(path: &str) -> Result<RunObservation, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let bytes = if super::gz::is_gzip(&bytes) {
+        super::gz::gunzip(&bytes).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        bytes
+    };
+    let text = String::from_utf8(bytes).map_err(|e| format!("{path}: not UTF-8: {e}"))?;
+    observation_from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Parses a run file (schema version 1 or 2, written by the sinks in
+/// [`super::sink`]) back into a full [`RunObservation`]. Version 1 files
+/// predate link models: they parse with `wait = 0` on every receive and
+/// [`LinkModel::Uncontended`] — exactly the semantics they were recorded
+/// under, so v1 replays stay byte-identical. Version 2 files carry the
+/// link model in the header. Errors name the offending record.
 pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
     let doc = Json::parse(text)?;
     let version = doc
         .get("version")
         .and_then(Json::as_u64)
         .ok_or("missing 'version'")?;
-    if version != 1 {
+    if !(1..=2).contains(&version) {
         return Err(format!("unsupported run-file version {version}"));
     }
+    let link_model = match version {
+        1 => LinkModel::Uncontended,
+        _ => doc
+            .get("link_model")
+            .and_then(Json::as_str)
+            .and_then(LinkModel::parse)
+            .ok_or("missing or invalid 'link_model'")?,
+    };
     let dim = doc
         .get("dim")
         .and_then(Json::as_u64)
@@ -166,9 +206,12 @@ pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
                 match ev.kind {
                     TraceKind::Send { to, elements, hops } => {
                         acc.stats.record_message(elements, hops);
-                        acc.metrics.on_send(ev.node, to, elements, hops);
+                        acc.metrics.on_send(ev.node, to, elements, hops, &cost);
                     }
-                    TraceKind::Recv { .. } => acc.metrics.msgs_received += 1,
+                    TraceKind::Recv { wait, .. } => {
+                        acc.metrics.msgs_received += 1;
+                        acc.metrics.link_wait_us += wait;
+                    }
                     TraceKind::Compute { comparisons } => acc.stats.record_comparisons(comparisons),
                 }
                 events.push(ev);
@@ -198,6 +241,7 @@ pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
     Ok(RunObservation {
         dim,
         cost,
+        link_model,
         trace: Trace::from_events(events),
         nodes,
     })
@@ -226,7 +270,15 @@ pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
 ///
 /// Errors if the observation has no trace events (the run was not traced
 /// — there is no schedule to re-price).
+///
+/// The run's [`LinkModel`] is preserved: re-pricing a contended run routes
+/// through the schedule replayer ([`super::schedule::reprice`], which also
+/// handles cross-model re-pricing); the uncontended fast path below is
+/// kept verbatim.
 pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservation, String> {
+    if obs.link_model == LinkModel::Contended {
+        return super::schedule::reprice(obs, new_cost, LinkModel::Contended);
+    }
     if obs.trace.is_empty() {
         return Err("run has no trace events — was the sort traced?".into());
     }
@@ -244,6 +296,7 @@ pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservatio
     let mut old_clock = vec![0.0f64; len];
     let mut new_clock = vec![0.0f64; len];
     let mut blocked = vec![0.0f64; len];
+    let mut dim_busy: Vec<Vec<f64>> = vec![vec![0.0; obs.dim]; len];
     let mut new_time = vec![0.0f64; events.len()];
     // Per-node (old event time, new event time) checkpoints, in program
     // order — the piecewise map span boundaries are translated through.
@@ -259,12 +312,18 @@ pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservatio
         // operations, the residual is exactly zero and the branch never
         // perturbs the new timeline.
         match e.kind {
-            TraceKind::Send { elements, hops, .. } => {
+            TraceKind::Send { to, elements, hops } => {
                 let predicted = old_clock[n] + obs.cost.transfer(elements, hops.min(1));
                 if e.time != predicted {
                     new_clock[n] += e.time - predicted;
                 }
                 new_clock[n] += new_cost.transfer(elements, hops.min(1));
+                let direct = e.node.raw() ^ to.raw();
+                for (d, busy) in dim_busy[n].iter_mut().enumerate() {
+                    if direct >> d & 1 == 1 {
+                        *busy += new_cost.transfer(elements, 1);
+                    }
+                }
             }
             TraceKind::Recv { elements, .. } => {
                 let before = new_clock[n];
@@ -328,6 +387,7 @@ pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservatio
                 let clock = map_time(n, node.clock);
                 let mut metrics = node.metrics.clone();
                 metrics.blocked_us = blocked[n];
+                metrics.dim_busy_us = dim_busy[n].clone();
                 NodeObservation {
                     node: node.node,
                     clock,
@@ -350,6 +410,7 @@ pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservatio
     Ok(RunObservation {
         dim: obs.dim,
         cost: new_cost,
+        link_model: LinkModel::Uncontended,
         trace: Trace::from_events(new_events),
         nodes,
     })
@@ -363,7 +424,12 @@ mod tests {
     fn rejects_malformed_run_files() {
         for (text, needle) in [
             ("{}", "version"),
-            ("{\"version\":2}", "version 2"),
+            ("{\"version\":3}", "version 3"),
+            ("{\"version\":2,\"dim\":1}", "link_model"),
+            (
+                "{\"version\":2,\"dim\":1,\"link_model\":\"congested\"}",
+                "link_model",
+            ),
             (
                 "{\"version\":1,\"dim\":1,\"cost\":{\"t_sr\":1,\"t_c\":1,\"t_startup\":0},\"events\":[],\"nodes\":[{\"node\":5,\"clock\":0,\"blocked_us\":0,\"inbox_peak\":0}]}",
                 "outside",

@@ -25,10 +25,11 @@
 //! but each node's own records stay in program order (the sink lock
 //! serializes writers), which is all replay needs.
 
+use super::gz::GzEncoder;
 use super::json::write_trace_event;
 use crate::address::NodeId;
 use crate::cost::CostModel;
-use crate::sim::TraceEvent;
+use crate::sim::{LinkModel, TraceEvent};
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -54,8 +55,8 @@ pub struct NodeSummary {
 /// exactly once — holding a lock, so implementations see records in
 /// emission order. A sink instance captures one run; reuse is an error.
 pub trait TraceSink: Send {
-    /// Starts a run over a `dim`-cube under `cost`.
-    fn begin(&mut self, dim: usize, cost: &CostModel);
+    /// Starts a run over a `dim`-cube under `cost` and `link_model`.
+    fn begin(&mut self, dim: usize, cost: &CostModel, link_model: LinkModel);
     /// One trace event (send/recv/compute), as the engine stamps it.
     fn event(&mut self, event: &TraceEvent);
     /// A span boundary on `node` at virtual time `time`: `Some(phase)`
@@ -65,10 +66,10 @@ pub trait TraceSink: Send {
     fn finish(&mut self, nodes: &[NodeSummary]);
 }
 
-fn render_header(out: &mut String, dim: usize, cost: &CostModel) {
+fn render_header(out: &mut String, dim: usize, cost: &CostModel, link_model: LinkModel) {
     let _ = write!(
         out,
-        "{{\"version\":1,\"dim\":{dim},\"cost\":{{\"t_sr\":{},\"t_c\":{},\"t_startup\":{}}},\"events\":[",
+        "{{\"version\":2,\"dim\":{dim},\"cost\":{{\"t_sr\":{},\"t_c\":{},\"t_startup\":{}}},\"link_model\":\"{link_model}\",\"events\":[",
         cost.t_sr, cost.t_c, cost.t_startup
     );
 }
@@ -133,7 +134,7 @@ enum Record {
 /// [`StreamingSink`] for large runs.
 #[derive(Default)]
 pub struct BufferedSink {
-    header: Option<(usize, CostModel)>,
+    header: Option<(usize, CostModel, LinkModel)>,
     records: Vec<Record>,
     nodes: Vec<NodeSummary>,
     finished: bool,
@@ -148,9 +149,9 @@ impl BufferedSink {
     /// Serializes the captured run; byte-identical to what a
     /// [`StreamingSink`] fed the same record stream writes out.
     pub fn to_json(&self) -> String {
-        let (dim, cost) = self.header.expect("BufferedSink::to_json before begin");
+        let (dim, cost, link_model) = self.header.expect("BufferedSink::to_json before begin");
         let mut out = String::with_capacity(96 * self.records.len() + 256);
-        render_header(&mut out, dim, &cost);
+        render_header(&mut out, dim, &cost, link_model);
         let mut first = true;
         for rec in &self.records {
             render_separator(&mut out, &mut first);
@@ -165,9 +166,9 @@ impl BufferedSink {
 }
 
 impl TraceSink for BufferedSink {
-    fn begin(&mut self, dim: usize, cost: &CostModel) {
+    fn begin(&mut self, dim: usize, cost: &CostModel, link_model: LinkModel) {
         assert!(self.header.is_none(), "TraceSink reused across runs");
-        self.header = Some((dim, *cost));
+        self.header = Some((dim, *cost, link_model));
     }
 
     fn event(&mut self, event: &TraceEvent) {
@@ -222,18 +223,31 @@ impl<W: Write + Send> StreamingSink<W> {
     }
 }
 
-impl StreamingSink<BufWriter<File>> {
-    /// Streams to a freshly created file at `path`.
+impl StreamingSink<Box<dyn Write + Send>> {
+    /// Streams to a freshly created file at `path`. A path ending in
+    /// `.gz` is gzip-compressed on the fly (the [`super::gz`] encoder
+    /// finalizes its stream when the sink is dropped); replay sniffs the
+    /// magic bytes, so compressed and plain run files are interchangeable.
     pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
-        Ok(Self::new(BufWriter::new(File::create(path)?)))
+        let gz = path
+            .as_ref()
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("gz"));
+        let file = BufWriter::new(File::create(path)?);
+        let writer: Box<dyn Write + Send> = if gz {
+            Box::new(GzEncoder::new(file)?)
+        } else {
+            Box::new(file)
+        };
+        Ok(Self::new(writer))
     }
 }
 
 impl<W: Write + Send> TraceSink for StreamingSink<W> {
-    fn begin(&mut self, dim: usize, cost: &CostModel) {
+    fn begin(&mut self, dim: usize, cost: &CostModel, link_model: LinkModel) {
         assert!(!self.began, "TraceSink reused across runs");
         self.began = true;
-        render_header(&mut self.buf, dim, cost);
+        render_header(&mut self.buf, dim, cost, link_model);
         self.emit();
     }
 
@@ -263,7 +277,7 @@ mod tests {
     use crate::sim::{Tag, TraceKind};
 
     fn sample_stream(sink: &mut dyn TraceSink) {
-        sink.begin(2, &CostModel::default());
+        sink.begin(2, &CostModel::default(), LinkModel::Contended);
         sink.span(NodeId::new(0), Some(1), 0.0);
         sink.event(&TraceEvent {
             time: 1.5,
@@ -282,6 +296,7 @@ mod tests {
             kind: TraceKind::Recv {
                 from: NodeId::new(0),
                 elements: 4,
+                wait: 0.75,
             },
         });
         sink.span(NodeId::new(0), None, 3.0);
@@ -316,13 +331,36 @@ mod tests {
     #[test]
     fn empty_run_serializes_cleanly() {
         let mut sink = BufferedSink::new();
-        sink.begin(0, &CostModel::paper_form());
+        sink.begin(0, &CostModel::paper_form(), LinkModel::Uncontended);
         sink.finish(&[]);
         let doc = super::super::json::Json::parse(&sink.to_json()).expect("valid JSON");
-        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(
+            doc.get("link_model").and_then(|v| v.as_str()),
+            Some("uncontended")
+        );
         assert_eq!(
             doc.get("events").and_then(|v| v.as_arr()).map(<[_]>::len),
             Some(0)
         );
+    }
+
+    #[test]
+    fn gz_run_files_decompress_to_the_plain_bytes() {
+        let dir = std::env::temp_dir().join(format!("sink_gz_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.json.gz");
+        {
+            let mut sink = StreamingSink::create(&path).expect("create");
+            sample_stream(&mut sink);
+        }
+        let mut plain = StreamingSink::new(Vec::new());
+        sample_stream(&mut plain);
+        let expect = plain.into_inner().unwrap();
+        let packed = std::fs::read(&path).expect("read");
+        assert!(super::super::gz::is_gzip(&packed));
+        assert!(packed.len() < expect.len());
+        assert_eq!(super::super::gz::gunzip(&packed).expect("gunzip"), expect);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,14 +16,15 @@
 //! executor with [`Engine::with_engine`] and are guaranteed identical
 //! simulated results either way.
 
-use super::frontier::CellCtx;
+use super::frontier::{CellCtx, CellRecord};
 use super::par::ParEngine;
 use super::sequential::SeqEngine;
 use super::trace::{Trace, TraceEvent, TraceKind};
-use super::{Comm, EngineKind, Tag};
+use super::{Comm, EngineKind, LinkModel, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::schedule::{reconstruct_inbox_peaks, reprice_full};
 use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, NodeObservation, RunObservation, SpanLog, SpanRecord};
 use crate::routing;
@@ -96,6 +97,7 @@ pub struct RunOutcome<T> {
     trace: Trace,
     dim: usize,
     cost: CostModel,
+    link_model: LinkModel,
 }
 
 impl<T> RunOutcome<T> {
@@ -104,12 +106,14 @@ impl<T> RunOutcome<T> {
         trace: Trace,
         dim: usize,
         cost: CostModel,
+        link_model: LinkModel,
     ) -> Self {
         RunOutcome {
             outcomes,
             trace,
             dim,
             cost,
+            link_model,
         }
     }
 
@@ -120,6 +124,7 @@ impl<T> RunOutcome<T> {
         RunObservation {
             dim: self.dim,
             cost: self.cost,
+            link_model: self.link_model,
             trace: self.trace.clone(),
             nodes: self
                 .outcomes
@@ -253,22 +258,33 @@ struct ThreadedCtx<K> {
     /// serializes records across node threads while keeping each node's
     /// own records in program order — the invariant replay relies on.
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    /// Per-node record capture for the contended post-pass (Some only
+    /// under [`LinkModel::Contended`] with a sink attached). The run
+    /// executes uncontended-internally; records are buffered here in
+    /// program order, re-priced after the join, and emitted to the sink in
+    /// canonical commit order — live streaming (`sink` above) is
+    /// suppressed while this is active.
+    capture: Option<Vec<CellRecord>>,
 }
 
 impl<K> ThreadedCtx<K> {
     /// Whether trace events need to be materialized at all (buffered
-    /// trace, attached sink, or both).
+    /// trace, attached sink, capture, or any combination).
     fn observing(&self) -> bool {
-        self.trace.is_some() || self.sink.is_some()
+        self.trace.is_some() || self.sink.is_some() || self.capture.is_some()
     }
 
-    /// Routes one trace event to the in-memory buffer and/or the sink.
+    /// Routes one trace event to the in-memory buffer, the sink and/or the
+    /// contended capture.
     fn emit_event(&mut self, ev: TraceEvent) {
         if let Some(trace) = &mut self.trace {
             trace.push(ev);
         }
         if let Some(sink) = &self.sink {
             sink.lock().expect("trace sink lock poisoned").event(&ev);
+        }
+        if let Some(capture) = &mut self.capture {
+            capture.push(CellRecord::Event(ev));
         }
     }
 
@@ -291,7 +307,7 @@ impl<K> ThreadedCtx<K> {
         // The sender's port is busy pushing the elements onto its first link.
         self.clock.advance(cost.transfer(data.len(), hops.min(1)));
         self.stats.record_message(data.len(), hops);
-        self.metrics.on_send(me, dst, data.len(), hops);
+        self.metrics.on_send(me, dst, data.len(), hops, &cost);
         if self.observing() {
             self.emit_event(TraceEvent {
                 time: self.clock.now(),
@@ -347,6 +363,10 @@ impl<K> ThreadedCtx<K> {
                 kind: TraceKind::Recv {
                     from: src,
                     elements: msg.data.len(),
+                    // The threaded engine always *executes* uncontended;
+                    // under Contended the post-pass re-prices these events
+                    // and fills the real waits.
+                    wait: 0.0,
                 },
             });
         }
@@ -439,6 +459,12 @@ impl<K> Comm<K> for NodeCtx<K> {
                         .expect("trace sink lock poisoned")
                         .span(self.me, Some(phase), now);
                 }
+                if let Some(capture) = &mut t.capture {
+                    capture.push(CellRecord::Span {
+                        phase: Some(phase),
+                        time: now,
+                    });
+                }
             }
             CtxInner::Cell(c) => c.span_enter(self.me, phase),
         }
@@ -453,6 +479,12 @@ impl<K> Comm<K> for NodeCtx<K> {
                     sink.lock()
                         .expect("trace sink lock poisoned")
                         .span(self.me, None, now);
+                }
+                if let Some(capture) = &mut t.capture {
+                    capture.push(CellRecord::Span {
+                        phase: None,
+                        time: now,
+                    });
                 }
             }
             CtxInner::Cell(c) => c.span_exit(self.me),
@@ -514,6 +546,7 @@ pub struct Engine {
     cost: CostModel,
     recv_timeout: Duration,
     router: RouterKind,
+    link_model: LinkModel,
     tracing: bool,
     kind: EngineKind,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
@@ -529,6 +562,7 @@ impl Engine {
             cost,
             recv_timeout: Duration::from_secs(30),
             router: RouterKind::default(),
+            link_model: LinkModel::default(),
             tracing: false,
             kind: EngineKind::default(),
             sink: None,
@@ -539,6 +573,17 @@ impl Engine {
     /// Selects the routing algorithm used to charge hops (builder style).
     pub fn with_router(mut self, router: RouterKind) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Selects the link pricing model (builder style). The default,
+    /// [`LinkModel::Uncontended`], prices every transfer as if its links
+    /// were private; [`LinkModel::Contended`] serializes messages on the
+    /// cube's shared directed links, and every receive records its
+    /// wait/transfer split. All executors produce identical simulated
+    /// results under either model.
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
         self
     }
 
@@ -617,6 +662,10 @@ impl Engine {
         self.router
     }
 
+    pub(super) fn link_model(&self) -> LinkModel {
+        self.link_model
+    }
+
     pub(super) fn tracing(&self) -> bool {
         self.tracing
     }
@@ -688,15 +737,23 @@ impl Engine {
             Arc::new((0..cube.len()).map(|_| InboxGauge::default()).collect());
 
         if let Some(sink) = &self.sink {
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .begin(cube.dim(), &self.cost);
+            sink.lock().expect("trace sink lock poisoned").begin(
+                cube.dim(),
+                &self.cost,
+                self.link_model,
+            );
         }
 
+        // Under Contended the run executes uncontended-internally (real
+        // channel timing cannot replay the deterministic link arbitration),
+        // with events force-traced and sink records captured per node; a
+        // post-pass below re-prices everything through the same
+        // schedule-replay code the offline tools use.
+        let contended = self.link_model == LinkModel::Contended;
         let mut outcomes: Vec<Option<NodeOutcome<T>>> = (0..cube.len()).map(|_| None).collect();
         let program = &program;
 
-        let traces = std::thread::scope(|scope| {
+        let (traces, mut captures) = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (i, (input, rx)) in inputs.into_iter().zip(rxs).enumerate() {
                 let (Some(input), Some(rx)) = (input, rx) else {
@@ -708,8 +765,9 @@ impl Engine {
                 let cost = self.cost;
                 let recv_timeout = self.recv_timeout;
                 let router = self.router;
-                let tracing = self.tracing;
-                let sink = self.sink.clone();
+                let tracing = self.tracing || contended;
+                let sink = (!contended).then(|| self.sink.clone()).flatten();
+                let capturing = contended && self.sink.is_some();
                 let handle = scope.spawn(move || {
                     let mut ctx = NodeCtx {
                         me: NodeId::from(i),
@@ -729,6 +787,7 @@ impl Engine {
                             metrics: NodeMetrics::new(cube.dim()),
                             gauges,
                             sink,
+                            capture: capturing.then(Vec::new),
                         })),
                     };
                     let result = run_to_completion(program(&mut ctx, input));
@@ -746,17 +805,22 @@ impl Engine {
                             metrics: t.metrics,
                         },
                         t.trace.unwrap_or_default(),
+                        t.capture,
                     )
                 });
                 handles.push(handle);
             }
             let mut traces = Vec::new();
+            let mut captures: Vec<(usize, Vec<CellRecord>)> = Vec::new();
             for handle in handles {
-                let (i, outcome, trace) = handle.join().expect("node program panicked");
+                let (i, outcome, trace, capture) = handle.join().expect("node program panicked");
                 outcomes[i] = Some(outcome);
                 traces.push(trace);
+                if let Some(capture) = capture {
+                    captures.push((i, capture));
+                }
             }
-            traces
+            (traces, captures)
         });
 
         // Channel high-water marks are only known once every thread is done.
@@ -765,6 +829,12 @@ impl Engine {
                 o.metrics.inbox_peak = gauges[i].peak();
             }
         }
+
+        let trace = if contended {
+            self.finish_contended(cube, &mut outcomes, traces, &mut captures)
+        } else {
+            Trace::assemble(traces)
+        };
 
         if let Some(sink) = &self.sink {
             let summaries: Vec<NodeSummary> = outcomes
@@ -786,9 +856,132 @@ impl Engine {
 
         RunOutcome {
             outcomes,
-            trace: Trace::assemble(traces),
+            trace,
             dim: cube.dim(),
             cost: self.cost,
+            link_model: self.link_model,
+        }
+    }
+
+    /// The threaded engine's contended post-pass: re-prices the internally
+    /// uncontended run through [`reprice_full`] — the exact code the live
+    /// frontier barrier and the offline repricer share — rewrites every
+    /// node outcome onto the contended timeline, replaces the
+    /// executor-dependent gauge peaks with the deterministic barrier
+    /// reconstruction, and emits the captured sink records in canonical
+    /// commit order. Returns the run's (contended-timeline) trace when
+    /// tracing was requested.
+    fn finish_contended<T>(
+        &self,
+        cube: Hypercube,
+        outcomes: &mut [Option<NodeOutcome<T>>],
+        traces: Vec<Vec<TraceEvent>>,
+        captures: &mut Vec<(usize, Vec<CellRecord>)>,
+    ) -> Trace {
+        let internal_obs = RunObservation {
+            dim: cube.dim(),
+            cost: self.cost,
+            link_model: LinkModel::Uncontended,
+            trace: Trace::assemble(traces),
+            nodes: outcomes
+                .iter()
+                .enumerate()
+                .map(|(i, o)| {
+                    o.as_ref().map(|o| NodeObservation {
+                        node: NodeId::from(i),
+                        clock: o.clock,
+                        stats: o.stats,
+                        spans: o.spans.clone(),
+                        metrics: o.metrics.clone(),
+                    })
+                })
+                .collect(),
+        };
+
+        if internal_obs.trace.is_empty() {
+            // No events at all: contended and uncontended timelines are
+            // identical (no messages crossed a link). Flush any captured
+            // span records as-is, in node order.
+            if let Some(sink) = &self.sink {
+                let mut sink = sink.lock().expect("trace sink lock poisoned");
+                for (i, records) in captures.drain(..) {
+                    for rec in records {
+                        match rec {
+                            CellRecord::Event(ev) => sink.event(&ev),
+                            CellRecord::Span { phase, time } => {
+                                sink.span(NodeId::from(i), phase, time)
+                            }
+                        }
+                    }
+                }
+            }
+            return Trace::default();
+        }
+
+        let rp = reprice_full(&internal_obs, self.cost, LinkModel::Contended)
+            .expect("trace is non-empty");
+        let peaks = reconstruct_inbox_peaks(internal_obs.trace.events(), &rp.rounds, cube.len());
+        for (i, o) in outcomes.iter_mut().enumerate() {
+            if let (Some(o), Some(nb)) = (o.as_mut(), rp.obs.nodes[i].as_ref()) {
+                o.clock = nb.clock;
+                o.spans = nb.spans.clone();
+                o.metrics = nb.metrics.clone();
+                o.metrics.inbox_peak = peaks[i];
+            }
+        }
+
+        if let Some(sink) = &self.sink {
+            // k-th event of node n in the assembled trace is node n's k-th
+            // captured event: the stable (time, node) sort preserves each
+            // node's program order (per-node times are non-decreasing).
+            let events = internal_obs.trace.events();
+            let mut node_events: Vec<Vec<usize>> = vec![Vec::new(); cube.len()];
+            for (idx, e) in events.iter().enumerate() {
+                node_events[e.node.index()].push(idx);
+            }
+            // A span boundary is flushed at the barrier of the poll that
+            // produced it — the round of the preceding event (every poll
+            // after round 0 begins by completing a receive, so a span can
+            // only precede all events of its poll in round 0).
+            let mut out: Vec<(u32, usize, CellRecord)> = Vec::new();
+            for (n, records) in captures.drain(..) {
+                let mut k = 0usize;
+                let mut round = 0u32;
+                for rec in records {
+                    match rec {
+                        CellRecord::Event(_) => {
+                            let idx = node_events[n][k];
+                            k += 1;
+                            round = rp.rounds[idx];
+                            out.push((round, n, CellRecord::Event(rp.new_events[idx])));
+                        }
+                        CellRecord::Span { phase, time } => {
+                            out.push((
+                                round,
+                                n,
+                                CellRecord::Span {
+                                    phase,
+                                    time: rp.map_time(n, time),
+                                },
+                            ));
+                        }
+                    }
+                }
+            }
+            out.sort_by_key(|&(round, node, _)| (round, node));
+            let mut sink = sink.lock().expect("trace sink lock poisoned");
+            for (_, n, rec) in out {
+                match rec {
+                    CellRecord::Event(ev) => sink.event(&ev),
+                    CellRecord::Span { phase, time } => sink.span(NodeId::from(n), phase, time),
+                }
+            }
+        }
+
+        if self.tracing {
+            rp.obs.trace
+        } else {
+            Trace::default()
         }
     }
 }
@@ -1035,7 +1228,7 @@ mod tests {
                 };
                 assert!(trace.for_node(to).any(|e| matches!(
                     e.kind,
-                    TraceKind::Recv { from, elements: el } if from == s.node && el == elements
+                    TraceKind::Recv { from, elements: el, .. } if from == s.node && el == elements
                 )));
             }
         }

@@ -25,9 +25,10 @@
 
 use super::engine::{trace_capacity, NodeOutcome, RunOutcome};
 use super::trace::{Trace, TraceEvent, TraceKind};
-use super::Tag;
+use super::{LinkModel, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
+use crate::obs::schedule::LinkLedger;
 use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, SpanLog};
 use crate::stats::RunStats;
@@ -48,6 +49,13 @@ pub(super) struct SimMessage<K> {
     pub(super) data: Vec<K>,
     pub(super) sent_at: f64,
     pub(super) hops: u32,
+    /// Link-scheduled arrival time, stamped by the commit barrier under
+    /// [`LinkModel::Contended`]. NaN under [`LinkModel::Uncontended`],
+    /// where the receiver prices the transfer itself — keeping that path's
+    /// float operations identical to the pre-contention engine.
+    pub(super) arrival: f64,
+    /// Time spent queued behind busy links, µs (0 when uncontended).
+    pub(super) wait: f64,
 }
 
 /// An observability record buffered in its node's cell until the barrier
@@ -172,7 +180,7 @@ impl<K> CellCtx<K> {
         // The sender's port is busy pushing the elements onto its first link.
         cell.clock.advance(cost.transfer(data.len(), hops.min(1)));
         cell.stats.record_message(data.len(), hops);
-        cell.metrics.on_send(me, dst, data.len(), hops);
+        cell.metrics.on_send(me, dst, data.len(), hops, &cost);
         if cell.observing() {
             let ev = TraceEvent {
                 time: cell.clock.now(),
@@ -194,6 +202,8 @@ impl<K> CellCtx<K> {
             data,
             sent_at,
             hops,
+            arrival: f64::NAN,
+            wait: 0.0,
         });
     }
 
@@ -211,10 +221,18 @@ impl<K> CellCtx<K> {
                     let msg = cell.inbox.remove(i);
                     cell.waiting = None;
                     let before = cell.clock.now();
-                    cell.clock
-                        .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+                    if msg.arrival.is_nan() {
+                        // Uncontended: the receiver prices the wire itself.
+                        cell.clock
+                            .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
+                    } else {
+                        // Contended: the commit barrier's link ledger already
+                        // decided when this message lands.
+                        cell.clock.receive_at(msg.arrival);
+                    }
                     // Any forward jump is time spent waiting on the wire.
                     cell.metrics.blocked_us += cell.clock.now() - before;
+                    cell.metrics.link_wait_us += msg.wait;
                     cell.metrics.msgs_received += 1;
                     if cell.observing() {
                         let ev = TraceEvent {
@@ -224,6 +242,7 @@ impl<K> CellCtx<K> {
                             kind: TraceKind::Recv {
                                 from: src,
                                 elements: msg.data.len(),
+                                wait: msg.wait,
                             },
                         };
                         cell.emit(ev);
@@ -308,14 +327,25 @@ impl Future for PendOnce {
 /// warm rounds allocate nothing.
 pub(super) struct RoundCommitter<K> {
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    /// Present under [`LinkModel::Contended`]: the shared-link busy clocks
+    /// that stamp each delivered message's arrival and wait.
+    ledger: Option<LinkLedger>,
+    cost: CostModel,
     msgs: Vec<SimMessage<K>>,
     recs: Vec<CellRecord>,
 }
 
 impl<K> RoundCommitter<K> {
-    pub(super) fn new(sink: Option<Arc<Mutex<dyn TraceSink>>>) -> Self {
+    pub(super) fn new(
+        sink: Option<Arc<Mutex<dyn TraceSink>>>,
+        link_model: LinkModel,
+        dim: usize,
+        cost: CostModel,
+    ) -> Self {
         RoundCommitter {
             sink,
+            ledger: (link_model == LinkModel::Contended).then(|| LinkLedger::new(dim, 1 << dim)),
+            cost,
             msgs: Vec::new(),
             recs: Vec::new(),
         }
@@ -351,7 +381,22 @@ impl<K> RoundCommitter<K> {
                     }
                 }
             }
-            for msg in self.msgs.drain(..) {
+            for mut msg in self.msgs.drain(..) {
+                if let Some(ledger) = &mut self.ledger {
+                    // Links are acquired in commit order — ascending ran
+                    // node, then per-node outbox (program) order — which is
+                    // the deterministic arbitration rule schema v2 records.
+                    let (arrival, wait) = ledger.acquire(
+                        msg.src,
+                        msg.dst,
+                        msg.data.len(),
+                        msg.hops,
+                        msg.sent_at,
+                        &self.cost,
+                    );
+                    msg.arrival = arrival;
+                    msg.wait = wait;
+                }
                 let mut dst = cells[msg.dst.index()]
                     .lock()
                     .expect("node cell lock poisoned");
@@ -403,6 +448,7 @@ pub(super) fn collect_run<K, T>(
     sink: &Option<Arc<Mutex<dyn TraceSink>>>,
     dim: usize,
     cost: CostModel,
+    link_model: LinkModel,
 ) -> RunOutcome<T> {
     let mut outcomes: Vec<Option<NodeOutcome<T>>> = Vec::with_capacity(cells.len());
     let mut traces = Vec::new();
@@ -446,5 +492,5 @@ pub(super) fn collect_run<K, T>(
             .expect("trace sink lock poisoned")
             .finish(&summaries);
     }
-    RunOutcome::new(outcomes, Trace::assemble(traces), dim, cost)
+    RunOutcome::new(outcomes, Trace::assemble(traces), dim, cost, link_model)
 }

@@ -85,6 +85,53 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// How messages are charged for the links they cross.
+///
+/// The default reproduces the paper's closed-form analysis: every link has
+/// infinite capacity, so a message's arrival is `sent_at + transfer` no
+/// matter what else is in flight. [`LinkModel::Contended`] instead serializes
+/// the messages of each *directed link* (one per `(node, dimension)` pair):
+/// a message must wait for the link's `busy_until` clock before its transfer
+/// starts, and the wait is accounted separately from the transfer in every
+/// trace record, report and Perfetto export.
+///
+/// Contended arbitration is deterministic: links are acquired at the round
+/// barrier in (round, node-id, program-order) order — the same order the
+/// [`frontier`](self) core already commits sends in — so virtual time remains
+/// a pure function of the input on every engine (see DESIGN §6).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, Debug, Default, serde::Serialize, serde::Deserialize,
+)]
+pub enum LinkModel {
+    /// Infinite link capacity: arrival = `sent_at + transfer`. The paper's
+    /// model and the default — all baselines are priced under it.
+    #[default]
+    Uncontended,
+    /// One message at a time per directed link; queueing waits are recorded
+    /// per message and surfaced as `wait` in traces, reports and run files.
+    Contended,
+}
+
+impl LinkModel {
+    /// Parses the CLI spelling (`uncontended` | `contended`).
+    pub fn parse(s: &str) -> Option<LinkModel> {
+        match s {
+            "uncontended" | "none" => Some(LinkModel::Uncontended),
+            "contended" | "queued" => Some(LinkModel::Contended),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LinkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkModel::Uncontended => write!(f, "uncontended"),
+            LinkModel::Contended => write!(f, "contended"),
+        }
+    }
+}
+
 /// A message tag disambiguating algorithm phases.
 ///
 /// Receives are addressed by `(source, tag)`; messages from the same source
@@ -212,6 +259,21 @@ mod tests {
         // compare_split_remote reserves the top two tag bits for its rounds
         let t = Tag::phase(u16::MAX, u16::MAX, u16::MAX);
         assert_eq!(t.0 >> 62, 0);
+    }
+
+    #[test]
+    fn link_model_parses_cli_spellings() {
+        assert_eq!(LinkModel::parse("contended"), Some(LinkModel::Contended));
+        assert_eq!(LinkModel::parse("queued"), Some(LinkModel::Contended));
+        assert_eq!(
+            LinkModel::parse("uncontended"),
+            Some(LinkModel::Uncontended)
+        );
+        assert_eq!(LinkModel::parse("none"), Some(LinkModel::Uncontended));
+        assert_eq!(LinkModel::parse("infinite"), None);
+        assert_eq!(LinkModel::Contended.to_string(), "contended");
+        assert_eq!(LinkModel::Uncontended.to_string(), "uncontended");
+        assert_eq!(LinkModel::default(), LinkModel::Uncontended);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::fault::FaultSet;
 use crate::obs::sink::TraceSink;
-use crate::sim::RouterKind;
+use crate::sim::{LinkModel, RouterKind};
 use crate::topology::Hypercube;
 use std::future::Future;
 use std::pin::Pin;
@@ -135,6 +135,7 @@ pub struct ParEngine {
     faults: Arc<FaultSet>,
     cost: CostModel,
     router: RouterKind,
+    link_model: LinkModel,
     tracing: bool,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     workers: usize,
@@ -148,6 +149,7 @@ impl ParEngine {
             faults: Arc::new(faults),
             cost,
             router: RouterKind::default(),
+            link_model: LinkModel::default(),
             tracing: false,
             sink: None,
             workers: default_workers(),
@@ -162,6 +164,15 @@ impl ParEngine {
     /// Selects the routing algorithm used to charge hops (builder style).
     pub fn with_router(mut self, router: RouterKind) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Selects the link pricing model (builder style); see
+    /// [`SeqEngine::with_link_model`].
+    ///
+    /// [`SeqEngine::with_link_model`]: super::sequential::SeqEngine::with_link_model
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
         self
     }
 
@@ -190,6 +201,7 @@ impl ParEngine {
             faults: engine.faults_arc(),
             cost: engine.cost_model(),
             router: engine.router(),
+            link_model: engine.link_model(),
             tracing: engine.tracing(),
             sink: engine.sink(),
             workers: engine.workers().unwrap_or_else(default_workers).max(1),
@@ -236,9 +248,11 @@ impl ParEngine {
         validate_inputs(&self.faults, &inputs);
 
         if let Some(sink) = &self.sink {
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .begin(cube.dim(), &self.cost);
+            sink.lock().expect("trace sink lock poisoned").begin(
+                cube.dim(),
+                &self.cost,
+                self.link_model,
+            );
         }
 
         let (cells, participation) =
@@ -297,7 +311,8 @@ impl ParEngine {
             let mut round = participants.clone();
             let mut alive = participants;
             let mut next: Vec<usize> = Vec::new();
-            let mut committer = RoundCommitter::new(self.sink.clone());
+            let mut committer =
+                RoundCommitter::new(self.sink.clone(), self.link_model, cube.dim(), self.cost);
             while !round.is_empty() {
                 {
                     let mut st = sync.lock();
@@ -327,7 +342,14 @@ impl ParEngine {
         });
 
         let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
-        collect_run(cells, results, &self.sink, cube.dim(), self.cost)
+        collect_run(
+            cells,
+            results,
+            &self.sink,
+            cube.dim(),
+            self.cost,
+            self.link_model,
+        )
     }
 }
 

@@ -31,7 +31,7 @@ use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::fault::FaultSet;
 use crate::obs::sink::TraceSink;
-use crate::sim::RouterKind;
+use crate::sim::{LinkModel, RouterKind};
 use crate::topology::Hypercube;
 use std::future::Future;
 use std::pin::Pin;
@@ -51,6 +51,7 @@ pub struct SeqEngine {
     faults: Arc<FaultSet>,
     cost: CostModel,
     router: RouterKind,
+    link_model: LinkModel,
     tracing: bool,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
 }
@@ -63,6 +64,7 @@ impl SeqEngine {
             faults: Arc::new(faults),
             cost,
             router: RouterKind::default(),
+            link_model: LinkModel::default(),
             tracing: false,
             sink: None,
         }
@@ -76,6 +78,14 @@ impl SeqEngine {
     /// Selects the routing algorithm used to charge hops (builder style).
     pub fn with_router(mut self, router: RouterKind) -> Self {
         self.router = router;
+        self
+    }
+
+    /// Selects the link pricing model (builder style). Under
+    /// [`LinkModel::Contended`] the commit barrier serializes messages on
+    /// shared directed links and receives record wait/transfer separately.
+    pub fn with_link_model(mut self, link_model: LinkModel) -> Self {
+        self.link_model = link_model;
         self
     }
 
@@ -98,6 +108,7 @@ impl SeqEngine {
             faults: engine.faults_arc(),
             cost: engine.cost_model(),
             router: engine.router(),
+            link_model: engine.link_model(),
             tracing: engine.tracing(),
             sink: engine.sink(),
         }
@@ -133,9 +144,11 @@ impl SeqEngine {
         validate_inputs(&self.faults, &inputs);
 
         if let Some(sink) = &self.sink {
-            sink.lock()
-                .expect("trace sink lock poisoned")
-                .begin(cube.dim(), &self.cost);
+            sink.lock().expect("trace sink lock poisoned").begin(
+                cube.dim(),
+                &self.cost,
+                self.link_model,
+            );
         }
 
         let (cells, participation) =
@@ -170,7 +183,8 @@ impl SeqEngine {
         let mut results: Vec<Option<T>> = (0..cube.len()).map(|_| None).collect();
         let mut alive = round.clone();
         let mut next: Vec<usize> = Vec::new();
-        let mut committer = RoundCommitter::new(self.sink.clone());
+        let mut committer =
+            RoundCommitter::new(self.sink.clone(), self.link_model, cube.dim(), self.cost);
         let mut poll_cx = Context::from_waker(Waker::noop());
         while !round.is_empty() {
             for &i in &round {
@@ -203,7 +217,14 @@ impl SeqEngine {
 
         // Release the contexts' Arc references so the cells unwrap cleanly.
         drop(tasks);
-        collect_run(cells, results, &self.sink, cube.dim(), self.cost)
+        collect_run(
+            cells,
+            results,
+            &self.sink,
+            cube.dim(),
+            self.cost,
+            self.link_model,
+        )
     }
 }
 

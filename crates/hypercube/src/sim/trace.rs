@@ -27,6 +27,9 @@ pub enum TraceKind {
         from: NodeId,
         /// Keys carried.
         elements: usize,
+        /// Time the message spent queued behind busy links, µs — always
+        /// `0.0` under [`super::LinkModel::Uncontended`].
+        wait: f64,
     },
     /// Local comparisons were charged.
     Compute {

@@ -84,7 +84,7 @@ fn main() {
             TraceKind::Send { to, elements, hops } => {
                 format!("send → P{:<2}  {elements} keys, {hops} hop(s)", to.raw())
             }
-            TraceKind::Recv { from, elements } => {
+            TraceKind::Recv { from, elements, .. } => {
                 format!("recv ← P{:<2}  {elements} keys", from.raw())
             }
             TraceKind::Compute { comparisons } => format!("compute    {comparisons} comparisons"),
@@ -116,6 +116,13 @@ fn main() {
                 seg.begin,
                 seg.end,
                 seg.from.expect("transfer has a sender").raw(),
+                seg.node.raw()
+            ),
+            SegmentKind::Wait => println!(
+                "  {:>8.1} – {:>8.1} µs  P{} → P{} link wait",
+                seg.begin,
+                seg.end,
+                seg.from.expect("wait has a sender").raw(),
                 seg.node.raw()
             ),
         }

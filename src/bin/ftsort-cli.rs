@@ -5,12 +5,14 @@
 //! ```text
 //! ftsort-cli partition   --n 5 --faults 3,5,16,24
 //! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq|par]
-//!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json]
+//!                        [--link-model uncontended|contended]
+//!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json[.gz]]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
 //! ftsort-cli trace-check --trace trace.json --metrics report.json
 //! ftsort-cli replay      --trace run.json [--recost default|paper|t_sr=..,t_c=..,t_startup=..]
+//!                        [--link-model uncontended|contended]
 //!                        [--metrics-out report.json] [--trace-out trace.json]
 //!                        [--run-out run.json] [--critical-path] [--width 72]
 //! ftsort-cli trace-diff  --a run_a.json --b run_b.json
@@ -19,14 +21,19 @@
 //! `--trace-out` writes Chrome-trace-event JSON loadable in
 //! <https://ui.perfetto.dev>; `--metrics-out` writes the aggregate
 //! [`RunReport`](hypercube::obs::RunReport); `--run-out` streams a
-//! replayable run file to disk as the engine emits events (O(1) memory).
+//! replayable run file to disk as the engine emits events (O(1) memory) —
+//! a `.gz` suffix gzip-compresses it on the fly, and `replay`/`trace-diff`
+//! sniff the compression back off by magic bytes.
 //! `trace-check` re-parses the exports and validates trace invariants
 //! (used by CI as an end-to-end check of the observability pipeline).
 //! `replay` rebuilds the full observation from a run file offline — the
 //! report, Perfetto export and critical-path analysis it produces are
-//! byte-identical to the live run's. `trace-diff` aligns two runs'
+//! byte-identical to the live run's. `--recost` / `--link-model` re-price
+//! the recorded schedule under a different cost model and/or link model;
+//! because the sorts are data-oblivious the result is bit-identical to a
+//! live run under the target pricing. `trace-diff` aligns two runs'
 //! critical paths and attributes the makespan delta to (phase, link)
-//! segments.
+//! segments — including `wait dim j` buckets for contended runs.
 
 use ftsort::prelude::*;
 use hypercube::diagnosis::Syndrome;
@@ -167,6 +174,15 @@ fn partition_cmd(faults: &FaultSet) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_link_model(flags: &HashMap<String, String>) -> Result<Option<LinkModel>, String> {
+    match flags.get("link-model") {
+        None => Ok(None),
+        Some(s) => LinkModel::parse(s)
+            .map(Some)
+            .ok_or_else(|| format!("unknown link model '{s}' (uncontended|contended)")),
+    }
+}
+
 fn parse_protocol(flags: &HashMap<String, String>) -> Result<Protocol, String> {
     match flags.get("protocol").map(String::as_str) {
         Some("full") => Ok(Protocol::FullExchange),
@@ -189,6 +205,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         Some(s) => EngineKind::parse(s)
             .ok_or_else(|| format!("unknown engine '{s}' (threaded|seq|par)"))?,
     };
+    let link_model = parse_link_model(flags)?.unwrap_or_default();
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
@@ -199,6 +216,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         protocol,
         step8,
         engine,
+        link_model,
         include_host_io: flags.contains_key("host-io"),
         tracing: trace_out.is_some(),
         ..FtConfig::default()
@@ -238,6 +256,10 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     println!("messages       : {:>12}", out.stats.messages);
     println!("element·hops   : {:>12}", out.stats.element_hops);
     println!("comparisons    : {:>12}", out.stats.comparisons);
+    if link_model == LinkModel::Contended {
+        let wait: f64 = obs.participants().map(|n| n.metrics.link_wait_us).sum();
+        println!("link wait      : {:>12.1} ms", wait / 1000.0);
+    }
     if let Some(path) = trace_out {
         let json = hypercube::obs::perfetto::perfetto_json(&obs, &phase_name);
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
@@ -263,14 +285,13 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
 /// under a different [`CostModel`](hypercube::cost::CostModel) (see
 /// [`recost`](hypercube::obs::replay::recost)); the analyzers then run on
 /// the re-priced observation, and `--run-out` writes it back as a run
-/// file.
+/// file. `--link-model` re-prices the schedule under a different link
+/// model (contended ↔ uncontended), composably with `--recost`.
 fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     let path = flags
         .get("trace")
         .ok_or("replay needs --trace FILE (a run file from sort --run-out)")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let obs =
-        hypercube::obs::replay::observation_from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let obs = hypercube::obs::replay::observation_from_file(path)?;
     println!(
         "replayed {path}: Q{} run, {} participants, {} trace events, makespan {:.1} us",
         obs.dim,
@@ -278,12 +299,24 @@ fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         obs.trace.events().len(),
         obs.makespan()
     );
-    let obs = match flags.get("recost") {
-        None => obs,
-        Some(spec) => {
-            let target = parse_cost_spec(spec, obs.cost)?;
-            let repriced =
-                hypercube::obs::replay::recost(&obs, target).map_err(|e| format!("{path}: {e}"))?;
+    let new_model = parse_link_model(flags)?;
+    let obs = match (flags.get("recost"), new_model) {
+        (None, None) => obs,
+        (spec, model) => {
+            let target = match spec {
+                None => obs.cost,
+                Some(spec) => parse_cost_spec(spec, obs.cost)?,
+            };
+            let model = model.unwrap_or(obs.link_model);
+            let repriced = if model == obs.link_model {
+                hypercube::obs::replay::recost(&obs, target)
+            } else {
+                hypercube::obs::schedule::reprice(&obs, target, model)
+            }
+            .map_err(|e| format!("{path}: {e}"))?;
+            if model != obs.link_model {
+                println!("link model     : {} -> {}", obs.link_model, model);
+            }
             println!(
                 "recosted       : (t_sr {}, t_c {}, t_startup {}) -> (t_sr {}, t_c {}, t_startup {}), makespan {:.1} -> {:.1} us",
                 obs.cost.t_sr,
@@ -299,8 +332,8 @@ fn replay_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
     if let Some(out) = flags.get("run-out") {
-        let json = hypercube::obs::replay::run_to_json(&obs);
-        std::fs::write(out, json).map_err(|e| format!("writing {out}: {e}"))?;
+        hypercube::obs::replay::write_run_file(&obs, out)
+            .map_err(|e| format!("writing {out}: {e}"))?;
         println!("run written    : {out} (ftsort-cli replay --trace {out})");
     }
     if let Some(out) = flags.get("metrics-out") {
@@ -372,9 +405,7 @@ fn trace_diff_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         let path = flags
             .get(key)
             .ok_or(format!("trace-diff needs --{key} FILE"))?;
-        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let obs = hypercube::obs::replay::observation_from_json(&text)
-            .map_err(|e| format!("{path}: {e}"))?;
+        let obs = hypercube::obs::replay::observation_from_file(path)?;
         let cp = CriticalPath::compute(&obs)
             .ok_or(format!("{path}: no trace events — was the sort traced?"))?;
         Ok((

@@ -197,6 +197,155 @@ fn replay_rejects_bad_recost_spec() {
 }
 
 #[test]
+fn sort_contended_prints_link_wait() {
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2,9",
+            "--m",
+            "2000",
+            "--link-model",
+            "contended",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("link wait"), "{text}");
+
+    // the uncontended summary never mentions waits, and bogus models fail
+    let out = cli()
+        .args(["sort", "--n", "4", "--faults", "2,9", "--m", "2000"])
+        .output()
+        .expect("binary runs");
+    assert!(!String::from_utf8(out.stdout).unwrap().contains("link wait"));
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "3",
+            "--faults",
+            "1",
+            "--m",
+            "100",
+            "--link-model",
+            "psychic",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown link model"), "{err}");
+}
+
+#[test]
+fn replay_reprices_across_link_models_and_gzip() {
+    // sort --run-out foo.jsonl.gz (gzipped, uncontended) → replay
+    // --link-model contended → replay the contended file back down:
+    // the makespans must return to the original value.
+    let dir = std::env::temp_dir();
+    let run = dir.join("ftsort_cli_linkmodel_run.jsonl.gz");
+    let contended = dir.join("ftsort_cli_linkmodel_con.jsonl.gz");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2,9",
+            "--m",
+            "2000",
+            "--run-out",
+            run.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&run).expect("run file written");
+    assert_eq!(&bytes[..2], &[0x1f, 0x8b], "--run-out *.gz must gzip");
+
+    let makespan_of = |text: &str, idx: usize| -> f64 {
+        text.lines()
+            .filter(|l| l.starts_with("replayed"))
+            .nth(idx)
+            .and_then(|l| l.split("makespan ").nth(1))
+            .and_then(|l| l.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("no makespan in {text}"))
+    };
+    let out = cli()
+        .args([
+            "replay",
+            "--trace",
+            run.to_str().unwrap(),
+            "--link-model",
+            "contended",
+            "--run-out",
+            contended.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("link model     : uncontended -> contended"),
+        "{text}"
+    );
+    let original = makespan_of(&text, 0);
+
+    let out = cli()
+        .args([
+            "replay",
+            "--trace",
+            contended.to_str().unwrap(),
+            "--link-model",
+            "uncontended",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("link model     : contended -> uncontended"),
+        "{text}"
+    );
+    let contended_makespan = makespan_of(&text, 0);
+    assert!(contended_makespan > original, "{text}");
+    let down = text
+        .lines()
+        .find(|l| l.starts_with("recosted"))
+        .and_then(|l| l.split("-> ").last())
+        .and_then(|l| l.split(' ').next())
+        .and_then(|s| s.parse::<f64>().ok())
+        .expect("recosted line");
+    assert_eq!(
+        down, original,
+        "re-pricing back down must restore the makespan"
+    );
+    let _ = std::fs::remove_file(&run);
+    let _ = std::fs::remove_file(&contended);
+}
+
+#[test]
 fn sort_rejects_unknown_engine() {
     let out = cli()
         .args([

@@ -18,7 +18,7 @@ use ftsort::ftsort::{
 };
 use hypercube::fault::FaultSet;
 use hypercube::obs::sink::{StreamingSink, TraceSink};
-use hypercube::sim::EngineKind;
+use hypercube::sim::{EngineKind, LinkModel};
 use hypercube::topology::Hypercube;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,6 +105,82 @@ fn engines_agree_on_64_random_instances() {
                 seq_bytes == par_bytes,
                 "streamed TraceSink output differs seq vs par — {tag}"
             );
+            assert!(!seq_bytes.is_empty(), "sink saw no records — {tag}");
+        }
+    }
+}
+
+/// The contended link model must not break engine equivalence: across
+/// ≥ 64 random instances the three engines produce byte-identical sorted
+/// output, virtual times (waits included) and counters — and, because the
+/// threaded engine re-emits its sink records through the schedule
+/// replayer in canonical (round, node) order, its streamed v2 run file is
+/// byte-identical to the frontier engines' too.
+#[test]
+fn engines_agree_under_contended_link_model() {
+    let mut rng = StdRng::seed_from_u64(0xc0a7_e57ed);
+    for case in 0..64 {
+        let n = rng.random_range(2usize..=7);
+        let r = rng.random_range(0usize..n);
+        let m = rng.random_range(0usize..3_000);
+        let faults = FaultSet::random(Hypercube::new(n), r, &mut rng);
+        let plan = FtPlan::new(&faults).expect("r ≤ n−1 tolerable");
+        let data: Vec<u64> = (0..m).map(|_| rng.random()).collect();
+        let protocol = if case % 2 == 0 {
+            Protocol::HalfExchange
+        } else {
+            Protocol::FullExchange
+        };
+        let host_io = case % 3 == 0;
+        let config = |engine: EngineKind| FtConfig {
+            protocol,
+            include_host_io: host_io,
+            engine,
+            link_model: LinkModel::Contended,
+            ..FtConfig::default()
+        };
+        let run = |engine: EngineKind| {
+            fault_tolerant_sort_configured(&plan, &config(engine), data.clone())
+        };
+        let seq = run(EngineKind::Seq);
+        let tag = format!(
+            "case {case}: n={n} r={r} m={m} {protocol:?} host_io={host_io} contended \
+             faults={:?}",
+            faults.to_vec()
+        );
+        for kind in [EngineKind::Threaded, EngineKind::Par] {
+            let other = run(kind);
+            assert_eq!(
+                seq.sorted, other.sorted,
+                "sorted output differs seq vs {kind} — {tag}"
+            );
+            assert_eq!(
+                seq.time_us.to_bits(),
+                other.time_us.to_bits(),
+                "virtual time differs seq vs {kind} ({} vs {}) — {tag}",
+                seq.time_us,
+                other.time_us
+            );
+            assert_eq!(
+                seq.stats, other.stats,
+                "operation counters differ seq vs {kind} — {tag}"
+            );
+        }
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        assert_eq!(seq.sorted, expect, "not actually sorted — {tag}");
+
+        // Every 8th instance: all three engines' streamed v2 run files
+        // are the same bytes, threaded included.
+        if case % 8 == 0 {
+            let seq_bytes = streamed_bytes(&plan, &config(EngineKind::Seq), data.clone());
+            for kind in [EngineKind::Par, EngineKind::Threaded] {
+                let other_bytes = streamed_bytes(&plan, &config(kind), data.clone());
+                assert!(
+                    seq_bytes == other_bytes,
+                    "streamed v2 run file differs seq vs {kind} — {tag}"
+                );
+            }
             assert!(!seq_bytes.is_empty(), "sink saw no records — {tag}");
         }
     }

@@ -15,15 +15,24 @@ use hypercube::obs::diff::{diff_profiles, SegmentProfile};
 use hypercube::obs::json::{trace_from_json, trace_to_json, Json};
 use hypercube::obs::perfetto::perfetto_json;
 use hypercube::obs::replay::{observation_from_json, recost, run_to_json};
+use hypercube::obs::schedule::reprice;
 use hypercube::obs::sink::{BufferedSink, StreamingSink, TraceSink};
 use hypercube::obs::{RunObservation, RunReport};
-use hypercube::sim::EngineKind;
+use hypercube::sim::{EngineKind, LinkModel};
 use hypercube::topology::Hypercube;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::{Arc, Mutex};
 
 fn observed(engine: EngineKind, host_io: bool) -> (PhaseBreakdown, RunObservation) {
+    observed_with(engine, host_io, LinkModel::Uncontended)
+}
+
+fn observed_with(
+    engine: EngineKind,
+    host_io: bool,
+    link_model: LinkModel,
+) -> (PhaseBreakdown, RunObservation) {
     let faults = FaultSet::from_raw(Hypercube::new(4), &[2, 9]);
     let plan = FtPlan::new(&faults).expect("tolerable");
     let mut rng = StdRng::seed_from_u64(0x0b5e_11e5);
@@ -31,6 +40,7 @@ fn observed(engine: EngineKind, host_io: bool) -> (PhaseBreakdown, RunObservatio
     let config = FtConfig {
         engine,
         include_host_io: host_io,
+        link_model,
         tracing: true,
         ..FtConfig::default()
     };
@@ -333,6 +343,123 @@ fn recost_matches_a_live_run_under_the_target_model() {
         run_to_json(&same),
         run_to_json(&base),
         "identity recost drifted"
+    );
+}
+
+#[test]
+fn cross_model_reprice_matches_live_runs_bit_exactly() {
+    // The contended link model is a pure function of the data-oblivious
+    // schedule, so re-pricing a run across link models must reproduce a
+    // live run under the target model bit for bit — in both directions,
+    // and composably with the run-file round trip.
+    let (_, unc) = observed_with(EngineKind::Seq, false, LinkModel::Uncontended);
+    let (_, con) = observed_with(EngineKind::Seq, false, LinkModel::Contended);
+    assert!(
+        con.makespan() > unc.makespan(),
+        "a Q4 sort has link conflicts, so contention must cost time"
+    );
+
+    let up = reprice(&unc, unc.cost, LinkModel::Contended).expect("traced");
+    assert_eq!(
+        run_to_json(&up),
+        run_to_json(&con),
+        "uncontended -> contended reprice diverged from the live run"
+    );
+    let down = reprice(&con, con.cost, LinkModel::Uncontended).expect("traced");
+    assert_eq!(
+        run_to_json(&down),
+        run_to_json(&unc),
+        "contended -> uncontended reprice diverged from the live run"
+    );
+
+    // recost on a contended run preserves the model (identity here)
+    let same = recost(&con, con.cost).expect("traced");
+    assert_eq!(
+        run_to_json(&same),
+        run_to_json(&con),
+        "identity recost drifted on a contended run"
+    );
+
+    // and the v2 run file round-trips the contended observation exactly
+    let replayed = observation_from_json(&run_to_json(&con)).expect("replays");
+    assert_eq!(replayed.link_model, LinkModel::Contended);
+    assert_eq!(
+        replayed.report(&phase_name).to_json(),
+        con.report(&phase_name).to_json(),
+        "replayed contended report drifted"
+    );
+}
+
+#[test]
+fn contended_report_and_perfetto_carry_wait_accounting() {
+    let (_, con) = observed_with(EngineKind::Seq, false, LinkModel::Contended);
+    let report = con.report(&phase_name);
+    assert_eq!(report.link_model, LinkModel::Contended);
+    let total_wait: f64 = report.nodes.iter().map(|n| n.link_wait_us).sum();
+    assert!(total_wait > 0.0, "a Q4 sort must queue somewhere");
+    let back = RunReport::from_json(&report.to_json()).expect("parses");
+    assert_eq!(
+        report, back,
+        "contended report JSON round-trip must be exact"
+    );
+
+    // the Perfetto export stays structurally valid and gains per-dim link
+    // occupancy/queue counter tracks plus wait args on flow starts
+    let text = perfetto_json(&con, &phase_name);
+    let doc = Json::parse(&text).expect("valid JSON");
+    let check = hypercube::obs::perfetto::validate_chrome_trace(&doc).expect("structurally valid");
+    assert!(check.flows > 0 && check.counters > 0);
+    assert!(
+        text.contains("link dim 0 busy"),
+        "occupancy counter missing"
+    );
+    assert!(text.contains("link dim 0 queue"), "queue counter missing");
+    assert!(text.contains("\"wait\":"), "flow wait args missing");
+
+    // uncontended exports never mention waits or link tracks
+    let (_, unc) = observed(EngineKind::Seq, false);
+    let unc_text = perfetto_json(&unc, &phase_name);
+    assert!(!unc_text.contains("\"wait\":"));
+    assert!(!unc_text.contains("link dim"));
+}
+
+#[test]
+fn contended_diff_tiles_the_makespan_delta_with_wait_buckets() {
+    // Diffing an uncontended run against its contended twin must
+    // attribute 100% of the extra makespan, and the growth must land in
+    // wait buckets (the transfer/compute schedule is identical).
+    let (_, unc) = observed(EngineKind::Seq, false);
+    let (_, con) = observed_with(EngineKind::Seq, false, LinkModel::Contended);
+    let profile = |obs: &RunObservation| {
+        let cp = CriticalPath::compute(obs).expect("path");
+        SegmentProfile::collect(obs, &cp, &phase_name)
+    };
+    let a = profile(&unc);
+    let b = profile(&con);
+    let rows = diff_profiles(&a, &b);
+    let total: f64 = rows.iter().map(|r| r.delta()).sum();
+    let delta = b.makespan - a.makespan;
+    assert!(
+        (total - delta).abs() <= 1e-6 * delta.abs().max(1.0),
+        "diff rows {total} must tile the makespan delta {delta}"
+    );
+    assert!(delta > 0.0, "contention must cost time on this instance");
+    let wait_growth: f64 = rows
+        .iter()
+        .filter(|r| r.key.link.starts_with("wait "))
+        .map(|r| r.delta())
+        .sum();
+    assert!(
+        wait_growth > 0.0,
+        "the contended path must spend time in wait buckets"
+    );
+
+    // the contended profile still tiles its own makespan
+    let sum: f64 = b.rows.iter().map(|(_, us)| us).sum();
+    assert!(
+        (sum - b.makespan).abs() <= 1e-6 * b.makespan.max(1.0),
+        "contended profile rows {sum} must sum to the makespan {}",
+        b.makespan
     );
 }
 
