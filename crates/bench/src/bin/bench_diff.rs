@@ -1,37 +1,71 @@
 //! Per-phase regression localization between two `BENCH_engines.json`
 //! files (written by the `engines_json` binary).
 //!
-//! Rows are matched by `(n, r, m)`. For each matched row, every phase's
+//! Rows are matched by `(n, r, m, workers)` (`workers` defaults to 0 for
+//! pre-multi-core baselines). For each matched row, every phase's
 //! virtual time in B is compared against A, and any phase that regressed
 //! by more than the tolerance (default 10%) is flagged; the overall
-//! `virtual_us` makespan gets the same treatment. Wall-clock columns are
-//! printed for context but never flagged — they measure the host, not the
-//! algorithm, so CI noise would make them useless as a gate.
+//! `virtual_us` makespan gets the same treatment.
 //!
-//! Exits 0 when no phase regressed, 1 when at least one did, 2 on usage
-//! or parse errors — so it can gate CI:
+//! Wall-clock *columns* are printed for context but never flagged — they
+//! measure the host, not the algorithm, so CI noise would make them
+//! useless as a gate. Wall-clock *ratios* are a different story: the
+//! `par_over_seq` speedup is dimensionless (par and seq ran on the same
+//! host seconds apart), so it diffs meaningfully across runs. Two gates
+//! use it, both banded by `--wall-tolerance` (default 25%):
+//!
+//! 1. **ratio regression** — B's `par_over_seq` must not fall below A's
+//!    by more than the band, per matched row (only checked when both
+//!    files report the same `host_cores`; a host change invalidates the
+//!    baseline ratio and is reported as a skip, not a failure). Rows
+//!    whose seq wall clock is below `--min-ratio-wall` seconds (default
+//!    0.05) in either file are reported but not gated — at sub-millisecond
+//!    run times the ratio is dominated by scheduler start-up noise and
+//!    would make the gate flaky;
+//! 2. **crossover** — every B row with `n ≥ 10` and `workers ≥ 2` must
+//!    have `par_over_seq ≥ 1 − band` when B ran on a multi-core host
+//!    (`host_cores ≥ 2`). On a single-core host the parallel engine
+//!    cannot beat the sequential one and the gate is skipped with a
+//!    note.
+//!
+//! Exits 0 when nothing regressed, 1 when at least one gate fired, 2 on
+//! usage or parse errors — so it can gate CI:
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin bench_diff -- \
-//!     --a BENCH_engines.json --b /tmp/new.json [--tolerance 10]
+//!     --a BENCH_engines.json --b /tmp/new.json \
+//!     [--tolerance 10] [--wall-tolerance 25] [--min-ratio-wall 0.05]
 //! ```
 
 use hypercube::obs::json::Json;
 
-/// One `results[]` row, keyed by `(n, r, m)`.
+/// One `results[]` row, keyed by `(n, r, m, workers)`.
 struct Row {
     n: u64,
     r: u64,
     m: u64,
+    /// Par-engine worker count; 0 for pre-multi-core baselines.
+    workers: u64,
     virtual_us: f64,
+    /// `speedups.par_over_seq` when present.
+    par_over_seq: Option<f64>,
     walls: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
+}
+
+/// A parsed `BENCH_engines.json`: the rows plus the host the walls were
+/// measured on.
+struct Bench {
+    host_cores: u64,
+    rows: Vec<Row>,
 }
 
 fn main() {
     let mut a_path = None;
     let mut b_path = None;
     let mut tolerance = 10.0f64;
+    let mut wall_tolerance = 25.0f64;
+    let mut min_ratio_wall = 0.05f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +74,14 @@ fn main() {
             "--tolerance" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(t) => tolerance = t,
                 None => usage("--tolerance needs a percentage, e.g. 10"),
+            },
+            "--wall-tolerance" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => wall_tolerance = t,
+                None => usage("--wall-tolerance needs a percentage, e.g. 25"),
+            },
+            "--min-ratio-wall" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) => min_ratio_wall = t,
+                None => usage("--min-ratio-wall needs seconds, e.g. 0.05"),
             },
             other => usage(&format!("unknown argument {other}")),
         }
@@ -50,19 +92,33 @@ fn main() {
     let a = load(&a_path);
     let b = load(&b_path);
 
-    println!("bench_diff: {a_path} (A) vs {b_path} (B), tolerance {tolerance}%\n");
+    println!(
+        "bench_diff: {a_path} (A, {} cores) vs {b_path} (B, {} cores), \
+         tolerance {tolerance}%, wall tolerance {wall_tolerance}%, \
+         min ratio wall {min_ratio_wall}s\n",
+        a.host_cores, b.host_cores
+    );
+    let same_host = a.host_cores == b.host_cores;
+    if !same_host {
+        println!(
+            "note: host_cores differ ({} vs {}) — par_over_seq ratio regressions not gated\n",
+            a.host_cores, b.host_cores
+        );
+    }
+    let wall_band = 1.0 - wall_tolerance / 100.0;
     let mut regressions = 0usize;
     let mut matched = 0usize;
-    for rb in &b {
-        let Some(ra) = a.iter().find(|r| (r.n, r.r, r.m) == (rb.n, rb.r, rb.m)) else {
+    for rb in &b.rows {
+        let key = |r: &Row| (r.n, r.r, r.m, r.workers);
+        let Some(ra) = a.rows.iter().find(|r| key(r) == key(rb)) else {
             println!(
-                "n={} r={} m={}: only in B (no baseline row)",
-                rb.n, rb.r, rb.m
+                "n={} r={} m={} workers={}: only in B (no baseline row)",
+                rb.n, rb.r, rb.m, rb.workers
             );
             continue;
         };
         matched += 1;
-        println!("n={} r={} m={}:", rb.n, rb.r, rb.m);
+        println!("n={} r={} m={} workers={}:", rb.n, rb.r, rb.m, rb.workers);
         regressions += diff_metric("virtual_us", ra.virtual_us, rb.virtual_us, tolerance);
         for (name, old) in &ra.phases {
             match rb.phases.iter().find(|(k, _)| k == name) {
@@ -71,6 +127,34 @@ fn main() {
                 }
                 None => println!("  phase {name:<28} dropped in B"),
             }
+        }
+        if let (Some(old), Some(new)) = (ra.par_over_seq, rb.par_over_seq) {
+            let seq_wall = |r: &Row| {
+                r.walls
+                    .iter()
+                    .find(|(k, _)| k == "seq_wall_s")
+                    .map_or(0.0, |(_, v)| *v)
+            };
+            let measurable = seq_wall(ra) >= min_ratio_wall && seq_wall(rb) >= min_ratio_wall;
+            let floor = old * wall_band;
+            let flag = same_host && measurable && new < floor;
+            println!(
+                "  {:<34} {:>12.2} x -> {:>12.2} x  (floor {:.2}x){}",
+                "par_over_seq",
+                old,
+                new,
+                floor,
+                if flag {
+                    "  REGRESSION"
+                } else if !same_host {
+                    "  (informational: host changed)"
+                } else if !measurable {
+                    "  (informational: walls below min-ratio-wall)"
+                } else {
+                    ""
+                }
+            );
+            regressions += flag as usize;
         }
         for (name, old) in &ra.walls {
             if let Some((_, new)) = rb.walls.iter().find(|(k, _)| k == name) {
@@ -85,11 +169,15 @@ fn main() {
             }
         }
     }
-    for ra in &a {
-        if !b.iter().any(|r| (r.n, r.r, r.m) == (ra.n, ra.r, ra.m)) {
+    for ra in &a.rows {
+        if !b
+            .rows
+            .iter()
+            .any(|r| (r.n, r.r, r.m, r.workers) == (ra.n, ra.r, ra.m, ra.workers))
+        {
             println!(
-                "n={} r={} m={}: only in A (row dropped in B)",
-                ra.n, ra.r, ra.m
+                "n={} r={} m={} workers={}: only in A (row dropped in B)",
+                ra.n, ra.r, ra.m, ra.workers
             );
         }
     }
@@ -97,11 +185,40 @@ fn main() {
         eprintln!("\nno rows matched between the two files");
         std::process::exit(2);
     }
+
+    // Crossover gate: on a multi-core host the work-stealing engine must
+    // beat (or at worst tie, within the band) the sequential engine on
+    // big instances with real parallelism available.
+    if b.host_cores >= 2 {
+        for rb in &b.rows {
+            if rb.n >= 10 && rb.workers >= 2 {
+                let Some(ratio) = rb.par_over_seq else {
+                    continue;
+                };
+                if ratio < wall_band {
+                    println!(
+                        "crossover FAIL: n={} workers={} par_over_seq {:.2}x < {:.2}x \
+                         (par must beat seq on {} cores)",
+                        rb.n, rb.workers, ratio, wall_band, b.host_cores
+                    );
+                    regressions += 1;
+                } else {
+                    println!(
+                        "crossover ok: n={} workers={} par_over_seq {:.2}x >= {:.2}x",
+                        rb.n, rb.workers, ratio, wall_band
+                    );
+                }
+            }
+        }
+    } else {
+        println!("note: B ran on a single-core host — par-beats-seq crossover gate skipped");
+    }
+
     if regressions > 0 {
-        println!("\nFAIL: {regressions} phase metric(s) regressed by more than {tolerance}%");
+        println!("\nFAIL: {regressions} metric(s) regressed past their tolerance");
         std::process::exit(1);
     }
-    println!("\nOK: no phase regressed by more than {tolerance}% across {matched} matched row(s)");
+    println!("\nOK: no metric regressed past its tolerance across {matched} matched row(s)");
 }
 
 /// Prints one virtual-time metric comparison; returns 1 if it regressed
@@ -126,26 +243,31 @@ fn diff_metric(name: &str, old: f64, new: f64, tolerance: f64) -> usize {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: bench_diff --a OLD.json --b NEW.json [--tolerance PCT]");
+    eprintln!(
+        "usage: bench_diff --a OLD.json --b NEW.json \
+         [--tolerance PCT] [--wall-tolerance PCT] [--min-ratio-wall SECS]"
+    );
     std::process::exit(2);
 }
 
-fn load(path: &str) -> Vec<Row> {
+fn load(path: &str) -> Bench {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("reading {path}: {e}");
         std::process::exit(2);
     });
-    parse_rows(&text).unwrap_or_else(|e| {
+    parse_bench(&text).unwrap_or_else(|e| {
         eprintln!("{path}: {e}");
         std::process::exit(2);
     })
 }
 
 /// Pulls the `results[]` rows out of a `BENCH_engines.json` document.
-/// Tolerates both the current schema (`*_wall_s` columns) and the older
-/// two-engine one, so a new binary can diff against an old baseline.
-fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
+/// Tolerates the current multi-core schema (`workers` per row,
+/// `host_cores` top-level) and the older single-row-per-n ones, so a new
+/// binary can diff against an old baseline.
+fn parse_bench(text: &str) -> Result<Bench, String> {
     let doc = Json::parse(text)?;
+    let host_cores = doc.get("host_cores").and_then(Json::as_u64).unwrap_or(1);
     let Some(Json::Arr(results)) = doc.get("results") else {
         return Err("missing 'results' array — not a BENCH_engines.json file?".into());
     };
@@ -160,6 +282,10 @@ fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
             .get("virtual_us")
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("results[{i}]: missing 'virtual_us'"))?;
+        let par_over_seq = row
+            .get("speedups")
+            .and_then(|s| s.get("par_over_seq"))
+            .and_then(Json::as_f64);
         let mut walls = Vec::new();
         if let Json::Obj(fields) = row {
             for (k, v) in fields {
@@ -183,10 +309,12 @@ fn parse_rows(text: &str) -> Result<Vec<Row>, String> {
             n: int("n")?,
             r: int("r")?,
             m: int("m")?,
+            workers: row.get("workers").and_then(Json::as_u64).unwrap_or(0),
             virtual_us,
+            par_over_seq,
             walls,
             phases,
         });
     }
-    Ok(rows)
+    Ok(Bench { host_cores, rows })
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin breakdown \
-//!     [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq --trace-out t.json --metrics-out m.json]
+//!     [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
@@ -53,6 +53,7 @@ fn main() {
             include_host_io: host_io,
             engine,
             tracing: obs_flags.tracing(),
+            threads: obs_flags.threads,
             ..FtConfig::default()
         };
         let (out, phases, obs) = fault_tolerant_sort_observed(&plan, &config, data);

@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin critical_path \
-//!     [-- --n 5 --faults 3,5,16,24 --m 4800 --seed 1992 --engine seq --width 72]
+//!     [-- --n 5 --faults 3,5,16,24 --m 4800 --seed 1992 --engine seq --threads 4 --width 72]
 //! ```
 
 use ft_bench::{parse_engine, random_keys, DEFAULT_SEED};
@@ -26,11 +26,13 @@ fn main() {
     let mut m_total = 4_800usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut threads: Option<usize> = None;
     let mut width = 72usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--n" => n = args.next().and_then(|v| v.parse().ok()).unwrap_or(n),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
             "--faults" => {
                 fault_list = args
                     .next()
@@ -63,6 +65,7 @@ fn main() {
     let config = FtConfig {
         engine,
         tracing: true,
+        threads,
         ..FtConfig::default()
     };
     let (out, _, obs) = fault_tolerant_sort_observed(&plan, &config, data);

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin critical_path_diff \
-//!     [-- --n 6 --faults-a 9 --faults-b 9,22 --m 4800 --seed 1992 --engine seq]
+//!     [-- --n 6 --faults-a 9 --faults-b 9,22 --m 4800 --seed 1992 --engine seq --threads 4]
 //! ```
 
 use ft_bench::{parse_engine, random_keys, DEFAULT_SEED};
@@ -39,6 +39,7 @@ fn main() {
     let mut m_total = 4_800usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -48,6 +49,7 @@ fn main() {
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--engine" => engine = parse_engine(args.next()),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -68,6 +70,7 @@ fn main() {
         let config = FtConfig {
             engine,
             tracing: true,
+            threads,
             ..FtConfig::default()
         };
         let (out, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());

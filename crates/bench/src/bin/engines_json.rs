@@ -1,6 +1,6 @@
 //! Engine shoot-out: wall-clock time of the **threaded** MIMD engine, the
-//! **sequential** event-driven engine, and the **parallel** frontier engine
-//! running the identical full fault-tolerant sort, emitted as
+//! **sequential** event-driven engine, and the **parallel** work-stealing
+//! engine running the identical full fault-tolerant sort, emitted as
 //! machine-readable `BENCH_engines.json`.
 //!
 //! All three engines produce byte-identical simulated results (sorted
@@ -9,10 +9,15 @@
 //! sequential engine beats the threaded one because it replaces `2^n` OS
 //! threads + channel handoffs with one lowest-virtual-clock scheduler loop
 //! and zero-allocation buffer reuse; the parallel engine additionally
-//! shares each virtual timestep's ready frontier across a fixed worker
-//! pool, so its advantage over `seq` scales with `host_cores` (reported in
-//! the JSON — on a single-core host it degenerates to the seq loop plus
-//! barrier overhead).
+//! work-steals cache-sized node shards across a worker pool, so its
+//! advantage over `seq` scales with `host_cores` (reported in the JSON).
+//! Each `n` is benchmarked at several worker counts — the
+//! `{1, 2, 4, host_cores}` ladder, deduplicated — one JSON row per
+//! `(n, workers)` pair, so the par-beats-seq crossover is visible in the
+//! data and `bench_diff` can gate on it. On a single-core host every
+//! rung degenerates to the seq loop plus scheduler overhead and the
+//! crossover cannot manifest (rungs above the core count still run: they
+//! exercise oversubscription and keep row keys comparable across hosts).
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin engines_json \
@@ -20,7 +25,8 @@
 //! ```
 //!
 //! Compare two outputs (e.g. before/after a scheduler change) with the
-//! `bench_diff` binary, which flags per-engine and per-phase regressions.
+//! `bench_diff` binary, which flags per-engine and per-phase regressions
+//! and checks the multi-core crossover.
 
 use ft_bench::{random_faults, random_keys, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
@@ -35,6 +41,8 @@ struct Row {
     n: usize,
     r: usize,
     m_total: usize,
+    /// Worker count the par engine ran with for this row.
+    workers: usize,
     virtual_us: f64,
     threaded_s: f64,
     seq_s: f64,
@@ -42,6 +50,18 @@ struct Row {
     /// Per-phase virtual time, `(name, max-over-nodes µs)`, from the
     /// run's [`RunReport`](hypercube::obs::RunReport).
     phases: Vec<(String, f64)>,
+}
+
+/// The worker-count ladder for a host with `host_cores` cores:
+/// `{1, 2, 4, host_cores}`, deduplicated, ascending. Rungs above the
+/// core count still run — they measure the scheduler's oversubscription
+/// robustness, and emitting them unconditionally keeps row keys
+/// comparable across hosts with different core counts.
+fn worker_ladder(host_cores: usize) -> Vec<usize> {
+    let mut ladder = vec![1, 2, 4, host_cores];
+    ladder.sort_unstable();
+    ladder.dedup();
+    ladder
 }
 
 fn main() {
@@ -80,16 +100,18 @@ fn main() {
     }
     let mut rng = ft_bench::rng(seed);
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let ladder = worker_ladder(host_cores);
 
     println!(
         "Engine wall-clock comparison, full FT sort, M = {m_total}, r = n − 1, \
-         best of {trials} runs; seed = {seed}, host cores = {host_cores}\n"
+         best of {trials} runs; seed = {seed}, host cores = {host_cores}, \
+         par workers {ladder:?}\n"
     );
     println!(
-        "{:>3} {:>3} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "n", "r", "virtual ms", "threaded s", "seq s", "par s", "seq/thr", "par/seq"
+        "{:>3} {:>3} {:>7} {:>10} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "n", "r", "workers", "virtual ms", "threaded s", "seq s", "par s", "seq/thr", "par/seq"
     );
-    println!("{}", "-".repeat(78));
+    println!("{}", "-".repeat(86));
 
     let mut rows = Vec::new();
     for &n in &sizes {
@@ -97,10 +119,11 @@ fn main() {
         let faults = random_faults(n, r, &mut rng);
         let plan = FtPlan::new(&faults).expect("r = n − 1 is tolerable");
         let data = random_keys(m_total, &mut rng);
-        let time = |kind: EngineKind| {
+        let time = |kind: EngineKind, threads: Option<usize>| {
             let config = FtConfig {
                 protocol: Protocol::HalfExchange,
                 engine: kind,
+                threads,
                 ..FtConfig::default()
             };
             let mut best = f64::INFINITY;
@@ -113,36 +136,19 @@ fn main() {
             }
             (best, outcome.expect("trials ≥ 1"))
         };
-        let (threaded_s, threaded) = time(EngineKind::Threaded);
-        let (seq_s, seq) = time(EngineKind::Seq);
-        let (par_s, par) = time(EngineKind::Par);
+        let (threaded_s, threaded) = time(EngineKind::Threaded, None);
+        let (seq_s, seq) = time(EngineKind::Seq, None);
         // the engines must be indistinguishable in simulated results
-        for (label, run) in [("threaded", &threaded), ("par", &par)] {
-            assert_eq!(
-                run.sorted, seq.sorted,
-                "n={n}: {label} sorted output differs"
-            );
-            assert_eq!(
-                run.time_us, seq.time_us,
-                "n={n}: {label} virtual time differs"
-            );
-            assert_eq!(
-                run.stats, seq.stats,
-                "n={n}: {label} operation counts differ"
-            );
-        }
-        println!(
-            "{:>3} {:>3} {:>10.1} {:>12.3} {:>12.3} {:>12.3} {:>8.1}× {:>8.2}×",
-            n,
-            r,
-            seq.time_us / 1000.0,
-            threaded_s,
-            seq_s,
-            par_s,
-            threaded_s / seq_s,
-            seq_s / par_s
+        assert_eq!(
+            threaded.sorted, seq.sorted,
+            "n={n}: threaded output differs"
         );
-        // One extra (untimed) observed run per row: its RunReport supplies
+        assert_eq!(
+            threaded.time_us, seq.time_us,
+            "n={n}: threaded time differs"
+        );
+        assert_eq!(threaded.stats, seq.stats, "n={n}: threaded counts differ");
+        // One extra (untimed) observed run per n: its RunReport supplies
         // the per-phase virtual-time split, and the observability exports
         // reuse it — so trace-recording overhead never contaminates the
         // wall clocks.
@@ -154,22 +160,51 @@ fn main() {
         };
         let (_, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
         let report = obs.report(&ftsort::ftsort::phase_name);
-        rows.push(Row {
-            n,
-            r,
-            m_total,
-            virtual_us: seq.time_us,
-            threaded_s,
-            seq_s,
-            par_s,
-            phases: report
-                .phases
-                .iter()
-                .map(|p| (p.name.clone(), p.max_node_us))
-                .collect(),
-        });
+        let phases: Vec<(String, f64)> = report
+            .phases
+            .iter()
+            .map(|p| (p.name.clone(), p.max_node_us))
+            .collect();
         if obs_flags.enabled() {
             obs_flags.observe(obs);
+        }
+        for &workers in &ladder {
+            let (par_s, par) = time(EngineKind::Par, Some(workers));
+            assert_eq!(
+                par.sorted, seq.sorted,
+                "n={n} workers={workers}: par sorted output differs"
+            );
+            assert_eq!(
+                par.time_us, seq.time_us,
+                "n={n} workers={workers}: par virtual time differs"
+            );
+            assert_eq!(
+                par.stats, seq.stats,
+                "n={n} workers={workers}: par operation counts differ"
+            );
+            println!(
+                "{:>3} {:>3} {:>7} {:>10.1} {:>12.3} {:>12.3} {:>12.3} {:>8.1}× {:>8.2}×",
+                n,
+                r,
+                workers,
+                seq.time_us / 1000.0,
+                threaded_s,
+                seq_s,
+                par_s,
+                threaded_s / seq_s,
+                seq_s / par_s
+            );
+            rows.push(Row {
+                n,
+                r,
+                m_total,
+                workers,
+                virtual_us: seq.time_us,
+                threaded_s,
+                seq_s,
+                par_s,
+                phases: phases.clone(),
+            });
         }
     }
 
@@ -192,13 +227,14 @@ fn render_json(seed: u64, trials: usize, host_cores: usize, rows: &[Row]) -> Str
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"virtual_us\": {:.3}, \
+            "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"workers\": {}, \"virtual_us\": {:.3}, \
              \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"par_wall_s\": {:.6}, \
              \"speedups\": {{\"seq_over_threaded\": {:.2}, \"par_over_threaded\": {:.2}, \
              \"par_over_seq\": {:.2}}}, \"phases\": {{",
             row.n,
             row.r,
             row.m_total,
+            row.workers,
             row.virtual_us,
             row.threaded_s,
             row.seq_s,

@@ -12,11 +12,11 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin figure7 \
-//!     [-- --n 6 --seed 1992 --trials 3 --engine seq --trace-out t.json --metrics-out m.json]
+//!     [-- --n 6 --seed 1992 --trials 3 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
-use ftsort::bitonic::{bitonic_sort_with_engine, Protocol};
+use ftsort::bitonic::{bitonic_sort_threaded, Protocol};
 use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use hypercube::cost::CostModel;
 use hypercube::sim::EngineKind;
@@ -141,6 +141,7 @@ fn figure7_panel(
                         protocol: Protocol::HalfExchange,
                         engine,
                         tracing: obs_flags.tracing(),
+                        threads: obs_flags.threads,
                         ..FtConfig::default()
                     },
                     data.clone(),
@@ -158,12 +159,13 @@ fn figure7_panel(
             }
         }
         for t in 1..n {
-            let out = bitonic_sort_with_engine(
+            let out = bitonic_sort_threaded(
                 Hypercube::new(n - t),
                 cost,
                 data.clone(),
                 Protocol::HalfExchange,
                 engine,
+                obs_flags.threads,
             );
             let ms = out.time_us / 1000.0;
             if csv {

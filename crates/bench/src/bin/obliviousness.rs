@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin obliviousness \
-//!     [-- --n 5 --m 64000 --seed 1992 --engine seq --trace-out t.json --metrics-out m.json]
+//!     [-- --n 5 --m 64000 --seed 1992 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::workload::Workload;
@@ -67,6 +67,7 @@ fn main() {
                 protocol: Protocol::HalfExchange,
                 engine,
                 tracing: obs_flags.tracing(),
+                threads: obs_flags.threads,
                 ..FtConfig::default()
             },
             data.clone(),

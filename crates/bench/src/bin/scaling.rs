@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin scaling \
-//!     [-- --m 64000 --seed 1992 --engine seq --trace-out t.json --metrics-out m.json]
+//!     [-- --m 64000 --seed 1992 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
@@ -62,6 +62,7 @@ fn main() {
                 protocol: Protocol::HalfExchange,
                 engine,
                 tracing: obs_flags.tracing(),
+                threads: obs_flags.threads,
                 ..FtConfig::default()
             };
             let (out, _, obs) = fault_tolerant_sort_observed(&plan, &config, data.clone());
@@ -119,6 +120,7 @@ fn main() {
                     protocol: Protocol::HalfExchange,
                     engine,
                     tracing: obs_flags.tracing(),
+                    threads: obs_flags.threads,
                     ..FtConfig::default()
                 };
                 let (out, _, obs) = fault_tolerant_sort_observed(&p, &config, data);

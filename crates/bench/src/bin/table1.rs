@@ -25,6 +25,10 @@ fn main() {
                 let _ = ft_bench::parse_engine(args.next());
                 eprintln!("note: table1 runs no simulation; --engine has no effect");
             }
+            "--threads" => {
+                let _ = args.next();
+                eprintln!("note: table1 runs no simulation; --threads has no effect");
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);

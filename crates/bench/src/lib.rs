@@ -62,6 +62,10 @@ pub struct ObsFlags {
     /// Replayable run-file destination (`--run-out`) — the schema
     /// [`ftsort-cli replay`](../ftsort-cli) and `trace-diff` consume.
     pub run_out: Option<String>,
+    /// Worker count for the parallel engine (`--threads`, default: the
+    /// host's available parallelism). Recorded in the `--metrics-out`
+    /// report when given; wall-clock only, never simulated results.
+    pub threads: Option<usize>,
     last: Option<hypercube::obs::RunObservation>,
 }
 
@@ -75,6 +79,16 @@ impl ObsFlags {
     /// argument stream; returns `false` for any other argument so callers
     /// can fall through to their own error handling.
     pub fn parse(&mut self, arg: &str, args: &mut dyn Iterator<Item = String>) -> bool {
+        if arg == "--threads" {
+            match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(t)) if t >= 1 => self.threads = Some(t),
+                _ => {
+                    eprintln!("--threads requires a worker count ≥ 1");
+                    std::process::exit(2);
+                }
+            }
+            return true;
+        }
         let slot = match arg {
             "--trace-out" => &mut self.trace_out,
             "--metrics-out" => &mut self.metrics_out,
@@ -125,7 +139,10 @@ impl ObsFlags {
             println!("trace written  : {path} (load in ui.perfetto.dev)");
         }
         if let Some(path) = &self.metrics_out {
-            let report = obs.report(&ftsort::ftsort::phase_name);
+            let mut report = obs.report(&ftsort::ftsort::phase_name);
+            if let Some(threads) = self.threads {
+                report = report.with_threads(threads);
+            }
             std::fs::write(path, report.to_json()).expect("write metrics");
             println!("metrics written: {path}");
         }

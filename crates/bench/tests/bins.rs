@@ -119,6 +119,7 @@ fn engines_json_smoke() {
     assert!(json.contains("\"seq_wall_s\""), "{json}");
     assert!(json.contains("\"par_wall_s\""), "{json}");
     assert!(json.contains("\"par_over_seq\""), "{json}");
+    assert!(json.contains("\"workers\": 1"), "{json}");
 }
 
 #[test]
@@ -130,16 +131,37 @@ fn bench_diff_smoke() {
     ]);
     // a file diffed against itself has no regressions: exit 0
     let text = bench_diff(&["--a", out_str, "--b", out_str]);
-    assert!(text.contains("OK: no phase regressed"), "{text}");
+    assert!(text.contains("OK: no metric regressed"), "{text}");
     assert!(text.contains("virtual_us"), "{text}");
+    assert!(text.contains("workers=1"), "{text}");
+    assert!(text.contains("par_over_seq"), "{text}");
     // a negative tolerance flags even the +0.0% self-diff: exit 1
     let fail = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
         .args(["--a", out_str, "--b", out_str, "--tolerance", "-1"])
         .output()
         .expect("bench_diff runs");
-    let _ = std::fs::remove_file(&out);
     assert_eq!(fail.status.code(), Some(1), "regression must exit 1");
     let text = String::from_utf8(fail.stdout).unwrap();
     assert!(text.contains("REGRESSION"), "{text}");
     assert!(text.contains("FAIL"), "{text}");
+    // the wall-ratio gate fires the same way once the min-wall floor is
+    // lifted (n = 3 runs are far below the 0.05 s default)
+    let fail = Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args([
+            "--a",
+            out_str,
+            "--b",
+            out_str,
+            "--wall-tolerance",
+            "-5",
+            "--min-ratio-wall",
+            "0",
+        ])
+        .output()
+        .expect("bench_diff runs");
+    let _ = std::fs::remove_file(&out);
+    assert_eq!(fail.status.code(), Some(1), "wall-ratio gate must exit 1");
+    let text = String::from_utf8(fail.stdout).unwrap();
+    assert!(text.contains("par_over_seq"), "{text}");
+    assert!(text.contains("REGRESSION"), "{text}");
 }

@@ -74,7 +74,28 @@ pub fn bitonic_sort_with_engine<K>(
 where
     K: Ord + Clone + Send,
 {
-    let engine = Engine::fault_free(cube, cost).with_engine(kind);
+    bitonic_sort_threaded(cube, cost, data, protocol, kind, None)
+}
+
+/// [`bitonic_sort_with_engine`] with an explicit worker count for the
+/// parallel engine (`None` = available parallelism; ignored by the other
+/// engines). Worker count affects wall-clock only — outcomes stay
+/// byte-identical.
+pub fn bitonic_sort_threaded<K>(
+    cube: Hypercube,
+    cost: CostModel,
+    data: Vec<K>,
+    protocol: Protocol,
+    kind: EngineKind,
+    threads: Option<usize>,
+) -> SortOutcome<K>
+where
+    K: Ord + Clone + Send,
+{
+    let mut engine = Engine::fault_free(cube, cost).with_engine(kind);
+    if let Some(threads) = threads {
+        engine = engine.with_workers(threads);
+    }
     let members: Vec<NodeId> = cube.nodes().collect();
     sort_on_members(&engine, &members, None, data, protocol)
 }

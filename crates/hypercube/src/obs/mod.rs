@@ -363,6 +363,12 @@ pub struct RunReport {
     pub dim: usize,
     /// The link model the run was priced under.
     pub link_model: LinkModel,
+    /// The worker count the run's executor was configured with, when the
+    /// caller chose to record it ([`RunReport::with_threads`], e.g. from a
+    /// CLI `--threads` flag). `None` — the default, and what the library
+    /// sort functions always produce — serializes to nothing, keeping
+    /// reports byte-identical across worker counts.
+    pub threads: Option<usize>,
     /// Virtual makespan, µs.
     pub makespan_us: f64,
     /// Operation counters summed over nodes.
@@ -488,6 +494,7 @@ impl RunReport {
         RunReport {
             dim: obs.dim,
             link_model: obs.link_model,
+            threads: None,
             makespan_us: obs.makespan(),
             stats,
             phases,
@@ -497,14 +504,28 @@ impl RunReport {
         }
     }
 
+    /// Records the executor's worker count in the report (builder style) —
+    /// presentation-layer metadata, set by CLIs that took a `--threads`
+    /// flag, never by the library sort functions.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// Serializes to the report's JSON schema (documented in DESIGN.md §6).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         let _ = write!(
             out,
-            "{{\"dim\":{},\"link_model\":\"{}\",\"makespan_us\":{},\"stats\":{{\"messages\":{},\"elements_sent\":{},\"element_hops\":{},\"message_hops\":{},\"comparisons\":{},\"max_hops\":{},\"max_message_elements\":{}}},\"phases\":[",
-            self.dim,
-            self.link_model,
+            "{{\"dim\":{},\"link_model\":\"{}\",",
+            self.dim, self.link_model
+        );
+        if let Some(threads) = self.threads {
+            let _ = write!(out, "\"threads\":{threads},");
+        }
+        let _ = write!(
+            out,
+            "\"makespan_us\":{},\"stats\":{{\"messages\":{},\"elements_sent\":{},\"element_hops\":{},\"message_hops\":{},\"comparisons\":{},\"max_hops\":{},\"max_message_elements\":{}}},\"phases\":[",
             self.makespan_us,
             self.stats.messages,
             self.stats.elements_sent,
@@ -648,6 +669,10 @@ impl RunReport {
         Ok(RunReport {
             dim: int(&doc, "dim")? as usize,
             link_model,
+            threads: doc
+                .get("threads")
+                .and_then(json::Json::as_u64)
+                .map(|t| t as usize),
             makespan_us: num(&doc, "makespan_us")?,
             stats,
             phases,
@@ -833,10 +858,23 @@ mod tests {
     fn report_json_roundtrip_is_exact() {
         let obs = tiny_observation();
         let report = obs.report(&|p| if p == 1 { Some("alpha") } else { None });
+        assert_eq!(report.threads, None, "library reports carry no threads");
         let text = report.to_json();
+        assert!(
+            !text.contains("threads"),
+            "absent threads serializes to nothing"
+        );
         let back = RunReport::from_json(&text).expect("parse");
         assert_eq!(back, report);
         // and it is valid generic JSON
+        assert!(json::Json::parse(&text).is_ok());
+
+        // with_threads round-trips too (presentation-layer metadata)
+        let threaded = report.with_threads(4);
+        let text = threaded.to_json();
+        assert!(text.contains("\"threads\":4"));
+        let back = RunReport::from_json(&text).expect("parse");
+        assert_eq!(back, threaded);
         assert!(json::Json::parse(&text).is_ok());
     }
 }

@@ -551,6 +551,7 @@ pub struct Engine {
     kind: EngineKind,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     workers: Option<usize>,
+    shard: Option<usize>,
 }
 
 impl Engine {
@@ -567,6 +568,7 @@ impl Engine {
             kind: EngineKind::default(),
             sink: None,
             workers: None,
+            shard: None,
         }
     }
 
@@ -634,6 +636,16 @@ impl Engine {
         self
     }
 
+    /// Sets the parallel executor's shard size — how many contiguous
+    /// live-rank nodes form one unit of stealable work (builder style);
+    /// only [`EngineKind::Par`] reads it. Defaults to an automatic size
+    /// targeting ~4 shards per worker. Like the worker count, shard size
+    /// affects wall-clock only, never simulated results.
+    pub fn with_shard_size(mut self, shard: usize) -> Self {
+        self.shard = Some(shard.max(1));
+        self
+    }
+
     /// The topology.
     pub fn cube(&self) -> Hypercube {
         self.faults.cube()
@@ -676,6 +688,10 @@ impl Engine {
 
     pub(super) fn workers(&self) -> Option<usize> {
         self.workers
+    }
+
+    pub(super) fn shard(&self) -> Option<usize> {
+        self.shard
     }
 
     /// Runs `program` SPMD on every node for which `inputs` supplies data.

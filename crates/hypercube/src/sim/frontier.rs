@@ -373,13 +373,7 @@ impl<K> RoundCommitter<K> {
             }
             if !self.recs.is_empty() {
                 let sink = self.sink.as_ref().expect("records buffered without a sink");
-                let mut sink = sink.lock().expect("trace sink lock poisoned");
-                for rec in self.recs.drain(..) {
-                    match rec {
-                        CellRecord::Event(ev) => sink.event(&ev),
-                        CellRecord::Span { phase, time } => sink.span(NodeId::from(i), phase, time),
-                    }
-                }
+                flush_records(sink, i, &mut self.recs);
             }
             for mut msg in self.msgs.drain(..) {
                 if let Some(ledger) = &mut self.ledger {
@@ -419,6 +413,23 @@ impl<K> RoundCommitter<K> {
             }
             true
         });
+    }
+}
+
+/// Drains one node's buffered trace records into the sink, in buffer
+/// (program) order. Shared by the sequential committer and the parallel
+/// engine's serial flush phase so both emit the same byte stream.
+pub(super) fn flush_records(
+    sink: &Arc<Mutex<dyn TraceSink>>,
+    node: usize,
+    recs: &mut Vec<CellRecord>,
+) {
+    let mut sink = sink.lock().expect("trace sink lock poisoned");
+    for rec in recs.drain(..) {
+        match rec {
+            CellRecord::Event(ev) => sink.event(&ev),
+            CellRecord::Span { phase, time } => sink.span(NodeId::from(node), phase, time),
+        }
     }
 }
 

@@ -27,6 +27,7 @@ pub mod par;
 pub mod pool;
 pub mod sequential;
 pub mod trace;
+mod ws;
 
 pub use engine::{Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
 pub use par::ParEngine;
@@ -55,11 +56,13 @@ pub enum EngineKind {
     /// on the hot path — the default.
     #[default]
     Seq,
-    /// Fixed worker pool ([`par::ParEngine`]): the same frontier/barrier
-    /// schedule as [`EngineKind::Seq`], with each round's runnable nodes
-    /// polled in parallel on `available_parallelism` workers (override
-    /// with [`engine::Engine::with_workers`]). Byte-identical to `Seq` —
-    /// results, reports, run files and critical paths — by construction.
+    /// Work-stealing worker pool ([`par::ParEngine`]): the same
+    /// frontier/barrier schedule as [`EngineKind::Seq`], with each round's
+    /// runnable nodes sharded and claimed from per-worker Chase–Lev deques
+    /// by `available_parallelism` workers (override with
+    /// [`engine::Engine::with_workers`]), and delivery fanned out by
+    /// destination shard. Byte-identical to `Seq` — results, reports, run
+    /// files and critical paths — by construction.
     Par,
 }
 

@@ -1,123 +1,193 @@
-//! The parallel frontier engine: a fixed worker pool executes each round's
-//! ready frontier concurrently, with the shared barrier/commit discipline
-//! from [`super::frontier`] keeping every observable byte-identical to the
-//! sequential engine.
+//! The parallel frontier engine: a work-stealing scheduler executes each
+//! round's ready frontier — and the round's commit — concurrently, with the
+//! barrier/commit discipline from [`super::frontier`] keeping every
+//! observable byte-identical to the sequential engine.
 //!
 //! ## Execution model
 //!
-//! Node programs are pinned to workers (live rank modulo pool size), and
-//! each worker *creates and polls its nodes' futures locally* — futures
-//! never cross threads, so node programs need no `Send` future bound. A
-//! coordinator thread (the caller) stages each round's runnable node ids
-//! into per-worker slots, wakes the pool, waits for all workers to finish
-//! the round, and then commits the barrier single-threaded: outbox delivery,
-//! record flush and frontier wake-up all happen in ascending node-id order,
-//! exactly as on [`SeqEngine`]. During a round a node's cell is touched only
-//! by its own worker; at the barrier only by the coordinator — every lock is
-//! uncontended, and warm rounds allocate nothing (the round handshake is a
-//! generation-counted mutex/condvar pair, not a channel, precisely so the
-//! steady state stays allocation-free; see
-//! `crates/hypercube/tests/alloc_free.rs`).
+//! Participating nodes are grouped into **shards** of contiguous live-rank
+//! nodes (so each shard covers an ascending node-id range); the shard is
+//! the unit of scheduling and of stealing. Every worker owns a vendored
+//! Chase–Lev deque ([`super::ws::WsDeque`]); at each phase a worker pushes
+//! its *affine* shards (shard id modulo pool size) onto its own deque, then
+//! drains it LIFO and steals FIFO from its peers once empty — so load
+//! imbalance (e.g. one shard full of heavy merge phases) migrates to idle
+//! workers instead of stalling the round. Phases meet at a sense-reversing
+//! barrier ([`super::ws::SenseBarrier`]); a worker panic poisons the
+//! barrier so the pool unwinds and `thread::scope` re-raises the original
+//! payload. Each round is:
+//!
+//! 1. **Poll** (parallel): claimed shard by claimed shard, poll every
+//!    runnable node once. Under the uncontended link model with no sink
+//!    attached, the claimant also moves each polled node's outbox into an
+//!    `S × S` bin matrix — `bins[src_shard][dst_shard]` — in (ascending
+//!    node, program) order.
+//! 2. **Serial flush** (coordinator only, and only when a [`TraceSink`] is
+//!    attached or links are contended): walk the round's ran nodes in
+//!    ascending id order, flush their buffered records to the sink and
+//!    price their messages through the [`LinkLedger`] — both are global
+//!    sequencing decisions, so they stay a single-threaded pass in exactly
+//!    the sequential engine's order. (Link pricing cannot fan out by
+//!    destination: two messages to different destinations can contend for
+//!    the same directed link, so the arbitration order is global, not
+//!    per-partition.)
+//! 3. **Deliver + wake** (parallel): shards are claimed again; the claimant
+//!    of shard `d` drains bin column `bins[0..S][d]` in ascending source
+//!    shard order into its nodes' inboxes, then prunes finished nodes and
+//!    wakes those whose awaited `(src, tag)` message arrived, forming the
+//!    next frontier.
+//!
+//! During the poll phase a node's cell is touched only by its shard's
+//! claimant; during delivery only by its destination shard's claimant —
+//! every lock is uncontended, and warm rounds allocate nothing (deque
+//! rings, bins, frontier vectors and the futures themselves are all
+//! recycled; see `crates/hypercube/tests/alloc_free.rs`).
 //!
 //! ## Why this is deterministic
 //!
 //! A round's sends are invisible until its barrier, so the members of one
-//! frontier are mutually independent: polling them on any number of threads
-//! in any order yields the same per-node clocks, stats, spans, trace events
-//! and — because delivery and record flushing are coordinator-side and
-//! id-ordered — the same global record stream and inbox peaks. The three-way
-//! differential tests (`tests/engine_diff.rs`, `tests/obs_invariants.rs`)
-//! pin this: results, `RunReport` JSON, run files, Perfetto exports and
-//! critical paths match `SeqEngine` byte for byte.
+//! frontier are mutually independent: polling them on any worker in any
+//! steal order yields the same per-node clocks, stats, spans and trace
+//! events. Delivery is deterministic because the bin matrix preserves
+//! canonical order per destination: within `bins[s][d]` messages sit in
+//! (ascending source node, program) order — shards are contiguous ascending
+//! ranges, and the poll loop walks each claimed shard's nodes in ascending
+//! id — and the delivery phase drains sources in ascending shard order, so
+//! every inbox receives exactly the sequence the sequential committer would
+//! have produced, giving the same FIFO receive order and the same
+//! `inbox_peak`. Record flushing and link pricing are global orders and run
+//! single-threaded (phase 2) in the sequential engine's exact sequence.
+//! The three-way differential tests (`tests/engine_diff.rs`,
+//! `tests/ws_stress.rs`, `tests/obs_invariants.rs`) pin this: results,
+//! `RunReport` JSON, run files, Perfetto exports and critical paths match
+//! [`SeqEngine`] byte for byte at every worker count and shard size.
+//!
+//! ## Futures migrate between workers
+//!
+//! Work stealing means a node's suspended future can resume on a different
+//! worker than the one that created it. Stable Rust cannot bound the
+//! return type of an `AsyncFn` with `Send`, so the engine wraps each task
+//! in [`NodeTask`], which asserts transferability with an
+//! `unsafe impl Send`. The contract (upheld by every node program in this
+//! workspace, all of which only hold `K: Send` data and the `NodeCtx`
+//! across await points): node programs must not hold thread-affine state —
+//! `Rc`, `MutexGuard`s, thread-local handles — across an `.await`.
 //!
 //! [`SeqEngine`]: super::sequential::SeqEngine
+//! [`TraceSink`]: crate::obs::sink::TraceSink
+//! [`LinkLedger`]: crate::obs::schedule::LinkLedger
 
 use super::engine::{validate_inputs, Engine, NodeCtx, RunOutcome};
 use super::frontier::{
-    build_cells, collect_run, deadlock_panic, CellCtx, NodeCell, RoundCommitter,
+    build_cells, collect_run, deadlock_panic, flush_records, CellCtx, CellRecord, SharedCell,
+    SimMessage,
 };
+use super::ws::{SenseBarrier, ShardSlot, WsDeque};
 use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::fault::FaultSet;
+use crate::obs::schedule::LinkLedger;
 use crate::obs::sink::TraceSink;
 use crate::sim::{LinkModel, RouterKind};
 use crate::topology::Hypercube;
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
-/// Round handshake between the coordinator and the worker pool.
+/// A node program's suspended state machine, asserted transferable across
+/// workers so stolen shards can resume on the thief.
 ///
-/// The coordinator bumps `generation` after staging `runnable`; workers wait
-/// for the bump, drain their slot, poll, and decrement `pending`. No heap
-/// traffic per round — the slot vectors are recycled by `mem::swap`.
-struct RoundSync {
-    state: Mutex<RoundState>,
-    /// Coordinator → workers: a new round is staged (or `stop` is set).
-    work: Condvar,
-    /// Workers → coordinator: the last worker of a round finished.
-    done: Condvar,
+/// # Safety
+/// Constructed only inside [`ParEngine::run`], where `K: Send` and
+/// `T: Send` hold; the future captures the program reference (`F: Sync`),
+/// a `NodeCtx` (`Arc`s over `Send` state) and the node's `Vec<K>` input.
+/// The residual obligation — documented at the module level — is that node
+/// programs hold no thread-affine state across await points.
+struct NodeTask<'a, T>(Pin<Box<dyn Future<Output = T> + 'a>>);
+
+unsafe impl<T: Send> Send for NodeTask<'_, T> {}
+
+/// A node's program state within its shard.
+enum TaskState<'a, K, T> {
+    /// Not yet polled; holds the node's initial input.
+    Fresh(Vec<K>),
+    Running(NodeTask<'a, T>),
+    Done,
 }
 
-struct RoundState {
-    generation: u64,
-    stop: bool,
-    /// Set by a worker's unwind guard when a node program panics, so the
-    /// coordinator stops waiting and lets the scope propagate the panic.
-    panicked: bool,
-    /// Per-worker runnable node ids for the staged round.
-    runnable: Vec<Vec<usize>>,
-    /// Workers that have not yet finished the staged round.
-    pending: usize,
+/// One unit of stealable work: a contiguous ascending range of live nodes
+/// with their program states and frontier bookkeeping. Accessed through
+/// [`ShardSlot`] under the claim protocol.
+struct Shard<'a, K, T> {
+    /// Program state per node, indexed by the node's slot within the shard.
+    tasks: Vec<TaskState<'a, K, T>>,
+    /// Node ids to poll next round (ascending).
+    runnable: Vec<usize>,
+    /// Node ids polled this round (ascending).
+    ran: Vec<usize>,
+    /// Node ids not yet finished (ascending).
+    alive: Vec<usize>,
 }
 
-impl RoundSync {
-    fn new(workers: usize) -> Self {
-        RoundSync {
-            state: Mutex::new(RoundState {
-                generation: 0,
-                stop: false,
-                panicked: false,
-                runnable: (0..workers).map(|_| Vec::new()).collect(),
-                pending: 0,
-            }),
-            work: Condvar::new(),
-            done: Condvar::new(),
-        }
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, RoundState> {
-        // A worker can only poison this lock between rounds (node programs
-        // run outside it); recover the state to reach the panicked flag.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
-    }
+/// The shared scheduler state: shards, the bin matrix, deques and barrier.
+struct Sched<'a, K, T> {
+    shards: Vec<ShardSlot<Shard<'a, K, T>>>,
+    /// `S × S` outbox bins: `bins[src_shard * S + dst_shard]`. Row `s` is
+    /// written by shard `s`'s poll/flush claimant; column `d` is drained by
+    /// shard `d`'s delivery claimant — a barrier separates the two.
+    bins: Vec<ShardSlot<Vec<SimMessage<K>>>>,
+    /// Per destination shard: messages were binned for it this round.
+    incoming: Vec<AtomicBool>,
+    deques: Vec<WsDeque>,
+    barrier: SenseBarrier,
+    /// Frontier sizes of the current/next round, indexed by round parity.
+    /// Every worker reads the round's slot after the delivery barrier to
+    /// agree on termination; the coordinator resets the *other* slot one
+    /// round ahead of its writers.
+    woken: [AtomicUsize; 2],
+    /// Node id → owning shard (`u32::MAX` for non-participants).
+    shard_of: Vec<u32>,
+    /// Node id → slot within its shard.
+    slot_of: Vec<u32>,
+    workers: usize,
+    /// Whether the serial flush phase runs (sink attached or contended
+    /// links): outboxes then stay put in phase 1 and are flushed, priced
+    /// and binned by the coordinator in global canonical order.
+    serial: bool,
 }
 
-/// Tells the pool to shut down when the coordinator leaves the scope —
-/// normally or by panicking (e.g. the deadlock panic) — so `thread::scope`
-/// can join the workers instead of hanging.
-struct StopGuard<'a> {
-    sync: &'a RoundSync,
+/// Immutable run context shared by every worker.
+struct Env<'a, K, T, F> {
+    program: &'a F,
+    cube: Hypercube,
+    faults: &'a Arc<FaultSet>,
+    cost: CostModel,
+    router: RouterKind,
+    cells: &'a [SharedCell<K>],
+    participation: &'a Arc<Vec<bool>>,
+    results: &'a Mutex<Vec<Option<T>>>,
 }
 
-impl Drop for StopGuard<'_> {
-    fn drop(&mut self) {
-        self.sync.lock().stop = true;
-        self.sync.work.notify_all();
-    }
+/// Coordinator-only state for the serial flush phase.
+struct SerialCtx<K> {
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    ledger: Option<LinkLedger>,
+    cost: CostModel,
+    msgs: Vec<SimMessage<K>>,
+    recs: Vec<CellRecord>,
 }
 
-/// Unblocks the coordinator when a worker unwinds out of a node program.
-struct PanicGuard<'a> {
-    sync: &'a RoundSync,
-}
+/// Poisons the barrier when its worker unwinds out of a node program, so
+/// the rest of the pool exits its phase loop and `thread::scope` can join
+/// everyone and re-raise the original panic.
+struct PoisonGuard<'a>(&'a SenseBarrier);
 
-impl Drop for PanicGuard<'_> {
+impl Drop for PoisonGuard<'_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            self.sync.lock().panicked = true;
-            self.sync.done.notify_all();
+            self.0.poison();
         }
     }
 }
@@ -126,8 +196,9 @@ impl Drop for PanicGuard<'_> {
 ///
 /// Usually reached through [`Engine::run`] with [`EngineKind::Par`];
 /// constructing a `ParEngine` directly additionally exposes
-/// [`ParEngine::with_workers`]. Requires `K`/`T`: [`Send`] and a [`Sync`]
-/// program (workers share `&program`), like the threaded engine.
+/// [`ParEngine::with_workers`] and [`ParEngine::with_shard_size`].
+/// Requires `K`/`T`: [`Send`] and a [`Sync`] program (workers share
+/// `&program`), like the threaded engine.
 ///
 /// [`EngineKind::Par`]: super::EngineKind::Par
 #[derive(Clone)]
@@ -139,6 +210,7 @@ pub struct ParEngine {
     tracing: bool,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     workers: usize,
+    shard: Option<usize>,
 }
 
 impl ParEngine {
@@ -153,6 +225,7 @@ impl ParEngine {
             tracing: false,
             sink: None,
             workers: default_workers(),
+            shard: None,
         }
     }
 
@@ -189,10 +262,21 @@ impl ParEngine {
     }
 
     /// Sets the worker-pool size (builder style). Clamped to at least 1 and
-    /// at most the number of participating nodes at run time; the pool size
-    /// affects wall-clock only, never simulated results.
+    /// at most the shard count at run time; the pool size affects
+    /// wall-clock only, never simulated results.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the shard size — how many contiguous live-rank nodes form one
+    /// unit of stealable work (builder style). Defaults to an automatic
+    /// size targeting ~4 shards per worker, capped at 64 nodes. Affects
+    /// wall-clock only, never simulated results. Note the engine keeps an
+    /// `S × S` bin matrix over the `S` shards, so very small shards on
+    /// large cubes cost `O(S²)` idle `Vec`s of memory.
+    pub fn with_shard_size(mut self, shard: usize) -> Self {
+        self.shard = Some(shard.max(1));
         self
     }
 
@@ -205,6 +289,7 @@ impl ParEngine {
             tracing: engine.tracing(),
             sink: engine.sink(),
             workers: engine.workers().unwrap_or_else(default_workers).max(1),
+            shard: engine.shard(),
         }
     }
 
@@ -230,7 +315,7 @@ impl ParEngine {
 
     /// Runs `program` SPMD on every node for which `inputs` supplies data —
     /// same contract and byte-identical results as [`SeqEngine::run`], with
-    /// each round's frontier executed on the worker pool.
+    /// each round's frontier executed on the work-stealing pool.
     ///
     /// # Panics
     /// Propagates node-program panics, rejects inputs assigned to faulty
@@ -257,89 +342,104 @@ impl ParEngine {
 
         let (cells, participation) =
             build_cells(&inputs, cube.dim(), self.tracing, self.sink.is_some());
-
-        // Pin each participating node to a worker by live rank. The worker
-        // creates and polls the node's future locally, so futures (which
-        // cannot be named, let alone bounded `Send`) stay thread-local.
-        let mut participants: Vec<usize> = Vec::new();
-        let mut worker_of: Vec<usize> = vec![usize::MAX; cells.len()];
-        for (i, slot) in inputs.iter().enumerate() {
-            if slot.is_some() {
-                worker_of[i] = participants.len(); // provisional: live rank
-                participants.push(i);
-            }
-        }
-        let workers = self.workers.max(1).min(participants.len().max(1));
-        for w in worker_of.iter_mut().filter(|w| **w != usize::MAX) {
-            *w %= workers;
-        }
-
-        let mut batches: Vec<Vec<(usize, Vec<K>)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, slot) in inputs.into_iter().enumerate() {
-            if let Some(input) = slot {
-                batches[worker_of[i]].push((i, input));
-            }
-        }
-
-        let sync = RoundSync::new(workers);
+        // Declared before the shards: the shards' futures borrow into the
+        // run context, so on unwind paths they must drop first.
         let results: Mutex<Vec<Option<T>>> = Mutex::new((0..cells.len()).map(|_| None).collect());
+
+        // Shard the participants: contiguous live-rank chunks, so every
+        // shard is an ascending node-id range (the delivery-order proof in
+        // the module docs depends on this).
+        let participants: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.is_some().then_some(i))
+            .collect();
+        let live = participants.len();
+        let workers_req = self.workers.max(1);
+        let shard_size = self
+            .shard
+            .unwrap_or_else(|| auto_shard_size(live, workers_req));
+        let shard_count = live.div_ceil(shard_size);
+        let workers = workers_req.min(shard_count).max(1);
+
+        let mut inputs = inputs;
+        let mut shard_of: Vec<u32> = vec![u32::MAX; cells.len()];
+        let mut slot_of: Vec<u32> = vec![u32::MAX; cells.len()];
+        let mut shards: Vec<ShardSlot<Shard<'_, K, T>>> = Vec::with_capacity(shard_count);
+        for (s, chunk) in participants.chunks(shard_size).enumerate() {
+            let mut tasks = Vec::with_capacity(chunk.len());
+            for (slot, &id) in chunk.iter().enumerate() {
+                shard_of[id] = s as u32;
+                slot_of[id] = slot as u32;
+                tasks.push(TaskState::Fresh(
+                    inputs[id].take().expect("participant has input"),
+                ));
+            }
+            shards.push(ShardSlot::new(Shard {
+                tasks,
+                runnable: chunk.to_vec(),
+                ran: Vec::with_capacity(chunk.len()),
+                alive: chunk.to_vec(),
+            }));
+        }
+
+        let serial = self.sink.is_some() || self.link_model == LinkModel::Contended;
+        let mut sched = Sched {
+            shards,
+            bins: (0..shard_count * shard_count)
+                .map(|_| ShardSlot::new(Vec::new()))
+                .collect(),
+            incoming: (0..shard_count).map(|_| AtomicBool::new(false)).collect(),
+            deques: (0..workers).map(|_| WsDeque::new(shard_count)).collect(),
+            barrier: SenseBarrier::new(workers),
+            woken: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            shard_of,
+            slot_of,
+            workers,
+            serial,
+        };
+        let ser = serial.then(|| SerialCtx {
+            sink: self.sink.clone(),
+            ledger: (self.link_model == LinkModel::Contended)
+                .then(|| LinkLedger::new(cube.dim(), 1 << cube.dim())),
+            cost: self.cost,
+            msgs: Vec::new(),
+            recs: Vec::new(),
+        });
         let program = &program;
+        let env = Env {
+            program,
+            cube,
+            faults: &self.faults,
+            cost: self.cost,
+            router: self.router,
+            cells: &cells,
+            participation: &participation,
+            results: &results,
+        };
 
         std::thread::scope(|scope| {
-            for (w, batch) in batches.drain(..).enumerate() {
-                let (cells, participation, sync, results) =
-                    (&cells, &participation, &sync, &results);
-                let (faults, cost, router) = (&self.faults, self.cost, self.router);
-                scope.spawn(move || {
-                    worker_main(
-                        w,
-                        batch,
-                        cells,
-                        participation,
-                        sync,
-                        results,
-                        program,
-                        cube,
-                        faults,
-                        cost,
-                        router,
-                    )
-                });
+            for w in 1..workers {
+                let (sched, env) = (&sched, &env);
+                scope.spawn(move || worker_loop(w, sched, env, None));
             }
-            let _stop = StopGuard { sync: &sync };
-
-            let mut round = participants.clone();
-            let mut alive = participants;
-            let mut next: Vec<usize> = Vec::new();
-            let mut committer =
-                RoundCommitter::new(self.sink.clone(), self.link_model, cube.dim(), self.cost);
-            while !round.is_empty() {
-                {
-                    let mut st = sync.lock();
-                    for &i in &round {
-                        st.runnable[worker_of[i]].push(i);
-                    }
-                    st.pending = workers;
-                    st.generation += 1;
-                    sync.work.notify_all();
-                    while st.pending > 0 && !st.panicked {
-                        st = sync.done.wait(st).unwrap_or_else(|e| e.into_inner());
-                    }
-                    if st.panicked {
-                        // StopGuard shuts the pool down; the scope join
-                        // re-raises the worker's original panic payload.
-                        drop(st);
-                        return;
-                    }
-                }
-                committer.commit(&cells, &round, &mut alive, &mut next);
-                std::mem::swap(&mut round, &mut next);
-            }
-
-            if !alive.is_empty() {
-                deadlock_panic(&cells, alive.len());
-            }
+            // The caller is worker 0: the coordinator for the serial flush
+            // phase and the `woken` slot resets.
+            worker_loop(0, &sched, &env, ser);
         });
+
+        let remaining: usize = sched
+            .shards
+            .iter_mut()
+            .map(|s| s.get_mut().alive.len())
+            .sum();
+        if remaining > 0 {
+            deadlock_panic(&cells, remaining);
+        }
+        // The shards hold the node futures, whose lifetime is unified with
+        // the `env` borrows of `cells`/`results`; drop them before moving
+        // either out.
+        drop(sched);
 
         let results = results.into_inner().unwrap_or_else(|e| e.into_inner());
         collect_run(
@@ -360,76 +460,269 @@ fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-#[allow(clippy::too_many_arguments)] // internal plumbing, called once
-fn worker_main<K, T, F>(
+/// Automatic shard size: ~4 shards per worker for steal granularity,
+/// capped at 64 nodes so one shard's round work stays cache-sized.
+fn auto_shard_size(live: usize, workers: usize) -> usize {
+    live.div_ceil(workers * 4).clamp(1, 64)
+}
+
+/// One worker's whole run: phase loop until the frontier empties or the
+/// barrier is poisoned. Worker 0 doubles as the coordinator.
+fn worker_loop<'a, K, T, F>(
     w: usize,
-    batch: Vec<(usize, Vec<K>)>,
-    cells: &[Arc<Mutex<NodeCell<K>>>],
-    participation: &Arc<Vec<bool>>,
-    sync: &RoundSync,
-    results: &Mutex<Vec<Option<T>>>,
-    program: &F,
-    cube: Hypercube,
-    faults: &Arc<FaultSet>,
-    cost: CostModel,
-    router: RouterKind,
+    sched: &Sched<'a, K, T>,
+    env: &Env<'a, K, T, F>,
+    mut ser: Option<SerialCtx<K>>,
 ) where
     K: Send,
     T: Send,
     F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
 {
-    let mut futures: Vec<Option<Pin<Box<dyn Future<Output = T> + '_>>>> =
-        (0..cells.len()).map(|_| None).collect();
-    for (i, input) in batch {
-        let ctx = NodeCtx::new_cell(
-            NodeId::from(i),
-            cube,
-            Arc::clone(faults),
-            cost,
-            router,
-            CellCtx::new(Arc::clone(&cells[i]), Arc::clone(participation)),
-        );
-        futures[i] = Some(Box::pin(async move {
-            let mut ctx = ctx;
-            program(&mut ctx, input).await
-        }));
-    }
-
-    let guard = PanicGuard { sync };
+    let _poison = PoisonGuard(&sched.barrier);
     let mut poll_cx = Context::from_waker(Waker::noop());
-    let mut mine: Vec<usize> = Vec::new();
-    let mut seen = 0u64;
+    let shard_count = sched.shards.len();
+    let mut r: usize = 0;
     loop {
-        {
-            let mut st = sync.lock();
-            while st.generation == seen && !st.stop {
-                st = sync.work.wait(st).unwrap_or_else(|e| e.into_inner());
+        // Phase 1 — poll. Stage own affine runnable shards, then claim.
+        for s in (w..shard_count).step_by(sched.workers) {
+            // SAFETY: pre-push reads of an unclaimed shard belong to its
+            // affinity owner; the deque's release/acquire on push/steal
+            // orders them before any thief's access.
+            if !unsafe { sched.shards[s].get() }.runnable.is_empty() {
+                sched.deques[w].push(s as u32);
             }
-            if st.stop {
+        }
+        claim_shards(w, sched, |s| unsafe {
+            poll_shard(s, sched, env, &mut poll_cx)
+        });
+        if sched.barrier.wait() {
+            return;
+        }
+
+        // Phase 2 — serial flush (coordinator only, when needed): record
+        // flushing and link pricing are global orders.
+        if sched.serial {
+            if let Some(ser) = ser.as_mut() {
+                serial_flush(ser, sched, env.cells);
+            }
+            if sched.barrier.wait() {
+                return;
+            }
+        }
+
+        // Phase 3 — deliver + wake. The coordinator also resets the *next*
+        // round's frontier counter: its writers run in phase 3 of round
+        // r+1 and its readers finished before round r began, so this is
+        // the quiet window for the slot.
+        if w == 0 {
+            sched.woken[(r + 1) & 1].store(0, Ordering::Relaxed);
+        }
+        for s in (w..shard_count).step_by(sched.workers) {
+            // SAFETY: pre-push reads, as in phase 1.
+            let sh = unsafe { sched.shards[s].get() };
+            if sched.incoming[s].load(Ordering::Relaxed) || !sh.ran.is_empty() {
+                sched.deques[w].push(s as u32);
+            }
+        }
+        claim_shards(w, sched, |s| unsafe {
+            deliver_shard(s, r, sched, env.cells)
+        });
+        if sched.barrier.wait() {
+            return;
+        }
+        if sched.woken[r & 1].load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        r += 1;
+    }
+}
+
+/// Drains the worker's own deque LIFO, then steals FIFO from peers; exits
+/// when everything looks empty. Every pushed shard is claimed exactly once
+/// (Chase–Lev semantics); a worker exiting early just means its leftovers
+/// are processed by their owner or another thief.
+fn claim_shards<K, T>(w: usize, sched: &Sched<'_, K, T>, mut run: impl FnMut(usize)) {
+    let own = &sched.deques[w];
+    loop {
+        if let Some(s) = own.pop() {
+            run(s as usize);
+            continue;
+        }
+        let mut stole = false;
+        for k in 1..sched.workers {
+            if let Some(s) = sched.deques[(w + k) % sched.workers].steal() {
+                run(s as usize);
+                stole = true;
                 break;
             }
-            seen = st.generation;
-            std::mem::swap(&mut st.runnable[w], &mut mine);
         }
-        for &i in &mine {
-            let fut = futures[i].as_mut().expect("scheduled node has a task");
-            match fut.as_mut().poll(&mut poll_cx) {
-                Poll::Ready(value) => {
-                    futures[i] = None;
-                    cells[i].lock().expect("node cell lock poisoned").done = true;
-                    results.lock().expect("results lock poisoned")[i] = Some(value);
-                }
-                Poll::Pending => {}
+        if !stole {
+            return;
+        }
+    }
+}
+
+/// Phase 1 for one claimed shard: swap in the staged frontier, poll every
+/// runnable node once (creating its future on first poll), and — when no
+/// serial phase runs — move outboxes into the bin matrix.
+///
+/// # Safety
+/// The caller must hold the claim on shard `s` (popped or stolen from a
+/// deque this phase).
+unsafe fn poll_shard<'a, K, T, F>(
+    s: usize,
+    sched: &Sched<'a, K, T>,
+    env: &Env<'a, K, T, F>,
+    poll_cx: &mut Context<'_>,
+) where
+    K: Send,
+    T: Send,
+    F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
+{
+    // SAFETY: exclusive by the claim the caller holds.
+    let sh = unsafe { sched.shards[s].get() };
+    std::mem::swap(&mut sh.ran, &mut sh.runnable);
+    debug_assert!(sh.runnable.is_empty(), "previous round left staged work");
+    for idx in 0..sh.ran.len() {
+        let id = sh.ran[idx];
+        let state = &mut sh.tasks[sched.slot_of[id] as usize];
+        if matches!(*state, TaskState::Fresh(_)) {
+            let TaskState::Fresh(input) = std::mem::replace(state, TaskState::Done) else {
+                unreachable!()
+            };
+            let ctx = NodeCtx::new_cell(
+                NodeId::from(id),
+                env.cube,
+                Arc::clone(env.faults),
+                env.cost,
+                env.router,
+                CellCtx::new(Arc::clone(&env.cells[id]), Arc::clone(env.participation)),
+            );
+            let program = env.program;
+            *state = TaskState::Running(NodeTask(Box::pin(async move {
+                let mut ctx = ctx;
+                program(&mut ctx, input).await
+            })));
+        }
+        let TaskState::Running(task) = state else {
+            unreachable!("scheduled node has no task")
+        };
+        match task.0.as_mut().poll(poll_cx) {
+            Poll::Ready(value) => {
+                *state = TaskState::Done;
+                env.cells[id].lock().expect("node cell lock poisoned").done = true;
+                env.results.lock().expect("results lock poisoned")[id] = Some(value);
             }
+            Poll::Pending => {}
         }
-        mine.clear();
-        {
-            let mut st = sync.lock();
-            st.pending -= 1;
-            if st.pending == 0 {
-                sync.done.notify_all();
+    }
+    if !sched.serial {
+        let shard_count = sched.shards.len();
+        for &id in &sh.ran {
+            let mut cell = env.cells[id].lock().expect("node cell lock poisoned");
+            for msg in cell.outbox.drain(..) {
+                let d = sched.shard_of[msg.dst.index()] as usize;
+                // SAFETY: row `s` of the bin matrix belongs to this claim.
+                unsafe { sched.bins[s * shard_count + d].get() }.push(msg);
+                sched.incoming[d].store(true, Ordering::Relaxed);
             }
         }
     }
-    std::mem::forget(guard);
+}
+
+/// Phase 2, coordinator only: flush records and price messages for the
+/// round's ran nodes in ascending node-id order — the sequential engine's
+/// exact sequence — binning each priced message for parallel delivery.
+fn serial_flush<K, T>(ser: &mut SerialCtx<K>, sched: &Sched<'_, K, T>, cells: &[SharedCell<K>]) {
+    let shard_count = sched.shards.len();
+    for s in 0..shard_count {
+        // SAFETY: phase 2 runs on the coordinator alone, between barriers.
+        let sh = unsafe { sched.shards[s].get() };
+        for &id in &sh.ran {
+            {
+                let mut cell = cells[id].lock().expect("node cell lock poisoned");
+                std::mem::swap(&mut cell.outbox, &mut ser.msgs);
+                if cell.sinking {
+                    std::mem::swap(&mut cell.records, &mut ser.recs);
+                }
+            }
+            if !ser.recs.is_empty() {
+                let sink = ser.sink.as_ref().expect("records buffered without a sink");
+                flush_records(sink, id, &mut ser.recs);
+            }
+            for mut msg in ser.msgs.drain(..) {
+                if let Some(ledger) = &mut ser.ledger {
+                    // Links are acquired in commit order — ascending ran
+                    // node, then per-node outbox (program) order — the
+                    // deterministic arbitration rule schema v2 records.
+                    let (arrival, wait) = ledger.acquire(
+                        msg.src,
+                        msg.dst,
+                        msg.data.len(),
+                        msg.hops,
+                        msg.sent_at,
+                        &ser.cost,
+                    );
+                    msg.arrival = arrival;
+                    msg.wait = wait;
+                }
+                let d = sched.shard_of[msg.dst.index()] as usize;
+                // SAFETY: coordinator-exclusive phase.
+                unsafe { sched.bins[s * shard_count + d].get() }.push(msg);
+                sched.incoming[d].store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Phase 3 for one claimed shard: drain the shard's bin column (ascending
+/// source shard = ascending source node order) into its nodes' inboxes,
+/// then prune finished nodes and stage the woken frontier.
+///
+/// # Safety
+/// The caller must hold the claim on shard `s` (popped or stolen from a
+/// deque this phase).
+unsafe fn deliver_shard<K, T>(
+    s: usize,
+    r: usize,
+    sched: &Sched<'_, K, T>,
+    cells: &[SharedCell<K>],
+) {
+    let shard_count = sched.shards.len();
+    // SAFETY: exclusive by the claim the caller holds.
+    let sh = unsafe { sched.shards[s].get() };
+    if sched.incoming[s].load(Ordering::Relaxed) {
+        sched.incoming[s].store(false, Ordering::Relaxed);
+        for src in 0..shard_count {
+            // SAFETY: column `s` of the bin matrix belongs to this claim.
+            let bin = unsafe { sched.bins[src * shard_count + s].get() };
+            for msg in bin.drain(..) {
+                let mut dst = cells[msg.dst.index()]
+                    .lock()
+                    .expect("node cell lock poisoned");
+                dst.inbox.push(msg);
+                let backlog = dst.inbox.len() as u64;
+                dst.metrics.inbox_peak = dst.metrics.inbox_peak.max(backlog);
+            }
+        }
+    }
+    sh.ran.clear();
+    let mut runnable = std::mem::take(&mut sh.runnable);
+    sh.alive.retain(|&id| {
+        let mut cell = cells[id].lock().expect("node cell lock poisoned");
+        if cell.done {
+            return false;
+        }
+        if let Some((src, tag)) = cell.waiting {
+            if cell.inbox.iter().any(|m| m.src == src && m.tag == tag) {
+                cell.waiting = None;
+                runnable.push(id);
+            }
+        }
+        true
+    });
+    if !runnable.is_empty() {
+        sched.woken[r & 1].fetch_add(runnable.len(), Ordering::Relaxed);
+    }
+    sh.runnable = runnable;
 }

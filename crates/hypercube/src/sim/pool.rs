@@ -52,10 +52,12 @@ impl<K> BufferPool<K> {
         }
     }
 
-    /// A per-worker handle drawing on this pool.
+    /// A per-worker handle drawing on this pool. The local free list is
+    /// sized up front so `put` never grows it — a handle's warm
+    /// take/put cycle allocates nothing from its very first use.
     pub fn handle(&self) -> PoolHandle<K> {
         PoolHandle {
-            local: Vec::new(),
+            local: Vec::with_capacity(LOCAL_SLABS),
             shared: Arc::clone(&self.shared),
         }
     }

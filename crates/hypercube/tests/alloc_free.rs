@@ -11,13 +11,17 @@
 //! preallocated storage.
 //!
 //! The same property is pinned for the parallel engine, whose round
-//! handshake (condvars + recycled frontier vectors, not channels) was
-//! chosen precisely so concurrency adds no per-round allocations — the
-//! counter is process-wide, so any allocation on any worker or on the
-//! coordinator inside the measurement window fails the test (rounds are
-//! barrier-aligned across nodes, so every node's window covers the same
-//! rounds). The run-wide [`BufferPool`] rides the same window: slab
-//! take/put cycles on every node stay allocation-free once warm.
+//! handshake (work-stealing deques + a sense-reversing barrier, not
+//! channels) was chosen precisely so concurrency adds no per-round
+//! allocations — the counter is process-wide, so any allocation on any
+//! worker or on the coordinator inside the measurement window fails the
+//! test (rounds are barrier-aligned across nodes, so every node's window
+//! covers the same rounds). The run-wide [`BufferPool`] rides the same
+//! window: slab take/put cycles on every node stay allocation-free once
+//! warm — and because the pool is an `Arc`-backed store that outlives any
+//! single engine run, a *second* run on the same pool starts warm: its
+//! very first slab cycle reuses run 1's allocations and must allocate
+//! nothing.
 
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
@@ -154,4 +158,66 @@ fn par_engine_message_path_and_buffer_pool_are_allocation_free_when_warm() {
             "warm par message path allocated {allocs} times on node {i}"
         );
     }
+}
+
+#[test]
+fn second_run_on_the_same_buffer_pool_starts_warm() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let cube = Hypercube::new(2);
+    let pool: BufferPool<u64> = BufferPool::new();
+
+    // Run 1 warms the pool: every node cycles one 256-capacity slab, and
+    // the handles' Drop returns the slabs to the shared store.
+    let run = |measure: bool| {
+        let engine = Engine::new(FaultSet::none(cube), CostModel::default())
+            .with_engine(EngineKind::Par)
+            .with_workers(2);
+        let pool = &pool;
+        let inputs: Vec<Option<Vec<u64>>> = (0..cube.len())
+            .map(|i| Some((0..256).map(|x| (i as u64) << 32 | x).collect()))
+            .collect();
+        let out = engine.run(inputs, async |ctx, data| {
+            let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
+            let tag = Tag::phase(9, 0, 0);
+            let mut handle = pool.handle();
+            let mut buf = data;
+            // Message-path warm-up only: inboxes and histograms are
+            // per-run state. Deliberately no slab warm-up — when
+            // measuring, the window's first `take` must already be warm,
+            // fed by the previous run's slabs.
+            for _ in 0..4 {
+                buf = ctx.exchange(partner, tag, buf).await;
+            }
+            let before = ALLOCS.load(Ordering::Relaxed);
+            for _ in 0..32 {
+                buf = ctx.exchange(partner, tag, buf).await;
+                let mut slab = handle.take(256);
+                slab.push(buf.len() as u64);
+                handle.put(slab);
+            }
+            let after = ALLOCS.load(Ordering::Relaxed);
+            // Post-window barrier: keeps teardown (handle Drop spilling
+            // into the shared store) out of every node's window.
+            buf = ctx.exchange(partner, tag, buf).await;
+            (buf.len(), after - before)
+        });
+        for (i, outcome) in out.outcomes().iter().enumerate() {
+            let Some(outcome) = outcome else { continue };
+            let (len, allocs) = outcome.result;
+            assert_eq!(len, 256, "payload must survive the ping-pong");
+            if measure {
+                assert_eq!(
+                    allocs, 0,
+                    "second-run slab cycle allocated {allocs} times on node {i}"
+                );
+            }
+        }
+    };
+    run(false);
+    assert_eq!(
+        pool.shared_slabs(),
+        cube.len(),
+        "run 1 must park one warmed slab per node in the shared store"
+    );
+    run(true);
 }

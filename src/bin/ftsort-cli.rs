@@ -5,7 +5,7 @@
 //! ```text
 //! ftsort-cli partition   --n 5 --faults 3,5,16,24
 //! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq|par]
-//!                        [--link-model uncontended|contended]
+//!                        [--threads N] [--link-model uncontended|contended]
 //!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json[.gz]]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
@@ -206,6 +206,16 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
             .ok_or_else(|| format!("unknown engine '{s}' (threaded|seq|par)"))?,
     };
     let link_model = parse_link_model(flags)?.unwrap_or_default();
+    let threads: Option<usize> = match flags.get("threads") {
+        None => None,
+        Some(s) => {
+            let t: usize = s.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            if t == 0 {
+                return Err("bad --threads: must be at least 1".into());
+            }
+            Some(t)
+        }
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
@@ -219,6 +229,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         link_model,
         include_host_io: flags.contains_key("host-io"),
         tracing: trace_out.is_some(),
+        threads,
         ..FtConfig::default()
     };
     let (out, phases, obs) = match run_out {
@@ -266,7 +277,10 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         println!("trace written  : {path} (load in ui.perfetto.dev)");
     }
     if let Some(path) = metrics_out {
-        let report = obs.report(&phase_name);
+        let mut report = obs.report(&phase_name);
+        if let Some(threads) = threads {
+            report = report.with_threads(threads);
+        }
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics written: {path}");
     }

@@ -11,6 +11,11 @@
 //! compared byte for byte too (the threaded engine streams records live
 //! from concurrent node threads, so its interleaving — and only its
 //! interleaving — is executor-dependent).
+//!
+//! The parallel engine's worker count is swept across `{1, 2, 4, auto}`
+//! per case — the work-stealing scheduler must be byte-deterministic at
+//! *every* worker count, including oversubscribed ones on a small host —
+//! and the streamed-bytes cases compare par at 1, 2 and 4 workers each.
 
 use ftsort::bitonic::Protocol;
 use ftsort::ftsort::{
@@ -55,10 +60,14 @@ fn engines_agree_on_64_random_instances() {
             Protocol::FullExchange
         };
         let host_io = case % 3 == 0;
+        // Par worker-count sweep: every case pins a different count
+        // (None = available parallelism); the other engines ignore it.
+        let threads = [Some(1), Some(2), Some(4), None][case % 4];
         let config = |engine: EngineKind| FtConfig {
             protocol,
             include_host_io: host_io,
             engine,
+            threads,
             ..FtConfig::default()
         };
         let run = |engine: EngineKind| {
@@ -67,7 +76,7 @@ fn engines_agree_on_64_random_instances() {
         let seq = run(EngineKind::Seq);
         let tag = format!(
             "case {case}: n={n} r={r} m={m} {protocol:?} host_io={host_io} \
-             faults={:?}",
+             threads={threads:?} faults={:?}",
             faults.to_vec()
         );
         for kind in [EngineKind::Threaded, EngineKind::Par] {
@@ -97,14 +106,21 @@ fn engines_agree_on_64_random_instances() {
         assert_eq!(seq.sorted, expect, "not actually sorted — {tag}");
 
         // Every 8th instance: the frontier engines' streamed run files are
-        // the same bytes (header, every record line, node footer).
+        // the same bytes (header, every record line, node footer) — par
+        // checked at 1, 2 and 4 workers.
         if case % 8 == 0 {
             let seq_bytes = streamed_bytes(&plan, &config(EngineKind::Seq), data.clone());
-            let par_bytes = streamed_bytes(&plan, &config(EngineKind::Par), data.clone());
-            assert!(
-                seq_bytes == par_bytes,
-                "streamed TraceSink output differs seq vs par — {tag}"
-            );
+            for workers in [1usize, 2, 4] {
+                let par_config = FtConfig {
+                    threads: Some(workers),
+                    ..config(EngineKind::Par)
+                };
+                let par_bytes = streamed_bytes(&plan, &par_config, data.clone());
+                assert!(
+                    seq_bytes == par_bytes,
+                    "streamed TraceSink output differs seq vs par@{workers} — {tag}"
+                );
+            }
             assert!(!seq_bytes.is_empty(), "sink saw no records — {tag}");
         }
     }
@@ -132,10 +148,12 @@ fn engines_agree_under_contended_link_model() {
             Protocol::FullExchange
         };
         let host_io = case % 3 == 0;
+        let threads = [Some(1), Some(2), Some(4), None][case % 4];
         let config = |engine: EngineKind| FtConfig {
             protocol,
             include_host_io: host_io,
             engine,
+            threads,
             link_model: LinkModel::Contended,
             ..FtConfig::default()
         };
@@ -145,7 +163,7 @@ fn engines_agree_under_contended_link_model() {
         let seq = run(EngineKind::Seq);
         let tag = format!(
             "case {case}: n={n} r={r} m={m} {protocol:?} host_io={host_io} contended \
-             faults={:?}",
+             threads={threads:?} faults={:?}",
             faults.to_vec()
         );
         for kind in [EngineKind::Threaded, EngineKind::Par] {
@@ -171,14 +189,24 @@ fn engines_agree_under_contended_link_model() {
         assert_eq!(seq.sorted, expect, "not actually sorted — {tag}");
 
         // Every 8th instance: all three engines' streamed v2 run files
-        // are the same bytes, threaded included.
+        // are the same bytes, threaded included, and par checked at
+        // 1, 2 and 4 workers.
         if case % 8 == 0 {
             let seq_bytes = streamed_bytes(&plan, &config(EngineKind::Seq), data.clone());
-            for kind in [EngineKind::Par, EngineKind::Threaded] {
-                let other_bytes = streamed_bytes(&plan, &config(kind), data.clone());
+            let threaded_bytes = streamed_bytes(&plan, &config(EngineKind::Threaded), data.clone());
+            assert!(
+                seq_bytes == threaded_bytes,
+                "streamed v2 run file differs seq vs threaded — {tag}"
+            );
+            for workers in [1usize, 2, 4] {
+                let par_config = FtConfig {
+                    threads: Some(workers),
+                    ..config(EngineKind::Par)
+                };
+                let par_bytes = streamed_bytes(&plan, &par_config, data.clone());
                 assert!(
-                    seq_bytes == other_bytes,
-                    "streamed v2 run file differs seq vs {kind} — {tag}"
+                    seq_bytes == par_bytes,
+                    "streamed v2 run file differs seq vs par@{workers} — {tag}"
                 );
             }
             assert!(!seq_bytes.is_empty(), "sink saw no records — {tag}");
