@@ -1,11 +1,26 @@
 //! Per-phase regression localization between two `BENCH_engines.json`
-//! files (written by the `engines_json` binary).
+//! files (written by the `engines_json` binary) — or two
+//! `BENCH_sched.json` files (written by `sched_json`), which share the
+//! row key and host-matching discipline.
 //!
 //! Rows are matched by `(n, r, m, workers)` (`workers` defaults to 0 for
 //! pre-multi-core baselines). For each matched row, every phase's
 //! virtual time in B is compared against A, and any phase that regressed
 //! by more than the tolerance (default 10%) is flagged; the overall
-//! `virtual_us` makespan gets the same treatment.
+//! `virtual_us` makespan gets the same treatment (sched rows carry
+//! neither and skip both).
+//!
+//! Scheduler-health metrics gate like the wall ratios — banded by
+//! `--wall-tolerance` plus an absolute epsilon of 0.02 (the metrics are
+//! fractions in `[0, 1]`; a pure relative band would make near-zero
+//! baselines impossibly strict), and only when both files report the
+//! same `host_cores`:
+//!
+//! - **utilization** must not fall below `old × band − 0.02`;
+//! - **barrier_share** must not rise above `old × (2 − band) + 0.02`;
+//! - **steal_rate** is printed but never gated — steal volume is load
+//!   placement, not health; it legitimately swings with core count and
+//!   shard geometry.
 //!
 //! Wall-clock *columns* are printed for context but never flagged — they
 //! measure the host, not the algorithm, so CI noise would make them
@@ -46,9 +61,15 @@ struct Row {
     m: u64,
     /// Par-engine worker count; 0 for pre-multi-core baselines.
     workers: u64,
-    virtual_us: f64,
+    /// Virtual makespan; absent on sched rows.
+    virtual_us: Option<f64>,
     /// `speedups.par_over_seq` when present.
     par_over_seq: Option<f64>,
+    /// Scheduler-health fractions (`sched_json` rows): utilization,
+    /// steal_rate, barrier_share.
+    utilization: Option<f64>,
+    steal_rate: Option<f64>,
+    barrier_share: Option<f64>,
     walls: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
 }
@@ -119,7 +140,9 @@ fn main() {
         };
         matched += 1;
         println!("n={} r={} m={} workers={}:", rb.n, rb.r, rb.m, rb.workers);
-        regressions += diff_metric("virtual_us", ra.virtual_us, rb.virtual_us, tolerance);
+        if let (Some(old), Some(new)) = (ra.virtual_us, rb.virtual_us) {
+            regressions += diff_metric("virtual_us", old, new, tolerance);
+        }
         for (name, old) in &ra.phases {
             match rb.phases.iter().find(|(k, _)| k == name) {
                 Some((_, new)) => {
@@ -155,6 +178,54 @@ fn main() {
                 }
             );
             regressions += flag as usize;
+        }
+        // Scheduler-health gates (sched_json rows). Fractions in [0, 1]:
+        // banded relatively like the wall ratios, plus an absolute 0.02
+        // epsilon so near-zero baselines don't gate on noise. Host-matched
+        // only — utilization measures this machine's scheduler.
+        if let (Some(old), Some(new)) = (ra.utilization, rb.utilization) {
+            let floor = old * wall_band - 0.02;
+            let flag = same_host && new < floor;
+            println!(
+                "  {:<34} {:>12.3}   -> {:>12.3}    (floor {:.3}){}",
+                "utilization",
+                old,
+                new,
+                floor,
+                if flag {
+                    "  REGRESSION"
+                } else if !same_host {
+                    "  (informational: host changed)"
+                } else {
+                    ""
+                }
+            );
+            regressions += flag as usize;
+        }
+        if let (Some(old), Some(new)) = (ra.barrier_share, rb.barrier_share) {
+            let ceiling = old * (2.0 - wall_band) + 0.02;
+            let flag = same_host && new > ceiling;
+            println!(
+                "  {:<34} {:>12.3}   -> {:>12.3}    (ceiling {:.3}){}",
+                "barrier_share",
+                old,
+                new,
+                ceiling,
+                if flag {
+                    "  REGRESSION"
+                } else if !same_host {
+                    "  (informational: host changed)"
+                } else {
+                    ""
+                }
+            );
+            regressions += flag as usize;
+        }
+        if let (Some(old), Some(new)) = (ra.steal_rate, rb.steal_rate) {
+            println!(
+                "  {:<34} {:>12.3}   -> {:>12.3}    (informational)",
+                "steal_rate", old, new
+            );
         }
         for (name, old) in &ra.walls {
             if let Some((_, new)) = rb.walls.iter().find(|(k, _)| k == name) {
@@ -278,10 +349,7 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| format!("results[{i}]: missing integer '{k}'"))
         };
-        let virtual_us = row
-            .get("virtual_us")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("results[{i}]: missing 'virtual_us'"))?;
+        let virtual_us = row.get("virtual_us").and_then(Json::as_f64);
         let par_over_seq = row
             .get("speedups")
             .and_then(|s| s.get("par_over_seq"))
@@ -312,6 +380,9 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
             workers: row.get("workers").and_then(Json::as_u64).unwrap_or(0),
             virtual_us,
             par_over_seq,
+            utilization: row.get("utilization").and_then(Json::as_f64),
+            steal_rate: row.get("steal_rate").and_then(Json::as_f64),
+            barrier_share: row.get("barrier_share").and_then(Json::as_f64),
             walls,
             phases,
         });

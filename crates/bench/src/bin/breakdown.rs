@@ -56,9 +56,13 @@ fn main() {
             threads: obs_flags.threads,
             ..FtConfig::default()
         };
+        let sched_data = obs_flags.sched_enabled().then(|| data.clone());
         let (out, phases, obs) = fault_tolerant_sort_observed(&plan, &config, data);
         if obs_flags.enabled() {
             obs_flags.observe(obs);
+        }
+        if let Some(sched_data) = sched_data {
+            obs_flags.profile_sched(&plan, &config, sched_data);
         }
         println!(
             "{:>2} {:>3} {:>4} | {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>9.1}",

@@ -41,8 +41,13 @@ struct Row {
     n: usize,
     r: usize,
     m_total: usize,
-    /// Worker count the par engine ran with for this row.
+    /// Worker count the par engine was asked to run with for this row.
     workers: usize,
+    /// Worker count that actually ran after the shard-count clamp
+    /// (`schedule_for`): on small cubes fewer shards than workers exist.
+    workers_effective: usize,
+    /// Effective shard size (after `auto_shard_size`).
+    shard_size: usize,
     virtual_us: f64,
     threaded_s: f64,
     seq_s: f64,
@@ -168,7 +173,16 @@ fn main() {
         if obs_flags.enabled() {
             obs_flags.observe(obs);
         }
+        if obs_flags.sched_enabled() {
+            let config = FtConfig {
+                protocol: Protocol::HalfExchange,
+                ..FtConfig::default()
+            };
+            obs_flags.profile_sched(&plan, &config, data.clone());
+        }
         for &workers in &ladder {
+            let (workers_effective, shard_size, _) =
+                hypercube::sim::par::schedule_for(plan.live_count(), Some(workers), None);
             let (par_s, par) = time(EngineKind::Par, Some(workers));
             assert_eq!(
                 par.sorted, seq.sorted,
@@ -199,6 +213,8 @@ fn main() {
                 r,
                 m_total,
                 workers,
+                workers_effective,
+                shard_size,
                 virtual_us: seq.time_us,
                 threaded_s,
                 seq_s,
@@ -227,7 +243,8 @@ fn render_json(seed: u64, trials: usize, host_cores: usize, rows: &[Row]) -> Str
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"workers\": {}, \"virtual_us\": {:.3}, \
+            "    {{\"n\": {}, \"r\": {}, \"m\": {}, \"workers\": {}, \
+             \"workers_effective\": {}, \"shard_size\": {}, \"virtual_us\": {:.3}, \
              \"threaded_wall_s\": {:.6}, \"seq_wall_s\": {:.6}, \"par_wall_s\": {:.6}, \
              \"speedups\": {{\"seq_over_threaded\": {:.2}, \"par_over_threaded\": {:.2}, \
              \"par_over_seq\": {:.2}}}, \"phases\": {{",
@@ -235,6 +252,8 @@ fn render_json(seed: u64, trials: usize, host_cores: usize, rows: &[Row]) -> Str
             row.r,
             row.m_total,
             row.workers,
+            row.workers_effective,
+            row.shard_size,
             row.virtual_us,
             row.threaded_s,
             row.seq_s,

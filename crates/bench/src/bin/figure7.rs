@@ -150,6 +150,15 @@ fn figure7_panel(
                 if obs_flags.enabled() {
                     obs_flags.observe(obs);
                 }
+                if obs_flags.sched_enabled() {
+                    let config = FtConfig {
+                        cost,
+                        protocol: Protocol::HalfExchange,
+                        engine,
+                        ..FtConfig::default()
+                    };
+                    obs_flags.profile_sched(&plan, &config, data.clone());
+                }
             }
             let ms = total / sets.len() as f64 / 1000.0;
             if csv {

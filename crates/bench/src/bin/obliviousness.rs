@@ -76,6 +76,14 @@ fn main() {
         if obs_flags.enabled() {
             obs_flags.observe(obs);
         }
+        if obs_flags.sched_enabled() {
+            let config = FtConfig {
+                protocol: Protocol::HalfExchange,
+                engine,
+                ..FtConfig::default()
+            };
+            obs_flags.profile_sched(&plan, &config, data.clone());
+        }
         let hq = hyperquicksort_with_engine(cube, CostModel::default(), data, engine);
         assert_eq!(hq.sorted, expect);
         println!(

@@ -70,6 +70,9 @@ fn main() {
             if obs_flags.enabled() {
                 obs_flags.observe(obs);
             }
+            if obs_flags.sched_enabled() {
+                obs_flags.profile_sched(&plan, &config, data.clone());
+            }
             mffs_ms += mffs_sort_with_engine(
                 &faults,
                 CostModel::default(),
@@ -123,9 +126,13 @@ fn main() {
                     threads: obs_flags.threads,
                     ..FtConfig::default()
                 };
+                let sched_data = obs_flags.sched_enabled().then(|| data.clone());
                 let (out, _, obs) = fault_tolerant_sort_observed(&p, &config, data);
                 if obs_flags.enabled() {
                     obs_flags.observe(obs);
+                }
+                if let Some(sched_data) = sched_data {
+                    obs_flags.profile_sched(&p, &config, sched_data);
                 }
                 println!(
                     "{:>2} {:>10} {:>4} {:>8} {:>9.1}% {:>12.1}",

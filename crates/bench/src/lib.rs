@@ -66,7 +66,18 @@ pub struct ObsFlags {
     /// host's available parallelism). Recorded in the `--metrics-out`
     /// report when given; wall-clock only, never simulated results.
     pub threads: Option<usize>,
+    /// `SchedReport` JSON destination (`--sched-out`): per-worker
+    /// wall-clock scheduler telemetry from an extra profiled par-engine
+    /// run. Also writes `<path>.perfetto.json` (worker timeline + steal
+    /// flows) and prints the ASCII summary.
+    pub sched_out: Option<String>,
+    /// `--sched-profile`: print the scheduler summary and worker timeline
+    /// without writing files.
+    pub sched_profile: bool,
     last: Option<hypercube::obs::RunObservation>,
+    sched_report: Option<hypercube::obs::sched::SchedReport>,
+    sched_perfetto: Option<String>,
+    sched_timeline: Option<String>,
 }
 
 impl ObsFlags {
@@ -89,10 +100,15 @@ impl ObsFlags {
             }
             return true;
         }
+        if arg == "--sched-profile" {
+            self.sched_profile = true;
+            return true;
+        }
         let slot = match arg {
             "--trace-out" => &mut self.trace_out,
             "--metrics-out" => &mut self.metrics_out,
             "--run-out" => &mut self.run_out,
+            "--sched-out" => &mut self.sched_out,
             _ => return false,
         };
         match args.next() {
@@ -118,37 +134,112 @@ impl ObsFlags {
         self.trace_out.is_some() || self.metrics_out.is_some() || self.run_out.is_some()
     }
 
+    /// Whether a scheduler profile was requested
+    /// (`--sched-out`/`--sched-profile`).
+    pub fn sched_enabled(&self) -> bool {
+        self.sched_out.is_some() || self.sched_profile
+    }
+
     /// Remembers `obs` as the run to export (last call wins).
     pub fn observe(&mut self, obs: hypercube::obs::RunObservation) {
         self.last = Some(obs);
     }
 
+    /// Runs one extra par-engine sort of `data` with a
+    /// [`SchedProfiler`](hypercube::obs::sched::SchedProfiler) attached and
+    /// remembers the resulting [`SchedReport`], Perfetto export and worker
+    /// timeline for [`write`](Self::write); a no-op unless
+    /// `--sched-out`/`--sched-profile` was given. The profiled run is
+    /// *extra* (and forced onto [`EngineKind::Par`]) so a report binary's
+    /// own timed runs — whatever engine they use — stay untouched;
+    /// simulated results are engine-independent, so the profiled run sorts
+    /// the same data to the same bytes.
+    ///
+    /// [`SchedReport`]: hypercube::obs::sched::SchedReport
+    /// [`EngineKind::Par`]: hypercube::sim::EngineKind::Par
+    pub fn profile_sched<K>(&mut self, plan: &FtPlan, base: &ftsort::ftsort::FtConfig, data: Vec<K>)
+    where
+        K: Ord + Clone + Send,
+    {
+        if !self.sched_enabled() {
+            return;
+        }
+        let profiler = std::sync::Arc::new(hypercube::obs::sched::SchedProfiler::new());
+        let config = ftsort::ftsort::FtConfig {
+            engine: hypercube::sim::EngineKind::Par,
+            threads: self.threads,
+            ..*base
+        };
+        let _ = ftsort::ftsort::fault_tolerant_sort_sched(
+            plan,
+            &config,
+            data,
+            None,
+            std::sync::Arc::clone(&profiler),
+        );
+        if let Some(profile) = profiler.take() {
+            self.sched_report = Some(profile.report());
+            self.sched_perfetto = Some(profile.perfetto_json());
+            self.sched_timeline = Some(profile.timeline(64));
+        }
+    }
+
     /// Writes the requested artifacts from the last observed run. Call
     /// once at the end of `main`.
     pub fn write(&self) {
-        if !self.enabled() {
-            return;
-        }
-        let Some(obs) = &self.last else {
-            eprintln!("--trace-out/--metrics-out: no run was observed");
-            std::process::exit(2);
-        };
-        if let Some(path) = &self.trace_out {
-            let json = hypercube::obs::perfetto::perfetto_json(obs, &ftsort::ftsort::phase_name);
-            std::fs::write(path, json).expect("write trace");
-            println!("trace written  : {path} (load in ui.perfetto.dev)");
-        }
-        if let Some(path) = &self.metrics_out {
-            let mut report = obs.report(&ftsort::ftsort::phase_name);
-            if let Some(threads) = self.threads {
-                report = report.with_threads(threads);
+        if self.enabled() {
+            let Some(obs) = &self.last else {
+                eprintln!("--trace-out/--metrics-out: no run was observed");
+                std::process::exit(2);
+            };
+            if let Some(path) = &self.trace_out {
+                let json =
+                    hypercube::obs::perfetto::perfetto_json(obs, &ftsort::ftsort::phase_name);
+                std::fs::write(path, json).expect("write trace");
+                println!("trace written  : {path} (load in ui.perfetto.dev)");
             }
-            std::fs::write(path, report.to_json()).expect("write metrics");
-            println!("metrics written: {path}");
+            if let Some(path) = &self.metrics_out {
+                let mut report = obs.report(&ftsort::ftsort::phase_name);
+                if let Some(threads) = self.threads {
+                    // Record the *effective* schedule next to the request:
+                    // the par engine clamps workers to the shard count
+                    // (`schedule_for`), and reports must not claim more
+                    // workers than ever ran.
+                    let live = report.nodes.len();
+                    let (workers_effective, shard_size, _) =
+                        hypercube::sim::par::schedule_for(live, Some(threads), None);
+                    report = report
+                        .with_threads(threads)
+                        .with_schedule(workers_effective, shard_size);
+                }
+                std::fs::write(path, report.to_json()).expect("write metrics");
+                println!("metrics written: {path}");
+            }
+            if let Some(path) = &self.run_out {
+                hypercube::obs::replay::write_run_file(obs, path).expect("write run file");
+                println!("run written    : {path} (ftsort-cli replay --trace {path})");
+            }
         }
-        if let Some(path) = &self.run_out {
-            hypercube::obs::replay::write_run_file(obs, path).expect("write run file");
-            println!("run written    : {path} (ftsort-cli replay --trace {path})");
+        if self.sched_enabled() {
+            let Some(report) = &self.sched_report else {
+                println!("sched profile  : no run was profiled (nothing to report)");
+                return;
+            };
+            if let Some(path) = &self.sched_out {
+                std::fs::write(path, report.to_json()).expect("write sched report");
+                println!("sched written  : {path}");
+                let trace_path = format!("{path}.perfetto.json");
+                let trace = self
+                    .sched_perfetto
+                    .as_ref()
+                    .expect("profiled run has a perfetto export");
+                std::fs::write(&trace_path, trace).expect("write sched trace");
+                println!("sched trace    : {trace_path} (load in ui.perfetto.dev)");
+            }
+            print!("{}", report.summary());
+            if let Some(timeline) = &self.sched_timeline {
+                print!("{timeline}");
+            }
         }
     }
 }

@@ -376,7 +376,7 @@ pub fn fault_tolerant_sort_observed<K>(
 where
     K: Ord + Clone + Send,
 {
-    fault_tolerant_sort_sunk(plan, config, data, None, None)
+    fault_tolerant_sort_sunk(plan, config, data, None, None, None)
 }
 
 /// [`fault_tolerant_sort_observed`] that draws compare-split scratch slabs
@@ -398,7 +398,7 @@ pub fn fault_tolerant_sort_pooled<K>(
 where
     K: Ord + Clone + Send,
 {
-    fault_tolerant_sort_sunk(plan, config, data, None, Some(pool))
+    fault_tolerant_sort_sunk(plan, config, data, None, Some(pool), None)
 }
 
 /// [`fault_tolerant_sort_observed`] that additionally streams every trace
@@ -420,7 +420,44 @@ pub fn fault_tolerant_sort_streamed<K>(
 where
     K: Ord + Clone + Send,
 {
-    fault_tolerant_sort_sunk(plan, config, data, Some(sink), None)
+    fault_tolerant_sort_sunk(plan, config, data, Some(sink), None, None)
+}
+
+/// [`fault_tolerant_sort_observed`] that additionally attaches a
+/// [`SchedProfiler`] to the run: with [`FtConfig::engine`] set to
+/// [`EngineKind::Par`], the work-stealing pool records per-worker
+/// wall-clock telemetry (poll/steal/park/barrier splits, steal matrix,
+/// shard-size histogram) into the profiler's mailbox — take the
+/// [`SchedProfile`](hypercube::obs::sched::SchedProfile) with
+/// [`SchedProfiler::take`] after the call. Other engines ignore the
+/// profiler (the mailbox stays empty). Profiling observes the host
+/// scheduler only; simulated results, run files and reports stay
+/// byte-identical (pinned by `tests/sched_profile.rs`).
+///
+/// An optional `sink` streams trace records like
+/// [`fault_tolerant_sort_streamed`] — profiled *and* streamed is the
+/// interesting combination, since a sink switches the engine onto its
+/// serial-flush path, which the profile then shows as coordinator
+/// [`Serial`](hypercube::obs::sched::SchedCat::Serial) time.
+///
+/// [`SchedProfiler`]: hypercube::obs::sched::SchedProfiler
+/// [`SchedProfiler::take`]: hypercube::obs::sched::SchedProfiler::take
+/// [`EngineKind::Par`]: hypercube::sim::EngineKind::Par
+pub fn fault_tolerant_sort_sched<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    profiler: Arc<hypercube::obs::sched::SchedProfiler>,
+) -> (
+    SortOutcome<K>,
+    PhaseBreakdown,
+    hypercube::obs::RunObservation,
+)
+where
+    K: Ord + Clone + Send,
+{
+    fault_tolerant_sort_sunk(plan, config, data, sink, None, Some(profiler))
 }
 
 fn fault_tolerant_sort_sunk<K>(
@@ -429,6 +466,7 @@ fn fault_tolerant_sort_sunk<K>(
     data: Vec<K>,
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     pool: Option<&BufferPool<Padded<K>>>,
+    profiler: Option<Arc<hypercube::obs::sched::SchedProfiler>>,
 ) -> (
     SortOutcome<K>,
     PhaseBreakdown,
@@ -492,6 +530,9 @@ where
     }
     if let Some(shard) = config.par_shard {
         engine = engine.with_shard_size(shard);
+    }
+    if let Some(profiler) = profiler {
+        engine = engine.with_sched_profiler(profiler);
     }
     // One slab store for the whole run, shared across nodes and engines:
     // compare-splits cycle allocations through per-node handles instead of

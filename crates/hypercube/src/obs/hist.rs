@@ -1,0 +1,174 @@
+//! Vendored log-bucket histograms: fixed-size power-of-two buckets with
+//! no allocation after construction.
+//!
+//! The scheduler profiler ([`super::sched`]) records one sample per polled
+//! shard slice from inside the engine's hot path, so the recorder must be
+//! O(1), branch-light, and allocation-free — the counting-allocator test
+//! (`crates/hypercube/tests/alloc_free.rs`) pins the latter. A fixed
+//! `[u64; 65]` bucket array (bucket 0 = value 0, bucket `i` = values in
+//! `[2^(i-1), 2^i)`) covers the whole `u64` range, in the spirit of HdrHistogram's
+//! coarsest configuration; exact percentiles are not needed here — shard
+//! sizes are capped at 64 nodes, so the interesting mass sits in the first
+//! eight buckets.
+
+use std::fmt::Write as _;
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples. Bucket 0 counts zeros;
+/// bucket `i ≥ 1` counts values `v` with `bit_length(v) == i`, i.e.
+/// `v ∈ [2^(i-1), 2^i)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram. All storage is inline — recording never
+    /// allocates.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The half-open value range `[lo, hi)` bucket `i` covers (bucket 0 is
+    /// the degenerate `[0, 1)`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Serializes as a JSON array of bucket counts, trailing zero buckets
+    /// trimmed (`[]` when empty).
+    pub fn to_json(&self) -> String {
+        let used = self.max_bucket().map_or(0, |i| i + 1);
+        let mut out = String::with_capacity(2 + 4 * used);
+        out.push('[');
+        for (i, c) in self.counts[..used].iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push(']');
+        out
+    }
+
+    /// Rebuilds a histogram from the bucket counts of
+    /// [`to_json`](Self::to_json) (already parsed into a `u64` slice).
+    /// Errors if more than [`BUCKETS`] counts are given.
+    pub fn from_counts(counts: &[u64]) -> Result<LogHistogram, String> {
+        if counts.len() > BUCKETS {
+            return Err(format!(
+                "histogram has {} buckets, max {BUCKETS}",
+                counts.len()
+            ));
+        }
+        let mut h = LogHistogram::new();
+        h.counts[..counts.len()].copy_from_slice(counts);
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(63), 6);
+        assert_eq!(LogHistogram::bucket_of(64), 7);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        // every bucket's range round-trips through bucket_of
+        for i in 0..BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert_eq!(LogHistogram::bucket_of(lo), i);
+            assert_eq!(LogHistogram::bucket_of(hi - 1), i);
+        }
+    }
+
+    #[test]
+    fn record_merge_and_total() {
+        let mut a = LogHistogram::new();
+        for v in [0, 1, 1, 5, 64] {
+            a.record(v);
+        }
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.counts()[0], 1);
+        assert_eq!(a.counts()[1], 2);
+        assert_eq!(a.counts()[3], 1);
+        assert_eq!(a.counts()[7], 1);
+        let mut b = LogHistogram::new();
+        b.record(5);
+        b.merge(&a);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.counts()[3], 2);
+        assert_eq!(b.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn json_roundtrip_trims_trailing_zeros() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(9);
+        assert_eq!(h.to_json(), "[1,0,0,0,1]");
+        let back = LogHistogram::from_counts(&[1, 0, 0, 0, 1]).expect("parse");
+        assert_eq!(back, h);
+        assert_eq!(LogHistogram::new().to_json(), "[]");
+        assert_eq!(
+            LogHistogram::from_counts(&[]).expect("empty"),
+            LogHistogram::new()
+        );
+        assert!(LogHistogram::from_counts(&[0; BUCKETS + 1]).is_err());
+    }
+}

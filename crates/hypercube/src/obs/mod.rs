@@ -37,9 +37,11 @@
 pub mod critical_path;
 pub mod diff;
 pub mod gz;
+pub mod hist;
 pub mod json;
 pub mod perfetto;
 pub mod replay;
+pub mod sched;
 pub mod schedule;
 pub mod sink;
 
@@ -369,6 +371,15 @@ pub struct RunReport {
     /// sort functions always produce — serializes to nothing, keeping
     /// reports byte-identical across worker counts.
     pub threads: Option<usize>,
+    /// The worker count that *actually ran* after the parallel engine's
+    /// shard-count clamp (`schedule_for`), when the caller chose to record
+    /// it ([`RunReport::with_schedule`]). On small cubes this is less than
+    /// [`threads`](RunReport::threads) — reports must not claim more
+    /// workers than ever ran. `None` serializes to nothing.
+    pub workers_effective: Option<usize>,
+    /// The effective shard size (after `auto_shard_size`), recorded
+    /// together with [`workers_effective`](RunReport::workers_effective).
+    pub shard_size: Option<usize>,
     /// Virtual makespan, µs.
     pub makespan_us: f64,
     /// Operation counters summed over nodes.
@@ -495,6 +506,8 @@ impl RunReport {
             dim: obs.dim,
             link_model: obs.link_model,
             threads: None,
+            workers_effective: None,
+            shard_size: None,
             makespan_us: obs.makespan(),
             stats,
             phases,
@@ -512,6 +525,18 @@ impl RunReport {
         self
     }
 
+    /// Records the parallel engine's *effective* schedule — the worker
+    /// count that actually ran and the shard size after clamping (builder
+    /// style). Presentation-layer metadata like
+    /// [`with_threads`](Self::with_threads): set by CLIs from
+    /// `hypercube::sim::par::schedule_for`, never by the library sort
+    /// functions.
+    pub fn with_schedule(mut self, workers_effective: usize, shard_size: usize) -> Self {
+        self.workers_effective = Some(workers_effective);
+        self.shard_size = Some(shard_size);
+        self
+    }
+
     /// Serializes to the report's JSON schema (documented in DESIGN.md §6).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -522,6 +547,12 @@ impl RunReport {
         );
         if let Some(threads) = self.threads {
             let _ = write!(out, "\"threads\":{threads},");
+        }
+        if let Some(workers) = self.workers_effective {
+            let _ = write!(out, "\"workers_effective\":{workers},");
+        }
+        if let Some(shard) = self.shard_size {
+            let _ = write!(out, "\"shard_size\":{shard},");
         }
         let _ = write!(
             out,
@@ -673,6 +704,14 @@ impl RunReport {
                 .get("threads")
                 .and_then(json::Json::as_u64)
                 .map(|t| t as usize),
+            workers_effective: doc
+                .get("workers_effective")
+                .and_then(json::Json::as_u64)
+                .map(|w| w as usize),
+            shard_size: doc
+                .get("shard_size")
+                .and_then(json::Json::as_u64)
+                .map(|s| s as usize),
             makespan_us: num(&doc, "makespan_us")?,
             stats,
             phases,
@@ -859,10 +898,16 @@ mod tests {
         let obs = tiny_observation();
         let report = obs.report(&|p| if p == 1 { Some("alpha") } else { None });
         assert_eq!(report.threads, None, "library reports carry no threads");
+        assert_eq!(report.workers_effective, None);
+        assert_eq!(report.shard_size, None);
         let text = report.to_json();
         assert!(
             !text.contains("threads"),
             "absent threads serializes to nothing"
+        );
+        assert!(
+            !text.contains("workers_effective") && !text.contains("shard_size"),
+            "absent schedule serializes to nothing"
         );
         let back = RunReport::from_json(&text).expect("parse");
         assert_eq!(back, report);
@@ -875,6 +920,15 @@ mod tests {
         assert!(text.contains("\"threads\":4"));
         let back = RunReport::from_json(&text).expect("parse");
         assert_eq!(back, threaded);
+        assert!(json::Json::parse(&text).is_ok());
+
+        // the effective schedule rides along the same way
+        let scheduled = threaded.with_schedule(2, 16);
+        let text = scheduled.to_json();
+        assert!(text.contains("\"workers_effective\":2"));
+        assert!(text.contains("\"shard_size\":16"));
+        let back = RunReport::from_json(&text).expect("parse");
+        assert_eq!(back, scheduled);
         assert!(json::Json::parse(&text).is_ok());
     }
 }

@@ -207,6 +207,7 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
             counter_track(
                 &mut out,
                 &mut first,
+                0,
                 &format!("link dim {d} busy"),
                 "links",
                 deltas,
@@ -216,6 +217,7 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
             counter_track(
                 &mut out,
                 &mut first,
+                0,
                 &format!("link dim {d} queue"),
                 "messages",
                 deltas,
@@ -231,10 +233,12 @@ pub fn perfetto_json(obs: &RunObservation, namer: &dyn Fn(u16) -> Option<&'stati
 /// timestamp, collapses all deltas sharing a timestamp into one sample
 /// (so zero-duration acquisitions never dip the series negative), and
 /// writes the running sum — per-track timestamps come out non-decreasing
-/// by construction.
-fn counter_track(
+/// by construction. Shared with the scheduler-profiler export
+/// ([`super::sched`]), which emits under its own `pid`.
+pub(crate) fn counter_track(
     out: &mut String,
     first: &mut bool,
+    pid: u32,
     name: &str,
     series: &str,
     deltas: &mut [(f64, i64)],
@@ -253,7 +257,7 @@ fn counter_track(
         *first = false;
         let _ = write!(
             out,
-            "{{\"ph\":\"C\",\"pid\":0,\"name\":\"{name}\",\"ts\":{t},\"args\":{{\"{series}\":{depth}}}}}"
+            "{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"{name}\",\"ts\":{t},\"args\":{{\"{series}\":{depth}}}}}"
         );
     }
 }
@@ -275,7 +279,12 @@ pub struct TraceCheck {
 /// an integer `id` and a `ts`, every finish pairs with an earlier start
 /// and respects happens-before, counter samples carry exactly one
 /// non-negative numeric series with per-track non-decreasing timestamps,
-/// and cumulative `element-hops` tracks never decrease. Malformed input
+/// and cumulative `element-hops` tracks never decrease. Scheduler-profiler
+/// extensions (see [`super::sched`]): `X` spans with `cat` `"sched"` must
+/// sit on a previously declared `worker <i>` thread track and keep
+/// per-track timestamps non-decreasing (node-track phase spans are emitted
+/// in close order, so the rule is scoped to worker tracks), and `"steal"`
+/// flow endpoints must resolve to declared worker tracks. Malformed input
 /// returns an error naming the offending event index — it never panics —
 /// so the CLI's `trace-check` can report *which* event is broken.
 pub fn validate_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
@@ -285,6 +294,10 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
         .ok_or("missing 'traceEvents' array")?;
     let mut open: HashMap<u64, f64> = HashMap::new();
     let mut last_sample: HashMap<String, (f64, f64)> = HashMap::new();
+    // thread tracks declared so far by "M"/"thread_name" metadata
+    let mut track_names: HashMap<(u64, u64), String> = HashMap::new();
+    // per worker track: last "sched" span timestamp
+    let mut sched_last: HashMap<(u64, u64), f64> = HashMap::new();
     let (mut spans, mut flows, mut counters) = (0u64, 0u64, 0u64);
     for (i, e) in events.iter().enumerate() {
         let ts_of = |what: &str| {
@@ -292,9 +305,58 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
                 .and_then(Json::as_f64)
                 .ok_or(format!("event {i}: {what} without 'ts'"))
         };
+        let track_of = |what: &str| {
+            let pid = e.get("pid").and_then(Json::as_u64);
+            let tid = e.get("tid").and_then(Json::as_u64);
+            match (pid, tid) {
+                (Some(pid), Some(tid)) => Ok((pid, tid)),
+                _ => Err(format!("event {i}: {what} without 'pid'/'tid'")),
+            }
+        };
+        let cat = e.get("cat").and_then(Json::as_str);
+        let worker_track_of = |what: &str, track_names: &HashMap<(u64, u64), String>| {
+            let track = track_of(what)?;
+            match track_names.get(&track) {
+                Some(name) if name.starts_with("worker ") => Ok(track),
+                Some(name) => Err(format!(
+                    "event {i}: {what} on track '{name}', not a worker track"
+                )),
+                None => Err(format!(
+                    "event {i}: {what} on undeclared track pid {} tid {}",
+                    track.0, track.1
+                )),
+            }
+        };
         match e.get("ph").and_then(Json::as_str) {
-            Some("X") => spans += 1,
+            Some("M") if e.get("name").and_then(Json::as_str) == Some("thread_name") => {
+                let track = track_of("thread_name metadata")?;
+                let name = e
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or(format!("event {i}: thread_name metadata without a name"))?;
+                track_names.insert(track, name.to_string());
+            }
+            Some("X") => {
+                if cat == Some("sched") {
+                    let track = worker_track_of("sched span", &track_names)?;
+                    let ts = ts_of("sched span")?;
+                    if let Some(&prev) = sched_last.get(&track) {
+                        if ts < prev {
+                            return Err(format!(
+                                "event {i}: sched span timestamps go backward on worker track tid {} ({ts} < {prev})",
+                                track.1
+                            ));
+                        }
+                    }
+                    sched_last.insert(track, ts);
+                }
+                spans += 1;
+            }
             Some("s") => {
+                if cat == Some("steal") {
+                    worker_track_of("steal flow start", &track_names)?;
+                }
                 let id = e
                     .get("id")
                     .and_then(Json::as_u64)
@@ -305,6 +367,9 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<TraceCheck, String> {
                 }
             }
             Some("f") => {
+                if cat == Some("steal") {
+                    worker_track_of("steal flow finish", &track_names)?;
+                }
                 let id = e
                     .get("id")
                     .and_then(Json::as_u64)
@@ -584,5 +649,58 @@ mod tests {
             err.contains("event 1") && err.contains("decreased"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn validator_checks_worker_tracks() {
+        let worker0 =
+            r#"{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"worker 0"}}"#;
+
+        // a well-formed sched track passes
+        let doc = Json::parse(&format!(
+            r#"{{"traceEvents":[{worker0},{{"ph":"X","pid":1,"tid":0,"name":"poll","cat":"sched","ts":1,"dur":2}},{{"ph":"X","pid":1,"tid":0,"name":"barrier","cat":"sched","ts":3,"dur":1}}]}}"#
+        ))
+        .unwrap();
+        assert_eq!(validate_chrome_trace(&doc).expect("valid").spans, 2);
+
+        // sched span on an undeclared track
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"ph":"X","pid":1,"tid":9,"name":"poll","cat":"sched","ts":0,"dur":1}]}"#,
+        )
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("undeclared track");
+        assert!(err.contains("undeclared track"), "{err}");
+
+        // sched span timestamps must be per-track monotonic
+        let doc = Json::parse(&format!(
+            r#"{{"traceEvents":[{worker0},{{"ph":"X","pid":1,"tid":0,"name":"poll","cat":"sched","ts":5,"dur":1}},{{"ph":"X","pid":1,"tid":0,"name":"poll","cat":"sched","ts":4,"dur":1}}]}}"#
+        ))
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("backward sched ts");
+        assert!(err.contains("go backward"), "{err}");
+
+        // ...but node-track (cat "phase") spans stay exempt
+        let doc = Json::parse(
+            r#"{"traceEvents":[{"ph":"X","pid":0,"tid":0,"name":"a","cat":"phase","ts":5,"dur":1},{"ph":"X","pid":0,"tid":0,"name":"b","cat":"phase","ts":4,"dur":1}]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_trace(&doc).is_ok());
+
+        // steal flows must resolve to declared worker tracks
+        let doc = Json::parse(&format!(
+            r#"{{"traceEvents":[{worker0},{{"ph":"s","pid":1,"tid":3,"id":0,"cat":"steal","ts":1}},{{"ph":"f","pid":1,"tid":0,"id":0,"cat":"steal","ts":1}}]}}"#
+        ))
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("steal from undeclared tid");
+        assert!(err.contains("steal flow start"), "{err}");
+
+        // a steal flow endpoint on a non-worker track is rejected
+        let node = r#"{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"node 3"}}"#;
+        let doc = Json::parse(&format!(
+            r#"{{"traceEvents":[{worker0},{node},{{"ph":"s","pid":1,"tid":3,"id":0,"cat":"steal","ts":1}},{{"ph":"f","pid":1,"tid":0,"id":0,"cat":"steal","ts":1}}]}}"#
+        ))
+        .unwrap();
+        let err = validate_chrome_trace(&doc).expect_err("steal from non-worker track");
+        assert!(err.contains("not a worker track"), "{err}");
     }
 }

@@ -552,6 +552,7 @@ pub struct Engine {
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     workers: Option<usize>,
     shard: Option<usize>,
+    sched_profiler: Option<Arc<crate::obs::sched::SchedProfiler>>,
 }
 
 impl Engine {
@@ -569,6 +570,7 @@ impl Engine {
             sink: None,
             workers: None,
             shard: None,
+            sched_profiler: None,
         }
     }
 
@@ -646,6 +648,18 @@ impl Engine {
         self
     }
 
+    /// Attaches a scheduler profiler (builder style); only
+    /// [`EngineKind::Par`] reads it. The run records per-worker wall-clock
+    /// telemetry into the profiler's mailbox as a
+    /// [`SchedProfile`](crate::obs::sched::SchedProfile); take it with
+    /// [`SchedProfiler::take`](crate::obs::sched::SchedProfiler::take)
+    /// after the run. Profiling observes the host scheduler only — it
+    /// never changes simulated results.
+    pub fn with_sched_profiler(mut self, profiler: Arc<crate::obs::sched::SchedProfiler>) -> Self {
+        self.sched_profiler = Some(profiler);
+        self
+    }
+
     /// The topology.
     pub fn cube(&self) -> Hypercube {
         self.faults.cube()
@@ -692,6 +706,10 @@ impl Engine {
 
     pub(super) fn shard(&self) -> Option<usize> {
         self.shard
+    }
+
+    pub(super) fn sched_profiler(&self) -> Option<Arc<crate::obs::sched::SchedProfiler>> {
+        self.sched_profiler.clone()
     }
 
     /// Runs `program` SPMD on every node for which `inputs` supplies data.

@@ -19,6 +19,13 @@
 //! construction, and `tests/engine_diff.rs` / `tests/obs_invariants.rs`
 //! assert it end to end.
 //!
+//! Nothing in this core reads a wall clock: virtual time comes from the
+//! [`CostModel`] alone, so the scheduler profiler
+//! ([`crate::obs::sched`]) — which *does* timestamp worker phases with
+//! monotonic host time — lives entirely in the parallel engine's worker
+//! loop and barrier, outside this file. Frontier commits stay
+//! timestamp-free and byte-identical whether or not profiling is on.
+//!
 //! [`SeqEngine`]: super::sequential::SeqEngine
 //! [`ParEngine`]: super::par::ParEngine
 //! [`Comm::recv`]: super::Comm::recv

@@ -86,6 +86,7 @@ use super::ws::{SenseBarrier, ShardSlot, WsDeque};
 use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::fault::FaultSet;
+use crate::obs::sched::{SchedCat, SchedProfile, SchedProfiler, WorkerProf};
 use crate::obs::schedule::LinkLedger;
 use crate::obs::sink::TraceSink;
 use crate::sim::{LinkModel, RouterKind};
@@ -95,6 +96,7 @@ use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
+use std::time::Instant;
 
 /// A node program's suspended state machine, asserted transferable across
 /// workers so stolen shards can resume on the thief.
@@ -211,6 +213,7 @@ pub struct ParEngine {
     sink: Option<Arc<Mutex<dyn TraceSink>>>,
     workers: usize,
     shard: Option<usize>,
+    profiler: Option<Arc<SchedProfiler>>,
 }
 
 impl ParEngine {
@@ -226,6 +229,7 @@ impl ParEngine {
             sink: None,
             workers: default_workers(),
             shard: None,
+            profiler: None,
         }
     }
 
@@ -280,6 +284,17 @@ impl ParEngine {
         self
     }
 
+    /// Attaches a scheduler profiler (builder style): the next run records
+    /// per-worker wall-clock telemetry — category switches, steal
+    /// attempts, parks, barrier waits — into the profiler's mailbox as a
+    /// [`SchedProfile`]. Profiling observes the host scheduler only; it
+    /// never changes simulated results (pinned by the byte-identity tests
+    /// in `tests/sched_profile.rs`).
+    pub fn with_sched_profiler(mut self, profiler: Arc<SchedProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
     pub(super) fn from_engine(engine: &Engine) -> Self {
         ParEngine {
             faults: engine.faults_arc(),
@@ -290,6 +305,7 @@ impl ParEngine {
             sink: engine.sink(),
             workers: engine.workers().unwrap_or_else(default_workers).max(1),
             shard: engine.shard(),
+            profiler: engine.sched_profiler(),
         }
     }
 
@@ -356,11 +372,7 @@ impl ParEngine {
             .collect();
         let live = participants.len();
         let workers_req = self.workers.max(1);
-        let shard_size = self
-            .shard
-            .unwrap_or_else(|| auto_shard_size(live, workers_req));
-        let shard_count = live.div_ceil(shard_size);
-        let workers = workers_req.min(shard_count).max(1);
+        let (workers, shard_size, shard_count) = schedule_for(live, Some(workers_req), self.shard);
 
         let mut inputs = inputs;
         let mut shard_of: Vec<u32> = vec![u32::MAX; cells.len()];
@@ -418,15 +430,68 @@ impl ParEngine {
             results: &results,
         };
 
+        // When profiling, every worker gets a preallocated recorder sharing
+        // one clock epoch; recorders ride into the spawn closures and come
+        // back through the join handles, so the hot path stays lock-free
+        // and the disabled path is a single `Option` check per hook.
+        let epoch = Instant::now();
+        let mut profs: Vec<Option<WorkerProf>> = (0..workers)
+            .map(|w| {
+                self.profiler
+                    .as_ref()
+                    .map(|p| WorkerProf::new(w, workers, epoch, p.ring_capacity()))
+            })
+            .collect();
+
         std::thread::scope(|scope| {
-            for w in 1..workers {
+            let mut handles = Vec::with_capacity(workers.saturating_sub(1));
+            for (w, slot) in profs.iter_mut().enumerate().skip(1) {
+                let mut prof = slot.take();
                 let (sched, env) = (&sched, &env);
-                scope.spawn(move || worker_loop(w, sched, env, None));
+                handles.push(scope.spawn(move || {
+                    worker_loop(w, sched, env, None, prof.as_mut());
+                    if let Some(p) = prof.as_mut() {
+                        p.finish();
+                    }
+                    prof
+                }));
             }
             // The caller is worker 0: the coordinator for the serial flush
             // phase and the `woken` slot resets.
-            worker_loop(0, &sched, &env, ser);
+            let mut prof0 = profs[0].take();
+            worker_loop(0, &sched, &env, ser, prof0.as_mut());
+            if let Some(p) = prof0.as_mut() {
+                p.finish();
+            }
+            profs[0] = prof0;
+            // Join explicitly to recover the recorders; a panicked worker
+            // surfaces as the scope would have surfaced it — first payload
+            // re-raised after every handle is joined.
+            let mut first_panic = None;
+            for (w, handle) in handles.into_iter().enumerate() {
+                match handle.join() {
+                    Ok(prof) => profs[w + 1] = prof,
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
         });
+
+        if let Some(profiler) = &self.profiler {
+            profiler.install(SchedProfile {
+                workers_requested: workers_req,
+                workers,
+                shard_size,
+                shard_count,
+                live_nodes: live,
+                serial,
+                workers_prof: profs.into_iter().flatten().collect(),
+            });
+        }
 
         let remaining: usize = sched
             .shards
@@ -466,6 +531,29 @@ fn auto_shard_size(live: usize, workers: usize) -> usize {
     live.div_ceil(workers * 4).clamp(1, 64)
 }
 
+/// The effective schedule for `live` participating nodes: the
+/// `(workers, shard_size, shard_count)` triple [`ParEngine::run`] uses
+/// after clamping — `workers` defaults to the host parallelism and is
+/// capped by the shard count, `shard_size` defaults to
+/// ~4 shards per worker capped at 64 nodes. Exposed so reports
+/// ([`RunReport::workers_effective`], `engines_json` rows) can record the
+/// schedule a run actually executed rather than what was requested.
+///
+/// [`RunReport::workers_effective`]: crate::obs::RunReport::workers_effective
+pub fn schedule_for(
+    live: usize,
+    workers: Option<usize>,
+    shard: Option<usize>,
+) -> (usize, usize, usize) {
+    let workers_req = workers.unwrap_or_else(default_workers).max(1);
+    let shard_size = shard
+        .map(|s| s.max(1))
+        .unwrap_or_else(|| auto_shard_size(live, workers_req));
+    let shard_count = live.div_ceil(shard_size);
+    let workers = workers_req.min(shard_count).max(1);
+    (workers, shard_size, shard_count)
+}
+
 /// One worker's whole run: phase loop until the frontier empties or the
 /// barrier is poisoned. Worker 0 doubles as the coordinator.
 fn worker_loop<'a, K, T, F>(
@@ -473,12 +561,18 @@ fn worker_loop<'a, K, T, F>(
     sched: &Sched<'a, K, T>,
     env: &Env<'a, K, T, F>,
     mut ser: Option<SerialCtx<K>>,
+    mut prof: Option<&mut WorkerProf>,
 ) where
     K: Send,
     T: Send,
     F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
 {
     let _poison = PoisonGuard(&sched.barrier);
+    // Start the recorder on the worker's own thread, so spawn latency is
+    // not charged to anyone's wall time.
+    if let Some(p) = prof.as_deref_mut() {
+        p.begin();
+    }
     let mut poll_cx = Context::from_waker(Waker::noop());
     let shard_count = sched.shards.len();
     let mut r: usize = 0;
@@ -489,13 +583,22 @@ fn worker_loop<'a, K, T, F>(
             // affinity owner; the deque's release/acquire on push/steal
             // orders them before any thief's access.
             if !unsafe { sched.shards[s].get() }.runnable.is_empty() {
+                // Recorded before the push: the runnable-counter +1 must
+                // timestamp before any thief's -1 against this worker.
+                if let Some(p) = prof.as_deref_mut() {
+                    p.staged();
+                }
                 sched.deques[w].push(s as u32);
             }
         }
-        claim_shards(w, sched, |s| unsafe {
-            poll_shard(s, sched, env, &mut poll_cx)
-        });
-        if sched.barrier.wait() {
+        claim_shards(
+            w,
+            sched,
+            |s| unsafe { poll_shard(s, sched, env, &mut poll_cx) },
+            &mut prof,
+            SchedCat::Poll,
+        );
+        if sched.barrier.wait_prof(prof.as_deref_mut()) {
             return;
         }
 
@@ -503,9 +606,15 @@ fn worker_loop<'a, K, T, F>(
         // flushing and link pricing are global orders.
         if sched.serial {
             if let Some(ser) = ser.as_mut() {
+                if let Some(p) = prof.as_deref_mut() {
+                    p.switch(SchedCat::Serial, 0);
+                }
                 serial_flush(ser, sched, env.cells);
+                if let Some(p) = prof.as_deref_mut() {
+                    p.switch(SchedCat::Other, 0);
+                }
             }
-            if sched.barrier.wait() {
+            if sched.barrier.wait_prof(prof.as_deref_mut()) {
                 return;
             }
         }
@@ -521,13 +630,20 @@ fn worker_loop<'a, K, T, F>(
             // SAFETY: pre-push reads, as in phase 1.
             let sh = unsafe { sched.shards[s].get() };
             if sched.incoming[s].load(Ordering::Relaxed) || !sh.ran.is_empty() {
+                if let Some(p) = prof.as_deref_mut() {
+                    p.staged();
+                }
                 sched.deques[w].push(s as u32);
             }
         }
-        claim_shards(w, sched, |s| unsafe {
-            deliver_shard(s, r, sched, env.cells)
-        });
-        if sched.barrier.wait() {
+        claim_shards(
+            w,
+            sched,
+            |s| unsafe { deliver_shard(s, r, sched, env.cells) },
+            &mut prof,
+            SchedCat::Deliver,
+        );
+        if sched.barrier.wait_prof(prof.as_deref_mut()) {
             return;
         }
         if sched.woken[r & 1].load(Ordering::Relaxed) == 0 {
@@ -541,22 +657,62 @@ fn worker_loop<'a, K, T, F>(
 /// when everything looks empty. Every pushed shard is claimed exactly once
 /// (Chase–Lev semantics); a worker exiting early just means its leftovers
 /// are processed by their owner or another thief.
-fn claim_shards<K, T>(w: usize, sched: &Sched<'_, K, T>, mut run: impl FnMut(usize)) {
+///
+/// `run` returns the number of nodes processed on the claimed shard —
+/// recorded into the shard-size histogram when `cat` is the poll phase.
+/// Time between claims (pop/steal scanning) is charged to
+/// [`SchedCat::Steal`]; time inside `run` to `cat`.
+fn claim_shards<K, T>(
+    w: usize,
+    sched: &Sched<'_, K, T>,
+    mut run: impl FnMut(usize) -> u32,
+    prof: &mut Option<&mut WorkerProf>,
+    cat: SchedCat,
+) {
+    if let Some(p) = prof.as_deref_mut() {
+        p.switch(SchedCat::Steal, 0);
+    }
     let own = &sched.deques[w];
     loop {
         if let Some(s) = own.pop() {
-            run(s as usize);
+            if let Some(p) = prof.as_deref_mut() {
+                p.popped();
+                p.switch(cat, s);
+            }
+            let units = run(s as usize);
+            if let Some(p) = prof.as_deref_mut() {
+                if cat == SchedCat::Poll {
+                    p.polled(units);
+                }
+                p.switch(SchedCat::Steal, 0);
+            }
             continue;
         }
         let mut stole = false;
         for k in 1..sched.workers {
-            if let Some(s) = sched.deques[(w + k) % sched.workers].steal() {
-                run(s as usize);
+            let victim = (w + k) % sched.workers;
+            if let Some(s) = sched.deques[victim].steal() {
+                if let Some(p) = prof.as_deref_mut() {
+                    p.stole(victim);
+                    p.switch(cat, s);
+                }
+                let units = run(s as usize);
+                if let Some(p) = prof.as_deref_mut() {
+                    if cat == SchedCat::Poll {
+                        p.polled(units);
+                    }
+                    p.switch(SchedCat::Steal, 0);
+                }
                 stole = true;
                 break;
+            } else if let Some(p) = prof.as_deref_mut() {
+                p.steal_missed(victim);
             }
         }
         if !stole {
+            if let Some(p) = prof.as_deref_mut() {
+                p.switch(SchedCat::Other, 0);
+            }
             return;
         }
     }
@@ -564,7 +720,8 @@ fn claim_shards<K, T>(w: usize, sched: &Sched<'_, K, T>, mut run: impl FnMut(usi
 
 /// Phase 1 for one claimed shard: swap in the staged frontier, poll every
 /// runnable node once (creating its future on first poll), and — when no
-/// serial phase runs — move outboxes into the bin matrix.
+/// serial phase runs — move outboxes into the bin matrix. Returns the
+/// number of nodes polled (the profiler's shard-size sample).
 ///
 /// # Safety
 /// The caller must hold the claim on shard `s` (popped or stolen from a
@@ -574,7 +731,8 @@ unsafe fn poll_shard<'a, K, T, F>(
     sched: &Sched<'a, K, T>,
     env: &Env<'a, K, T, F>,
     poll_cx: &mut Context<'_>,
-) where
+) -> u32
+where
     K: Send,
     T: Send,
     F: AsyncFn(&mut NodeCtx<K>, Vec<K>) -> T + Sync,
@@ -628,6 +786,7 @@ unsafe fn poll_shard<'a, K, T, F>(
             }
         }
     }
+    sh.ran.len() as u32
 }
 
 /// Phase 2, coordinator only: flush records and price messages for the
@@ -677,7 +836,8 @@ fn serial_flush<K, T>(ser: &mut SerialCtx<K>, sched: &Sched<'_, K, T>, cells: &[
 
 /// Phase 3 for one claimed shard: drain the shard's bin column (ascending
 /// source shard = ascending source node order) into its nodes' inboxes,
-/// then prune finished nodes and stage the woken frontier.
+/// then prune finished nodes and stage the woken frontier. Returns the
+/// number of nodes woken into the next frontier.
 ///
 /// # Safety
 /// The caller must hold the claim on shard `s` (popped or stolen from a
@@ -687,7 +847,7 @@ unsafe fn deliver_shard<K, T>(
     r: usize,
     sched: &Sched<'_, K, T>,
     cells: &[SharedCell<K>],
-) {
+) -> u32 {
     let shard_count = sched.shards.len();
     // SAFETY: exclusive by the claim the caller holds.
     let sh = unsafe { sched.shards[s].get() };
@@ -724,5 +884,7 @@ unsafe fn deliver_shard<K, T>(
     if !runnable.is_empty() {
         sched.woken[r & 1].fetch_add(runnable.len(), Ordering::Relaxed);
     }
+    let woken = runnable.len() as u32;
     sh.runnable = runnable;
+    woken
 }

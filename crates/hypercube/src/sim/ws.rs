@@ -18,6 +18,7 @@
 //! uses it to unwind the whole pool when one worker panics inside a node
 //! program.
 
+use crate::obs::sched::{SchedCat, WorkerProf};
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -149,9 +150,26 @@ impl SenseBarrier {
 
     /// Waits for all participants. Returns `true` if the barrier was
     /// poisoned (by [`poison`](Self::poison)) — callers must unwind their
-    /// phase loop instead of proceeding.
+    /// phase loop instead of proceeding. (The engine always goes through
+    /// [`wait_prof`](Self::wait_prof); this plain form serves the module's
+    /// own barrier tests.)
+    #[cfg(test)]
     #[must_use]
     pub(super) fn wait(&self) -> bool {
+        self.wait_prof(None)
+    }
+
+    /// [`wait`](Self::wait) with scheduler-profiler hooks: the arrival
+    /// switches the recorder to [`SchedCat::Barrier`], exhausting the spin
+    /// window records a park/unpark pair around the condvar sleep, and the
+    /// return switches back to [`SchedCat::Other`] — so barrier wait and
+    /// park time tile the worker's timeline. `None` (the un-profiled
+    /// path, and what `wait` passes) makes every hook a null check.
+    #[must_use]
+    pub(super) fn wait_prof(&self, mut prof: Option<&mut WorkerProf>) -> bool {
+        if let Some(p) = prof.as_deref_mut() {
+            p.barrier_arrived();
+        }
         let my_sense = self.sense.load(Ordering::Acquire);
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last arrival: reset the counter for the next phase, flip the
@@ -165,25 +183,41 @@ impl SenseBarrier {
                 drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
                 self.cv.notify_all();
             }
+            if let Some(p) = prof.as_deref_mut() {
+                p.switch(SchedCat::Other, 0);
+            }
             return self.poisoned.load(Ordering::Acquire);
         }
+        let mut released = false;
         for _ in 0..BARRIER_SPINS {
-            if self.sense.load(Ordering::Acquire) != my_sense {
-                return self.poisoned.load(Ordering::Acquire);
-            }
-            if self.poisoned.load(Ordering::Acquire) {
-                return true;
+            if self.sense.load(Ordering::Acquire) != my_sense
+                || self.poisoned.load(Ordering::Acquire)
+            {
+                released = true;
+                break;
             }
             std::hint::spin_loop();
         }
-        self.parkers.fetch_add(1, Ordering::SeqCst);
-        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
-        while self.sense.load(Ordering::SeqCst) == my_sense && !self.poisoned.load(Ordering::SeqCst)
-        {
-            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        if !released {
+            if let Some(p) = prof.as_deref_mut() {
+                p.parked();
+            }
+            self.parkers.fetch_add(1, Ordering::SeqCst);
+            let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+            while self.sense.load(Ordering::SeqCst) == my_sense
+                && !self.poisoned.load(Ordering::SeqCst)
+            {
+                guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+            }
+            drop(guard);
+            self.parkers.fetch_sub(1, Ordering::SeqCst);
+            if let Some(p) = prof.as_deref_mut() {
+                p.unparked();
+            }
         }
-        drop(guard);
-        self.parkers.fetch_sub(1, Ordering::SeqCst);
+        if let Some(p) = prof {
+            p.switch(SchedCat::Other, 0);
+        }
         self.poisoned.load(Ordering::Acquire)
     }
 

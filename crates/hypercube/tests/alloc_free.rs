@@ -22,6 +22,11 @@
 //! single engine run, a *second* run on the same pool starts warm: its
 //! very first slab cycle reuses run 1's allocations and must allocate
 //! nothing.
+//!
+//! The scheduler profiler ([`hypercube::obs::sched`]) is pinned to the
+//! same standard: its per-worker event rings are preallocated before any
+//! node program runs, so attaching it must add zero allocations to the
+//! warm message path.
 
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
@@ -156,6 +161,68 @@ fn par_engine_message_path_and_buffer_pool_are_allocation_free_when_warm() {
         assert_eq!(
             allocs, 0,
             "warm par message path allocated {allocs} times on node {i}"
+        );
+    }
+}
+
+#[test]
+fn sched_profiler_records_allocation_free_when_warm() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The par ping-pong again, now with the scheduler profiler attached:
+    // every poll/steal/barrier/park transition inside the window records
+    // into each worker's preallocated event ring (sized by
+    // `WorkerProf::new` before any node program runs), so profiling a
+    // warm run must add exactly zero allocations to the message path.
+    let cube = Hypercube::new(2);
+    let profiler = std::sync::Arc::new(hypercube::obs::sched::SchedProfiler::new());
+    let engine = Engine::new(FaultSet::none(cube), CostModel::default())
+        .with_engine(EngineKind::Par)
+        .with_workers(2)
+        .with_sched_profiler(profiler.clone());
+    let inputs: Vec<Option<Vec<u64>>> = (0..cube.len())
+        .map(|i| Some((0..256).map(|x| (i as u64) << 32 | x).collect()))
+        .collect();
+    let out = engine.run(inputs, async |ctx, data| {
+        let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
+        let tag = Tag::phase(9, 0, 0);
+        let mut buf = data;
+        ctx.span_enter(9);
+        for _ in 0..4 {
+            buf = ctx.exchange(partner, tag, buf).await;
+        }
+        ctx.span_exit();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            ctx.charge_comparisons(buf.len());
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        (buf.len(), after - before)
+    });
+    for (i, outcome) in out.outcomes().iter().enumerate() {
+        let Some(outcome) = outcome else { continue };
+        let (len, allocs) = outcome.result;
+        assert_eq!(len, 256, "payload must survive the ping-pong");
+        assert_eq!(
+            allocs, 0,
+            "profiled warm par message path allocated {allocs} times on node {i}"
+        );
+    }
+    // The profiler really was live — a full profile with intact rings
+    // was installed, so the zero-alloc window covered real recording.
+    let profile = profiler.take().expect("profiled run installs a profile");
+    assert_eq!(profile.workers, 2);
+    for prof in &profile.workers_prof {
+        assert_eq!(
+            prof.dropped(),
+            0,
+            "worker {} ring overflowed inside the test",
+            prof.worker()
+        );
+        assert!(
+            !prof.events().is_empty(),
+            "worker {} recorded no events",
+            prof.worker()
         );
     }
 }

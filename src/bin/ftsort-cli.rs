@@ -7,6 +7,7 @@
 //! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq|par]
 //!                        [--threads N] [--link-model uncontended|contended]
 //!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json[.gz]]
+//!                        [--sched-profile] [--sched-out sched.json]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
@@ -24,6 +25,14 @@
 //! replayable run file to disk as the engine emits events (O(1) memory) —
 //! a `.gz` suffix gzip-compresses it on the fly, and `replay`/`trace-diff`
 //! sniff the compression back off by magic bytes.
+//! `--sched-profile` attaches the wall-clock scheduler profiler to a
+//! `--engine par` sort and prints the per-worker summary and ASCII
+//! timeline; `--sched-out` additionally writes the
+//! [`SchedReport`](hypercube::obs::sched::SchedReport) JSON plus a
+//! `<path>.perfetto.json` worker-timeline trace (one track per worker,
+//! steal flows, runnable-queue counters). Profiling observes the host
+//! scheduler only — sorted output, reports and run files stay
+//! byte-identical with it on or off.
 //! `trace-check` re-parses the exports and validates trace invariants
 //! (used by CI as an end-to-end check of the observability pipeline).
 //! `replay` rebuilds the full observation from a run file offline — the
@@ -222,6 +231,8 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     let trace_out = flags.get("trace-out");
     let metrics_out = flags.get("metrics-out");
     let run_out = flags.get("run-out");
+    let sched_out = flags.get("sched-out");
+    let sched_wanted = sched_out.is_some() || flags.contains_key("sched-profile");
     let config = FtConfig {
         protocol,
         step8,
@@ -232,15 +243,23 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         threads,
         ..FtConfig::default()
     };
-    let (out, phases, obs) = match run_out {
-        None => fault_tolerant_sort_observed(&plan, &config, data),
+    use hypercube::obs::sink::TraceSink;
+    use std::sync::{Arc, Mutex};
+    let sink: Option<Arc<Mutex<dyn TraceSink>>> = match run_out {
+        None => None,
         Some(path) => {
-            use hypercube::obs::sink::{StreamingSink, TraceSink};
-            use std::sync::{Arc, Mutex};
+            use hypercube::obs::sink::StreamingSink;
             let sink = StreamingSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
-            let sink: Arc<Mutex<dyn TraceSink>> = Arc::new(Mutex::new(sink));
-            fault_tolerant_sort_streamed(&plan, &config, data, sink)
+            Some(Arc::new(Mutex::new(sink)))
         }
+    };
+    let profiler = sched_wanted.then(|| Arc::new(hypercube::obs::sched::SchedProfiler::new()));
+    let (out, phases, obs) = match (&profiler, sink) {
+        (Some(profiler), sink) => {
+            fault_tolerant_sort_sched(&plan, &config, data, sink, Arc::clone(profiler))
+        }
+        (None, Some(sink)) => fault_tolerant_sort_streamed(&plan, &config, data, sink),
+        (None, None) => fault_tolerant_sort_observed(&plan, &config, data),
     };
     if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
         return Err("output not sorted — this is a bug".into());
@@ -279,13 +298,42 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     if let Some(path) = metrics_out {
         let mut report = obs.report(&phase_name);
         if let Some(threads) = threads {
-            report = report.with_threads(threads);
+            // Record the effective schedule too: the par engine clamps the
+            // worker count to the shard count (`schedule_for`).
+            let (workers_effective, shard_size, _) =
+                hypercube::sim::par::schedule_for(report.nodes.len(), Some(threads), None);
+            report = report
+                .with_threads(threads)
+                .with_schedule(workers_effective, shard_size);
         }
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics written: {path}");
     }
     if let Some(path) = run_out {
         println!("run written    : {path} (ftsort-cli replay --trace {path})");
+    }
+    if let Some(profiler) = profiler {
+        match profiler.take() {
+            Some(profile) => {
+                let report = profile.report();
+                if let Some(path) = sched_out {
+                    std::fs::write(path, report.to_json())
+                        .map_err(|e| format!("writing {path}: {e}"))?;
+                    println!("sched written  : {path}");
+                    let trace_path = format!("{path}.perfetto.json");
+                    std::fs::write(&trace_path, profile.perfetto_json())
+                        .map_err(|e| format!("writing {trace_path}: {e}"))?;
+                    println!("sched trace    : {trace_path} (load in ui.perfetto.dev)");
+                }
+                print!("{}", report.summary());
+                print!("{}", profile.timeline(64));
+            }
+            // Only the par engine has a work-stealing scheduler; other
+            // engines ignore the profiler, so the flag had no effect.
+            None => println!(
+                "sched profile  : no scheduler to profile (--sched-profile needs --engine par)"
+            ),
+        }
     }
     Ok(())
 }

@@ -377,3 +377,164 @@ fn isolation_reported_as_error() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("cannot tolerate"), "{err}");
 }
+
+#[test]
+fn sort_sched_profile_writes_report_and_valid_trace() {
+    let dir = std::env::temp_dir();
+    let sched = dir.join("ftsort_cli_sched.json");
+    let trace = dir.join("ftsort_cli_sched.json.perfetto.json");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2,9",
+            "--m",
+            "2000",
+            "--engine",
+            "par",
+            "--threads",
+            "4",
+            "--sched-out",
+            sched.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("sched written"), "{text}");
+    assert!(text.contains("sched trace"), "{text}");
+    assert!(text.contains("utilization"), "{text}");
+    assert!(text.contains("worker timeline"), "{text}");
+
+    // The written report round-trips through the library parser.
+    let report_text = std::fs::read_to_string(&sched).expect("sched report written");
+    let report =
+        hypercube::obs::sched::SchedReport::from_json(&report_text).expect("sched report parses");
+    assert!(report.workers >= 1 && report.makespan_ns > 0);
+
+    // The worker-track Perfetto export passes trace-check...
+    let check = cli()
+        .args(["trace-check", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let text = String::from_utf8(check.stdout).unwrap();
+    assert!(text.contains(": ok ("), "{text}");
+
+    // ...and a corrupted copy (a dangling steal flow on an undeclared
+    // track) is rejected with a diagnostic.
+    let trace_text = std::fs::read_to_string(&trace).expect("trace written");
+    let tail = trace_text.rfind(']').expect("traceEvents array");
+    let mut corrupted = trace_text.clone();
+    corrupted.insert_str(
+        tail,
+        ",{\"ph\":\"s\",\"pid\":1,\"tid\":9999,\"id\":777777,\"cat\":\"steal\",\"ts\":1}",
+    );
+    let bad = dir.join("ftsort_cli_sched_corrupt.perfetto.json");
+    std::fs::write(&bad, corrupted).unwrap();
+    let check = cli()
+        .args(["trace-check", "--trace", bad.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        !check.status.success(),
+        "corrupted trace must fail trace-check"
+    );
+    let err = String::from_utf8(check.stderr).unwrap();
+    assert!(err.contains("track") || err.contains("flow"), "{err}");
+
+    let _ = std::fs::remove_file(&sched);
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
+fn sort_sched_profile_is_byte_invisible_in_run_files() {
+    // Satellite of the profiler work: `--sched-profile` must not change
+    // the simulation. The streamed run files of a profiled and an
+    // unprofiled run of the same seeded sort are byte-identical.
+    let dir = std::env::temp_dir();
+    let plain = dir.join("ftsort_cli_sched_plain_run.json");
+    let profiled = dir.join("ftsort_cli_sched_profiled_run.json");
+    let run = |run_out: &std::path::Path, sched: bool| {
+        let mut args = vec![
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2,9",
+            "--m",
+            "2000",
+            "--engine",
+            "par",
+            "--threads",
+            "3",
+            "--seed",
+            "7",
+            "--run-out",
+        ];
+        args.push(run_out.to_str().unwrap());
+        if sched {
+            args.push("--sched-profile");
+        }
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let plain_text = run(&plain, false);
+    let profiled_text = run(&profiled, true);
+    assert!(!plain_text.contains("worker timeline"), "{plain_text}");
+    assert!(profiled_text.contains("worker timeline"), "{profiled_text}");
+
+    let plain_bytes = std::fs::read(&plain).expect("plain run written");
+    let profiled_bytes = std::fs::read(&profiled).expect("profiled run written");
+    assert!(!plain_bytes.is_empty());
+    assert!(
+        plain_bytes == profiled_bytes,
+        "--sched-profile changed the streamed run file ({} vs {} bytes)",
+        plain_bytes.len(),
+        profiled_bytes.len()
+    );
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&profiled);
+}
+
+#[test]
+fn sort_sched_profile_needs_the_par_engine() {
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "3",
+            "--faults",
+            "1",
+            "--m",
+            "500",
+            "--engine",
+            "seq",
+            "--sched-profile",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("no scheduler to profile"), "{text}");
+}
