@@ -20,7 +20,10 @@
 //! - **barrier_share** must not rise above `old × (2 − band) + 0.02`;
 //! - **steal_rate** is printed but never gated — steal volume is load
 //!   placement, not health; it legitimately swings with core count and
-//!   shard geometry.
+//!   shard geometry;
+//! - **events_dropped** in any B row prints a loud `WARNING` (truncated
+//!   telemetry) but never fails the diff — ring capacity is a tuning
+//!   knob, not an algorithmic regression.
 //!
 //! Wall-clock *columns* are printed for context but never flagged — they
 //! measure the host, not the algorithm, so CI noise would make them
@@ -70,6 +73,9 @@ struct Row {
     utilization: Option<f64>,
     steal_rate: Option<f64>,
     barrier_share: Option<f64>,
+    /// Profiler ring drops (`sched_json` rows): nonzero means the row's
+    /// telemetry is truncated.
+    events_dropped: Option<u64>,
     walls: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
 }
@@ -257,6 +263,19 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Profiler ring health: dropped events mean B's scheduler telemetry
+    // is truncated and its health fractions under-count. Loud, but never
+    // a failure — ring capacity is a tuning knob, not a perf regression.
+    for rb in &b.rows {
+        if let Some(dropped) = rb.events_dropped.filter(|&d| d > 0) {
+            println!(
+                "WARNING: n={} r={} m={} workers={}: profiler dropped {dropped} event(s) — \
+                 sched telemetry truncated (raise the profiler ring capacity)",
+                rb.n, rb.r, rb.m, rb.workers
+            );
+        }
+    }
+
     // Crossover gate: on a multi-core host the work-stealing engine must
     // beat (or at worst tie, within the band) the sequential engine on
     // big instances with real parallelism available.
@@ -383,6 +402,7 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
             utilization: row.get("utilization").and_then(Json::as_f64),
             steal_rate: row.get("steal_rate").and_then(Json::as_f64),
             barrier_share: row.get("barrier_share").and_then(Json::as_f64),
+            events_dropped: row.get("events_dropped").and_then(Json::as_u64),
             walls,
             phases,
         });

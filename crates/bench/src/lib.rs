@@ -52,7 +52,9 @@ pub fn parse_engine(value: Option<String>) -> hypercube::sim::EngineKind {
 /// fault-tolerant sort and writes the Perfetto trace and/or
 /// [`RunReport`](hypercube::obs::RunReport) JSON on exit — the same
 /// artifacts `ftsort-cli sort` emits, so any report row can be drilled
-/// into with the observability tooling.
+/// into with the observability tooling. `--metrics-snapshot` /
+/// `--log-level` / `--log-out` attach the live telemetry layer the same
+/// way the CLI does.
 #[derive(Default)]
 pub struct ObsFlags {
     /// Perfetto trace destination (`--trace-out`).
@@ -74,6 +76,16 @@ pub struct ObsFlags {
     /// `--sched-profile`: print the scheduler summary and worker timeline
     /// without writing files.
     pub sched_profile: bool,
+    /// Prometheus-exposition destination (`--metrics-snapshot`): installs
+    /// the process-wide live-telemetry registry
+    /// ([`hypercube::obs::metrics`]) at parse time — before any run, so
+    /// engines/pools/sinks built later pick it up — and writes the final
+    /// snapshot in [`write`](Self::write).
+    pub metrics_snapshot: Option<String>,
+    /// Structured-log destination (`--log-out`): installs the JSON-lines
+    /// logger ([`hypercube::obs::log`]) at parse time. Pass it *before*
+    /// `--log-level` when combining — the first installed writer wins.
+    pub log_out: Option<String>,
     last: Option<hypercube::obs::RunObservation>,
     sched_report: Option<hypercube::obs::sched::SchedReport>,
     sched_perfetto: Option<String>,
@@ -102,6 +114,59 @@ impl ObsFlags {
         }
         if arg == "--sched-profile" {
             self.sched_profile = true;
+            return true;
+        }
+        if arg == "--metrics-snapshot" {
+            match args.next() {
+                Some(path) => {
+                    // Install before the runs so everything built later
+                    // resolves the registry at construction.
+                    hypercube::obs::metrics::install_global();
+                    self.metrics_snapshot = Some(path);
+                }
+                None => {
+                    eprintln!("--metrics-snapshot requires a file path");
+                    std::process::exit(2);
+                }
+            }
+            return true;
+        }
+        if arg == "--log-out" {
+            use hypercube::obs::log;
+            match args.next() {
+                Some(path) => {
+                    let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+                        eprintln!("--log-out: creating {path}: {e}");
+                        std::process::exit(2);
+                    });
+                    let level = log::level().unwrap_or(log::Level::Info);
+                    if !log::init(level, Box::new(file)) {
+                        eprintln!("--log-out: a logger is already installed; records stay on the earlier writer");
+                    }
+                    self.log_out = Some(path);
+                }
+                None => {
+                    eprintln!("--log-out requires a file path");
+                    std::process::exit(2);
+                }
+            }
+            return true;
+        }
+        if arg == "--log-level" {
+            use hypercube::obs::log;
+            match args.next().as_deref().and_then(log::Level::parse) {
+                Some(level) => {
+                    if log::level().is_some() {
+                        log::set_level(level);
+                    } else {
+                        log::init_stderr(level);
+                    }
+                }
+                None => {
+                    eprintln!("--log-level requires one of error|warn|info|debug|trace");
+                    std::process::exit(2);
+                }
+            }
             return true;
         }
         let slot = match arg {
@@ -187,6 +252,12 @@ impl ObsFlags {
     /// Writes the requested artifacts from the last observed run. Call
     /// once at the end of `main`.
     pub fn write(&self) {
+        if let Some(path) = &self.metrics_snapshot {
+            let global =
+                hypercube::obs::metrics::global().expect("registry installed at parse time");
+            std::fs::write(path, global.registry.render_prom()).expect("write metrics snapshot");
+            println!("metrics snapshot: {path} (ftsort-cli trace-check --prom {path})");
+        }
         if self.enabled() {
             let Some(obs) = &self.last else {
                 eprintln!("--trace-out/--metrics-out: no run was observed");

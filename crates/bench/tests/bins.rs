@@ -165,3 +165,27 @@ fn bench_diff_smoke() {
     assert!(text.contains("par_over_seq"), "{text}");
     assert!(text.contains("REGRESSION"), "{text}");
 }
+
+#[test]
+fn bench_diff_warns_on_dropped_events_without_failing() {
+    // Hand-built sched-style rows: B reports ring drops. The diff must
+    // print a loud WARNING but still exit 0 — truncated telemetry is not
+    // a performance regression.
+    let row = |dropped: u64| {
+        format!(
+            "{{\"results\": [{{\"n\": 10, \"r\": 1, \"m\": 4000, \"workers\": 4, \
+             \"utilization\": 0.9, \"steal_rate\": 0.1, \"barrier_share\": 0.05, \
+             \"events_dropped\": {dropped}}}], \"host_cores\": 8}}"
+        )
+    };
+    let a = std::env::temp_dir().join("ft_bench_diff_drops_a.json");
+    let b = std::env::temp_dir().join("ft_bench_diff_drops_b.json");
+    std::fs::write(&a, row(0)).unwrap();
+    std::fs::write(&b, row(37)).unwrap();
+    let text = bench_diff(&["--a", a.to_str().unwrap(), "--b", b.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+    assert!(text.contains("WARNING"), "{text}");
+    assert!(text.contains("dropped 37 event(s)"), "{text}");
+    assert!(text.contains("OK: no metric regressed"), "{text}");
+}

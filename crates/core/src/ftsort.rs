@@ -460,6 +460,32 @@ where
     fault_tolerant_sort_sunk(plan, config, data, sink, None, Some(profiler))
 }
 
+/// The fully-general entry point: any combination of a streaming `sink`
+/// ([`fault_tolerant_sort_streamed`]), a caller-owned scratch `pool`
+/// ([`fault_tolerant_sort_pooled`]) and a scheduler `profiler`
+/// ([`fault_tolerant_sort_sched`]). `ftsort-cli sort` drives the whole
+/// observability stack through this one call — e.g. a stats-carrying
+/// [`BufferPool::with_stats`] pool for the live-telemetry layer alongside
+/// a run-file sink. Every attachment is individually unobservable to the
+/// simulation: results stay byte-identical to the plain calls.
+pub fn fault_tolerant_sort_instrumented<K>(
+    plan: &FtPlan,
+    config: &FtConfig,
+    data: Vec<K>,
+    sink: Option<Arc<Mutex<dyn TraceSink>>>,
+    pool: Option<&BufferPool<Padded<K>>>,
+    profiler: Option<Arc<hypercube::obs::sched::SchedProfiler>>,
+) -> (
+    SortOutcome<K>,
+    PhaseBreakdown,
+    hypercube::obs::RunObservation,
+)
+where
+    K: Ord + Clone + Send,
+{
+    fault_tolerant_sort_sunk(plan, config, data, sink, pool, profiler)
+}
+
 fn fault_tolerant_sort_sunk<K>(
     plan: &FtPlan,
     config: &FtConfig,

@@ -10,6 +10,7 @@
 //! roughly 10×. The decompressor is complete — stored, fixed and dynamic
 //! blocks — so externally-gzipped run files replay too.
 
+use super::metrics::{self, SinkMetrics};
 use std::io::{self, Write};
 
 /// The gzip magic bytes.
@@ -143,11 +144,13 @@ pub struct GzEncoder<W: Write> {
     out: Option<W>,
     crc: Crc32,
     total_in: u32,
+    total_out: u64,
     hist: Vec<u8>,
     pending: Vec<u8>,
     bitbuf: u64,
     nbits: u32,
     finished: bool,
+    metrics: Option<SinkMetrics>,
 }
 
 impl<W: Write> GzEncoder<W> {
@@ -159,15 +162,28 @@ impl<W: Write> GzEncoder<W> {
             out: Some(out),
             crc: Crc32::new(),
             total_in: 0,
+            total_out: 10,
             hist: Vec::with_capacity(WINDOW),
             pending: Vec::with_capacity(BATCH + MAX_MATCH),
             bitbuf: 0,
             nbits: 0,
             finished: false,
+            metrics: metrics::global().map(|g| g.run.sink.clone()),
         };
         enc.put_bits(1, 1)?; // BFINAL: one block for the whole stream
         enc.put_bits(0b01, 2)?; // BTYPE: fixed Huffman
         Ok(enc)
+    }
+
+    /// Uncompressed bytes fed in so far (wraps with gzip's 32-bit ISIZE).
+    pub fn total_in(&self) -> u64 {
+        self.total_in as u64
+    }
+
+    /// Compressed bytes handed to the writer so far (header included; up
+    /// to 7 bits may still sit in the bit buffer until the stream ends).
+    pub fn total_out(&self) -> u64 {
+        self.total_out
     }
 
     fn put_bits(&mut self, value: u32, n: u32) -> io::Result<()> {
@@ -176,6 +192,7 @@ impl<W: Write> GzEncoder<W> {
         while self.nbits >= 8 {
             let byte = [(self.bitbuf & 0xFF) as u8];
             self.out.as_mut().expect("writer taken").write_all(&byte)?;
+            self.total_out += 1;
             self.bitbuf >>= 8;
             self.nbits -= 8;
         }
@@ -291,7 +308,14 @@ impl<W: Write> GzEncoder<W> {
         let out = self.out.as_mut().expect("writer taken");
         out.write_all(&crc.to_le_bytes())?;
         out.write_all(&isize.to_le_bytes())?;
-        out.flush()
+        self.total_out += 8;
+        // One flush of this stream's byte totals into the global counters
+        // (per-byte atomics would put an rmw in put_bits's inner loop).
+        if let Some(m) = &self.metrics {
+            m.gz_bytes_in.add(self.total_in as u64);
+            m.gz_bytes_out.add(self.total_out);
+        }
+        self.out.as_mut().expect("writer taken").flush()
     }
 
     /// Completes the stream and returns the underlying writer.
@@ -668,6 +692,44 @@ mod tests {
             })
             .collect();
         assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn roundtrips_required_edge_cases() {
+        // empty input
+        assert_eq!(roundtrip(b""), b"");
+        // a single byte
+        assert_eq!(roundtrip(b"\x00"), b"\x00");
+        assert_eq!(roundtrip(b"z"), b"z");
+        // incompressible (xorshift) random data
+        let mut x = 0x9E3779B9_7F4A7C15u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 24) as u8
+            })
+            .collect();
+        assert_eq!(roundtrip(&noise), noise);
+        // a stream comfortably past 64 KiB (crosses the compress batch)
+        let big: Vec<u8> = (0..100_000usize).map(|i| (i % 251) as u8).collect();
+        assert!(big.len() > 64 * 1024);
+        assert_eq!(roundtrip(&big), big);
+    }
+
+    #[test]
+    fn byte_totals_track_the_stream() {
+        let data = b"some bytes some bytes some bytes";
+        let mut enc = GzEncoder::new(Vec::new()).expect("header");
+        enc.write_all(data).expect("write");
+        enc.flush().expect("flush");
+        assert_eq!(enc.total_in(), data.len() as u64);
+        let mid_out = enc.total_out();
+        assert!(mid_out >= 10, "header bytes are counted");
+        let packed = enc.finish().expect("finish");
+        assert!(packed.len() as u64 >= mid_out);
+        assert_eq!(gunzip(&packed).expect("gunzip"), data);
     }
 
     #[test]

@@ -39,6 +39,8 @@ pub mod diff;
 pub mod gz;
 pub mod hist;
 pub mod json;
+pub mod log;
+pub mod metrics;
 pub mod perfetto;
 pub mod replay;
 pub mod sched;
@@ -380,6 +382,18 @@ pub struct RunReport {
     /// The effective shard size (after `auto_shard_size`), recorded
     /// together with [`workers_effective`](RunReport::workers_effective).
     pub shard_size: Option<usize>,
+    /// Slabs taken from the run's [`crate::sim::pool::BufferPool`], when
+    /// the caller ran with pool statistics enabled and chose to record
+    /// them ([`RunReport::with_pool_stats`]). Presentation-layer metadata
+    /// like [`threads`](RunReport::threads): `None` serializes to nothing.
+    pub pool_takes: Option<u64>,
+    /// Slabs returned to the pool (see
+    /// [`pool_takes`](RunReport::pool_takes)).
+    pub pool_puts: Option<u64>,
+    /// High-water mark of parked slabs in any single store (the shared
+    /// store or one handle's local free list, whichever ran fullest); see
+    /// [`pool_takes`](RunReport::pool_takes).
+    pub pool_slab_high_water: Option<u64>,
     /// Virtual makespan, µs.
     pub makespan_us: f64,
     /// Operation counters summed over nodes.
@@ -508,6 +522,9 @@ impl RunReport {
             threads: None,
             workers_effective: None,
             shard_size: None,
+            pool_takes: None,
+            pool_puts: None,
+            pool_slab_high_water: None,
             makespan_us: obs.makespan(),
             stats,
             phases,
@@ -537,6 +554,19 @@ impl RunReport {
         self
     }
 
+    /// Records the run's buffer-pool statistics (builder style):
+    /// take/put counts and the parked-slab high-water mark, from
+    /// `hypercube::sim::pool::PoolStats::counters`. Presentation-layer
+    /// metadata like [`with_threads`](Self::with_threads): set by CLIs
+    /// that ran with a stats-enabled pool, never by the library sort
+    /// functions.
+    pub fn with_pool_stats(mut self, takes: u64, puts: u64, slab_high_water: u64) -> Self {
+        self.pool_takes = Some(takes);
+        self.pool_puts = Some(puts);
+        self.pool_slab_high_water = Some(slab_high_water);
+        self
+    }
+
     /// Serializes to the report's JSON schema (documented in DESIGN.md §6).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -553,6 +583,15 @@ impl RunReport {
         }
         if let Some(shard) = self.shard_size {
             let _ = write!(out, "\"shard_size\":{shard},");
+        }
+        if let Some(takes) = self.pool_takes {
+            let _ = write!(out, "\"pool_takes\":{takes},");
+        }
+        if let Some(puts) = self.pool_puts {
+            let _ = write!(out, "\"pool_puts\":{puts},");
+        }
+        if let Some(hw) = self.pool_slab_high_water {
+            let _ = write!(out, "\"pool_slab_high_water\":{hw},");
         }
         let _ = write!(
             out,
@@ -712,6 +751,9 @@ impl RunReport {
                 .get("shard_size")
                 .and_then(json::Json::as_u64)
                 .map(|s| s as usize),
+            pool_takes: doc.get("pool_takes").and_then(json::Json::as_u64),
+            pool_puts: doc.get("pool_puts").and_then(json::Json::as_u64),
+            pool_slab_high_water: doc.get("pool_slab_high_water").and_then(json::Json::as_u64),
             makespan_us: num(&doc, "makespan_us")?,
             stats,
             phases,
@@ -929,6 +971,20 @@ mod tests {
         assert!(text.contains("\"shard_size\":16"));
         let back = RunReport::from_json(&text).expect("parse");
         assert_eq!(back, scheduled);
+        assert!(json::Json::parse(&text).is_ok());
+
+        // and so do the pool statistics
+        assert!(
+            !text.contains("pool_takes"),
+            "absent pool stats serialize to nothing"
+        );
+        let pooled = scheduled.with_pool_stats(120, 118, 9);
+        let text = pooled.to_json();
+        assert!(text.contains("\"pool_takes\":120"));
+        assert!(text.contains("\"pool_puts\":118"));
+        assert!(text.contains("\"pool_slab_high_water\":9"));
+        let back = RunReport::from_json(&text).expect("parse");
+        assert_eq!(back, pooled);
         assert!(json::Json::parse(&text).is_ok());
     }
 }

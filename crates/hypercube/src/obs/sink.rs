@@ -27,6 +27,7 @@
 
 use super::gz::GzEncoder;
 use super::json::write_trace_event;
+use super::metrics::{self, Counter};
 use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::sim::{LinkModel, TraceEvent};
@@ -138,12 +139,18 @@ pub struct BufferedSink {
     records: Vec<Record>,
     nodes: Vec<NodeSummary>,
     finished: bool,
+    events_metric: Option<Counter>,
 }
 
 impl BufferedSink {
-    /// An empty sink, ready to capture one run.
+    /// An empty sink, ready to capture one run. Resolves the
+    /// `ftsort_sink_events_total` counter if the process-global metrics
+    /// registry is installed.
     pub fn new() -> Self {
-        Self::default()
+        BufferedSink {
+            events_metric: metrics::global().map(|g| g.run.sink.events.clone()),
+            ..Self::default()
+        }
     }
 
     /// Serializes the captured run; byte-identical to what a
@@ -172,10 +179,16 @@ impl TraceSink for BufferedSink {
     }
 
     fn event(&mut self, event: &TraceEvent) {
+        if let Some(c) = &self.events_metric {
+            c.inc();
+        }
         self.records.push(Record::Event(*event));
     }
 
     fn span(&mut self, node: NodeId, phase: Option<u16>, time: f64) {
+        if let Some(c) = &self.events_metric {
+            c.inc();
+        }
         self.records.push(Record::Span { node, phase, time });
     }
 
@@ -195,17 +208,21 @@ pub struct StreamingSink<W: Write + Send> {
     buf: String,
     first: bool,
     began: bool,
+    events_metric: Option<Counter>,
 }
 
 impl<W: Write + Send> StreamingSink<W> {
     /// Wraps a writer. Callers streaming to disk should hand in a
-    /// buffered writer (or use [`StreamingSink::create`]).
+    /// buffered writer (or use [`StreamingSink::create`]). Resolves the
+    /// `ftsort_sink_events_total` counter if the process-global metrics
+    /// registry is installed.
     pub fn new(writer: W) -> Self {
         Self {
             writer,
             buf: String::with_capacity(256),
             first: true,
             began: false,
+            events_metric: metrics::global().map(|g| g.run.sink.events.clone()),
         }
     }
 
@@ -252,12 +269,18 @@ impl<W: Write + Send> TraceSink for StreamingSink<W> {
     }
 
     fn event(&mut self, event: &TraceEvent) {
+        if let Some(c) = &self.events_metric {
+            c.inc();
+        }
         render_separator(&mut self.buf, &mut self.first);
         write_trace_event(&mut self.buf, event);
         self.emit();
     }
 
     fn span(&mut self, node: NodeId, phase: Option<u16>, time: f64) {
+        if let Some(c) = &self.events_metric {
+            c.inc();
+        }
         render_separator(&mut self.buf, &mut self.first);
         render_span(&mut self.buf, node, phase, time);
         self.emit();

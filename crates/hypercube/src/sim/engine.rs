@@ -24,6 +24,7 @@ use super::{Comm, EngineKind, LinkModel, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
 use crate::fault::FaultSet;
+use crate::obs::metrics::{self, EngineMetrics};
 use crate::obs::schedule::{reconstruct_inbox_peaks, reprice_full};
 use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, NodeObservation, RunObservation, SpanLog, SpanRecord};
@@ -265,6 +266,9 @@ struct ThreadedCtx<K> {
     /// canonical commit order — live streaming (`sink` above) is
     /// suppressed while this is active.
     capture: Option<Vec<CellRecord>>,
+    /// Live-telemetry handles, resolved once per node thread from the
+    /// process-wide registry; `None` keeps every hook a single branch.
+    obs: Option<EngineMetrics>,
 }
 
 impl<K> ThreadedCtx<K> {
@@ -308,6 +312,12 @@ impl<K> ThreadedCtx<K> {
         self.clock.advance(cost.transfer(data.len(), hops.min(1)));
         self.stats.record_message(data.len(), hops);
         self.metrics.on_send(me, dst, data.len(), hops, &cost);
+        if let Some(m) = &self.obs {
+            m.elements_priced.add(data.len() as u64);
+            m.msg_elements.record(data.len() as u64);
+            // On the threaded engine the channel push *is* delivery.
+            m.messages_delivered.inc();
+        }
         if self.observing() {
             self.emit_event(TraceEvent {
                 time: self.clock.now(),
@@ -353,8 +363,14 @@ impl<K> ThreadedCtx<K> {
         self.clock
             .receive(msg.sent_at, cost.transfer(msg.data.len(), msg.hops));
         // Any forward jump is time this node spent waiting on the wire.
-        self.metrics.blocked_us += self.clock.now() - before;
+        let blocked = self.clock.now() - before;
+        self.metrics.blocked_us += blocked;
         self.metrics.msgs_received += 1;
+        if let Some(m) = &self.obs {
+            if blocked > 0.0 {
+                m.link_wait_us.add(blocked as u64);
+            }
+        }
         if self.observing() {
             self.emit_event(TraceEvent {
                 time: self.clock.now(),
@@ -822,6 +838,7 @@ impl Engine {
                             gauges,
                             sink,
                             capture: capturing.then(Vec::new),
+                            obs: metrics::global().map(|g| g.run.engine.clone()),
                         })),
                     };
                     let result = run_to_completion(program(&mut ctx, input));

@@ -35,6 +35,7 @@ use super::trace::{Trace, TraceEvent, TraceKind};
 use super::{LinkModel, Tag};
 use crate::address::NodeId;
 use crate::cost::{CostModel, VirtualClock};
+use crate::obs::metrics::{self, EngineMetrics};
 use crate::obs::schedule::LinkLedger;
 use crate::obs::sink::{NodeSummary, TraceSink};
 use crate::obs::{NodeMetrics, SpanLog};
@@ -156,6 +157,11 @@ pub(super) fn build_cells<K, I>(
 pub(super) struct CellCtx<K> {
     cell: Arc<Mutex<NodeCell<K>>>,
     participation: Arc<Vec<bool>>,
+    /// Live-telemetry handles, resolved once at construction (cold path);
+    /// `None` — a single check per hook — whenever the process-global
+    /// registry is not installed. Recording never touches clocks or
+    /// payloads, so simulated output is byte-identical either way.
+    metrics: Option<EngineMetrics>,
 }
 
 impl<K> CellCtx<K> {
@@ -163,6 +169,7 @@ impl<K> CellCtx<K> {
         CellCtx {
             cell,
             participation,
+            metrics: metrics::global().map(|g| g.run.engine.clone()),
         }
     }
 
@@ -183,6 +190,10 @@ impl<K> CellCtx<K> {
             self.participation[dst.index()],
             "send to non-participating node {dst:?}"
         );
+        if let Some(m) = &self.metrics {
+            m.elements_priced.add(data.len() as u64);
+            m.msg_elements.record(data.len() as u64);
+        }
         let mut cell = self.cell();
         // The sender's port is busy pushing the elements onto its first link.
         cell.clock.advance(cost.transfer(data.len(), hops.min(1)));
@@ -241,6 +252,11 @@ impl<K> CellCtx<K> {
                     cell.metrics.blocked_us += cell.clock.now() - before;
                     cell.metrics.link_wait_us += msg.wait;
                     cell.metrics.msgs_received += 1;
+                    if let Some(m) = &self.metrics {
+                        if msg.wait > 0.0 {
+                            m.link_wait_us.add(msg.wait as u64);
+                        }
+                    }
                     if cell.observing() {
                         let ev = TraceEvent {
                             time: cell.clock.now(),
@@ -340,6 +356,8 @@ pub(super) struct RoundCommitter<K> {
     cost: CostModel,
     msgs: Vec<SimMessage<K>>,
     recs: Vec<CellRecord>,
+    /// Live-telemetry handles (see [`CellCtx`]); `None` when disabled.
+    metrics: Option<EngineMetrics>,
 }
 
 impl<K> RoundCommitter<K> {
@@ -355,6 +373,7 @@ impl<K> RoundCommitter<K> {
             cost,
             msgs: Vec::new(),
             recs: Vec::new(),
+            metrics: metrics::global().map(|g| g.run.engine.clone()),
         }
     }
 
@@ -370,6 +389,9 @@ impl<K> RoundCommitter<K> {
         alive: &mut Vec<usize>,
         next: &mut Vec<usize>,
     ) {
+        if let Some(m) = &self.metrics {
+            m.rounds.inc();
+        }
         for &i in ran {
             {
                 let mut cell = cells[i].lock().expect("node cell lock poisoned");
@@ -404,6 +426,10 @@ impl<K> RoundCommitter<K> {
                 dst.inbox.push(msg);
                 let backlog = dst.inbox.len() as u64;
                 dst.metrics.inbox_peak = dst.metrics.inbox_peak.max(backlog);
+                drop(dst);
+                if let Some(m) = &self.metrics {
+                    m.messages_delivered.inc();
+                }
             }
         }
         next.clear();

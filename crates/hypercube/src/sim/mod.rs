@@ -31,7 +31,7 @@ mod ws;
 
 pub use engine::{Engine, NodeCtx, NodeOutcome, RouterKind, RunOutcome};
 pub use par::ParEngine;
-pub use pool::{BufferPool, PoolHandle};
+pub use pool::{BufferPool, PoolCounters, PoolHandle, PoolStats};
 pub use sequential::SeqEngine;
 pub use trace::{Trace, TraceEvent, TraceKind};
 

@@ -86,6 +86,7 @@ use super::ws::{SenseBarrier, ShardSlot, WsDeque};
 use crate::address::NodeId;
 use crate::cost::CostModel;
 use crate::fault::FaultSet;
+use crate::obs::metrics::{self, EngineMetrics, WsMetrics};
 use crate::obs::sched::{SchedCat, SchedProfile, SchedProfiler, WorkerProf};
 use crate::obs::schedule::LinkLedger;
 use crate::obs::sink::TraceSink;
@@ -158,6 +159,12 @@ struct Sched<'a, K, T> {
     /// links): outboxes then stay put in phase 1 and are flushed, priced
     /// and binned by the coordinator in global canonical order.
     serial: bool,
+    /// Live-telemetry handles (rounds, deliveries), resolved once at
+    /// construction from the process-wide registry; `None` keeps every hook
+    /// a single branch.
+    metrics: Option<EngineMetrics>,
+    /// Work-stealing telemetry (successful steals); same lifecycle.
+    ws: Option<WsMetrics>,
 }
 
 /// Immutable run context shared by every worker.
@@ -409,6 +416,8 @@ impl ParEngine {
             slot_of,
             workers,
             serial,
+            metrics: metrics::global().map(|g| g.run.engine.clone()),
+            ws: metrics::global().map(|g| g.run.ws.clone()),
         };
         let ser = serial.then(|| SerialCtx {
             sink: self.sink.clone(),
@@ -482,6 +491,13 @@ impl ParEngine {
         });
 
         if let Some(profiler) = &self.profiler {
+            let workers_prof: Vec<WorkerProf> = profs.into_iter().flatten().collect();
+            if let Some(g) = metrics::global() {
+                let events: u64 = workers_prof.iter().map(|p| p.events().len() as u64).sum();
+                let dropped: u64 = workers_prof.iter().map(WorkerProf::dropped).sum();
+                g.run.sched.ring_events.set(events as i64);
+                g.run.sched.events_dropped.add(dropped);
+            }
             profiler.install(SchedProfile {
                 workers_requested: workers_req,
                 workers,
@@ -489,7 +505,7 @@ impl ParEngine {
                 shard_count,
                 live_nodes: live,
                 serial,
-                workers_prof: profs.into_iter().flatten().collect(),
+                workers_prof,
             });
         }
 
@@ -577,6 +593,13 @@ fn worker_loop<'a, K, T, F>(
     let shard_count = sched.shards.len();
     let mut r: usize = 0;
     loop {
+        // The coordinator counts the round — once, matching the sequential
+        // committer's one `rounds` tick per commit.
+        if w == 0 {
+            if let Some(m) = &sched.metrics {
+                m.rounds.inc();
+            }
+        }
         // Phase 1 — poll. Stage own affine runnable shards, then claim.
         for s in (w..shard_count).step_by(sched.workers) {
             // SAFETY: pre-push reads of an unclaimed shard belong to its
@@ -692,6 +715,9 @@ fn claim_shards<K, T>(
         for k in 1..sched.workers {
             let victim = (w + k) % sched.workers;
             if let Some(s) = sched.deques[victim].steal() {
+                if let Some(m) = &sched.ws {
+                    m.steals.inc();
+                }
                 if let Some(p) = prof.as_deref_mut() {
                     p.stole(victim);
                     p.switch(cat, s);
@@ -853,9 +879,11 @@ unsafe fn deliver_shard<K, T>(
     let sh = unsafe { sched.shards[s].get() };
     if sched.incoming[s].load(Ordering::Relaxed) {
         sched.incoming[s].store(false, Ordering::Relaxed);
+        let mut delivered: u64 = 0;
         for src in 0..shard_count {
             // SAFETY: column `s` of the bin matrix belongs to this claim.
             let bin = unsafe { sched.bins[src * shard_count + s].get() };
+            delivered += bin.len() as u64;
             for msg in bin.drain(..) {
                 let mut dst = cells[msg.dst.index()]
                     .lock()
@@ -863,6 +891,11 @@ unsafe fn deliver_shard<K, T>(
                 dst.inbox.push(msg);
                 let backlog = dst.inbox.len() as u64;
                 dst.metrics.inbox_peak = dst.metrics.inbox_peak.max(backlog);
+            }
+        }
+        if delivered > 0 {
+            if let Some(m) = &sched.metrics {
+                m.messages_delivered.add(delivered);
             }
         }
     }

@@ -16,7 +16,16 @@
 //! simulation: whichever engine runs, and however slabs migrate between
 //! workers, simulated results stay byte-identical (the differential tests
 //! pin this).
+//!
+//! Pools built with [`BufferPool::with_stats`] additionally count
+//! take/put traffic and the parked-slab high-water mark into a
+//! [`PoolStats`] block (relaxed atomics — the warm path stays alloc- and
+//! lock-free) and, when the process-global metrics registry is installed,
+//! mirror them into the `ftsort_pool_*` instruments. [`BufferPool::new`]
+//! pools carry no stats at all, so library-internal pools pay nothing.
 
+use crate::obs::metrics::{self, PoolMetrics};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Slabs a handle keeps locally before spilling to the shared store. Sized
@@ -24,16 +33,52 @@ use std::sync::{Arc, Mutex};
 /// in-flight payloads) with slack; larger values just delay sharing.
 const LOCAL_SLABS: usize = 8;
 
+/// Pool traffic counters, recorded only by stats-enabled pools
+/// ([`BufferPool::with_stats`]).
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    takes: AtomicU64,
+    puts: AtomicU64,
+    high_water: AtomicU64,
+}
+
+/// A snapshot of [`PoolStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Slabs taken (local hit, shared hit or fresh allocation alike).
+    pub takes: u64,
+    /// Slabs returned.
+    pub puts: u64,
+    /// High-water mark of parked slabs in any single store — the shared
+    /// store or one handle's local free list, whichever ran fullest.
+    pub slab_high_water: u64,
+}
+
+impl PoolStats {
+    /// A point-in-time snapshot of the counters.
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            takes: self.takes.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            slab_high_water: self.high_water.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The shared slab store of one run. Cheap to clone (an [`Arc`]); create
 /// one per run and hand each node (or worker) a [`BufferPool::handle`].
 pub struct BufferPool<K> {
     shared: Arc<Mutex<Vec<Vec<K>>>>,
+    stats: Option<Arc<PoolStats>>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl<K> Clone for BufferPool<K> {
     fn clone(&self) -> Self {
         BufferPool {
             shared: Arc::clone(&self.shared),
+            stats: self.stats.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -45,11 +90,31 @@ impl<K> Default for BufferPool<K> {
 }
 
 impl<K> BufferPool<K> {
-    /// An empty pool.
+    /// An empty pool with no statistics — the zero-overhead default used
+    /// by the library sort paths.
     pub fn new() -> Self {
         BufferPool {
             shared: Arc::new(Mutex::new(Vec::new())),
+            stats: None,
+            metrics: None,
         }
+    }
+
+    /// An empty pool that counts its traffic into a [`PoolStats`] block
+    /// and, if [`metrics::install_global`] has run, into the
+    /// `ftsort_pool_*` registry instruments.
+    pub fn with_stats() -> Self {
+        BufferPool {
+            shared: Arc::new(Mutex::new(Vec::new())),
+            stats: Some(Arc::new(PoolStats::default())),
+            metrics: metrics::global().map(|g| g.run.pool.clone()),
+        }
+    }
+
+    /// This pool's statistics block, when built with
+    /// [`with_stats`](Self::with_stats).
+    pub fn stats(&self) -> Option<&Arc<PoolStats>> {
+        self.stats.as_ref()
     }
 
     /// A per-worker handle drawing on this pool. The local free list is
@@ -59,6 +124,8 @@ impl<K> BufferPool<K> {
         PoolHandle {
             local: Vec::with_capacity(LOCAL_SLABS),
             shared: Arc::clone(&self.shared),
+            stats: self.stats.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -74,18 +141,41 @@ impl<K> BufferPool<K> {
 pub struct PoolHandle<K> {
     local: Vec<Vec<K>>,
     shared: Arc<Mutex<Vec<Vec<K>>>>,
+    stats: Option<Arc<PoolStats>>,
+    metrics: Option<PoolMetrics>,
 }
 
 impl<K> PoolHandle<K> {
+    fn note_high_water(&self, parked: usize) {
+        if let Some(s) = &self.stats {
+            s.high_water.fetch_max(parked as u64, Ordering::Relaxed);
+        }
+        if let Some(m) = &self.metrics {
+            m.slab_high_water.set_max(parked as i64);
+        }
+    }
+
     /// Takes an empty slab with capacity ≥ `capacity`: most recently
     /// returned local slab first (cache warmth), then the shared store,
     /// then a fresh allocation.
     pub fn take(&mut self, capacity: usize) -> Vec<K> {
-        let mut buf = self
-            .local
-            .pop()
-            .or_else(|| self.shared.lock().expect("buffer pool lock poisoned").pop())
-            .unwrap_or_default();
+        if let Some(s) = &self.stats {
+            s.takes.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = &self.metrics {
+            m.takes.inc();
+        }
+        let mut buf = match self.local.pop() {
+            Some(buf) => buf,
+            None => {
+                let mut shared = self.shared.lock().expect("buffer pool lock poisoned");
+                let buf = shared.pop();
+                if let Some(m) = &self.metrics {
+                    m.shared_slabs.set(shared.len() as i64);
+                }
+                buf.unwrap_or_default()
+            }
+        };
         buf.reserve(capacity);
         buf
     }
@@ -94,13 +184,25 @@ impl<K> PoolHandle<K> {
     /// the local list, spilling to the shared store past [`LOCAL_SLABS`].
     pub fn put(&mut self, mut buf: Vec<K>) {
         buf.clear();
+        if let Some(s) = &self.stats {
+            s.puts.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(m) = &self.metrics {
+            m.puts.inc();
+        }
         if self.local.len() < LOCAL_SLABS {
             self.local.push(buf);
+            self.note_high_water(self.local.len());
         } else {
-            self.shared
-                .lock()
-                .expect("buffer pool lock poisoned")
-                .push(buf);
+            let parked = {
+                let mut shared = self.shared.lock().expect("buffer pool lock poisoned");
+                shared.push(buf);
+                if let Some(m) = &self.metrics {
+                    m.shared_slabs.set(shared.len() as i64);
+                }
+                shared.len()
+            };
+            self.note_high_water(parked);
         }
     }
 
@@ -119,6 +221,12 @@ impl<K> Drop for PoolHandle<K> {
         }
         if let Ok(mut shared) = self.shared.lock() {
             shared.append(&mut self.local);
+            let parked = shared.len();
+            if let Some(m) = &self.metrics {
+                m.shared_slabs.set(parked as i64);
+            }
+            drop(shared);
+            self.note_high_water(parked);
         }
     }
 }
@@ -176,5 +284,37 @@ mod tests {
         assert_eq!(pool.shared_slabs(), 0);
         drop(handle);
         assert_eq!(pool.shared_slabs(), 2);
+    }
+
+    #[test]
+    fn plain_pools_carry_no_stats() {
+        let pool: BufferPool<u8> = BufferPool::new();
+        assert!(pool.stats().is_none());
+        assert!(pool.handle().stats.is_none());
+    }
+
+    #[test]
+    fn stats_pools_count_takes_puts_and_high_water() {
+        let pool: BufferPool<u32> = BufferPool::with_stats();
+        let mut a = pool.handle();
+        let slabs: Vec<_> = (0..LOCAL_SLABS + 3).map(|_| a.take(64)).collect();
+        let taken = slabs.len() as u64;
+        for s in slabs {
+            a.put(s);
+        }
+        // One extra round trip through the (now warm) local list.
+        let s = a.take(8);
+        a.put(s);
+        let counters = pool.stats().expect("stats enabled").counters();
+        assert_eq!(counters.takes, taken + 1);
+        assert_eq!(counters.puts, taken + 1);
+        // The local list filled to LOCAL_SLABS before spilling; the shared
+        // store then grew to 3 — the fullest single store was the local one.
+        assert_eq!(counters.slab_high_water, LOCAL_SLABS as u64);
+        // Dropping the handle parks everything shared: new high water.
+        drop(a);
+        let counters = pool.stats().expect("stats enabled").counters();
+        assert_eq!(counters.slab_high_water, taken);
+        assert_eq!(pool.shared_slabs() as u64, taken);
     }
 }

@@ -288,3 +288,107 @@ fn second_run_on_the_same_buffer_pool_starts_warm() {
     );
     run(true);
 }
+
+#[test]
+fn warm_metric_recording_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The live-telemetry contract: registration (install_global) is the
+    // cold path and may allocate; recording on already-registered handles
+    // is pure atomics. Counters, gauges and histogram records all run
+    // inside the counting window.
+    let global = hypercube::obs::metrics::install_global();
+    let m = &global.run;
+    // Touch every instrument once outside the window (paranoia — handles
+    // were fully built at registration, nothing is lazy).
+    m.engine.rounds.inc();
+    m.engine.msg_elements.record(17);
+    m.ws.parked_workers.add(1);
+    m.ws.parked_workers.sub(1);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..4096u64 {
+        m.engine.rounds.inc();
+        m.engine.messages_delivered.inc();
+        m.engine.elements_priced.add(i);
+        m.engine.link_wait_us.add(i & 7);
+        m.engine.msg_elements.record(i);
+        m.ws.steals.inc();
+        m.ws.barrier_epochs.inc();
+        m.ws.parked_workers.add(1);
+        m.ws.parked_workers.sub(1);
+        m.pool.takes.inc();
+        m.pool.puts.inc();
+        m.pool.shared_slabs.set(i as i64);
+        m.pool.slab_high_water.set_max(i as i64);
+        m.sink.events.inc();
+        m.sink.gz_bytes_in.add(i);
+        m.sink.gz_bytes_out.add(i / 2);
+        m.sched.ring_events.set(i as i64);
+        m.sched.events_dropped.add(0);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm metric recording allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn metered_par_engine_message_path_is_allocation_free_when_warm() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The par ping-pong with the global registry *installed*: every
+    // engine/barrier/pool telemetry hook fires on the hot path (steals,
+    // parks, deliveries, element histograms, stats-pool slab cycles) and
+    // must still add zero allocations to the warm rounds.
+    hypercube::obs::metrics::install_global();
+    let cube = Hypercube::new(2);
+    let engine = Engine::new(FaultSet::none(cube), CostModel::default())
+        .with_engine(EngineKind::Par)
+        .with_workers(2);
+    let pool: BufferPool<u64> = BufferPool::with_stats();
+    let pool = &pool;
+    let inputs: Vec<Option<Vec<u64>>> = (0..cube.len())
+        .map(|i| Some((0..256).map(|x| (i as u64) << 32 | x).collect()))
+        .collect();
+    let out = engine.run(inputs, async |ctx, data| {
+        let partner = hypercube::address::NodeId::new(ctx.me().raw() ^ 1);
+        let tag = Tag::phase(9, 0, 0);
+        let mut handle = pool.handle();
+        let mut buf = data;
+        ctx.span_enter(9);
+        for _ in 0..4 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            let slab = handle.take(256);
+            handle.put(slab);
+        }
+        ctx.span_exit();
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..64 {
+            buf = ctx.exchange(partner, tag, buf).await;
+            ctx.charge_comparisons(buf.len());
+            let mut slab = handle.take(256);
+            slab.push(buf.len() as u64);
+            handle.put(slab);
+        }
+        let after = ALLOCS.load(Ordering::Relaxed);
+        // Post-window barrier: keeps handle-Drop spills out of the window.
+        buf = ctx.exchange(partner, tag, buf).await;
+        (buf.len(), after - before)
+    });
+    for (i, outcome) in out.outcomes().iter().enumerate() {
+        let Some(outcome) = outcome else { continue };
+        let (len, allocs) = outcome.result;
+        assert_eq!(len, 256, "payload must survive the ping-pong");
+        assert_eq!(
+            allocs, 0,
+            "metered warm par message path allocated {allocs} times on node {i}"
+        );
+    }
+    // The hooks really fired: the process-wide counters saw this run.
+    let g = hypercube::obs::metrics::global().expect("installed above");
+    assert!(g.run.engine.messages_delivered.get() > 0);
+    assert!(g.run.engine.msg_elements.count() > 0);
+    assert!(g.run.pool.takes.get() > 0);
+    assert!(g.run.ws.barrier_epochs.get() > 0);
+}

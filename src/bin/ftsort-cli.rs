@@ -8,10 +8,11 @@
 //!                        [--threads N] [--link-model uncontended|contended]
 //!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json[.gz]]
 //!                        [--sched-profile] [--sched-out sched.json]
+//!                        [--metrics-snapshot prom.txt] [--log-level info] [--log-out log.jsonl]
 //! ftsort-cli mffs        --n 6 --faults 9,22 --m 100000
 //! ftsort-cli route       --n 4 --faults 1,2 --model total --from 0 --to 3
 //! ftsort-cli diagnose    --n 5 --faults 3,5,16 [--seed 7]
-//! ftsort-cli trace-check --trace trace.json --metrics report.json
+//! ftsort-cli trace-check --trace trace.json --metrics report.json --prom prom.txt
 //! ftsort-cli replay      --trace run.json [--recost default|paper|t_sr=..,t_c=..,t_startup=..]
 //!                        [--link-model uncontended|contended]
 //!                        [--metrics-out report.json] [--trace-out trace.json]
@@ -33,8 +34,17 @@
 //! steal flows, runnable-queue counters). Profiling observes the host
 //! scheduler only — sorted output, reports and run files stay
 //! byte-identical with it on or off.
+//! `--metrics-snapshot` turns on the live telemetry layer
+//! ([`hypercube::obs::metrics`]) for the run and writes a
+//! Prometheus-exposition snapshot of every registered counter, gauge and
+//! histogram after the sort; `--log-level`/`--log-out` install the
+//! structured JSON-lines logger ([`hypercube::obs::log`]). Both observe
+//! the host only — sorted output, reports and run files stay
+//! byte-identical with telemetry on or off.
 //! `trace-check` re-parses the exports and validates trace invariants
-//! (used by CI as an end-to-end check of the observability pipeline).
+//! (used by CI as an end-to-end check of the observability pipeline);
+//! `--prom` validates a metrics snapshot (family declarations, duplicate
+//! series, histogram bucket monotonicity).
 //! `replay` rebuilds the full observation from a run file offline — the
 //! report, Perfetto export and critical-path analysis it produces are
 //! byte-identical to the live run's. `--recost` / `--link-model` re-price
@@ -233,6 +243,13 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     let run_out = flags.get("run-out");
     let sched_out = flags.get("sched-out");
     let sched_wanted = sched_out.is_some() || flags.contains_key("sched-profile");
+    let metrics_snapshot = flags.get("metrics-snapshot");
+    // Telemetry attaches before anything it observes is constructed:
+    // engines, pools and sinks resolve the global registry at build time.
+    if metrics_snapshot.is_some() {
+        hypercube::obs::metrics::install_global();
+    }
+    init_logging(flags)?;
     let config = FtConfig {
         protocol,
         step8,
@@ -254,13 +271,47 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         }
     };
     let profiler = sched_wanted.then(|| Arc::new(hypercube::obs::sched::SchedProfiler::new()));
-    let (out, phases, obs) = match (&profiler, sink) {
-        (Some(profiler), sink) => {
-            fault_tolerant_sort_sched(&plan, &config, data, sink, Arc::clone(profiler))
-        }
-        (None, Some(sink)) => fault_tolerant_sort_streamed(&plan, &config, data, sink),
-        (None, None) => fault_tolerant_sort_observed(&plan, &config, data),
-    };
+    // A stats-carrying pool only when telemetry is on, so the plain path
+    // keeps the library default (no counters at all).
+    let pool = metrics_snapshot
+        .map(|_| hypercube::sim::BufferPool::<ftsort::distribute::Padded<u32>>::with_stats());
+    {
+        use hypercube::obs::log::{info, Value};
+        info(
+            "ftsort::cli",
+            "sort starting",
+            &[
+                ("n", Value::from(faults.cube().dim() as u64)),
+                ("faults", Value::from(faults.count() as u64)),
+                ("keys", Value::from(m_total as u64)),
+                (
+                    "engine",
+                    Value::from(flags.get("engine").map_or("default", String::as_str)),
+                ),
+            ],
+        );
+    }
+    let (out, phases, obs) = fault_tolerant_sort_instrumented(
+        &plan,
+        &config,
+        data,
+        sink,
+        pool.as_ref(),
+        profiler.clone(),
+    );
+    {
+        use hypercube::obs::log::{info, Value};
+        info(
+            "ftsort::cli",
+            "sort complete",
+            &[
+                ("keys", Value::from(m_total as u64)),
+                ("processors", Value::from(out.processors_used as u64)),
+                ("time_us", Value::from(out.time_us)),
+                ("messages", Value::from(out.stats.messages)),
+            ],
+        );
+    }
     if !out.sorted.windows(2).all(|w| w[0] <= w[1]) {
         return Err("output not sorted — this is a bug".into());
     }
@@ -306,6 +357,10 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
                 .with_threads(threads)
                 .with_schedule(workers_effective, shard_size);
         }
+        if let Some(counters) = pool.as_ref().and_then(|p| p.stats()).map(|s| s.counters()) {
+            report =
+                report.with_pool_stats(counters.takes, counters.puts, counters.slab_high_water);
+        }
         std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics written: {path}");
     }
@@ -334,6 +389,44 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
                 "sched profile  : no scheduler to profile (--sched-profile needs --engine par)"
             ),
         }
+    }
+    if let Some(path) = metrics_snapshot {
+        let global = hypercube::obs::metrics::global().expect("registry installed above");
+        std::fs::write(path, global.registry.render_prom())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics snapshot: {path} (ftsort-cli trace-check --prom {path})");
+    }
+    Ok(())
+}
+
+/// Installs the structured logger when `--log-level` / `--log-out` ask
+/// for one: records go to the `--log-out` file as JSON lines, or to
+/// stderr without it. Level defaults to `info`.
+fn init_logging(flags: &HashMap<String, String>) -> Result<(), String> {
+    use hypercube::obs::log::{init, init_stderr, set_level, Level};
+    let level = match flags.get("log-level") {
+        None => None,
+        Some(s) => Some(
+            Level::parse(s)
+                .ok_or_else(|| format!("unknown log level '{s}' (error|warn|info|debug|trace)"))?,
+        ),
+    };
+    let out = flags.get("log-out");
+    if level.is_none() && out.is_none() {
+        return Ok(());
+    }
+    let level = level.unwrap_or(Level::Info);
+    let installed = match out {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            init(level, Box::new(file))
+        }
+        None => init_stderr(level),
+    };
+    if !installed {
+        // A logger already existed (first init wins the writer); still
+        // honor the requested level.
+        set_level(level);
     }
     Ok(())
 }
@@ -487,7 +580,11 @@ fn trace_diff_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
 /// tracks stay sane (see
 /// [`validate_chrome_trace`](hypercube::obs::perfetto::validate_chrome_trace)),
 /// and the report must round-trip through
-/// [`RunReport::from_json`](hypercube::obs::RunReport).
+/// [`RunReport::from_json`](hypercube::obs::RunReport). `--prom`
+/// validates a `--metrics-snapshot` exposition file with
+/// [`validate_prom`](hypercube::obs::metrics::validate_prom): every
+/// sample declared by a `# TYPE` family, no duplicate series, histogram
+/// buckets cumulative with a `+Inf` bucket matching `_count`.
 fn trace_check_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
     use hypercube::obs::json::Json;
     let mut checked = 0;
@@ -521,8 +618,18 @@ fn trace_check_cmd(flags: &HashMap<String, String>) -> Result<(), String> {
         );
         checked += 1;
     }
+    if let Some(path) = flags.get("prom") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let check =
+            hypercube::obs::metrics::validate_prom(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: ok ({} families, {} series, {} samples)",
+            check.families, check.series, check.samples
+        );
+        checked += 1;
+    }
     if checked == 0 {
-        return Err("trace-check needs --trace FILE and/or --metrics FILE".into());
+        return Err("trace-check needs --trace, --metrics and/or --prom FILE".into());
     }
     Ok(())
 }

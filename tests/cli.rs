@@ -538,3 +538,194 @@ fn sort_sched_profile_needs_the_par_engine() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("no scheduler to profile"), "{text}");
 }
+
+#[test]
+fn sort_metrics_snapshot_is_byte_invisible_in_run_files() {
+    // House rule of the live-telemetry layer: metrics and logging observe
+    // the host only. Streamed run files of a telemetry-on and a
+    // telemetry-off run of the same seeded sort are byte-identical.
+    // (Separate processes, so the on-run's global registry cannot leak
+    // into the off-run.)
+    let dir = std::env::temp_dir();
+    let plain = dir.join("ftsort_cli_metrics_plain_run.json");
+    let metered = dir.join("ftsort_cli_metrics_metered_run.json");
+    let prom = dir.join("ftsort_cli_metrics_metered.prom");
+    let log = dir.join("ftsort_cli_metrics_metered.jsonl");
+    let base = |run_out: &std::path::Path| {
+        vec![
+            "sort".into(),
+            "--n".into(),
+            "4".into(),
+            "--faults".into(),
+            "2,9".into(),
+            "--m".into(),
+            "2000".into(),
+            "--engine".into(),
+            "par".into(),
+            "--threads".into(),
+            "3".into(),
+            "--seed".into(),
+            "7".into(),
+            "--run-out".into(),
+            run_out.to_str().unwrap().to_string(),
+        ]
+    };
+    let run = |args: Vec<String>| {
+        let out = cli().args(&args).output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    run(base(&plain));
+    let mut args = base(&metered);
+    args.extend([
+        "--metrics-snapshot".into(),
+        prom.to_str().unwrap().to_string(),
+        "--log-level".into(),
+        "debug".into(),
+        "--log-out".into(),
+        log.to_str().unwrap().to_string(),
+    ]);
+    let metered_text = run(args);
+    assert!(metered_text.contains("metrics snapshot"), "{metered_text}");
+
+    let plain_bytes = std::fs::read(&plain).expect("plain run written");
+    let metered_bytes = std::fs::read(&metered).expect("metered run written");
+    assert!(!plain_bytes.is_empty());
+    assert!(
+        plain_bytes == metered_bytes,
+        "telemetry changed the streamed run file ({} vs {} bytes)",
+        plain_bytes.len(),
+        metered_bytes.len()
+    );
+
+    // The snapshot is a valid Prometheus exposition carrying the core
+    // counters, and `trace-check --prom` accepts it.
+    let text = std::fs::read_to_string(&prom).expect("snapshot written");
+    assert!(text.contains("ftsort_rounds_total"), "{text}");
+    assert!(text.contains("ftsort_messages_delivered_total"), "{text}");
+    assert!(text.contains("ftsort_pool_takes_total"), "{text}");
+    assert!(
+        text.contains("# TYPE ftsort_msg_elements histogram"),
+        "{text}"
+    );
+    let check = cli()
+        .args(["trace-check", "--prom", prom.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let check_text = String::from_utf8(check.stdout).unwrap();
+    assert!(check_text.contains("families"), "{check_text}");
+
+    // Every log line is a JSON object with the structured fields.
+    let log_text = std::fs::read_to_string(&log).expect("log written");
+    assert!(!log_text.is_empty());
+    for line in log_text.lines() {
+        let doc = hypercube::obs::json::Json::parse(line).expect("log line is JSON");
+        assert!(doc.get("ts").is_some(), "{line}");
+        assert!(doc.get("level").is_some(), "{line}");
+        assert!(doc.get("msg").is_some(), "{line}");
+    }
+    assert!(log_text.contains("sort complete"), "{log_text}");
+
+    let _ = std::fs::remove_file(&plain);
+    let _ = std::fs::remove_file(&metered);
+    let _ = std::fs::remove_file(&prom);
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn trace_check_rejects_corrupt_prom_snapshot() {
+    let dir = std::env::temp_dir();
+    let prom = dir.join("ftsort_cli_corrupt.prom");
+    // A counter that lost its TYPE declaration and a histogram whose
+    // bucket counts decrease: both must be rejected.
+    std::fs::write(&prom, "ftsort_rounds_total 5\n").unwrap();
+    let out = cli()
+        .args(["trace-check", "--prom", prom.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "undeclared family must fail");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("ftsort_rounds_total"), "{err}");
+
+    std::fs::write(
+        &prom,
+        "# TYPE bad_hist histogram\n\
+         bad_hist_bucket{le=\"1\"} 5\n\
+         bad_hist_bucket{le=\"2\"} 3\n\
+         bad_hist_bucket{le=\"+Inf\"} 5\n\
+         bad_hist_sum 9\n\
+         bad_hist_count 5\n",
+    )
+    .unwrap();
+    let out = cli()
+        .args(["trace-check", "--prom", prom.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let _ = std::fs::remove_file(&prom);
+    assert!(!out.status.success(), "non-monotone buckets must fail");
+}
+
+#[test]
+fn sort_metrics_report_carries_pool_stats() {
+    // `--metrics-snapshot` switches the CLI onto a stats-carrying
+    // BufferPool; the RunReport then records the pool counters.
+    let dir = std::env::temp_dir();
+    let prom = dir.join("ftsort_cli_poolstats.prom");
+    let report = dir.join("ftsort_cli_poolstats_report.json");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2",
+            "--m",
+            "2000",
+            "--metrics-snapshot",
+            prom.to_str().unwrap(),
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&report).expect("report written");
+    let parsed = hypercube::obs::RunReport::from_json(&json).expect("report parses");
+    assert!(parsed.pool_takes.expect("pool_takes recorded") > 0);
+    assert!(parsed.pool_puts.expect("pool_puts recorded") > 0);
+    assert!(parsed.pool_slab_high_water.expect("high water recorded") > 0);
+
+    // Without telemetry, the report omits the pool fields entirely.
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2",
+            "--m",
+            "2000",
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(!json.contains("pool_takes"), "{json}");
+    let _ = std::fs::remove_file(&prom);
+    let _ = std::fs::remove_file(&report);
+}

@@ -86,3 +86,31 @@ fn fault_set_clone_preserves_membership() {
     }
     assert_eq!(faults.to_vec(), back.to_vec());
 }
+
+#[test]
+fn run_report_pool_stats_roundtrip() {
+    // The pool counters ride the RunReport JSON: present fields
+    // round-trip exactly, absent fields stay absent (older reports parse
+    // unchanged).
+    use ftsort::ftsort::{fault_tolerant_sort_observed, phase_name, FtPlan};
+    let faults = FaultSet::from_raw(Hypercube::new(3), &[1]);
+    let plan = FtPlan::new(&faults).expect("tolerable");
+    let data: Vec<u32> = (0..500).rev().collect();
+    let (_, _, obs) = fault_tolerant_sort_observed(&plan, &FtConfig::default(), data);
+
+    let bare = obs.report(&phase_name);
+    let bare_json = bare.to_json();
+    assert!(!bare_json.contains("pool_takes"), "{bare_json}");
+    let back = hypercube::obs::RunReport::from_json(&bare_json).expect("parses");
+    assert_eq!(back.pool_takes, None);
+    assert_eq!(back.pool_puts, None);
+    assert_eq!(back.pool_slab_high_water, None);
+
+    let pooled = obs.report(&phase_name).with_pool_stats(1200, 1188, 17);
+    let json = pooled.to_json();
+    let back = hypercube::obs::RunReport::from_json(&json).expect("parses");
+    assert_eq!(back.pool_takes, Some(1200));
+    assert_eq!(back.pool_puts, Some(1188));
+    assert_eq!(back.pool_slab_high_water, Some(17));
+    assert_eq!(back.to_json(), json, "second round trip is byte-exact");
+}
