@@ -1,20 +1,48 @@
-//! Criterion bench for the compare-split merge kernels: the owning forms
-//! (`merge_runs`, `merge_keep_low`) versus the buffer-reuse `_into` forms
-//! that power the zero-allocation hot path. Both forms perform identical
-//! comparison sequences; the difference measured here is pure allocator
-//! traffic.
+//! Criterion bench for the compare-split merge kernels.
+//!
+//! Two axes are measured:
+//!
+//! 1. **Owning vs `_into`** — the buffer-reuse forms that power the
+//!    zero-allocation hot path versus their allocating counterparts. Both
+//!    perform identical comparison sequences; the difference is pure
+//!    allocator traffic.
+//! 2. **Scalar vs branchless vs blocked** — the reference kernel against
+//!    the branchless (cmov-select) and cache-blocked (merge-path) kernels,
+//!    per key type (`u32`/`u64`/`i64`/key+payload pair) at sizes spanning
+//!    L1, L2 and L3. All variants are pinned to identical outputs and
+//!    comparison counts by `crates/core/tests/kernel_diff.rs`; only the
+//!    host wall clock may differ. Each row reports throughput
+//!    (elements/sec) and an `iter_spanned` phase split, so the buffer
+//!    refill is visible separately from the merge proper — compare the
+//!    `merge` span medians across kernels, not the totals.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{
+    criterion_group, criterion_main, BatchSize, BenchmarkGroup, Criterion, Throughput,
+};
+use ft_bench::GenKey;
 use ftsort::seq::{
-    merge_keep_high_into, merge_keep_low, merge_keep_low_into, merge_runs, merge_runs_into,
+    merge_keep_high_branchless_into, merge_keep_high_into, merge_keep_low,
+    merge_keep_low_branchless_into, merge_keep_low_into, merge_runs, merge_runs_blocked_into,
+    merge_runs_branchless_into, merge_runs_into,
 };
 use std::hint::black_box;
+use std::time::Instant;
 
 /// Two sorted runs of `k` keys each, deterministic but interleaved.
 fn runs(k: usize) -> (Vec<u32>, Vec<u32>) {
     let mut rng = ft_bench::rng(0x6d65_7267);
     let mut a = ft_bench::random_keys(k, &mut rng);
     let mut b = ft_bench::random_keys(k, &mut rng);
+    a.sort_unstable();
+    b.sort_unstable();
+    (a, b)
+}
+
+/// Typed variant of [`runs`] for the kernel matrix.
+fn sorted_runs<K: GenKey>(k: usize, salt: u64) -> (Vec<K>, Vec<K>) {
+    let mut rng = ft_bench::rng(0x6d65_7267 ^ salt);
+    let mut a: Vec<K> = ft_bench::random_keys_typed(k, &mut rng);
+    let mut b: Vec<K> = ft_bench::random_keys_typed(k, &mut rng);
     a.sort_unstable();
     b.sort_unstable();
     (a, b)
@@ -50,6 +78,57 @@ fn bench_merge_runs(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-run lengths for the kernel matrix: with `u64` keys the merged total
+/// is 32 KiB (fits L1), 512 KiB (around L2 — the blocking threshold), and
+/// 8 MiB (L3/DRAM, where the blocked kernel's segmentation pays off).
+const KERNEL_SIZES: [usize; 3] = [2_048, 32_768, 524_288];
+
+/// Scalar vs branchless vs blocked for one key type. Rows are labeled
+/// `<key>/<kernel>/k<len>`; the `merge` span median is the kernel-only
+/// wall clock (the `refill` span is the shared memcpy cost of restoring
+/// the drained inputs each iteration).
+fn bench_kernels_for<K: GenKey>(group: &mut BenchmarkGroup<'_>, key_type: &str) {
+    type Kernel<K> = fn(&mut Vec<K>, &mut Vec<K>, &mut Vec<K>) -> u64;
+    for k in KERNEL_SIZES {
+        group.throughput(Throughput::Elements(2 * k as u64));
+        let (a, b) = sorted_runs::<K>(k, k as u64);
+        let kernels: [(&str, Kernel<K>); 3] = [
+            ("scalar", merge_runs_into),
+            ("branchless", merge_runs_branchless_into),
+            ("blocked", merge_runs_blocked_into),
+        ];
+        for (name, kernel) in kernels {
+            group.bench_function(format!("{key_type}/{name}/k{k}"), |b_| {
+                let mut out = Vec::with_capacity(2 * k);
+                let mut ka = Vec::with_capacity(k);
+                let mut kb = Vec::with_capacity(k);
+                b_.iter_spanned(|rec| {
+                    let t0 = Instant::now();
+                    ka.clear();
+                    ka.extend_from_slice(&a);
+                    kb.clear();
+                    kb.extend_from_slice(&b);
+                    rec.record("refill", t0.elapsed());
+                    let t1 = Instant::now();
+                    let c = kernel(&mut ka, &mut kb, &mut out);
+                    rec.record("merge", t1.elapsed());
+                    black_box(c)
+                });
+            });
+        }
+    }
+}
+
+fn bench_merge_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_kernels");
+    bench_kernels_for::<u32>(&mut group, "u32");
+    bench_kernels_for::<u64>(&mut group, "u64");
+    bench_kernels_for::<i64>(&mut group, "i64");
+    // key+payload row: 16-byte elements, ordering on (key, payload)
+    bench_kernels_for::<ftsort::seq::KeyPair>(&mut group, "pair");
+    group.finish();
+}
+
 fn bench_merge_keep_low(c: &mut Criterion) {
     let mut group = c.benchmark_group("merge_keep_low");
     for k in [1_000usize, 10_000] {
@@ -74,6 +153,20 @@ fn bench_merge_keep_low(c: &mut Criterion) {
                 black_box(merge_keep_low_into(&mut ka, &mut kb, k, &mut out))
             });
         });
+        group.bench_function(format!("branchless_k{k}"), |b_| {
+            let mut out = Vec::with_capacity(k);
+            let mut ka = Vec::with_capacity(k);
+            let mut kb = Vec::with_capacity(k);
+            b_.iter(|| {
+                ka.clear();
+                ka.extend_from_slice(&a);
+                kb.clear();
+                kb.extend_from_slice(&b);
+                black_box(merge_keep_low_branchless_into(
+                    &mut ka, &mut kb, k, &mut out,
+                ))
+            });
+        });
     }
     group.finish();
 }
@@ -95,6 +188,20 @@ fn bench_merge_keep_high_into(c: &mut Criterion) {
                 black_box(merge_keep_high_into(&mut ka, &mut kb, k, &mut out))
             });
         });
+        group.bench_function(format!("branchless_k{k}"), |b_| {
+            let mut out = Vec::with_capacity(k);
+            let mut ka = Vec::with_capacity(k);
+            let mut kb = Vec::with_capacity(k);
+            b_.iter(|| {
+                ka.clear();
+                ka.extend_from_slice(&a);
+                kb.clear();
+                kb.extend_from_slice(&b);
+                black_box(merge_keep_high_branchless_into(
+                    &mut ka, &mut kb, k, &mut out,
+                ))
+            });
+        });
     }
     group.finish();
 }
@@ -102,6 +209,7 @@ fn bench_merge_keep_high_into(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_merge_runs,
+    bench_merge_kernels,
     bench_merge_keep_low,
     bench_merge_keep_high_into
 );

@@ -3,12 +3,14 @@
 //! `BENCH_sched.json` files (written by `sched_json`), which share the
 //! row key and host-matching discipline.
 //!
-//! Rows are matched by `(n, r, m, workers)` (`workers` defaults to 0 for
-//! pre-multi-core baselines). For each matched row, every phase's
-//! virtual time in B is compared against A, and any phase that regressed
-//! by more than the tolerance (default 10%) is flagged; the overall
-//! `virtual_us` makespan gets the same treatment (sched rows carry
-//! neither and skip both).
+//! Rows are matched by `(n, r, m, workers, link_model)` (`workers`
+//! defaults to 0 and `link_model` to `uncontended` for older baselines).
+//! For each matched row, every phase's virtual time in B is compared
+//! against A, and any phase that regressed by more than the tolerance
+//! (default 10%) is flagged; the overall `virtual_us` makespan and the
+//! `wait_total_us` link-queueing total (contended rows) get the same
+//! treatment — both are deterministic virtual quantities (sched rows
+//! carry none of these and skip them).
 //!
 //! Scheduler-health metrics gate like the wall ratios — banded by
 //! `--wall-tolerance` plus an absolute epsilon of 0.02 (the metrics are
@@ -46,6 +48,13 @@
 //!    cannot beat the sequential one and the gate is skipped with a
 //!    note.
 //!
+//! The `kernel` section (when both files carry one) gates the same way:
+//! each key type's `branchless_over_scalar` and `blocked_over_scalar`
+//! speedups are dimensionless same-host ratios, and B's must not fall
+//! below A's by more than the wall band. A fabricated kernel slowdown —
+//! e.g. editing a baseline's `branchless_s` down — therefore fails the
+//! diff, which is exactly what CI's negative self-test does.
+//!
 //! Exits 0 when nothing regressed, 1 when at least one gate fired, 2 on
 //! usage or parse errors — so it can gate CI:
 //!
@@ -57,15 +66,19 @@
 
 use hypercube::obs::json::Json;
 
-/// One `results[]` row, keyed by `(n, r, m, workers)`.
+/// One `results[]` row, keyed by `(n, r, m, workers, link_model)`.
 struct Row {
     n: u64,
     r: u64,
     m: u64,
     /// Par-engine worker count; 0 for pre-multi-core baselines.
     workers: u64,
+    /// Link pricing model; `"uncontended"` for pre-contention baselines.
+    link_model: String,
     /// Virtual makespan; absent on sched rows.
     virtual_us: Option<f64>,
+    /// Total link-queueing wait (µs); absent on sched and old rows.
+    wait_total_us: Option<f64>,
     /// `speedups.par_over_seq` when present.
     par_over_seq: Option<f64>,
     /// Scheduler-health fractions (`sched_json` rows): utilization,
@@ -80,11 +93,26 @@ struct Row {
     phases: Vec<(String, f64)>,
 }
 
+/// One `kernel.rows[]` entry: merge-kernel wall clocks and speedups for
+/// one key type.
+struct KernelRow {
+    key_type: String,
+    scalar_s: f64,
+    branchless_s: f64,
+    blocked_s: f64,
+    branchless_over_scalar: f64,
+    blocked_over_scalar: f64,
+}
+
 /// A parsed `BENCH_engines.json`: the rows plus the host the walls were
 /// measured on.
 struct Bench {
     host_cores: u64,
+    /// Workload key type (`key_type` top-level); absent on old files.
+    key_type: Option<String>,
     rows: Vec<Row>,
+    /// Merge-kernel section; empty on files that predate it.
+    kernels: Vec<KernelRow>,
 }
 
 fn main() {
@@ -132,22 +160,36 @@ fn main() {
             a.host_cores, b.host_cores
         );
     }
+    if let (Some(ka), Some(kb)) = (&a.key_type, &b.key_type) {
+        if ka != kb {
+            println!(
+                "note: key_type differs ({ka} vs {kb}) — virtual-time comparisons span \
+                 different workloads; regenerate one side with a matching --key-type\n"
+            );
+        }
+    }
     let wall_band = 1.0 - wall_tolerance / 100.0;
     let mut regressions = 0usize;
     let mut matched = 0usize;
     for rb in &b.rows {
-        let key = |r: &Row| (r.n, r.r, r.m, r.workers);
+        let key = |r: &Row| (r.n, r.r, r.m, r.workers, r.link_model.clone());
         let Some(ra) = a.rows.iter().find(|r| key(r) == key(rb)) else {
             println!(
-                "n={} r={} m={} workers={}: only in B (no baseline row)",
-                rb.n, rb.r, rb.m, rb.workers
+                "n={} r={} m={} workers={} link={}: only in B (no baseline row)",
+                rb.n, rb.r, rb.m, rb.workers, rb.link_model
             );
             continue;
         };
         matched += 1;
-        println!("n={} r={} m={} workers={}:", rb.n, rb.r, rb.m, rb.workers);
+        println!(
+            "n={} r={} m={} workers={} link={}:",
+            rb.n, rb.r, rb.m, rb.workers, rb.link_model
+        );
         if let (Some(old), Some(new)) = (ra.virtual_us, rb.virtual_us) {
             regressions += diff_metric("virtual_us", old, new, tolerance);
+        }
+        if let (Some(old), Some(new)) = (ra.wait_total_us, rb.wait_total_us) {
+            regressions += diff_metric("wait_total_us", old, new, tolerance);
         }
         for (name, old) in &ra.phases {
             match rb.phases.iter().find(|(k, _)| k == name) {
@@ -247,14 +289,13 @@ fn main() {
         }
     }
     for ra in &a.rows {
-        if !b
-            .rows
-            .iter()
-            .any(|r| (r.n, r.r, r.m, r.workers) == (ra.n, ra.r, ra.m, ra.workers))
-        {
+        if !b.rows.iter().any(|r| {
+            (r.n, r.r, r.m, r.workers, &r.link_model)
+                == (ra.n, ra.r, ra.m, ra.workers, &ra.link_model)
+        }) {
             println!(
-                "n={} r={} m={} workers={}: only in A (row dropped in B)",
-                ra.n, ra.r, ra.m, ra.workers
+                "n={} r={} m={} workers={} link={}: only in A (row dropped in B)",
+                ra.n, ra.r, ra.m, ra.workers, ra.link_model
             );
         }
     }
@@ -274,6 +315,70 @@ fn main() {
                 rb.n, rb.r, rb.m, rb.workers
             );
         }
+    }
+
+    // Kernel gate: merge-kernel speedups are dimensionless same-host
+    // ratios (scalar and branchless ran seconds apart on this machine),
+    // so they diff like par_over_seq — B must stay within the wall band
+    // of A, per key type and per kernel. Raw seconds print for context.
+    if !a.kernels.is_empty() && !b.kernels.is_empty() {
+        println!("\nkernel (merge, per key type):");
+        for kb in &b.kernels {
+            let Some(ka) = a.kernels.iter().find(|k| k.key_type == kb.key_type) else {
+                println!("  {}: only in B (no baseline kernel row)", kb.key_type);
+                continue;
+            };
+            for (name, old, new) in [
+                (
+                    "branchless_over_scalar",
+                    ka.branchless_over_scalar,
+                    kb.branchless_over_scalar,
+                ),
+                (
+                    "blocked_over_scalar",
+                    ka.blocked_over_scalar,
+                    kb.blocked_over_scalar,
+                ),
+            ] {
+                let floor = old * wall_band;
+                let flag = same_host && new < floor;
+                println!(
+                    "  {:<34} {:>12.2} x -> {:>12.2} x  (floor {:.2}x){}",
+                    format!("{} {name}", kb.key_type),
+                    old,
+                    new,
+                    floor,
+                    if flag {
+                        "  REGRESSION"
+                    } else if !same_host {
+                        "  (informational: host changed)"
+                    } else {
+                        ""
+                    }
+                );
+                regressions += flag as usize;
+            }
+            for (name, old, new) in [
+                ("scalar_s", ka.scalar_s, kb.scalar_s),
+                ("branchless_s", ka.branchless_s, kb.branchless_s),
+                ("blocked_s", ka.blocked_s, kb.blocked_s),
+            ] {
+                let pct = if old > 0.0 {
+                    (new - old) / old * 100.0
+                } else {
+                    0.0
+                };
+                println!(
+                    "  {:<34} {:>12.6} s -> {:>12.6} s  {:>+7.1}%  (informational)",
+                    format!("{} {name}", kb.key_type),
+                    old,
+                    new,
+                    pct
+                );
+            }
+        }
+    } else if !b.kernels.is_empty() {
+        println!("\nnote: baseline has no kernel section — kernel speedups not gated");
     }
 
     // Crossover gate: on a multi-core host the work-stealing engine must
@@ -358,6 +463,38 @@ fn load(path: &str) -> Bench {
 fn parse_bench(text: &str) -> Result<Bench, String> {
     let doc = Json::parse(text)?;
     let host_cores = doc.get("host_cores").and_then(Json::as_u64).unwrap_or(1);
+    let key_type = doc
+        .get("key_type")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let mut kernels = Vec::new();
+    if let Some(Json::Arr(rows)) = doc.get("kernel").and_then(|k| k.get("rows")) {
+        for (i, row) in rows.iter().enumerate() {
+            let num = |k: &str| -> Result<f64, String> {
+                row.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("kernel.rows[{i}]: missing number '{k}'"))
+            };
+            let speedup = |k: &str| -> Result<f64, String> {
+                row.get("speedups")
+                    .and_then(|s| s.get(k))
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("kernel.rows[{i}]: missing speedup '{k}'"))
+            };
+            kernels.push(KernelRow {
+                key_type: row
+                    .get("key_type")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("kernel.rows[{i}]: missing 'key_type'"))?
+                    .to_string(),
+                scalar_s: num("scalar_s")?,
+                branchless_s: num("branchless_s")?,
+                blocked_s: num("blocked_s")?,
+                branchless_over_scalar: speedup("branchless_over_scalar")?,
+                blocked_over_scalar: speedup("blocked_over_scalar")?,
+            });
+        }
+    }
     let Some(Json::Arr(results)) = doc.get("results") else {
         return Err("missing 'results' array — not a BENCH_engines.json file?".into());
     };
@@ -397,7 +534,13 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
             r: int("r")?,
             m: int("m")?,
             workers: row.get("workers").and_then(Json::as_u64).unwrap_or(0),
+            link_model: row
+                .get("link_model")
+                .and_then(Json::as_str)
+                .unwrap_or("uncontended")
+                .to_string(),
             virtual_us,
+            wait_total_us: row.get("wait_total_us").and_then(Json::as_f64),
             par_over_seq,
             utilization: row.get("utilization").and_then(Json::as_f64),
             steal_rate: row.get("steal_rate").and_then(Json::as_f64),
@@ -407,5 +550,10 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
             phases,
         });
     }
-    Ok(Bench { host_cores, rows })
+    Ok(Bench {
+        host_cores,
+        key_type,
+        rows,
+        kernels,
+    })
 }

@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin breakdown \
-//!     [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
+//!     [-- --n 6 --m 100000 --seed 1992 --host-io --engine seq --key-type i64 --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys_typed, GenKey, ObsFlags, DEFAULT_SEED};
 use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
+use ftsort::seq::{KeyPair, KeyType};
 use hypercube::sim::EngineKind;
 
 fn main() {
@@ -17,6 +18,7 @@ fn main() {
     let mut seed = DEFAULT_SEED;
     let mut host_io = false;
     let mut engine = EngineKind::default();
+    let mut key_type = KeyType::default();
     let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -26,6 +28,7 @@ fn main() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--host-io" => host_io = true,
             "--engine" => engine = parse_engine(args.next()),
+            "--key-type" => key_type = ft_bench::parse_key_type(args.next()),
             other => {
                 if !obs_flags.parse(other, &mut args) {
                     eprintln!("unknown argument {other}");
@@ -34,9 +37,26 @@ fn main() {
             }
         }
     }
+    match key_type {
+        KeyType::U32 => run::<u32>(n, m_total, seed, host_io, engine, key_type, obs_flags),
+        KeyType::U64 => run::<u64>(n, m_total, seed, host_io, engine, key_type, obs_flags),
+        KeyType::I64 => run::<i64>(n, m_total, seed, host_io, engine, key_type, obs_flags),
+        KeyType::Pair => run::<KeyPair>(n, m_total, seed, host_io, engine, key_type, obs_flags),
+    }
+}
+
+fn run<K: GenKey>(
+    n: usize,
+    m_total: usize,
+    seed: u64,
+    host_io: bool,
+    engine: EngineKind,
+    key_type: KeyType,
+    mut obs_flags: ObsFlags,
+) {
     let mut rng = ft_bench::rng(seed);
     println!(
-        "Phase breakdown on Q{n}, M = {m_total}, host I/O {}; seed = {seed}",
+        "Phase breakdown on Q{n}, M = {m_total}, host I/O {}; seed = {seed}, keys = {key_type}",
         if host_io { "charged" } else { "free" }
     );
     println!("(per-phase maxima over processors, simulated ms)\n");
@@ -48,7 +68,7 @@ fn main() {
     for r in 0..n {
         let faults = random_faults(n, r, &mut rng);
         let plan = FtPlan::new(&faults).expect("tolerable");
-        let data = random_keys(m_total, &mut rng);
+        let data: Vec<K> = random_keys_typed(m_total, &mut rng);
         let config = FtConfig {
             include_host_io: host_io,
             engine,

@@ -12,12 +12,13 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin figure7 \
-//!     [-- --n 6 --seed 1992 --trials 3 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
+//!     [-- --n 6 --seed 1992 --trials 3 --engine seq --key-type i64 --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys_typed, GenKey, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::{bitonic_sort_threaded, Protocol};
 use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
+use ftsort::seq::{KeyPair, KeyType};
 use hypercube::cost::CostModel;
 use hypercube::sim::EngineKind;
 use hypercube::topology::Hypercube;
@@ -31,6 +32,7 @@ fn main() {
     let mut csv = false;
     let mut cost = CostModel::default();
     let mut engine = EngineKind::default();
+    let mut key_type = KeyType::default();
     let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -40,6 +42,7 @@ fn main() {
             "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(trials),
             "--csv" => csv = true,
             "--engine" => engine = parse_engine(args.next()),
+            "--key-type" => key_type = ft_bench::parse_key_type(args.next()),
             // sensitivity knobs (see EXPERIMENTS.md §Sensitivity)
             "--tsr" => {
                 cost.t_sr = args
@@ -67,14 +70,27 @@ fn main() {
         None => vec![6, 5, 3, 4], // the paper's (a), (b), (c), (d) order
     };
     for n in panels {
-        figure7_panel(n, seed, trials, csv, cost, engine, &mut obs_flags);
+        match key_type {
+            KeyType::U32 => {
+                figure7_panel::<u32>(n, seed, trials, csv, cost, engine, &mut obs_flags)
+            }
+            KeyType::U64 => {
+                figure7_panel::<u64>(n, seed, trials, csv, cost, engine, &mut obs_flags)
+            }
+            KeyType::I64 => {
+                figure7_panel::<i64>(n, seed, trials, csv, cost, engine, &mut obs_flags)
+            }
+            KeyType::Pair => {
+                figure7_panel::<KeyPair>(n, seed, trials, csv, cost, engine, &mut obs_flags)
+            }
+        }
         println!();
     }
     obs_flags.write();
 }
 
 #[allow(clippy::too_many_arguments)]
-fn figure7_panel(
+fn figure7_panel<K: GenKey>(
     n: usize,
     seed: u64,
     trials: usize,
@@ -124,7 +140,7 @@ fn figure7_panel(
         .collect();
 
     for m_total in M_SWEEP {
-        let data = random_keys(m_total, &mut rng);
+        let data: Vec<K> = random_keys_typed(m_total, &mut rng);
         if csv {
             print!("{m_total}");
         } else {

@@ -7,14 +7,15 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin obliviousness \
-//!     [-- --n 5 --m 64000 --seed 1992 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
+//!     [-- --n 5 --m 64000 --seed 1992 --engine seq --key-type i64 --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
 use ft_bench::workload::Workload;
-use ft_bench::{parse_engine, ObsFlags, DEFAULT_SEED};
+use ft_bench::{parse_engine, GenKey, ObsFlags, DEFAULT_SEED};
 use ftsort::baselines::hyperquicksort_with_engine;
 use ftsort::bitonic::Protocol;
 use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
+use ftsort::seq::{KeyPair, KeyType};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::sim::EngineKind;
@@ -25,6 +26,7 @@ fn main() {
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut key_type = KeyType::default();
     let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -33,6 +35,7 @@ fn main() {
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--engine" => engine = parse_engine(args.next()),
+            "--key-type" => key_type = ft_bench::parse_key_type(args.next()),
             other => {
                 if !obs_flags.parse(other, &mut args) {
                     eprintln!("unknown argument {other}");
@@ -41,12 +44,28 @@ fn main() {
             }
         }
     }
+    match key_type {
+        KeyType::U32 => run::<u32>(n, m_total, seed, engine, key_type, obs_flags),
+        KeyType::U64 => run::<u64>(n, m_total, seed, engine, key_type, obs_flags),
+        KeyType::I64 => run::<i64>(n, m_total, seed, engine, key_type, obs_flags),
+        KeyType::Pair => run::<KeyPair>(n, m_total, seed, engine, key_type, obs_flags),
+    }
+}
+
+fn run<K: GenKey>(
+    n: usize,
+    m_total: usize,
+    seed: u64,
+    engine: EngineKind,
+    key_type: KeyType,
+    mut obs_flags: ObsFlags,
+) {
     let mut rng = ft_bench::rng(seed);
     let cube = Hypercube::new(n);
     let faults = FaultSet::random(cube, n - 1, &mut rng);
     println!(
         "Data-obliviousness on Q{n} (faults {:?} for ours; hyperquicksort runs \
-         fault-free), M = {m_total}; seed = {seed}\n",
+         fault-free), M = {m_total}; seed = {seed}, keys = {key_type}\n",
         faults.to_vec()
     );
     println!(
@@ -57,7 +76,7 @@ fn main() {
     let mut ft_times = Vec::new();
     let mut hq_times = Vec::new();
     for w in Workload::ALL {
-        let data = w.generate(m_total, &mut rng);
+        let data: Vec<K> = w.generate_typed(m_total, &mut rng);
         let mut expect = data.clone();
         expect.sort_unstable();
         let plan = FtPlan::new(&faults).expect("tolerable");

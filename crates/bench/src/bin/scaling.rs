@@ -9,13 +9,14 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin scaling \
-//!     [-- --m 64000 --seed 1992 --engine seq --threads 4 --trace-out t.json --metrics-out m.json]
+//!     [-- --m 64000 --seed 1992 --engine seq --key-type i64 --threads 4 --trace-out t.json --metrics-out m.json]
 //! ```
 
-use ft_bench::{parse_engine, random_faults, random_keys, ObsFlags, DEFAULT_SEED};
+use ft_bench::{parse_engine, random_faults, random_keys_typed, GenKey, ObsFlags, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
 use ftsort::ftsort::{fault_tolerant_sort_observed, FtConfig, FtPlan};
 use ftsort::mffs::mffs_sort_with_engine;
+use ftsort::seq::{KeyPair, KeyType};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::sim::EngineKind;
@@ -25,6 +26,7 @@ fn main() {
     let mut m_total = 64_000usize;
     let mut seed = DEFAULT_SEED;
     let mut engine = EngineKind::default();
+    let mut key_type = KeyType::default();
     let mut obs_flags = ObsFlags::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,6 +34,7 @@ fn main() {
             "--m" => m_total = args.next().and_then(|v| v.parse().ok()).unwrap_or(m_total),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--engine" => engine = parse_engine(args.next()),
+            "--key-type" => key_type = ft_bench::parse_key_type(args.next()),
             other => {
                 if !obs_flags.parse(other, &mut args) {
                     eprintln!("unknown argument {other}");
@@ -40,9 +43,27 @@ fn main() {
             }
         }
     }
+    match key_type {
+        KeyType::U32 => run::<u32>(m_total, seed, engine, key_type, obs_flags),
+        KeyType::U64 => run::<u64>(m_total, seed, engine, key_type, obs_flags),
+        KeyType::I64 => run::<i64>(m_total, seed, engine, key_type, obs_flags),
+        KeyType::Pair => run::<KeyPair>(m_total, seed, engine, key_type, obs_flags),
+    }
+}
+
+fn run<K: GenKey>(
+    m_total: usize,
+    seed: u64,
+    engine: EngineKind,
+    key_type: KeyType,
+    mut obs_flags: ObsFlags,
+) {
     let mut rng = ft_bench::rng(seed);
 
-    println!("1. Machine-size sweep at r = n − 1 faults, M = {m_total}; seed = {seed}\n");
+    println!(
+        "1. Machine-size sweep at r = n − 1 faults, M = {m_total}; seed = {seed}, \
+         keys = {key_type}\n"
+    );
     println!(
         "{:>2} {:>5} {:>8} {:>12} {:>12} {:>8}",
         "n", "N", "live N'", "ours ms", "MFFS ms", "speedup"
@@ -55,7 +76,7 @@ fn main() {
         let mut mffs_ms = 0.0;
         for _ in 0..trials {
             let faults = random_faults(n, n - 1, &mut rng);
-            let data = random_keys(m_total, &mut rng);
+            let data: Vec<K> = random_keys_typed(m_total, &mut rng);
             let plan = FtPlan::new(&faults).expect("tolerable");
             live += plan.live_count();
             let config = FtConfig {
@@ -118,7 +139,7 @@ fn main() {
         }
         match plan {
             Some((_faults, p)) => {
-                let data = random_keys(m_total, &mut rng);
+                let data: Vec<K> = random_keys_typed(m_total, &mut rng);
                 let config = FtConfig {
                     protocol: Protocol::HalfExchange,
                     engine,

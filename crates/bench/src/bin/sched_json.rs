@@ -15,14 +15,16 @@
 //!
 //! ```text
 //! cargo run -p ft-bench --release --bin sched_json \
-//!     [-- --sizes 6,8,10 --m 16000 --trials 3 --seed 1992 --out BENCH_sched.json]
+//!     [-- --sizes 6,8,10 --m 16000 --trials 3 --seed 1992 \
+//!          --key-type i64 --out BENCH_sched.json]
 //! ```
 //!
 //! [`SchedReport`]: hypercube::obs::sched::SchedReport
 
-use ft_bench::{random_faults, random_keys, DEFAULT_SEED};
+use ft_bench::{random_faults, random_keys_typed, GenKey, DEFAULT_SEED};
 use ftsort::bitonic::Protocol;
 use ftsort::ftsort::{fault_tolerant_sort_sched, FtConfig, FtPlan};
+use ftsort::seq::{KeyPair, KeyType};
 use hypercube::obs::sched::{SchedProfiler, SchedReport};
 use hypercube::sim::EngineKind;
 use std::fmt::Write as _;
@@ -49,12 +51,22 @@ fn worker_ladder(host_cores: usize) -> Vec<usize> {
     ladder
 }
 
+struct Cfg {
+    sizes: Vec<usize>,
+    m_total: usize,
+    trials: usize,
+    seed: u64,
+    out: String,
+    key_type: KeyType,
+}
+
 fn main() {
     let mut sizes: Vec<usize> = vec![6, 8, 10];
     let mut m_total = 16_000usize;
     let mut trials = 3usize;
     let mut seed = DEFAULT_SEED;
     let mut out = String::from("BENCH_sched.json");
+    let mut key_type = KeyType::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -74,20 +86,46 @@ fn main() {
             "--trials" => trials = args.next().and_then(|v| v.parse().ok()).unwrap_or(trials),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
             "--out" => out = args.next().unwrap_or(out),
+            "--key-type" => key_type = ft_bench::parse_key_type(args.next()),
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
     }
+    let cfg = Cfg {
+        sizes,
+        m_total,
+        trials,
+        seed,
+        out,
+        key_type,
+    };
+    match cfg.key_type {
+        KeyType::U32 => run::<u32>(cfg),
+        KeyType::U64 => run::<u64>(cfg),
+        KeyType::I64 => run::<i64>(cfg),
+        KeyType::Pair => run::<KeyPair>(cfg),
+    }
+}
+
+fn run<K: GenKey>(cfg: Cfg) {
+    let Cfg {
+        sizes,
+        m_total,
+        trials,
+        seed,
+        out,
+        key_type,
+    } = cfg;
     let mut rng = ft_bench::rng(seed);
     let host_cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let ladder = worker_ladder(host_cores);
 
     println!(
         "Scheduler profile of the par engine, full FT sort, M = {m_total}, r = n − 1, \
-         best of {trials} runs; seed = {seed}, host cores = {host_cores}, \
-         workers {ladder:?}\n"
+         best of {trials} runs; seed = {seed}, keys = {key_type}, \
+         host cores = {host_cores}, workers {ladder:?}\n"
     );
     println!(
         "{:>3} {:>3} {:>7} {:>9} {:>12} {:>11} {:>13} {:>10}",
@@ -100,7 +138,7 @@ fn main() {
         let r = n - 1;
         let faults = random_faults(n, r, &mut rng);
         let plan = FtPlan::new(&faults).expect("r = n − 1 is tolerable");
-        let data = random_keys(m_total, &mut rng);
+        let data: Vec<K> = random_keys_typed(m_total, &mut rng);
         let mut expect = data.clone();
         expect.sort_unstable();
         for &workers in &ladder {
@@ -152,7 +190,7 @@ fn main() {
         }
     }
 
-    let json = render_json(seed, trials, m_total, host_cores, &rows);
+    let json = render_json(seed, trials, m_total, host_cores, key_type, &rows);
     std::fs::write(&out, &json).expect("write BENCH_sched.json");
     println!("\nwrote {out}");
 }
@@ -164,6 +202,7 @@ fn render_json(
     trials: usize,
     m_total: usize,
     host_cores: usize,
+    key_type: KeyType,
     rows: &[Row],
 ) -> String {
     let mut s = String::new();
@@ -173,6 +212,7 @@ fn render_json(
     let _ = writeln!(s, "  \"m\": {m_total},");
     let _ = writeln!(s, "  \"trials\": {trials},");
     let _ = writeln!(s, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(s, "  \"key_type\": \"{key_type}\",");
     s.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(

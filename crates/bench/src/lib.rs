@@ -3,6 +3,7 @@
 
 use ftsort::ftsort::FtPlan;
 use ftsort::mffs::max_fault_free_subcube;
+use ftsort::seq::Key;
 use hypercube::fault::FaultSet;
 use hypercube::topology::Hypercube;
 use rand::rngs::StdRng;
@@ -22,6 +23,65 @@ pub fn random_faults(n: usize, r: usize, rng: &mut StdRng) -> FaultSet {
 /// Random `u32` keys.
 pub fn random_keys(m: usize, rng: &mut StdRng) -> Vec<u32> {
     (0..m).map(|_| rng.random()).collect()
+}
+
+/// Key types the harness can draw uniformly at random — the set behind
+/// every report binary's `--key-type` flag ([`ftsort::seq::KeyType`]).
+pub trait GenKey: Key {
+    /// One uniformly random key.
+    fn gen(rng: &mut StdRng) -> Self;
+
+    /// Embeds a `u32` magnitude into the key type, preserving order — the
+    /// structured workload generators ([`workload::Workload`]) build their
+    /// shapes (sorted, organ pipe, …) from ranks.
+    fn from_rank(rank: u32) -> Self;
+}
+
+macro_rules! impl_gen_key {
+    ($($t:ty),*) => {$(
+        impl GenKey for $t {
+            fn gen(rng: &mut StdRng) -> Self {
+                rng.random()
+            }
+            fn from_rank(rank: u32) -> Self {
+                rank as $t
+            }
+        }
+    )*};
+}
+impl_gen_key!(u32, u64, i64);
+
+impl GenKey for ftsort::seq::KeyPair {
+    fn gen(rng: &mut StdRng) -> Self {
+        ftsort::seq::KeyPair::new(rng.random(), rng.random())
+    }
+    fn from_rank(rank: u32) -> Self {
+        ftsort::seq::KeyPair::new(rank as u64, 0)
+    }
+}
+
+/// Random keys of any [`GenKey`] type; the typed counterpart of
+/// [`random_keys`] for `--key-type` dispatch.
+pub fn random_keys_typed<K: GenKey>(m: usize, rng: &mut StdRng) -> Vec<K> {
+    (0..m).map(|_| K::gen(rng)).collect()
+}
+
+/// Parses a `--key-type` value for the report binaries, exiting with a
+/// usage error on unknown spellings. The key type changes the element
+/// width and comparison outcomes of the generated workload (and therefore
+/// the simulated clocks); it never changes the communication schedule.
+pub fn parse_key_type(value: Option<String>) -> ftsort::seq::KeyType {
+    let Some(v) = value else {
+        eprintln!("--key-type requires a value (u32|u64|i64|pair)");
+        std::process::exit(2);
+    };
+    match ftsort::seq::KeyType::parse(&v) {
+        Ok(kt) => kt,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// A seeded RNG for the harness.
@@ -224,7 +284,7 @@ impl ObsFlags {
     /// [`EngineKind::Par`]: hypercube::sim::EngineKind::Par
     pub fn profile_sched<K>(&mut self, plan: &FtPlan, base: &ftsort::ftsort::FtConfig, data: Vec<K>)
     where
-        K: Ord + Clone + Send,
+        K: Key,
     {
         if !self.sched_enabled() {
             return;

@@ -70,6 +70,21 @@ impl Workload {
             }
         }
     }
+
+    /// Generates `m` keys of any [`GenKey`](crate::GenKey) type: uniform
+    /// draws native keys, every structured shape embeds the `u32` ranks of
+    /// [`generate`](Self::generate) order-preservingly — so the schedule
+    /// shapes stay identical across key types.
+    pub fn generate_typed<K: crate::GenKey>(self, m: usize, rng: &mut StdRng) -> Vec<K> {
+        match self {
+            Workload::Uniform => (0..m).map(|_| K::gen(rng)).collect(),
+            _ => self
+                .generate(m, rng)
+                .into_iter()
+                .map(K::from_rank)
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

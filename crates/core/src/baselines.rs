@@ -15,7 +15,7 @@
 
 use crate::bitonic::{compare_split_remote, KeepHalf, Protocol};
 use crate::distribute::{gather, scatter, Padded};
-use crate::seq::{heapsort, merge_runs, Direction, Scratch};
+use crate::seq::{heapsort, merge_runs_auto, Direction, Key, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::embedding::RingEmbedding;
@@ -33,7 +33,7 @@ pub fn odd_even_ring_sort<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     odd_even_ring_sort_with_engine(cube, cost, data, protocol, EngineKind::default())
 }
@@ -48,7 +48,7 @@ pub fn odd_even_ring_sort_with_engine<K>(
     kind: EngineKind,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     assert!(cube.dim() >= 1, "ring needs at least Q1");
     let ring = RingEmbedding::new(cube);
@@ -121,7 +121,7 @@ where
 /// with per-node run lengths that depend on the pivots.
 pub fn hyperquicksort<K>(cube: Hypercube, cost: CostModel, data: Vec<K>) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     hyperquicksort_with_engine(cube, cost, data, EngineKind::default())
 }
@@ -135,7 +135,7 @@ pub fn hyperquicksort_with_engine<K>(
     kind: EngineKind,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let p = cube.len();
     let m_total = data.len();
@@ -176,7 +176,7 @@ where
             };
             ctx.send(partner, tag, sent);
             let received = ctx.recv(partner, tag).await;
-            let (merged, c) = merge_runs(kept, received);
+            let (merged, c) = merge_runs_auto(kept, received);
             ctx.charge_comparisons(c as usize);
             run = merged;
         }
@@ -209,7 +209,7 @@ async fn broadcast_in_subcube<K, C>(
     pivot: Option<Padded<K>>,
 ) -> Padded<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<Padded<K>>,
 {
     let me = ctx.me();
@@ -226,7 +226,7 @@ where
         if let Some(ref v) = have {
             if rel >> dim & 1 == 0 && lower_bits == 0 {
                 // hold the pivot and lead this half: forward across `dim`
-                ctx.send(me.neighbor(dim), tag, vec![v.clone()]);
+                ctx.send(me.neighbor(dim), tag, vec![*v]);
             }
         } else if rel >> dim & 1 == 1 && lower_bits == 0 {
             let got = ctx.recv(me.neighbor(dim), tag).await;

@@ -17,7 +17,7 @@
 //! this works for any fault location.
 
 use super::protocol::{compare_split_remote, KeepHalf, Protocol};
-use crate::seq::{Direction, Scratch};
+use crate::seq::{Direction, Key, Scratch};
 use hypercube::address::NodeId;
 use hypercube::sim::{Comm, Tag};
 
@@ -54,7 +54,7 @@ pub async fn distributed_bitonic_sort<K, C>(
     scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<K>,
 {
     let p = members.len();
@@ -135,7 +135,7 @@ pub async fn distributed_bitonic_merge<K, C>(
     scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<K>,
 {
     let p = members.len();
@@ -194,7 +194,7 @@ pub async fn reverse_windows<K, C>(
     phase: u16,
 ) -> Vec<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<K>,
 {
     let p = members.len();

@@ -12,7 +12,10 @@
 //! half a run in each direction and compare element-wise; the classic
 //! alternative ships whole runs and merges.
 
-use crate::seq::{merge_keep_high_into, merge_keep_low_into, merge_runs, merge_runs_into, Scratch};
+use crate::seq::{
+    merge_keep_high_branchless_into, merge_keep_low_branchless_into, merge_runs,
+    merge_runs_auto_into, Key, Scratch,
+};
 use hypercube::address::NodeId;
 use hypercube::sim::{Comm, Tag};
 
@@ -90,7 +93,7 @@ pub async fn compare_split_remote<K, C>(
     scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<K>,
 {
     debug_assert!(crate::seq::is_sorted(&run), "run must be sorted ascending");
@@ -104,8 +107,12 @@ where
             assert_eq!(theirs.len(), k, "partner run length mismatch");
             let mut kept = scratch.take(k);
             let comparisons = match keep {
-                KeepHalf::Low => merge_keep_low_into(&mut mine, &mut theirs, k, &mut kept),
-                KeepHalf::High => merge_keep_high_into(&mut mine, &mut theirs, k, &mut kept),
+                KeepHalf::Low => {
+                    merge_keep_low_branchless_into(&mut mine, &mut theirs, k, &mut kept)
+                }
+                KeepHalf::High => {
+                    merge_keep_high_branchless_into(&mut mine, &mut theirs, k, &mut kept)
+                }
             };
             ctx.charge_comparisons(comparisons as usize);
             scratch.put(mine);
@@ -139,7 +146,7 @@ async fn half_exchange<K, C>(
     scratch: &mut Scratch<K>,
 ) -> Vec<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
     C: Comm<K>,
 {
     let k = run.len();
@@ -171,10 +178,10 @@ where
             b_losers.extend(received.drain(h - c..)); // b[k-c..k] (maxes, ascending)
                                                       // kept mins: a[0..c] = mine and b[k-h..k-c] = received, both ascending
             let mut kept = scratch.take(h);
-            let c1 = merge_runs_into(&mut mine, &mut received, &mut kept);
+            let c1 = merge_runs_auto_into(&mut mine, &mut received, &mut kept);
             // losers returned to the High side, normalized
             let mut losers = scratch.take(k - h);
-            let c2 = merge_runs_into(&mut a_losers, &mut b_losers, &mut losers);
+            let c2 = merge_runs_auto_into(&mut a_losers, &mut b_losers, &mut losers);
             ctx.charge_comparisons((c1 + c2) as usize);
             scratch.put(mine);
             scratch.put(received);
@@ -184,7 +191,7 @@ where
             let mut back = ctx.recv(partner, round_tag(tag, 1)).await;
             assert_eq!(back.len(), k - h, "protocol size mismatch");
             let mut result = scratch.take(k);
-            let c3 = merge_runs_into(&mut kept, &mut back, &mut result);
+            let c3 = merge_runs_auto_into(&mut kept, &mut back, &mut result);
             ctx.charge_comparisons(c3 as usize);
             scratch.put(kept);
             scratch.put(back);
@@ -216,11 +223,11 @@ where
             a_winners.extend(received.drain(c2 - h..)); // a[c2..k] (maxes)
                                                         // kept maxes: b[k-c2..k-h] and a[c2..k], both ascending
             let mut kept = scratch.take(h);
-            let cc1 = merge_runs_into(&mut b_winners, &mut a_winners, &mut kept);
+            let cc1 = merge_runs_auto_into(&mut b_winners, &mut a_winners, &mut kept);
             // losers (mins) returned to the Low side: a[h..c2] = received and
             // b[0..k-c2] = mine
             let mut losers = scratch.take(k - h);
-            let cc2 = merge_runs_into(&mut received, &mut mine, &mut losers);
+            let cc2 = merge_runs_auto_into(&mut received, &mut mine, &mut losers);
             ctx.charge_comparisons((cc1 + cc2) as usize);
             scratch.put(mine);
             scratch.put(received);
@@ -230,7 +237,7 @@ where
             let mut back = ctx.recv(partner, round_tag(tag, 1)).await;
             assert_eq!(back.len(), h, "protocol size mismatch");
             let mut result = scratch.take(k);
-            let cc3 = merge_runs_into(&mut kept, &mut back, &mut result);
+            let cc3 = merge_runs_auto_into(&mut kept, &mut back, &mut result);
             ctx.charge_comparisons(cc3 as usize);
             scratch.put(kept);
             scratch.put(back);

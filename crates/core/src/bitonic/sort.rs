@@ -10,7 +10,7 @@
 use super::distributed::distributed_bitonic_sort;
 use super::protocol::Protocol;
 use crate::distribute::{chunk_len, gather, scatter, Padded};
-use crate::seq::{heapsort, Direction, Scratch};
+use crate::seq::{heapsort, Direction, Key, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
@@ -57,7 +57,7 @@ pub fn bitonic_sort<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     bitonic_sort_with_engine(cube, cost, data, protocol, EngineKind::default())
 }
@@ -72,7 +72,7 @@ pub fn bitonic_sort_with_engine<K>(
     kind: EngineKind,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     bitonic_sort_threaded(cube, cost, data, protocol, kind, None)
 }
@@ -90,7 +90,7 @@ pub fn bitonic_sort_threaded<K>(
     threads: Option<usize>,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let mut engine = Engine::fault_free(cube, cost).with_engine(kind);
     if let Some(threads) = threads {
@@ -117,7 +117,7 @@ pub fn single_fault_bitonic_sort<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     assert_eq!(
         faults.count(),
@@ -144,7 +144,7 @@ fn sort_on_members<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let cube = engine.cube();
     let live: Vec<usize> = (0..members.len())

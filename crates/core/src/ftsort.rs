@@ -41,7 +41,7 @@ use crate::bitonic::{
 use crate::distribute::{chunk_len, gather, scatter, Padded};
 use crate::partition::{partition, PartitionResult, SingleFaultStructure};
 use crate::select::{build_structure, select_cutting_sequence, Selection};
-use crate::seq::{Direction, Scratch};
+use crate::seq::{Direction, Key, Scratch};
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
 use hypercube::obs::sink::TraceSink;
@@ -275,7 +275,7 @@ pub fn fault_tolerant_sort_with_plan<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_configured(
         plan,
@@ -296,7 +296,7 @@ pub fn fault_tolerant_sort_configured<K>(
     data: Vec<K>,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_profiled(plan, config, data).0
 }
@@ -353,7 +353,7 @@ pub fn fault_tolerant_sort_profiled<K>(
     data: Vec<K>,
 ) -> (SortOutcome<K>, PhaseBreakdown)
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let (outcome, breakdown, _) = fault_tolerant_sort_observed(plan, config, data);
     (outcome, breakdown)
@@ -374,7 +374,7 @@ pub fn fault_tolerant_sort_observed<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_sunk(plan, config, data, None, None, None)
 }
@@ -396,7 +396,7 @@ pub fn fault_tolerant_sort_pooled<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_sunk(plan, config, data, None, Some(pool), None)
 }
@@ -418,7 +418,7 @@ pub fn fault_tolerant_sort_streamed<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_sunk(plan, config, data, Some(sink), None, None)
 }
@@ -455,7 +455,7 @@ pub fn fault_tolerant_sort_sched<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_sunk(plan, config, data, sink, None, Some(profiler))
 }
@@ -481,7 +481,7 @@ pub fn fault_tolerant_sort_instrumented<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     fault_tolerant_sort_sunk(plan, config, data, sink, pool, profiler)
 }
@@ -499,7 +499,7 @@ fn fault_tolerant_sort_sunk<K>(
     hypercube::obs::RunObservation,
 )
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let cost = config.cost;
     let protocol = config.protocol;
@@ -816,7 +816,7 @@ pub fn fault_tolerant_sort<K>(
     protocol: Protocol,
 ) -> Result<SortOutcome<K>, FtError>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let plan = FtPlan::new(faults)?;
     Ok(fault_tolerant_sort_with_plan(&plan, cost, data, protocol))

@@ -9,7 +9,7 @@
 use crate::bitonic::sort::SortOutcome;
 use crate::bitonic::{distributed_bitonic_sort, Protocol};
 use crate::distribute::{gather, scatter, Padded};
-use crate::seq::{heapsort, Direction, Scratch};
+use crate::seq::{heapsort, Direction, Key, Scratch};
 use hypercube::address::NodeId;
 use hypercube::cost::CostModel;
 use hypercube::fault::FaultSet;
@@ -53,7 +53,7 @@ pub fn mffs_sort<K>(
     protocol: Protocol,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     mffs_sort_with_engine(faults, cost, data, protocol, EngineKind::default())
 }
@@ -68,7 +68,7 @@ pub fn mffs_sort_with_engine<K>(
     kind: EngineKind,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let sc = max_fault_free_subcube(faults).expect("no fault-free processor left");
     let cube = faults.cube();

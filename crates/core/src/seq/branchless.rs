@@ -1,0 +1,402 @@
+//! Branchless and cache-blocked merge kernels over [`Key`] types.
+//!
+//! These are drop-in replacements for the scalar reference kernels in
+//! [`super::merge`]: same drain-into-caller-buffer contract, same outputs,
+//! and — the invariant the cost model depends on — the **same comparison
+//! counts**. The paper charges `t_c` per comparison of the abstract two-way
+//! merge; every kernel here reports exactly the comparisons that merge
+//! performs, regardless of how the inner loop is shaped:
+//!
+//! * The branchless kernels take one element per iteration while both runs
+//!   are live, so the charged count is simply the number of such iterations
+//!   (`i + j` at loop exit) — the identical decision sequence the scalar
+//!   `x <= y` loop takes.
+//! * The blocked kernel segments the merge with merge-path co-rank splits.
+//!   Splitting changes where the "one run exhausted, bulk-copy the tail"
+//!   shortcut fires inside each segment, so it computes the charge
+//!   analytically via [`charged_merge_comparisons`] instead: a full two-way
+//!   merge compares once per emitted element until one run exhausts, i.e.
+//!   `a.len() + b.len() − tail` where `tail` is the suffix of the survivor
+//!   that never meets a live counterpart. Co-rank binary searches are index
+//!   bookkeeping (like the scalar kernels' iterator cursors), not key
+//!   comparisons of the abstract merge, and are not charged.
+//!
+//! The inner loop is written for the autovectorizer/branch predictor: load
+//! both candidates by value, `select` with a conditional move, advance one
+//! index by the comparison bit — no data-dependent branches in the steady
+//! state, unrolled in fixed-width chunks of [`MERGE_CHUNK`].
+
+use super::key::Key;
+
+/// Fixed unroll width of the steady-state inner loop. While both runs have
+/// at least this many unmerged elements the loop body runs with no
+/// data-dependent exits, which is what lets the backend turn the select
+/// into conditional moves.
+pub const MERGE_CHUNK: usize = 8;
+
+/// Byte size above which [`merge_runs_auto_into`] switches to the
+/// cache-blocked kernel: half a typical L2 (the merge touches two inputs
+/// plus the output, so runs past this point stream from L3/DRAM and benefit
+/// from merge-path segmentation that keeps each working set L2-resident).
+pub const BLOCK_BYTES: usize = 512 * 1024;
+
+/// One steady-state + drain branchless merge of two sorted slices, appended
+/// to `out`. Returns the number of both-runs-live iterations — exactly the
+/// comparisons the scalar reference charges for the same inputs.
+#[inline]
+fn merge_spans<K: Key>(a: &[K], b: &[K], out: &mut Vec<K>) -> u64 {
+    let (alen, blen) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    // Steady state: both runs hold ≥ MERGE_CHUNK unmerged elements, so the
+    // chunk body needs no per-element liveness checks.
+    while alen - i >= MERGE_CHUNK && blen - j >= MERGE_CHUNK {
+        for _ in 0..MERGE_CHUNK {
+            let x = a[i];
+            let y = b[j];
+            let take_a = x <= y; // ties take from `a`, like the scalar kernel
+            out.push(if take_a { x } else { y });
+            i += take_a as usize;
+            j += usize::from(!take_a);
+        }
+    }
+    while i < alen && j < blen {
+        let x = a[i];
+        let y = b[j];
+        let take_a = x <= y;
+        out.push(if take_a { x } else { y });
+        i += take_a as usize;
+        j += usize::from(!take_a);
+    }
+    let comparisons = (i + j) as u64;
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    comparisons
+}
+
+/// The comparisons a full two-way merge of `a` and `b` performs, computed
+/// analytically: one per emitted element until one run exhausts, so
+/// `a.len() + b.len() − tail` where `tail` is the bulk-copied suffix of the
+/// survivor — the elements strictly beyond the other run's maximum under
+/// the merge's tie rule (ties take from `a`).
+pub fn charged_merge_comparisons<K: Ord>(a: &[K], b: &[K]) -> u64 {
+    let (alen, blen) = (a.len(), b.len());
+    if alen == 0 || blen == 0 {
+        return 0;
+    }
+    let a_last = &a[alen - 1];
+    let b_last = &b[blen - 1];
+    // If a's maximum emits before b's tail (a_last <= b_last wins its last
+    // comparison), the copied tail is b's strict-upper part; symmetrically
+    // otherwise. partition_point is bookkeeping, not a charged comparison.
+    let tail = if a_last <= b_last {
+        blen - b.partition_point(|y| y < a_last)
+    } else {
+        alen - a.partition_point(|x| x <= b_last)
+    };
+    (alen + blen - tail) as u64
+}
+
+/// The merge-path split of output position `p`: the unique `(ai, bi)` with
+/// `ai + bi = p` such that `a[..ai] ++ b[..bi]` is exactly the first `p`
+/// elements the merge emits (ties taken from `a`). Binary search —
+/// uncharged index bookkeeping.
+fn corank<K: Ord>(p: usize, a: &[K], b: &[K]) -> (usize, usize) {
+    let (alen, blen) = (a.len(), b.len());
+    let mut lo = p.saturating_sub(blen);
+    let mut hi = p.min(alen);
+    while lo < hi {
+        let ai = lo + (hi - lo) / 2;
+        let bi = p - ai;
+        // a[ai] precedes b[bi-1] in the merge ⇔ a[ai] <= b[bi-1], in which
+        // case a[ai] must also be inside the first p elements.
+        if ai < alen && bi > 0 && a[ai] <= b[bi - 1] {
+            lo = ai + 1;
+        } else {
+            hi = ai;
+        }
+    }
+    (lo, p - lo)
+}
+
+/// Branchless [`super::merge_runs_into`]: merges ascending `a` and `b` into
+/// `out` (cleared first), draining both inputs but keeping their
+/// allocations. Identical output and comparison count to the scalar
+/// reference.
+pub fn merge_runs_branchless_into<K: Key>(a: &mut Vec<K>, b: &mut Vec<K>, out: &mut Vec<K>) -> u64 {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let comparisons = merge_spans(a, b, out);
+    a.clear();
+    b.clear();
+    comparisons
+}
+
+/// Cache-blocked [`super::merge_runs_into`] for runs past L2: walks the
+/// merge path in [`BLOCK_BYTES`]-halves segments so each inner merge stays
+/// cache-resident, with the branchless loop inside each segment. Identical
+/// output and comparison count to the scalar reference.
+pub fn merge_runs_blocked_into<K: Key>(a: &mut Vec<K>, b: &mut Vec<K>, out: &mut Vec<K>) -> u64 {
+    out.clear();
+    let (alen, blen) = (a.len(), b.len());
+    out.reserve(alen + blen);
+    let comparisons = charged_merge_comparisons(a, b);
+    let total = alen + blen;
+    let block = (BLOCK_BYTES / 2 / size_of::<K>().max(1)).max(MERGE_CHUNK);
+    let (mut ai, mut bi) = (0usize, 0usize);
+    let mut pos = 0usize;
+    while pos < total {
+        let next = (pos + block).min(total);
+        let (na, nb) = corank(next, a, b);
+        merge_spans(&a[ai..na], &b[bi..nb], out);
+        (ai, bi) = (na, nb);
+        pos = next;
+    }
+    a.clear();
+    b.clear();
+    comparisons
+}
+
+/// Size-dispatching full merge: branchless below [`BLOCK_BYTES`], blocked
+/// above. This is what the compare-split hot path calls.
+pub fn merge_runs_auto_into<K: Key>(a: &mut Vec<K>, b: &mut Vec<K>, out: &mut Vec<K>) -> u64 {
+    if (a.len() + b.len()) * size_of::<K>() > BLOCK_BYTES {
+        merge_runs_blocked_into(a, b, out)
+    } else {
+        merge_runs_branchless_into(a, b, out)
+    }
+}
+
+/// Owning wrapper over [`merge_runs_auto_into`], mirroring
+/// [`super::merge_runs`].
+pub fn merge_runs_auto<K: Key>(mut a: Vec<K>, mut b: Vec<K>) -> (Vec<K>, u64) {
+    let mut out = Vec::new();
+    let comparisons = merge_runs_auto_into(&mut a, &mut b, &mut out);
+    (out, comparisons)
+}
+
+/// Branchless [`super::merge_keep_low_into`]: keeps only the `keep`
+/// smallest keys, ≤ `keep` comparisons, drains both inputs. Identical
+/// output and comparison count to the scalar reference.
+pub fn merge_keep_low_branchless_into<K: Key>(
+    a: &mut Vec<K>,
+    b: &mut Vec<K>,
+    keep: usize,
+    out: &mut Vec<K>,
+) -> u64 {
+    debug_assert!(keep <= a.len() + b.len());
+    out.clear();
+    out.reserve(keep);
+    let (alen, blen) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while keep - out.len() >= MERGE_CHUNK && alen - i >= MERGE_CHUNK && blen - j >= MERGE_CHUNK {
+        for _ in 0..MERGE_CHUNK {
+            let x = a[i];
+            let y = b[j];
+            let take_a = x <= y;
+            out.push(if take_a { x } else { y });
+            i += take_a as usize;
+            j += usize::from(!take_a);
+        }
+    }
+    while out.len() < keep && i < alen && j < blen {
+        let x = a[i];
+        let y = b[j];
+        let take_a = x <= y;
+        out.push(if take_a { x } else { y });
+        i += take_a as usize;
+        j += usize::from(!take_a);
+    }
+    // Comparisons happen only while both runs are live, like the scalar
+    // kernel; the top-up below is an uncompared bulk copy.
+    let comparisons = (i + j) as u64;
+    let remaining = keep - out.len();
+    if remaining > 0 {
+        if i < alen {
+            out.extend_from_slice(&a[i..i + remaining]);
+        } else {
+            out.extend_from_slice(&b[j..j + remaining]);
+        }
+    }
+    a.clear();
+    b.clear();
+    comparisons
+}
+
+/// Branchless [`super::merge_keep_high_into`]: keeps only the `keep`
+/// largest keys by merging from the back, ≤ `keep` comparisons, drains both
+/// inputs. Identical output and comparison count to the scalar reference.
+pub fn merge_keep_high_branchless_into<K: Key>(
+    a: &mut Vec<K>,
+    b: &mut Vec<K>,
+    keep: usize,
+    out: &mut Vec<K>,
+) -> u64 {
+    debug_assert!(keep <= a.len() + b.len());
+    out.clear();
+    out.reserve(keep);
+    let (alen, blen) = (a.len(), b.len());
+    let (mut i, mut j) = (alen, blen); // `i`/`j` = number still unmerged
+    while keep - out.len() >= MERGE_CHUNK && i >= MERGE_CHUNK && j >= MERGE_CHUNK {
+        for _ in 0..MERGE_CHUNK {
+            let x = a[i - 1];
+            let y = b[j - 1];
+            let take_a = x > y; // strict: ties yield to `b`, like the scalar
+            out.push(if take_a { x } else { y });
+            i -= take_a as usize;
+            j -= usize::from(!take_a);
+        }
+    }
+    while out.len() < keep && i > 0 && j > 0 {
+        let x = a[i - 1];
+        let y = b[j - 1];
+        let take_a = x > y;
+        out.push(if take_a { x } else { y });
+        i -= take_a as usize;
+        j -= usize::from(!take_a);
+    }
+    let comparisons = ((alen - i) + (blen - j)) as u64;
+    let remaining = keep - out.len();
+    if remaining > 0 {
+        // One run exhausted: take the survivor's top `remaining`, still
+        // descending to keep the final reverse correct.
+        if i > 0 {
+            out.extend(a[i - remaining..i].iter().rev().copied());
+        } else {
+            out.extend(b[j - remaining..j].iter().rev().copied());
+        }
+    }
+    out.reverse();
+    a.clear();
+    b.clear();
+    comparisons
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::merge::{merge_keep_high_into, merge_keep_low_into, merge_runs_into};
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sorted(rng: &mut StdRng, len: usize, span: u64) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..len).map(|_| rng.random_range(0..span.max(1))).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn branchless_full_merge_matches_scalar_output_and_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut out_s, mut out_b) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            let la = rng.random_range(0..40);
+            let lb = rng.random_range(0..40);
+            let a = sorted(&mut rng, la, 30);
+            let b = sorted(&mut rng, lb, 30);
+            let (mut a1, mut b1) = (a.clone(), b.clone());
+            let (mut a2, mut b2) = (a, b);
+            let cs = merge_runs_into(&mut a1, &mut b1, &mut out_s);
+            let cb = merge_runs_branchless_into(&mut a2, &mut b2, &mut out_b);
+            assert_eq!(out_b, out_s);
+            assert_eq!(cb, cs);
+            assert!(a2.is_empty() && b2.is_empty());
+        }
+    }
+
+    #[test]
+    fn charged_comparisons_formula_matches_the_scalar_kernel() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut out = Vec::new();
+        for _ in 0..300 {
+            let la = rng.random_range(0..30);
+            let lb = rng.random_range(0..30);
+            let a = sorted(&mut rng, la, 10); // many ties
+            let b = sorted(&mut rng, lb, 10);
+            let want = merge_runs_into(&mut a.clone(), &mut b.clone(), &mut out);
+            assert_eq!(charged_merge_comparisons(&a, &b), want, "a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn corank_prefixes_tile_the_merge() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            let la = rng.random_range(0..20);
+            let lb = rng.random_range(0..20);
+            let a = sorted(&mut rng, la, 8);
+            let b = sorted(&mut rng, lb, 8);
+            merge_runs_into(&mut a.clone(), &mut b.clone(), &mut out);
+            for p in 0..=a.len() + b.len() {
+                let (ai, bi) = corank(p, &a, &b);
+                assert_eq!(ai + bi, p);
+                let mut prefix = Vec::new();
+                merge_spans(&a[..ai], &b[..bi], &mut prefix);
+                assert_eq!(prefix, out[..p], "p={p} a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_merge_matches_scalar_even_with_tiny_blocks() {
+        // BLOCK_BYTES is fixed, so exercise segmentation with large-ish runs
+        // of a small key type instead: u8 elements make the block small in
+        // element terms... still huge. Instead drive corank+merge_spans via
+        // merge_runs_blocked_into on runs big enough to segment for u64 by
+        // construction below (covered in the integration suite); here check
+        // the degenerate and disjoint shapes.
+        let mut out = Vec::new();
+        for (a, b) in [
+            (vec![], vec![]),
+            (vec![1u64, 2, 3], vec![]),
+            (vec![], vec![4u64, 5]),
+            (vec![1u64, 2], vec![10, 11]),
+            (vec![10u64, 11], vec![1, 2]),
+            (vec![5u64, 5, 5], vec![5, 5]),
+        ] {
+            let want_c = merge_runs_into(&mut a.clone(), &mut b.clone(), &mut out);
+            let want = out.clone();
+            let (mut a2, mut b2) = (a, b);
+            let mut got = Vec::new();
+            let got_c = merge_runs_blocked_into(&mut a2, &mut b2, &mut got);
+            assert_eq!(got, want);
+            assert_eq!(got_c, want_c);
+        }
+    }
+
+    #[test]
+    fn branchless_keeps_match_scalar_outputs_and_counts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (mut out_s, mut out_b) = (Vec::new(), Vec::new());
+        for _ in 0..200 {
+            let la = rng.random_range(0..30);
+            let lb = rng.random_range(0..30);
+            let a = sorted(&mut rng, la, 20);
+            let b = sorted(&mut rng, lb, 20);
+            let keep = rng.random_range(0..=a.len() + b.len());
+            let cs = merge_keep_low_into(&mut a.clone(), &mut b.clone(), keep, &mut out_s);
+            let cb =
+                merge_keep_low_branchless_into(&mut a.clone(), &mut b.clone(), keep, &mut out_b);
+            assert_eq!(out_b, out_s, "keep_low keep={keep} a={a:?} b={b:?}");
+            assert_eq!(cb, cs);
+            let cs = merge_keep_high_into(&mut a.clone(), &mut b.clone(), keep, &mut out_s);
+            let cb =
+                merge_keep_high_branchless_into(&mut a.clone(), &mut b.clone(), keep, &mut out_b);
+            assert_eq!(out_b, out_s, "keep_high keep={keep} a={a:?} b={b:?}");
+            assert_eq!(cb, cs);
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_picks_blocked_past_the_threshold() {
+        // Below threshold both paths are the same kernel; at/above it the
+        // dispatcher must still produce scalar-identical results.
+        let n = BLOCK_BYTES / size_of::<u64>(); // 2n elements total > threshold
+        let a: Vec<u64> = (0..n as u64).map(|x| x * 2).collect();
+        let b: Vec<u64> = (0..n as u64).map(|x| x * 2 + 1).collect();
+        let mut out = Vec::new();
+        let want_c = merge_runs_into(&mut a.clone(), &mut b.clone(), &mut out);
+        let (got, got_c) = merge_runs_auto(a, b);
+        assert_eq!(got, out);
+        assert_eq!(got_c, want_c);
+    }
+}

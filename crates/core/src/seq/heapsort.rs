@@ -49,9 +49,11 @@ fn sift_down<K: Ord>(
             return;
         }
         let right = left + 1;
+        // Child select as index arithmetic (cmov-friendly): same comparison
+        // sequence as the branching form — one compare iff `right` exists.
         let mut top = left;
-        if right < end && dominates(&data[right], &data[left], comparisons) {
-            top = right;
+        if right < end {
+            top = left + dominates(&data[right], &data[left], comparisons) as usize;
         }
         if dominates(&data[top], &data[start], comparisons) {
             data.swap(start, top);

@@ -1,13 +1,18 @@
-//! Merge kernels for sorted and bitonic runs.
+//! Scalar reference merge kernels for sorted and bitonic runs.
 //!
 //! Every kernel exists in two forms: an owning form (`merge_runs`, …) that
 //! allocates its output, and an `_into` form that drains the inputs into a
 //! caller-supplied buffer, leaving the input allocations intact for reuse.
-//! The `_into` forms are the compare-split hot path: together with the
-//! [`crate::seq::Scratch`] buffer pool they make a compare-split round
-//! allocation-free once the pool is warm. Both forms perform identical
-//! comparison sequences, so charged virtual time does not depend on which
-//! is used.
+//! The `_into` forms, together with the [`crate::seq::Scratch`] buffer pool,
+//! make a compare-split round allocation-free once the pool is warm. Both
+//! forms perform identical comparison sequences, so charged virtual time
+//! does not depend on which is used.
+//!
+//! These kernels work over any `K: Ord` and serve as the semantic reference:
+//! the compare-split hot path now runs the branchless/cache-blocked kernels
+//! ([`crate::seq::merge_runs_auto_into`] & co., over `K: Key`), which are
+//! pinned to these by differential tests — identical outputs *and* identical
+//! comparison counts, so the cost model cannot tell them apart.
 
 /// Merges ascending `a` and `b` into `out` (cleared first), draining both
 /// inputs but keeping their allocations. Returns the number of comparisons

@@ -4,13 +4,27 @@
 //! later steps merge sorted runs. Both are implemented from scratch here with
 //! exact comparison counting so the simulation can charge `t_c` for the work
 //! actually done.
+//!
+//! The merge kernels exist in two tiers: the scalar reference in [`merge`]
+//! over any `K: Ord`, and the branchless/cache-blocked kernels in
+//! [`branchless`] over [`Key`] types — same outputs, same comparison
+//! counts, shaped for conditional moves instead of data-dependent branches.
+//! The compare-split hot path dispatches through the `_auto_` forms.
 
+mod branchless;
 mod heapsort;
+mod key;
 mod merge;
 mod quicksort;
 mod scratch;
 
+pub use branchless::{
+    charged_merge_comparisons, merge_keep_high_branchless_into, merge_keep_low_branchless_into,
+    merge_runs_auto, merge_runs_auto_into, merge_runs_blocked_into, merge_runs_branchless_into,
+    BLOCK_BYTES, MERGE_CHUNK,
+};
 pub use heapsort::heapsort;
+pub use key::{Key, KeyPair, KeyType};
 pub use merge::{
     merge_keep_high, merge_keep_high_into, merge_keep_low, merge_keep_low_into, merge_runs,
     merge_runs_into, sort_bitonic_run,

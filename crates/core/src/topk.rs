@@ -10,7 +10,7 @@
 use crate::bitonic::sort::SortOutcome;
 use crate::distribute::{gather as degather, scatter, Padded};
 use crate::ftsort::{FtError, FtPlan};
-use crate::seq::{heapsort, merge_runs, Direction};
+use crate::seq::{heapsort, merge_runs, Direction, Key};
 use hypercube::collectives::{combine, Participants};
 use hypercube::cost::CostModel;
 use hypercube::sim::{Comm, Engine, Tag};
@@ -27,7 +27,7 @@ pub fn fault_tolerant_top_k<K>(
     k: usize,
 ) -> SortOutcome<K>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let st = plan.structure();
     let cube = st.cube();
@@ -105,7 +105,7 @@ pub fn top_k_on_faulty_cube<K>(
     k: usize,
 ) -> Result<SortOutcome<K>, FtError>
 where
-    K: Ord + Clone + Send,
+    K: Key,
 {
     let plan = FtPlan::new(faults)?;
     Ok(fault_tolerant_top_k(&plan, cost, data, k))

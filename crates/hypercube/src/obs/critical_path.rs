@@ -461,6 +461,7 @@ mod tests {
             })
         };
         RunObservation {
+            key_type: None,
             dim: 1,
             cost,
             link_model: LinkModel::Uncontended,

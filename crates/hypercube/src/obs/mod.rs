@@ -251,6 +251,12 @@ pub struct RunObservation {
     /// Per-node observations, indexed by node address (`None` for nodes
     /// that did not participate, e.g. faulty ones).
     pub nodes: Vec<Option<NodeObservation>>,
+    /// The element key type the run sorted (e.g. `"i64"`, `"pair"`), when
+    /// known. Live engines leave it `None` (they are generic over the
+    /// element); CLIs record it in the run file via the sinks, and replay
+    /// carries it back so [`RunObservation::report`] reproduces a keyed
+    /// report byte-for-byte.
+    pub key_type: Option<String>,
 }
 
 impl RunObservation {
@@ -394,6 +400,11 @@ pub struct RunReport {
     /// store or one handle's local free list, whichever ran fullest); see
     /// [`pool_takes`](RunReport::pool_takes).
     pub pool_slab_high_water: Option<u64>,
+    /// The key type the run sorted (`"u32"`/`"u64"`/`"i64"`/`"pair"`), when
+    /// the caller chose to record it ([`RunReport::with_key_type`], e.g.
+    /// from a CLI `--key-type` flag). Presentation-layer metadata like
+    /// [`threads`](RunReport::threads): `None` serializes to nothing.
+    pub key_type: Option<String>,
     /// Virtual makespan, µs.
     pub makespan_us: f64,
     /// Operation counters summed over nodes.
@@ -525,6 +536,7 @@ impl RunReport {
             pool_takes: None,
             pool_puts: None,
             pool_slab_high_water: None,
+            key_type: obs.key_type.clone(),
             makespan_us: obs.makespan(),
             stats,
             phases,
@@ -567,6 +579,14 @@ impl RunReport {
         self
     }
 
+    /// Records the key type the run sorted (builder style) —
+    /// presentation-layer metadata like [`with_threads`](Self::with_threads),
+    /// set by CLIs that took a `--key-type` flag.
+    pub fn with_key_type(mut self, key_type: impl Into<String>) -> Self {
+        self.key_type = Some(key_type.into());
+        self
+    }
+
     /// Serializes to the report's JSON schema (documented in DESIGN.md §6).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -592,6 +612,11 @@ impl RunReport {
         }
         if let Some(hw) = self.pool_slab_high_water {
             let _ = write!(out, "\"pool_slab_high_water\":{hw},");
+        }
+        if let Some(key_type) = &self.key_type {
+            out.push_str("\"key_type\":");
+            json::write_str(&mut out, key_type);
+            out.push(',');
         }
         let _ = write!(
             out,
@@ -754,6 +779,10 @@ impl RunReport {
             pool_takes: doc.get("pool_takes").and_then(json::Json::as_u64),
             pool_puts: doc.get("pool_puts").and_then(json::Json::as_u64),
             pool_slab_high_water: doc.get("pool_slab_high_water").and_then(json::Json::as_u64),
+            key_type: doc
+                .get("key_type")
+                .and_then(json::Json::as_str)
+                .map(str::to_string),
             makespan_us: num(&doc, "makespan_us")?,
             stats,
             phases,
@@ -891,6 +920,7 @@ mod tests {
             metrics: NodeMetrics::new(2),
         };
         RunObservation {
+            key_type: None,
             dim: 2,
             cost: CostModel::default(),
             link_model: LinkModel::Contended,
@@ -985,6 +1015,18 @@ mod tests {
         assert!(text.contains("\"pool_slab_high_water\":9"));
         let back = RunReport::from_json(&text).expect("parse");
         assert_eq!(back, pooled);
+
+        // and the key type
+        assert!(
+            !text.contains("key_type"),
+            "absent key type serializes to nothing"
+        );
+        let keyed = pooled.with_key_type("pair");
+        let text = keyed.to_json();
+        assert!(text.contains("\"key_type\":\"pair\""));
+        let back = RunReport::from_json(&text).expect("parse");
+        assert_eq!(back, keyed);
+        assert!(json::Json::parse(&text).is_ok());
         assert!(json::Json::parse(&text).is_ok());
     }
 }

@@ -535,6 +535,7 @@ mod tests {
     #[test]
     fn export_is_valid_json_with_paired_flows() {
         let obs = RunObservation {
+            key_type: None,
             dim: 1,
             cost: CostModel::default(),
             link_model: LinkModel::Uncontended,
@@ -576,6 +577,7 @@ mod tests {
     #[test]
     fn counters_track_inbox_depth_and_cumulative_hops() {
         let obs = RunObservation {
+            key_type: None,
             dim: 1,
             cost: CostModel::default(),
             link_model: LinkModel::Uncontended,

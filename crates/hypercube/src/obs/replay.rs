@@ -27,6 +27,9 @@ use crate::stats::RunStats;
 /// trace (tracing enabled) for the file to replay with full counters.
 pub fn run_to_json(obs: &RunObservation) -> String {
     let mut sink = BufferedSink::new();
+    if let Some(kt) = &obs.key_type {
+        sink.set_key_type(kt.clone());
+    }
     sink.begin(obs.dim, &obs.cost, obs.link_model);
     for e in obs.trace.events() {
         sink.event(e);
@@ -84,7 +87,10 @@ pub fn observation_from_file(path: &str) -> Result<RunObservation, String> {
 /// predate link models: they parse with `wait = 0` on every receive and
 /// [`LinkModel::Uncontended`] — exactly the semantics they were recorded
 /// under, so v1 replays stay byte-identical. Version 2 files carry the
-/// link model in the header. Errors name the offending record.
+/// link model in the header, plus an optional `key_type` (stamped by
+/// CLIs that know the element type; absent from library-written files)
+/// that flows back into [`RunObservation::report`]. Errors name the
+/// offending record.
 pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
     let doc = Json::parse(text)?;
     let version = doc
@@ -102,6 +108,10 @@ pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
             .and_then(LinkModel::parse)
             .ok_or("missing or invalid 'link_model'")?,
     };
+    let key_type = doc
+        .get("key_type")
+        .and_then(Json::as_str)
+        .map(str::to_owned);
     let dim = doc
         .get("dim")
         .and_then(Json::as_u64)
@@ -244,6 +254,7 @@ pub fn observation_from_json(text: &str) -> Result<RunObservation, String> {
         link_model,
         trace: Trace::from_events(events),
         nodes,
+        key_type,
     })
 }
 
@@ -413,6 +424,7 @@ pub fn recost(obs: &RunObservation, new_cost: CostModel) -> Result<RunObservatio
         link_model: LinkModel::Uncontended,
         trace: Trace::from_events(new_events),
         nodes,
+        key_type: obs.key_type.clone(),
     })
 }
 

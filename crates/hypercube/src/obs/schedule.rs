@@ -526,6 +526,7 @@ pub(crate) fn reprice_full(
             link_model: new_model,
             trace: Trace::from_events(new_events.clone()),
             nodes,
+            key_type: obs.key_type.clone(),
         },
         rounds,
         new_events,

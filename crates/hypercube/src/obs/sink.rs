@@ -67,12 +67,22 @@ pub trait TraceSink: Send {
     fn finish(&mut self, nodes: &[NodeSummary]);
 }
 
-fn render_header(out: &mut String, dim: usize, cost: &CostModel, link_model: LinkModel) {
+fn render_header(
+    out: &mut String,
+    dim: usize,
+    cost: &CostModel,
+    link_model: LinkModel,
+    key_type: Option<&str>,
+) {
     let _ = write!(
         out,
-        "{{\"version\":2,\"dim\":{dim},\"cost\":{{\"t_sr\":{},\"t_c\":{},\"t_startup\":{}}},\"link_model\":\"{link_model}\",\"events\":[",
+        "{{\"version\":2,\"dim\":{dim},\"cost\":{{\"t_sr\":{},\"t_c\":{},\"t_startup\":{}}},\"link_model\":\"{link_model}\",",
         cost.t_sr, cost.t_c, cost.t_startup
     );
+    if let Some(kt) = key_type {
+        let _ = write!(out, "\"key_type\":\"{kt}\",");
+    }
+    out.push_str("\"events\":[");
 }
 
 fn render_span(out: &mut String, node: NodeId, phase: Option<u16>, time: f64) {
@@ -136,6 +146,7 @@ enum Record {
 #[derive(Default)]
 pub struct BufferedSink {
     header: Option<(usize, CostModel, LinkModel)>,
+    key_type: Option<String>,
     records: Vec<Record>,
     nodes: Vec<NodeSummary>,
     finished: bool,
@@ -153,12 +164,21 @@ impl BufferedSink {
         }
     }
 
+    /// Records the run's element key type in the file header (e.g.
+    /// `"pair"`), so offline replay can reproduce a keyed
+    /// [`RunReport`](super::RunReport) byte-for-byte. Call before
+    /// [`TraceSink::begin`]; presentation metadata only — the simulation
+    /// never reads it.
+    pub fn set_key_type(&mut self, key_type: impl Into<String>) {
+        self.key_type = Some(key_type.into());
+    }
+
     /// Serializes the captured run; byte-identical to what a
     /// [`StreamingSink`] fed the same record stream writes out.
     pub fn to_json(&self) -> String {
         let (dim, cost, link_model) = self.header.expect("BufferedSink::to_json before begin");
         let mut out = String::with_capacity(96 * self.records.len() + 256);
-        render_header(&mut out, dim, &cost, link_model);
+        render_header(&mut out, dim, &cost, link_model, self.key_type.as_deref());
         let mut first = true;
         for rec in &self.records {
             render_separator(&mut out, &mut first);
@@ -208,6 +228,7 @@ pub struct StreamingSink<W: Write + Send> {
     buf: String,
     first: bool,
     began: bool,
+    key_type: Option<String>,
     events_metric: Option<Counter>,
 }
 
@@ -222,8 +243,20 @@ impl<W: Write + Send> StreamingSink<W> {
             buf: String::with_capacity(256),
             first: true,
             began: false,
+            key_type: None,
             events_metric: metrics::global().map(|g| g.run.sink.events.clone()),
         }
+    }
+
+    /// Records the run's element key type in the file header; must be
+    /// called before [`TraceSink::begin`] (the header is streamed out
+    /// immediately). Presentation metadata only.
+    pub fn set_key_type(&mut self, key_type: impl Into<String>) {
+        assert!(
+            !self.began,
+            "set_key_type after begin: header already written"
+        );
+        self.key_type = Some(key_type.into());
     }
 
     /// Flushes and returns the underlying writer.
@@ -264,7 +297,13 @@ impl<W: Write + Send> TraceSink for StreamingSink<W> {
     fn begin(&mut self, dim: usize, cost: &CostModel, link_model: LinkModel) {
         assert!(!self.began, "TraceSink reused across runs");
         self.began = true;
-        render_header(&mut self.buf, dim, cost, link_model);
+        render_header(
+            &mut self.buf,
+            dim,
+            cost,
+            link_model,
+            self.key_type.as_deref(),
+        );
         self.emit();
     }
 

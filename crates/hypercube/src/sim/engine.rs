@@ -126,6 +126,7 @@ impl<T> RunOutcome<T> {
             dim: self.dim,
             cost: self.cost,
             link_model: self.link_model,
+            key_type: None,
             trace: self.trace.clone(),
             nodes: self
                 .outcomes
@@ -933,6 +934,7 @@ impl Engine {
             dim: cube.dim(),
             cost: self.cost,
             link_model: LinkModel::Uncontended,
+            key_type: None,
             trace: Trace::assemble(traces),
             nodes: outcomes
                 .iter()

@@ -5,7 +5,7 @@
 //! ```text
 //! ftsort-cli partition   --n 5 --faults 3,5,16,24
 //! ftsort-cli sort        --n 6 --faults 9,22 --m 100000 [--protocol full] [--step8 fullsort] [--engine threaded|seq|par]
-//!                        [--threads N] [--link-model uncontended|contended]
+//!                        [--key-type u32|u64|i64|pair] [--threads N] [--link-model uncontended|contended]
 //!                        [--trace-out trace.json] [--metrics-out report.json] [--run-out run.json[.gz]]
 //!                        [--sched-profile] [--sched-out sched.json]
 //!                        [--metrics-snapshot prom.txt] [--log-level info] [--log-out log.jsonl]
@@ -34,6 +34,8 @@
 //! steal flows, runnable-queue counters). Profiling observes the host
 //! scheduler only — sorted output, reports and run files stay
 //! byte-identical with it on or off.
+//! `--key-type` picks the sorted key type (default `i64`; `pair` sorts
+//! 16-byte key+payload records) — recorded in the `--metrics-out` report.
 //! `--metrics-snapshot` turns on the live telemetry layer
 //! ([`hypercube::obs::metrics`]) for the run and writes a
 //! Prometheus-exposition snapshot of every registered counter, gauge and
@@ -211,8 +213,45 @@ fn parse_protocol(flags: &HashMap<String, String>) -> Result<Protocol, String> {
 }
 
 fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), String> {
+    use ftsort::seq::{KeyPair, KeyType};
     let m_total: usize = flag(flags, "m", "100000")?;
     let seed: u64 = flag(flags, "seed", "1992")?;
+    let key_type = match flags.get("key-type") {
+        None => KeyType::default(),
+        Some(s) => KeyType::parse(s)?,
+    };
+    // Monomorphic dispatch: each key type gets its own specialized engine
+    // and branchless-kernel instantiation.
+    let mut rng = StdRng::seed_from_u64(seed);
+    match key_type {
+        KeyType::U32 => {
+            let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
+            run_sort(faults, flags, key_type, data)
+        }
+        KeyType::U64 => {
+            let data: Vec<u64> = (0..m_total).map(|_| rng.random()).collect();
+            run_sort(faults, flags, key_type, data)
+        }
+        KeyType::I64 => {
+            let data: Vec<i64> = (0..m_total).map(|_| rng.random()).collect();
+            run_sort(faults, flags, key_type, data)
+        }
+        KeyType::Pair => {
+            let data: Vec<KeyPair> = (0..m_total)
+                .map(|_| KeyPair::new(rng.random(), rng.random()))
+                .collect();
+            run_sort(faults, flags, key_type, data)
+        }
+    }
+}
+
+fn run_sort<K: ftsort::seq::Key>(
+    faults: &FaultSet,
+    flags: &HashMap<String, String>,
+    key_type: ftsort::seq::KeyType,
+    data: Vec<K>,
+) -> Result<(), String> {
+    let m_total = data.len();
     let protocol = parse_protocol(flags)?;
     let step8 = match flags.get("step8").map(String::as_str) {
         Some("fullsort") => Step8Strategy::FullSort,
@@ -235,8 +274,6 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
             Some(t)
         }
     };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<u32> = (0..m_total).map(|_| rng.random()).collect();
     let plan = FtPlan::new(faults).map_err(|e| e.to_string())?;
     let trace_out = flags.get("trace-out");
     let metrics_out = flags.get("metrics-out");
@@ -266,7 +303,11 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         None => None,
         Some(path) => {
             use hypercube::obs::sink::StreamingSink;
-            let sink = StreamingSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let mut sink =
+                StreamingSink::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            // Stamp the key type into the run-file header so offline
+            // replay reproduces the keyed RunReport byte-for-byte.
+            sink.set_key_type(key_type.as_str());
             Some(Arc::new(Mutex::new(sink)))
         }
     };
@@ -274,7 +315,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
     // A stats-carrying pool only when telemetry is on, so the plain path
     // keeps the library default (no counters at all).
     let pool = metrics_snapshot
-        .map(|_| hypercube::sim::BufferPool::<ftsort::distribute::Padded<u32>>::with_stats());
+        .map(|_| hypercube::sim::BufferPool::<ftsort::distribute::Padded<K>>::with_stats());
     {
         use hypercube::obs::log::{info, Value};
         info(
@@ -347,7 +388,7 @@ fn sort_cmd(faults: &FaultSet, flags: &HashMap<String, String>) -> Result<(), St
         println!("trace written  : {path} (load in ui.perfetto.dev)");
     }
     if let Some(path) = metrics_out {
-        let mut report = obs.report(&phase_name);
+        let mut report = obs.report(&phase_name).with_key_type(key_type.as_str());
         if let Some(threads) = threads {
             // Record the effective schedule too: the par engine clamps the
             // worker count to the shard count (`schedule_for`).

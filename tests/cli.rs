@@ -729,3 +729,119 @@ fn sort_metrics_report_carries_pool_stats() {
     let _ = std::fs::remove_file(&prom);
     let _ = std::fs::remove_file(&report);
 }
+
+#[test]
+fn sort_key_type_flag_runs_every_type_and_records_it() {
+    // one CLI test per key type: the sort succeeds and the RunReport
+    // records which type ran
+    let dir = std::env::temp_dir();
+    for key_type in ["u32", "u64", "i64", "pair"] {
+        let report = dir.join(format!("ftsort_cli_keytype_{key_type}.json"));
+        let out = cli()
+            .args([
+                "sort",
+                "--n",
+                "4",
+                "--faults",
+                "2",
+                "--m",
+                "3000",
+                "--key-type",
+                key_type,
+                "--metrics-out",
+                report.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "--key-type {key_type}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            text.contains("sorted 3000 keys on 15 live processors"),
+            "--key-type {key_type}: {text}"
+        );
+        let json = std::fs::read_to_string(&report).expect("report written");
+        let parsed = hypercube::obs::RunReport::from_json(&json).expect("report parses");
+        assert_eq!(parsed.key_type.as_deref(), Some(key_type));
+        let _ = std::fs::remove_file(&report);
+    }
+}
+
+#[test]
+fn sort_key_type_defaults_to_i64_and_rejects_junk() {
+    let dir = std::env::temp_dir();
+    let report = dir.join("ftsort_cli_keytype_default.json");
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2",
+            "--m",
+            "1000",
+            "--metrics-out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"key_type\":\"i64\""), "{json}");
+    let _ = std::fs::remove_file(&report);
+
+    let out = cli()
+        .args([
+            "sort",
+            "--n",
+            "4",
+            "--faults",
+            "2",
+            "--m",
+            "1000",
+            "--key-type",
+            "f32",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown key type"), "{err}");
+}
+
+#[test]
+fn sort_key_type_is_result_invariant_across_engines() {
+    // the engine differential holds for every key type, not just the default
+    for key_type in ["u32", "pair"] {
+        let run = |engine: &str| {
+            let out = cli()
+                .args([
+                    "sort",
+                    "--n",
+                    "4",
+                    "--faults",
+                    "2,9",
+                    "--m",
+                    "4000",
+                    "--key-type",
+                    key_type,
+                    "--engine",
+                    engine,
+                ])
+                .output()
+                .expect("binary runs");
+            assert!(
+                out.status.success(),
+                "{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            String::from_utf8(out.stdout).unwrap()
+        };
+        let threaded = run("threaded");
+        assert_eq!(threaded, run("seq"), "--key-type {key_type}");
+        assert_eq!(threaded, run("par"), "--key-type {key_type}");
+    }
+}

@@ -185,12 +185,13 @@ fn adaptive_router_costs_at_least_the_oracle() {
 
 #[test]
 fn sorts_structs_not_just_integers() {
-    // the API is generic over Ord keys
-    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+    // the API is generic over Key types: any Ord + Copy record works
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
     struct Record {
         key: u32,
         payload: [u8; 8],
     }
+    impl ftsort::seq::Key for Record {}
     let mut rng = StdRng::seed_from_u64(13);
     let data: Vec<Record> = (0..500)
         .map(|_| Record {
