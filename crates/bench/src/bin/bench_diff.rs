@@ -1,7 +1,16 @@
 //! Per-phase regression localization between two `BENCH_engines.json`
 //! files (written by the `engines_json` binary) — or two
 //! `BENCH_sched.json` files (written by `sched_json`), which share the
-//! row key and host-matching discipline.
+//! row key and host-matching discipline — or two campaign reports
+//! (written by `campaign_json` / `ftsort-campaign`), whose per-cell
+//! aggregates map onto the same machinery: each cell becomes a row keyed
+//! `(n, r, m, 0, link_model)` whose mean makespan gates as `virtual_us`,
+//! mean wait as `wait_total_us`, and whose interpolated
+//! p50/p99 makespan and wait-total estimates gate as four extra
+//! virtual-time metrics at `--tolerance` (campaign quantities are all
+//! deterministic virtual numbers, so the bands are exact). A campaign
+//! cell's `runs_failed` surfaces through the `events_dropped` WARNING
+//! path: dropped runs mean the aggregates under-count.
 //!
 //! Rows are matched by `(n, r, m, workers, link_model)` (`workers`
 //! defaults to 0 and `link_model` to `uncontended` for older baselines).
@@ -86,9 +95,18 @@ struct Row {
     utilization: Option<f64>,
     steal_rate: Option<f64>,
     barrier_share: Option<f64>,
-    /// Profiler ring drops (`sched_json` rows): nonzero means the row's
-    /// telemetry is truncated.
+    /// Profiler ring drops (`sched_json` rows) or failed campaign runs
+    /// (campaign cells): nonzero means the row's telemetry under-counts.
     events_dropped: Option<u64>,
+    /// True when the row came from a campaign report cell (tailors the
+    /// `events_dropped` warning).
+    campaign: bool,
+    /// Campaign quantile estimates (µs): interpolated p50/p99 of the
+    /// cell's makespan and wait-total histograms.
+    p50_makespan_us: Option<f64>,
+    p99_makespan_us: Option<f64>,
+    p50_wait_total_us: Option<f64>,
+    p99_wait_total_us: Option<f64>,
     walls: Vec<(String, f64)>,
     phases: Vec<(String, f64)>,
 }
@@ -190,6 +208,26 @@ fn main() {
         }
         if let (Some(old), Some(new)) = (ra.wait_total_us, rb.wait_total_us) {
             regressions += diff_metric("wait_total_us", old, new, tolerance);
+        }
+        // Campaign quantile bands: interpolated p50/p99 estimates are
+        // deterministic virtual quantities, gated like any virtual time.
+        for (name, old, new) in [
+            ("p50_makespan_us", ra.p50_makespan_us, rb.p50_makespan_us),
+            ("p99_makespan_us", ra.p99_makespan_us, rb.p99_makespan_us),
+            (
+                "p50_wait_total_us",
+                ra.p50_wait_total_us,
+                rb.p50_wait_total_us,
+            ),
+            (
+                "p99_wait_total_us",
+                ra.p99_wait_total_us,
+                rb.p99_wait_total_us,
+            ),
+        ] {
+            if let (Some(old), Some(new)) = (old, new) {
+                regressions += diff_metric(name, old, new, tolerance);
+            }
         }
         for (name, old) in &ra.phases {
             match rb.phases.iter().find(|(k, _)| k == name) {
@@ -309,11 +347,19 @@ fn main() {
     // a failure — ring capacity is a tuning knob, not a perf regression.
     for rb in &b.rows {
         if let Some(dropped) = rb.events_dropped.filter(|&d| d > 0) {
-            println!(
-                "WARNING: n={} r={} m={} workers={}: profiler dropped {dropped} event(s) — \
-                 sched telemetry truncated (raise the profiler ring capacity)",
-                rb.n, rb.r, rb.m, rb.workers
-            );
+            if rb.campaign {
+                println!(
+                    "WARNING: n={} r={} m={}: campaign dropped {dropped} run(s) — cell \
+                     aggregates under-count (runs failed to plan/execute)",
+                    rb.n, rb.r, rb.m
+                );
+            } else {
+                println!(
+                    "WARNING: n={} r={} m={} workers={}: profiler dropped {dropped} event(s) — \
+                     sched telemetry truncated (raise the profiler ring capacity)",
+                    rb.n, rb.r, rb.m, rb.workers
+                );
+            }
         }
     }
 
@@ -462,6 +508,9 @@ fn load(path: &str) -> Bench {
 /// binary can diff against an old baseline.
 fn parse_bench(text: &str) -> Result<Bench, String> {
     let doc = Json::parse(text)?;
+    if doc.get("cells").is_some() {
+        return parse_campaign(&doc);
+    }
     let host_cores = doc.get("host_cores").and_then(Json::as_u64).unwrap_or(1);
     let key_type = doc
         .get("key_type")
@@ -546,6 +595,11 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
             steal_rate: row.get("steal_rate").and_then(Json::as_f64),
             barrier_share: row.get("barrier_share").and_then(Json::as_f64),
             events_dropped: row.get("events_dropped").and_then(Json::as_u64),
+            campaign: false,
+            p50_makespan_us: None,
+            p99_makespan_us: None,
+            p50_wait_total_us: None,
+            p99_wait_total_us: None,
             walls,
             phases,
         });
@@ -555,5 +609,73 @@ fn parse_bench(text: &str) -> Result<Bench, String> {
         key_type,
         rows,
         kernels,
+    })
+}
+
+/// Maps a campaign report (`campaign_json` / `ftsort-campaign --out`) onto
+/// the diff machinery: one row per cell, keyed `(n, r, m, 0, link_model)`,
+/// with the cell's mean makespan as `virtual_us`, mean wait as
+/// `wait_total_us`, the four interpolated quantiles as dedicated metrics
+/// and `runs_failed` as `events_dropped`. Campaign quantities are all
+/// virtual, so `host_cores` is irrelevant (fixed at 1 on both sides).
+fn parse_campaign(doc: &Json) -> Result<Bench, String> {
+    let int = |o: &Json, k: &str, ctx: &str| -> Result<u64, String> {
+        o.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{ctx}: missing integer '{k}'"))
+    };
+    let m = int(doc, "m", "campaign report")?;
+    let link_model = doc
+        .get("link_model")
+        .and_then(Json::as_str)
+        .unwrap_or("uncontended")
+        .to_string();
+    let key_type = doc
+        .get("key_type")
+        .and_then(Json::as_str)
+        .map(str::to_string);
+    let Some(Json::Arr(cells)) = doc.get("cells") else {
+        return Err("campaign report: 'cells' is not an array".into());
+    };
+    let mut rows = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("cells[{i}]");
+        let mean = |metric: &str| -> Option<f64> {
+            let agg = cell.get(metric)?;
+            let count = agg.get("count").and_then(Json::as_u64)?;
+            let sum = agg.get("sum").and_then(Json::as_f64)?;
+            if count == 0 {
+                Some(0.0)
+            } else {
+                Some(sum / count as f64)
+            }
+        };
+        rows.push(Row {
+            n: int(cell, "n", &ctx)?,
+            r: int(cell, "r", &ctx)?,
+            m,
+            workers: 0,
+            link_model: link_model.clone(),
+            virtual_us: mean("makespan_us"),
+            wait_total_us: mean("wait_total_us"),
+            par_over_seq: None,
+            utilization: None,
+            steal_rate: None,
+            barrier_share: None,
+            events_dropped: cell.get("runs_failed").and_then(Json::as_u64),
+            campaign: true,
+            p50_makespan_us: cell.get("p50_makespan_us").and_then(Json::as_f64),
+            p99_makespan_us: cell.get("p99_makespan_us").and_then(Json::as_f64),
+            p50_wait_total_us: cell.get("p50_wait_total_us").and_then(Json::as_f64),
+            p99_wait_total_us: cell.get("p99_wait_total_us").and_then(Json::as_f64),
+            walls: Vec::new(),
+            phases: Vec::new(),
+        });
+    }
+    Ok(Bench {
+        host_cores: 1,
+        key_type,
+        rows,
+        kernels: Vec::new(),
     })
 }

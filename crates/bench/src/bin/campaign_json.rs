@@ -1,0 +1,138 @@
+//! Emits a machine-readable Monte-Carlo campaign report
+//! (`BENCH_campaign.json`) — the fleet-scale companion of
+//! `engines_json`/`sched_json`, and the producer of the
+//! `results/BENCH_campaign_ci.json` baseline `bench_diff` gates.
+//!
+//! ```text
+//! campaign_json [--sizes 5] [--fault-counts 3] [--runs 64] [--m 2000]
+//!               [--seed 1992] [--jobs N] [--key-type i64]
+//!               [--link-model uncontended] [--capture-dir DIR]
+//!               --out BENCH_campaign.json
+//! ```
+//!
+//! The output *is* the versioned
+//! [`CampaignReport`](hypercube::obs::campaign::CampaignReport) JSON:
+//! every quantity in it is virtual (simulated clocks, operation counts,
+//! partition shapes), so the file is byte-identical across hosts, worker
+//! counts and invocations for a given seed + matrix — which is what lets
+//! `bench_diff` gate the p50/p99 makespan and wait-total bands exactly.
+//! Regenerate the baseline with the flags CI uses (see
+//! `.github/workflows/ci.yml`):
+//!
+//! ```text
+//! campaign_json --sizes 5 --fault-counts 3 --runs 64 --m 2000 --seed 1 \
+//!               --out results/BENCH_campaign_ci.json
+//! ```
+
+use ft_bench::campaign::{run_campaign, CampaignConfig};
+use ft_bench::{parse_key_type, DEFAULT_SEED};
+use std::path::PathBuf;
+
+struct Cfg {
+    campaign: CampaignConfig,
+    out: String,
+}
+
+fn parse_args() -> Cfg {
+    let mut campaign = CampaignConfig {
+        sizes: vec![5],
+        fault_counts: vec![3],
+        runs_per_cell: 64,
+        m_total: 2000,
+        seed: DEFAULT_SEED,
+        ..CampaignConfig::default()
+    };
+    let mut out = String::from("BENCH_campaign.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sizes" => campaign.sizes = parse_list(args.next(), "--sizes"),
+            "--fault-counts" => campaign.fault_counts = parse_list(args.next(), "--fault-counts"),
+            "--runs" => campaign.runs_per_cell = parse_num(args.next(), "--runs"),
+            "--m" => campaign.m_total = parse_num(args.next(), "--m"),
+            "--seed" => campaign.seed = parse_num(args.next(), "--seed"),
+            "--jobs" => campaign.jobs = parse_num(args.next(), "--jobs"),
+            "--key-type" => campaign.key_type = parse_key_type(args.next()),
+            "--link-model" => {
+                let v = args.next().unwrap_or_default();
+                campaign.link_model = match hypercube::sim::LinkModel::parse(&v) {
+                    Some(lm) => lm,
+                    None => {
+                        eprintln!("unknown link model '{v}' (uncontended|contended)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--capture-dir" => {
+                campaign.capture_dir = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--capture-dir requires a value");
+                    std::process::exit(2);
+                })))
+            }
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a value");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other} (known: --sizes --fault-counts --runs --m --seed \
+                     --jobs --key-type --link-model --capture-dir --out)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if campaign.runs_per_cell == 0 || campaign.jobs == 0 {
+        eprintln!("--runs and --jobs must be at least 1");
+        std::process::exit(2);
+    }
+    Cfg { campaign, out }
+}
+
+fn parse_num<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} requires a numeric value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_list(value: Option<String>, flag: &str) -> Vec<usize> {
+    let Some(v) = value else {
+        eprintln!("{flag} requires a comma-separated list");
+        std::process::exit(2);
+    };
+    v.split(',')
+        .map(|s| match s.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("{flag}: bad entry '{s}'");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = parse_args();
+    let outcome = match run_campaign(&cfg.campaign, &mut |_, _| {}) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (n, r) in &outcome.skipped_cells {
+        eprintln!("skipped cell n={n} r={r}: r > n - 1");
+    }
+    print!("{}", outcome.report.tables());
+    if let Err(e) = std::fs::write(&cfg.out, outcome.report.to_json()) {
+        eprintln!("error: writing {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    println!("campaign report written: {}", cfg.out);
+}

@@ -591,4 +591,5 @@ mod tests {
     }
 }
 
+pub mod campaign;
 pub mod workload;

@@ -99,6 +99,54 @@ impl LogHistogram {
         out
     }
 
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) of the recorded
+    /// samples: locates the bucket holding the `⌈q·total⌉`-th smallest
+    /// sample and interpolates linearly across that bucket's value range.
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// The estimate is clamped into the located bucket, and the exact order
+    /// statistic lies in the same bucket by construction — so the estimate
+    /// is always within one log₂ bucket of the truth, which is the accuracy
+    /// contract the campaign aggregators ([`super::campaign`]) rely on.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                let frac = (rank - seen) as f64 / c as f64;
+                let est = lo as f64 + (hi - lo) as f64 * frac;
+                return Some((est as u64).clamp(lo, hi - 1));
+            }
+            seen += c;
+        }
+        // rank ≤ total, so some bucket must have crossed it above.
+        unreachable!("quantile rank exceeded total count")
+    }
+
+    /// Folds any number of per-shard histograms into one. Bucket adds
+    /// commute, so the result is independent of shard order; fixing a
+    /// left-to-right fold nevertheless makes the merge deterministic by
+    /// inspection — the rule the campaign aggregators document.
+    pub fn merge_shards<'a, I>(shards: I) -> LogHistogram
+    where
+        I: IntoIterator<Item = &'a LogHistogram>,
+    {
+        let mut out = LogHistogram::new();
+        for shard in shards {
+            out.merge(shard);
+        }
+        out
+    }
+
     /// Rebuilds a histogram from the bucket counts of
     /// [`to_json`](Self::to_json) (already parsed into a `u64` slice).
     /// Errors if more than [`BUCKETS`] counts are given.
@@ -154,6 +202,90 @@ mod tests {
         assert_eq!(b.total(), 6);
         assert_eq!(b.counts()[3], 2);
         assert_eq!(b.max_bucket(), Some(7));
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        assert_eq!(LogHistogram::new().quantile(0.5), None);
+        assert_eq!(LogHistogram::new().quantile(0.0), None);
+        assert_eq!(LogHistogram::new().quantile(1.0), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_stays_in_bucket() {
+        // All mass in bucket 3 ([4, 8)): every quantile estimate must land
+        // inside that bucket, for any q.
+        let mut h = LogHistogram::new();
+        for _ in 0..7 {
+            h.record(5);
+        }
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).expect("non-empty");
+            assert_eq!(LogHistogram::bucket_of(est), 3, "q={q} est={est}");
+        }
+        // Degenerate single-sample histogram, including the zero bucket.
+        let mut z = LogHistogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), Some(0));
+        assert_eq!(z.quantile(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_saturated_top_bucket() {
+        // Bucket 64 covers [2^63, u64::MAX) — the interpolation must not
+        // overflow and the estimate must stay inside the bucket.
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1 << 63);
+        for q in [0.0, 0.5, 1.0] {
+            let est = h.quantile(q).expect("non-empty");
+            assert_eq!(LogHistogram::bucket_of(est), 64, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact_order_statistic() {
+        // Deterministic pseudo-random sample; compare against the exact
+        // order statistic computed from the sorted values.
+        let mut values: Vec<u64> = (0u64..500).map(|i| (i * 2654435761) % 100_000).collect();
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = h.quantile(q).expect("non-empty");
+            assert_eq!(
+                LogHistogram::bucket_of(est),
+                LogHistogram::bucket_of(exact),
+                "q={q} est={est} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_shards_is_order_independent() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+        }
+        c.record(0);
+        let ab = LogHistogram::merge_shards([&a, &b, &c]);
+        let ba = LogHistogram::merge_shards([&c, &b, &a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total(), 6);
+        assert_eq!(
+            LogHistogram::merge_shards(std::iter::empty()),
+            LogHistogram::new()
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! summing, so nested or re-entrant spans of the same phase never
 //! double-count wall time.
 
+pub mod campaign;
 pub mod critical_path;
 pub mod diff;
 pub mod gz;
